@@ -1,0 +1,117 @@
+//! Ablation (paper §7.2): quadratic vs. exponential (insertion)
+//! `reorder` encodings.
+//!
+//! The paper reports that the exponential encoding, despite its
+//! asymptotics, is often faster for the small blocks that occur in
+//! practice. This bench runs the same reorder synthesis problem under
+//! both encodings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psketch_core::{Config, Options, ReorderEncoding, Synthesis};
+use std::hint::black_box;
+
+fn reorder_source(k: usize) -> String {
+    let mut expected = 0i64;
+    for j in 0..k {
+        expected = expected * 2 + j as i64;
+    }
+    let stmts: Vec<String> = (0..k).map(|j| format!("g = g * 2 + {j};")).collect();
+    format!(
+        "int g;
+         harness void main() {{
+             reorder {{ {} }}
+             assert g == {expected};
+         }}",
+        stmts.join(" ")
+    )
+}
+
+fn concurrent_reorder_source() -> String {
+    // The queueE1-style problem: order a swap and a link correctly
+    // under two threads.
+    "struct E { Object v; E next; int taken; }
+     E head; E tail;
+     void enq(Object x) {
+         E tmp = null;
+         E n = new E(x, null, 0);
+         reorder {
+             tmp = AtomicSwap(tail, n);
+             tmp.next = n;
+         }
+     }
+     harness void main() {
+         head = new E(0, null, 1);
+         tail = head;
+         fork (i; 2) { enq(i + 1); }
+         assert tail != null;
+         assert tail.next == null;
+         assert head.next != null;
+         assert head.next.next != null;
+     }"
+        .to_string()
+}
+
+fn options(enc: ReorderEncoding) -> Options {
+    Options {
+        config: Config {
+            reorder: enc,
+            unroll: 4,
+            pool: 4,
+            ..Config::default()
+        },
+        ..Options::default()
+    }
+}
+
+fn bench_sequential_reorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/reorder_sequential");
+    for k in [4usize, 5, 6] {
+        let src = reorder_source(k);
+        for (name, enc) in [
+            ("quadratic", ReorderEncoding::Quadratic),
+            ("exponential", ReorderEncoding::Exponential),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, k),
+                &src,
+                |b, src| {
+                    b.iter(|| {
+                        let out = Synthesis::new(black_box(src), options(enc))
+                            .unwrap()
+                            .run();
+                        assert!(out.resolved());
+                        black_box(out.stats.iterations)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_concurrent_reorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/reorder_concurrent");
+    let src = concurrent_reorder_source();
+    for (name, enc) in [
+        ("quadratic", ReorderEncoding::Quadratic),
+        ("exponential", ReorderEncoding::Exponential),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let out = Synthesis::new(black_box(&src), options(enc))
+                    .unwrap()
+                    .run();
+                assert!(out.resolved());
+                black_box(out.stats.iterations)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sequential_reorder, bench_concurrent_reorder
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Figure 10: synthesis scaling with candidate-space size.
+//!
+//! The paper's hypothesis: iterations grow roughly with log |C|, so
+//! total time stays tractable as sketches grow. This bench sweeps a
+//! single sketch family whose |C| grows geometrically (wider constant
+//! holes and longer reorder blocks) and measures end-to-end synthesis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psketch_core::{Options, Synthesis};
+use std::hint::black_box;
+
+/// A sketch whose space grows as `width` grows: find `target` among
+/// `2^width` constants under concurrent increments.
+fn const_sweep_source(width: u32) -> String {
+    format!(
+        "int g;
+         harness void main() {{
+             fork (i; 2) {{ int old = AtomicReadAndIncr(g); }}
+             assert g == ??({width}) - 1;
+         }}"
+    )
+}
+
+/// A reorder whose space grows as k!: exactly one order of k dependent
+/// updates reaches the target value.
+fn reorder_sweep_source(k: usize) -> String {
+    // g starts 0; statement j (for j in 0..k) is g = g * 2 + j.
+    // Only ascending order yields the canonical value.
+    let mut expected = 0i64;
+    for j in 0..k {
+        expected = expected * 2 + j as i64;
+    }
+    let stmts: Vec<String> = (0..k).map(|j| format!("g = g * 2 + {j};")).collect();
+    format!(
+        "int g;
+         harness void main() {{
+             reorder {{ {} }}
+             assert g == {expected};
+         }}",
+        stmts.join(" ")
+    )
+}
+
+fn bench_hole_width_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10/hole_width");
+    for width in [2u32, 4, 6, 8] {
+        let src = const_sweep_source(width);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &src, |b, src| {
+            b.iter(|| {
+                let out = Synthesis::new(black_box(src), Options::default())
+                    .unwrap()
+                    .run();
+                assert!(out.resolved());
+                black_box(out.stats.iterations)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reorder_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10/reorder_k");
+    for k in [3usize, 4, 5, 6] {
+        let src = reorder_sweep_source(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &src, |b, src| {
+            b.iter(|| {
+                let out = Synthesis::new(black_box(src), Options::default())
+                    .unwrap()
+                    .run();
+                assert!(out.resolved());
+                black_box(out.stats.iterations)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hole_width_sweep, bench_reorder_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Sequential CEGIS (paper §3/§5): `implements` equivalence synthesis
+//! where observations are counterexample *inputs* found by SAT.
+//!
+//! A reduced version of the paper's shufps matrix-transpose contest
+//! problem: synthesize the shuffle selectors of a 2×2 transpose.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psketch_core::{Options, Synthesis};
+use std::hint::black_box;
+
+/// 2×2 transpose via two 2-element shuffles with hole selectors.
+fn mini_transpose() -> &'static str {
+    r#"
+int[4] trans(int[4] M) {
+    int[4] T;
+    T[0] = M[0];
+    T[1] = M[2];
+    T[2] = M[1];
+    T[3] = M[3];
+    return T;
+}
+
+int[2] shuf(int[4] x1, int[4] x2, int b0, int b1) {
+    int[2] s;
+    s[0] = x1[b0];
+    s[1] = x2[b1];
+    return s;
+}
+
+int[4] trans_sse(int[4] M) implements trans {
+    int[4] T;
+    T[0::2] = shuf(M, M, ??(2), ??(2));
+    T[2::2] = shuf(M, M, ??(2), ??(2));
+    return T;
+}
+"#
+}
+
+/// Scalar equivalence: a linear function with two unknowns.
+fn linear_equiv() -> &'static str {
+    r#"
+int spec(int x, int y) { return x + x + x + y + y + 5; }
+int impl(int x, int y) implements spec { return x * ??(2) + y * ??(2) + ??(3); }
+"#
+}
+
+fn bench_mini_transpose(c: &mut Criterion) {
+    c.bench_function("sequential/mini_transpose", |b| {
+        b.iter(|| {
+            let out = Synthesis::new(black_box(mini_transpose()), Options::default())
+                .unwrap()
+                .run();
+            assert!(out.resolved(), "mini transpose must resolve");
+            black_box(out.stats.iterations)
+        })
+    });
+}
+
+fn bench_linear_equiv(c: &mut Criterion) {
+    c.bench_function("sequential/linear_equiv", |b| {
+        b.iter(|| {
+            let out = Synthesis::new(black_box(linear_equiv()), Options::default())
+                .unwrap()
+                .run();
+            assert!(out.resolved());
+            let a = &out.resolution.unwrap().assignment;
+            assert_eq!((a.value(0), a.value(1), a.value(2)), (3, 2, 5));
+            black_box(out.stats.iterations)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mini_transpose, bench_linear_equiv
+}
+criterion_main!(benches);

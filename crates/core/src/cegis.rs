@@ -1,0 +1,522 @@
+//! The CEGIS driver.
+
+use crate::mem;
+use psketch_exec::{check_with_limit, random_run, CexTrace, Verdict};
+use psketch_ir::{desugar, lower, resolve, Assignment, Config, Lowered};
+use psketch_lang::ast::Program;
+use psketch_lang::{SourceError, SourceResult};
+use psketch_symbolic::{verify_sequential, Synthesizer};
+use std::time::{Duration, Instant};
+
+/// How a sketch is specified (paper §4.3).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Assertion-based: a `harness` drives the program; correctness =
+    /// no assertion failure / memory error / deadlock on any input
+    /// and interleaving. The verifier is the model checker.
+    Harness,
+    /// Behavioural equivalence of the named function with its
+    /// `implements` specification on all (bounded) inputs. The
+    /// verifier is SAT-based; observations are inputs (§5).
+    Equivalence(String),
+}
+
+/// How candidates are verified in harness mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VerifierKind {
+    /// Exhaustive explicit-state search over all interleavings.
+    Exhaustive,
+    /// Hybrid: try `samples` random schedules first (cheap
+    /// refutation), then confirm survivors exhaustively. Never accepts
+    /// a wrong candidate; on large state spaces most CEGIS iterations
+    /// skip the exhaustive search.
+    Hybrid {
+        /// Random schedules per candidate before the exhaustive pass.
+        samples: usize,
+    },
+}
+
+/// Synthesis options.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Lowering/bounding configuration.
+    pub config: Config,
+    /// Give up after this many CEGIS iterations.
+    pub max_iterations: usize,
+    /// Model-checker state limit per verification call.
+    pub max_states: usize,
+    /// Explicit mode; `None` auto-detects (harness if present,
+    /// otherwise the unique `implements` function).
+    pub mode: Option<Mode>,
+    /// Verification strategy for harness mode.
+    pub verifier: VerifierKind,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            config: Config::default(),
+            max_iterations: 200,
+            max_states: 20_000_000,
+            mode: None,
+            verifier: VerifierKind::Exhaustive,
+        }
+    }
+}
+
+/// Timing and size statistics matching the paper's Figure 9 columns.
+#[derive(Clone, Debug, Default)]
+pub struct CegisStats {
+    /// Number of observations (verifier calls that produced a
+    /// counterexample) — the paper's `Itns` counts candidates tried.
+    pub iterations: usize,
+    /// Synthesizer SAT-solving time (`Ssolve`).
+    pub s_solve: Duration,
+    /// Synthesizer encoding time (`Smodel`).
+    pub s_model: Duration,
+    /// Verifier search time (`Vsolve`).
+    pub v_solve: Duration,
+    /// Front-end + lowering time (`Vmodel`: the paper's model
+    /// generation/compilation).
+    pub v_model: Duration,
+    /// Wall-clock total.
+    pub total: Duration,
+    /// |C|, the candidate-space size.
+    pub candidate_space: u128,
+    /// log10 |C| (Figure 10's x axis).
+    pub log10_space: f64,
+    /// States explored by the model checker (cumulative).
+    pub states: usize,
+    /// Peak RSS observed at the end of the run, bytes.
+    pub peak_memory: u64,
+    /// Circuit nodes in the synthesizer at the end.
+    pub synth_nodes: usize,
+    /// Candidates refuted by a sampled schedule before any exhaustive
+    /// search (hybrid verifier only).
+    pub sampled_refutations: usize,
+}
+
+/// A successful resolution.
+#[derive(Clone, Debug)]
+pub struct Resolution {
+    /// The hole values.
+    pub assignment: Assignment,
+    /// The resolved program, pretty-printed.
+    pub source: String,
+}
+
+/// The result of a synthesis run.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// `Some` when the sketch resolved; `None` when it is
+    /// unresolvable (the paper's "NO" answers) or iterations ran out.
+    pub resolution: Option<Resolution>,
+    /// `true` when `None` is a definite "cannot be resolved" rather
+    /// than an iteration/state budget exhaustion.
+    pub definitely_unresolvable: bool,
+    /// Statistics.
+    pub stats: CegisStats,
+}
+
+impl Outcome {
+    /// Did the sketch resolve?
+    pub fn resolved(&self) -> bool {
+        self.resolution.is_some()
+    }
+}
+
+/// A prepared synthesis problem. Create with [`Synthesis::new`], run
+/// with [`Synthesis::run`], or drive iteration-by-iteration with
+/// [`Synthesis::enumerate`].
+pub struct Synthesis {
+    sketch: Program,
+    lowered: Lowered,
+    mode: Mode,
+    options: Options,
+    v_model: Duration,
+}
+
+impl Synthesis {
+    /// Parses, typechecks, desugars and lowers a sketch.
+    ///
+    /// # Errors
+    ///
+    /// Any front-end or lowering error, or a mode auto-detection
+    /// failure (no harness and no `implements` function).
+    pub fn new(source: &str, options: Options) -> SourceResult<Synthesis> {
+        let t0 = Instant::now();
+        let program = psketch_lang::check_program(source)?;
+        let (sketch, holes) = desugar::desugar_program(&program, &options.config)?;
+        let mode = match &options.mode {
+            Some(m) => m.clone(),
+            None => {
+                if sketch.harness().is_some() {
+                    Mode::Harness
+                } else {
+                    let impls: Vec<&str> = sketch
+                        .functions
+                        .iter()
+                        .filter(|f| f.implements.is_some())
+                        .map(|f| f.name.as_str())
+                        .collect();
+                    match impls[..] {
+                        [one] => Mode::Equivalence(one.to_string()),
+                        _ => {
+                            return Err(SourceError::new(
+                                psketch_lang::error::Phase::Type,
+                                Default::default(),
+                                "cannot infer mode: add a harness or exactly one \
+                                 'implements' function",
+                            ))
+                        }
+                    }
+                }
+            }
+        };
+        let lowered = match &mode {
+            Mode::Harness => lower::lower_program(&sketch, holes, &options.config)?,
+            Mode::Equivalence(f) => {
+                lower::lower_equivalence(&sketch, holes, f, &options.config)?
+            }
+        };
+        Ok(Synthesis {
+            sketch,
+            lowered,
+            mode,
+            options,
+            v_model: t0.elapsed(),
+        })
+    }
+
+    /// The desugared sketch.
+    pub fn sketch(&self) -> &Program {
+        &self.sketch
+    }
+
+    /// The lowered program.
+    pub fn lowered(&self) -> &Lowered {
+        &self.lowered
+    }
+
+    /// The specification mode in use.
+    pub fn mode(&self) -> &Mode {
+        &self.mode
+    }
+
+    /// |C| for this sketch (Table 1).
+    pub fn candidate_space(&self) -> u128 {
+        self.lowered.holes.candidate_space()
+    }
+
+    /// Runs the CEGIS loop to completion.
+    pub fn run(&self) -> Outcome {
+        let t0 = Instant::now();
+        let mut stats = CegisStats {
+            v_model: self.v_model,
+            candidate_space: self.lowered.holes.candidate_space(),
+            log10_space: self.lowered.holes.log10_candidate_space(),
+            ..CegisStats::default()
+        };
+        let mut synth = Synthesizer::new(&self.lowered);
+        let mut resolution = None;
+        let mut definitely_unresolvable = false;
+
+        for _ in 0..self.options.max_iterations {
+            stats.iterations += 1;
+            let Some(candidate) = synth.next_candidate() else {
+                definitely_unresolvable = true;
+                break;
+            };
+            let tv = Instant::now();
+            let iteration = stats.iterations;
+            let counterexample = self.verify_at(&candidate, &mut stats, iteration);
+            stats.v_solve += tv.elapsed();
+            match counterexample {
+                VerifyResult::Correct => {
+                    let resolved =
+                        resolve::resolve_program(&self.sketch, &candidate);
+                    resolution = Some(Resolution {
+                        assignment: candidate,
+                        source: psketch_lang::pretty::print_program(&resolved),
+                    });
+                    break;
+                }
+                VerifyResult::Trace(cex) => synth.add_trace(&cex),
+                VerifyResult::Input(x) => synth.add_input(&x),
+                VerifyResult::Unknown => break,
+            }
+        }
+        stats.s_solve = synth.stats.solve_time;
+        stats.s_model = synth.stats.encode_time;
+        stats.synth_nodes = synth.stats.nodes;
+        stats.total = t0.elapsed();
+        stats.peak_memory = mem::peak_rss_bytes().unwrap_or(0);
+        Outcome {
+            resolution,
+            definitely_unresolvable,
+            stats,
+        }
+    }
+
+    /// Verifies one candidate, returning its counterexample if any.
+    /// Exposed for tests and tooling.
+    pub fn verify_candidate(&self, candidate: &Assignment) -> Option<CexTrace> {
+        let mut stats = CegisStats::default();
+        match self.verify_at(candidate, &mut stats, 0) {
+            VerifyResult::Trace(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    fn verify_at(
+        &self,
+        candidate: &Assignment,
+        stats: &mut CegisStats,
+        iteration: usize,
+    ) -> VerifyResult {
+        match &self.mode {
+            Mode::Harness => {
+                if let VerifierKind::Hybrid { samples } = self.options.verifier {
+                    for k in 0..samples {
+                        let seed = (iteration as u64) << 16 | k as u64;
+                        if let Some(cex) = random_run(&self.lowered, candidate, seed) {
+                            stats.sampled_refutations += 1;
+                            return VerifyResult::Trace(cex);
+                        }
+                    }
+                }
+                let out = check_with_limit(&self.lowered, candidate, self.options.max_states);
+                stats.states += out.stats.states;
+                match out.verdict {
+                    Verdict::Pass => VerifyResult::Correct,
+                    Verdict::Fail(cex) => VerifyResult::Trace(cex),
+                    Verdict::Unknown => VerifyResult::Unknown,
+                }
+            }
+            Mode::Equivalence(_) => match verify_sequential(&self.lowered, candidate) {
+                None => VerifyResult::Correct,
+                Some(x) => VerifyResult::Input(x),
+            },
+        }
+    }
+
+    /// Enumerates up to `limit` *distinct* correct resolutions.
+    ///
+    /// The paper (§8.3.1) notes that CEGIS "can trivially produce
+    /// multiple correct candidates", to be ranked by an external
+    /// autotuner; this is that hook. Each returned resolution is
+    /// verified; the search blocks each solution and continues until
+    /// the space is exhausted or `limit` is reached.
+    pub fn enumerate(&self, limit: usize) -> Vec<Resolution> {
+        let mut synth = Synthesizer::new(&self.lowered);
+        let mut found = Vec::new();
+        let mut iterations = 0;
+        while found.len() < limit && iterations < self.options.max_iterations {
+            iterations += 1;
+            let Some(candidate) = synth.next_candidate() else {
+                break;
+            };
+            let mut stats = CegisStats::default();
+            match self.verify_at(&candidate, &mut stats, iterations) {
+                VerifyResult::Correct => {
+                    let resolved = resolve::resolve_program(&self.sketch, &candidate);
+                    synth.block(&candidate);
+                    found.push(Resolution {
+                        assignment: candidate,
+                        source: psketch_lang::pretty::print_program(&resolved),
+                    });
+                }
+                VerifyResult::Trace(cex) => synth.add_trace(&cex),
+                VerifyResult::Input(x) => synth.add_input(&x),
+                VerifyResult::Unknown => break,
+            }
+        }
+        found
+    }
+
+    /// Pretty-prints the resolution of one function of the sketch
+    /// (e.g. just `Enqueue`, like the paper's Figure 2).
+    pub fn resolve_function(&self, name: &str, a: &Assignment) -> Option<String> {
+        let f = self.sketch.function(name)?;
+        let resolved = resolve::resolve_fn(f, a);
+        let mut out = String::new();
+        psketch_lang::pretty::print_fn(&mut out, &resolved);
+        Some(out)
+    }
+}
+
+enum VerifyResult {
+    Correct,
+    Trace(CexTrace),
+    Input(Vec<i64>),
+    Unknown,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Outcome {
+        Synthesis::new(src, Options::default())
+            .unwrap_or_else(|e| panic!("{e}"))
+            .run()
+    }
+
+    #[test]
+    fn resolves_constants_and_counts_iterations() {
+        let out = run("int g; harness void main() { g = ??(4); assert g == 9; }");
+        let r = out.resolution.expect("resolvable");
+        assert_eq!(r.assignment.value(0), 9);
+        assert!(r.source.contains("g = 9;"), "{}", r.source);
+        assert!(out.stats.iterations >= 1);
+        assert_eq!(out.stats.candidate_space, 16);
+    }
+
+    #[test]
+    fn reports_unresolvable() {
+        let out = run("int g; harness void main() { g = ??(2); assert g == 9; }");
+        assert!(!out.resolved());
+        assert!(out.definitely_unresolvable);
+    }
+
+    #[test]
+    fn concurrent_reorder_synthesis() {
+        // Thread-safe counter with a reorder: the lock must be taken
+        // before the increment and released after.
+        let out = run(
+            "struct Lock { int owner = -1; }
+             Lock lk; int g;
+             void lock(Lock l) { atomic (l.owner == -1) { l.owner = pid(); } }
+             void unlock(Lock l) { assert l.owner == pid(); l.owner = -1; }
+             harness void main() {
+                 lk = new Lock();
+                 fork (i; 2) {
+                     int t = 0;
+                     reorder {
+                         lock(lk);
+                         t = g;
+                         g = t + 1;
+                         unlock(lk);
+                     }
+                 }
+                 assert g == 2;
+             }",
+        );
+        let r = out.resolution.expect("resolvable");
+        // Permutation must be lock < read < write < unlock.
+        let order: Vec<u64> = (0..4).map(|h| r.assignment.value(h)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3], "only the given order works");
+    }
+
+    #[test]
+    fn equivalence_mode_autodetects() {
+        let out = run(
+            "int spec(int x) { return x + x; }
+             int dbl(int x) implements spec { return x * ??(2); }",
+        );
+        let r = out.resolution.expect("resolvable");
+        assert_eq!(r.assignment.value(0), 2);
+        assert!(r.source.contains("x * 2"), "{}", r.source);
+    }
+
+    #[test]
+    fn resolve_function_prints_single_fn() {
+        let s = Synthesis::new(
+            "int g; void set() { g = ??(3); } harness void main() { set(); assert g == 5; }",
+            Options::default(),
+        )
+        .unwrap();
+        let out = s.run();
+        let r = out.resolution.expect("resolvable");
+        let printed = s.resolve_function("set", &r.assignment).unwrap();
+        assert!(printed.contains("g = 5;"), "{printed}");
+        assert!(!printed.contains("main"));
+    }
+
+    #[test]
+    fn stats_populate_figure9_columns() {
+        let out = run(
+            "int g;
+             harness void main() {
+                 fork (i; 2) { int old = AtomicReadAndIncr(g); }
+                 assert g == ??(2);
+             }",
+        );
+        assert!(out.resolved());
+        let st = &out.stats;
+        assert!(st.total >= st.s_solve);
+        assert!(st.candidate_space == 4);
+        assert!(st.log10_space > 0.0);
+        if cfg!(target_os = "linux") {
+            assert!(st.peak_memory > 0);
+        }
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let opts = Options {
+            max_iterations: 1,
+            ..Options::default()
+        };
+        // Resolvable, but likely needs >1 iteration; must not loop.
+        let out = Synthesis::new(
+            "int g;
+             harness void main() {
+                 fork (i; 2) {
+                     if (??(1) == 0) { int t = g; g = t + 1; }
+                     else { int old = AtomicReadAndIncr(g); }
+                 }
+                 assert g == 2;
+             }",
+            opts,
+        )
+        .unwrap()
+        .run();
+        assert!(out.stats.iterations <= 1);
+        assert!(!out.definitely_unresolvable || out.resolved() || out.stats.iterations == 1);
+    }
+
+    #[test]
+    fn enumerate_finds_all_solutions() {
+        // g = ??(2), assert g < 3: solutions {0, 1, 2}.
+        let s = Synthesis::new(
+            "int g; harness void main() { g = ??(2); assert g < 3; }",
+            Options::default(),
+        )
+        .unwrap();
+        let all = s.enumerate(10);
+        let mut values: Vec<u64> = all.iter().map(|r| r.assignment.value(0)).collect();
+        values.sort_unstable();
+        assert_eq!(values, vec![0, 1, 2]);
+        // Limit respected.
+        assert_eq!(s.enumerate(2).len(), 2);
+    }
+
+    #[test]
+    fn enumerate_distinct_reorderings() {
+        // Two commuting statements: both orders are correct and both
+        // must be enumerated (the paper's autotuning motivation:
+        // candidates with incomparable performance).
+        let s = Synthesis::new(
+            "int g; int h;
+             harness void main() {
+                 reorder { g = 1; h = 2; }
+                 assert g == 1 && h == 2;
+             }",
+            Options::default(),
+        )
+        .unwrap();
+        let all = s.enumerate(10);
+        assert_eq!(all.len(), 2, "both orders are correct");
+        assert_ne!(all[0].assignment, all[1].assignment);
+    }
+
+    #[test]
+    fn mode_detection_failure_reported() {
+        let err = match Synthesis::new("int f(int x) { return x; }", Options::default()) {
+            Err(e) => e,
+            Ok(_) => panic!("expected a mode-detection error"),
+        };
+        assert!(err.message.contains("mode"));
+    }
+}

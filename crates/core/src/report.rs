@@ -1,0 +1,85 @@
+//! Rendering statistics in the paper's Figure 9 format.
+
+use crate::cegis::{CegisStats, Outcome};
+use std::fmt::Write as _;
+
+/// Renders an outcome as one Figure-9-style row block.
+pub fn render_stats(name: &str, test: &str, outcome: &Outcome) -> String {
+    let st = &outcome.stats;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{name} [{test}]  Resolvable: {}  Itns: {}",
+        if outcome.resolved() {
+            "yes"
+        } else if outcome.definitely_unresolvable {
+            "NO"
+        } else {
+            "unknown"
+        },
+        st.iterations
+    );
+    let _ = writeln!(
+        out,
+        "  Time (s): Total {:.2}  Ssolve {:.2}  Smodel {:.2}  Vsolve {:.2}  Vmodel {:.2}",
+        st.total.as_secs_f64(),
+        st.s_solve.as_secs_f64(),
+        st.s_model.as_secs_f64(),
+        st.v_solve.as_secs_f64(),
+        st.v_model.as_secs_f64(),
+    );
+    let _ = writeln!(
+        out,
+        "  |C| = {:.3e}  states = {}  peak mem = {:.1} MiB",
+        st.candidate_space as f64,
+        st.states,
+        st.peak_memory as f64 / (1024.0 * 1024.0)
+    );
+    out
+}
+
+/// Renders a compact single-line TSV row (machine-readable; used by the
+/// fig9 generator).
+pub fn render_tsv_row(name: &str, test: &str, outcome: &Outcome) -> String {
+    let st: &CegisStats = &outcome.stats;
+    format!(
+        "{name}\t{test}\t{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.2}\t{}\t{:.1}",
+        if outcome.resolved() {
+            "yes"
+        } else if outcome.definitely_unresolvable {
+            "NO"
+        } else {
+            "unknown"
+        },
+        st.iterations,
+        st.total.as_secs_f64(),
+        st.s_solve.as_secs_f64(),
+        st.s_model.as_secs_f64(),
+        st.v_solve.as_secs_f64(),
+        st.v_model.as_secs_f64(),
+        st.log10_space,
+        st.states,
+        st.peak_memory as f64 / (1024.0 * 1024.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cegis::{Options, Synthesis};
+
+    #[test]
+    fn renders_both_formats() {
+        let out = Synthesis::new(
+            "int g; harness void main() { g = ??(2); assert g == 1; }",
+            Options::default(),
+        )
+        .unwrap()
+        .run();
+        let pretty = render_stats("demo", "t0", &out);
+        assert!(pretty.contains("Resolvable: yes"));
+        assert!(pretty.contains("Ssolve"));
+        let tsv = render_tsv_row("demo", "t0", &out);
+        assert_eq!(tsv.split('\t').count(), 12);
+    }
+}

@@ -1,0 +1,1096 @@
+//! The explicit-state model checker.
+//!
+//! Depth-first search over all interleavings of the workers'
+//! shared-state steps, with state hashing (dead thread-locals are
+//! masked out of the canonical state to merge equivalent paths) and
+//! exact counterexample-trace extraction.
+
+use crate::store::{
+    eval_rv, exec_op, CexTrace, Failure, FailureKind, Store,
+};
+use psketch_ir::{Assignment, Lowered, Lv, Op, Rv, Thread, ThreadId};
+use std::collections::HashSet;
+
+/// The checker's verdict.
+#[derive(Clone, Debug)]
+pub enum Verdict {
+    /// No interleaving fails.
+    Pass,
+    /// Some interleaving fails; here is the observation.
+    Fail(CexTrace),
+    /// The state limit was exceeded before exhausting the space.
+    Unknown,
+}
+
+/// Search-effort counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckStats {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions fired.
+    pub transitions: usize,
+    /// Completed executions (all threads finished + epilogue run).
+    pub terminal_states: usize,
+}
+
+/// Result of [`check`].
+#[derive(Clone, Debug)]
+pub struct CheckOutcome {
+    /// Pass / fail / unknown.
+    pub verdict: Verdict,
+    /// Search counters.
+    pub stats: CheckStats,
+}
+
+impl CheckOutcome {
+    /// True when verification passed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self.verdict, Verdict::Pass)
+    }
+
+    /// The counterexample, if any.
+    pub fn counterexample(&self) -> Option<&CexTrace> {
+        match &self.verdict {
+            Verdict::Fail(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Model-checks `candidate` over every interleaving.
+pub fn check(l: &Lowered, candidate: &Assignment) -> CheckOutcome {
+    check_with_limit(l, candidate, 50_000_000)
+}
+
+/// As [`check`], bounding the number of distinct states explored.
+pub fn check_with_limit(l: &Lowered, candidate: &Assignment, max_states: usize) -> CheckOutcome {
+    Checker::new(l, candidate).run(max_states)
+}
+
+/// Replays a specific schedule: after the prologue, fires workers in
+/// the order given by `schedule` (worker indices, 0-based); remaining
+/// enabled workers then run round-robin; the epilogue follows. Returns
+/// the failure trace, if the schedule hits one.
+///
+/// Intended for tests and for double-checking counterexamples.
+pub fn replay(l: &Lowered, candidate: &Assignment, schedule: &[usize]) -> Option<CexTrace> {
+    let ck = Checker::new(l, candidate);
+    let mut trace: Vec<(ThreadId, usize)> = Vec::new();
+    match ck.run_seq(0, &l.prologue, &mut Store::initial(l)) {
+        Ok((store, steps)) => {
+            trace.extend(steps);
+            let mut state = ck.initial_workers(store);
+            if let Err((steps, failure)) = ck.advance_all(&mut state) {
+                trace.extend(steps);
+                return Some(CexTrace {
+                    steps: trace,
+                    failure,
+                    deadlock: vec![],
+                });
+            }
+            let mut queue: Vec<usize> = schedule.to_vec();
+            loop {
+                let pick = queue
+                    .iter()
+                    .position(|&t| ck.enabled(&state, t))
+                    .map(|ix| queue.remove(ix))
+                    .or_else(|| (0..state.workers.len()).find(|&t| ck.enabled(&state, t)));
+                match pick {
+                    Some(t) => match ck.fire(&mut state, t) {
+                        Ok(steps) => trace.extend(steps),
+                        Err((steps, failure)) => {
+                            trace.extend(steps);
+                            return Some(CexTrace {
+                                steps: trace,
+                                failure,
+                                deadlock: vec![],
+                            });
+                        }
+                    },
+                    None => break,
+                }
+            }
+            if !ck.all_finished(&state) {
+                let deadlock = ck.blocked_positions(&state);
+                let failure = ck.deadlock_failure(&state);
+                return Some(CexTrace {
+                    steps: trace,
+                    failure,
+                    deadlock,
+                });
+            }
+            let mut store = state.store;
+            match ck.run_seq(l.epilogue_tid(), &l.epilogue, &mut store) {
+                Ok((_, steps)) => {
+                    trace.extend(steps);
+                    None
+                }
+                Err((steps, failure)) => {
+                    trace.extend(steps);
+                    Some(CexTrace {
+                        steps: trace,
+                        failure,
+                        deadlock: vec![],
+                    })
+                }
+            }
+        }
+        Err((steps, failure)) => {
+            trace.extend(steps);
+            Some(CexTrace {
+                steps: trace,
+                failure,
+                deadlock: vec![],
+            })
+        }
+    }
+}
+
+/// Runs one execution under a pseudo-random scheduler (uniform choice
+/// among enabled workers, seeded xorshift). Returns the failure trace
+/// if that schedule hits one.
+///
+/// Cheap, *incomplete* verification: used by the hybrid strategy that
+/// samples schedules before paying for the exhaustive search. A `None`
+/// result says nothing about other interleavings.
+pub fn random_run(l: &Lowered, candidate: &Assignment, seed: u64) -> Option<CexTrace> {
+    let ck = Checker::new(l, candidate);
+    let mut rng = seed.wrapping_mul(0x9e3779b97f4a7c15).max(1);
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut trace: Vec<(ThreadId, usize)> = Vec::new();
+    let mut store = Store::initial(l);
+    match ck.run_seq(0, &l.prologue, &mut store) {
+        Ok((_, steps)) => trace.extend(steps),
+        Err((steps, failure)) => {
+            trace.extend(steps);
+            return Some(CexTrace {
+                steps: trace,
+                failure,
+                deadlock: vec![],
+            });
+        }
+    }
+    let mut state = ck.initial_workers(store);
+    match ck.advance_all(&mut state) {
+        Ok(steps) => trace.extend(steps),
+        Err((steps, failure)) => {
+            trace.extend(steps);
+            return Some(CexTrace {
+                steps: trace,
+                failure,
+                deadlock: vec![],
+            });
+        }
+    }
+    loop {
+        let enabled: Vec<usize> = (0..state.workers.len())
+            .filter(|&w| ck.enabled(&state, w))
+            .collect();
+        if enabled.is_empty() {
+            break;
+        }
+        let w = enabled[(next() as usize) % enabled.len()];
+        match ck.fire(&mut state, w) {
+            Ok(steps) => trace.extend(steps),
+            Err((steps, failure)) => {
+                trace.extend(steps);
+                return Some(CexTrace {
+                    steps: trace,
+                    failure,
+                    deadlock: vec![],
+                });
+            }
+        }
+    }
+    if !ck.all_finished(&state) {
+        let deadlock = ck.blocked_positions(&state);
+        let failure = ck.deadlock_failure(&state);
+        return Some(CexTrace {
+            steps: trace,
+            failure,
+            deadlock,
+        });
+    }
+    let mut store = state.store;
+    match ck.run_seq(l.epilogue_tid(), &l.epilogue, &mut store) {
+        Ok(_) => None,
+        Err((steps, failure)) => {
+            trace.extend(steps);
+            Some(CexTrace {
+                steps: trace,
+                failure,
+                deadlock: vec![],
+            })
+        }
+    }
+}
+
+#[derive(Clone)]
+struct WorkerState {
+    pc: usize,
+    locals: Vec<i64>,
+}
+
+#[derive(Clone)]
+struct ExecState {
+    store: Store,
+    workers: Vec<WorkerState>,
+}
+
+struct Checker<'a> {
+    l: &'a Lowered,
+    holes: &'a Assignment,
+    /// `match_end[w][pc]` = index of the AtomicEnd matching an
+    /// AtomicBegin at `pc`.
+    match_end: Vec<Vec<usize>>,
+    /// `live[w][pc]` = bitmask words of locals read at step >= pc.
+    live: Vec<Vec<Vec<u64>>>,
+}
+
+type FireResult = Result<Vec<(ThreadId, usize)>, (Vec<(ThreadId, usize)>, Failure)>;
+
+impl<'a> Checker<'a> {
+    fn new(l: &'a Lowered, holes: &'a Assignment) -> Checker<'a> {
+        let match_end = l
+            .workers
+            .iter()
+            .map(compute_match_end)
+            .collect();
+        let live = l.workers.iter().map(compute_liveness).collect();
+        Checker {
+            l,
+            holes,
+            match_end,
+            live,
+        }
+    }
+
+    fn initial_workers(&self, store: Store) -> ExecState {
+        ExecState {
+            store,
+            workers: self
+                .l
+                .workers
+                .iter()
+                .map(|w| WorkerState {
+                    pc: 0,
+                    locals: vec![0; w.locals.len()],
+                })
+                .collect(),
+        }
+    }
+
+    fn trace_tid(&self, worker: usize) -> ThreadId {
+        worker + 1
+    }
+
+    /// Runs a sequential phase (prologue/epilogue) to completion.
+    #[allow(clippy::type_complexity)]
+    fn run_seq(
+        &self,
+        tid: ThreadId,
+        thread: &Thread,
+        store: &mut Store,
+    ) -> Result<(Store, Vec<(ThreadId, usize)>), (Vec<(ThreadId, usize)>, Failure)> {
+        let mut locals = vec![0i64; thread.locals.len()];
+        let mut steps = Vec::new();
+        for (ix, step) in thread.steps.iter().enumerate() {
+            // On failure the failing step itself is appended to the
+            // trace: the projection must replay the witness statement
+            // at its observed position so that `fail(Sk_t[c])` fires
+            // for the candidate that produced the trace.
+            let g = match eval_rv(&step.guard, store, &locals, self.holes, self.l) {
+                Ok(v) => v != 0,
+                Err(kind) => {
+                    steps.push((tid, ix));
+                    return Err((
+                        steps,
+                        Failure {
+                            kind,
+                            tid,
+                            step: ix,
+                            span: step.span,
+                        },
+                    ));
+                }
+            };
+            if !g {
+                continue;
+            }
+            if let Op::AtomicBegin(Some(cond)) = &step.op {
+                let c = match eval_rv(cond, store, &locals, self.holes, self.l) {
+                    Ok(v) => v != 0,
+                    Err(kind) => {
+                        steps.push((tid, ix));
+                        return Err((
+                            steps,
+                            Failure {
+                                kind,
+                                tid,
+                                step: ix,
+                                span: step.span,
+                            },
+                        ));
+                    }
+                };
+                if !c {
+                    // Blocking with no peers: immediate deadlock.
+                    return Err((
+                        steps,
+                        Failure {
+                            kind: FailureKind::Deadlock,
+                            tid,
+                            step: ix,
+                            span: step.span,
+                        },
+                    ));
+                }
+            }
+            if let Err(kind) = exec_op(&step.op, store, &mut locals, self.holes, self.l) {
+                steps.push((tid, ix));
+                return Err((
+                    steps,
+                    Failure {
+                        kind,
+                        tid,
+                        step: ix,
+                        span: step.span,
+                    },
+                ));
+            }
+            steps.push((tid, ix));
+        }
+        Ok((store.clone(), steps))
+    }
+
+    /// Advances worker `w` past disabled and invisible steps.
+    fn advance(&self, state: &mut ExecState, w: usize) -> FireResult {
+        let thread = &self.l.workers[w];
+        let tid = self.trace_tid(w);
+        let mut executed = Vec::new();
+        loop {
+            let pc = state.workers[w].pc;
+            let Some(step) = thread.steps.get(pc) else {
+                return Ok(executed);
+            };
+            let g = eval_rv(
+                &step.guard,
+                &state.store,
+                &state.workers[w].locals,
+                self.holes,
+                self.l,
+            )
+            .map_err(|kind| {
+                let mut with_witness = executed.clone();
+                with_witness.push((tid, pc));
+                (
+                    with_witness,
+                    Failure {
+                        kind,
+                        tid,
+                        step: pc,
+                        span: step.span,
+                    },
+                )
+            })?;
+            if g == 0 {
+                state.workers[w].pc += 1;
+                continue;
+            }
+            if step.shared || !self.l.config.reduce_local_steps {
+                return Ok(executed);
+            }
+            exec_op(
+                &step.op,
+                &mut state.store,
+                &mut state.workers[w].locals,
+                self.holes,
+                self.l,
+            )
+            .map_err(|kind| {
+                let mut with_witness = executed.clone();
+                with_witness.push((tid, pc));
+                (
+                    with_witness,
+                    Failure {
+                        kind,
+                        tid,
+                        step: pc,
+                        span: step.span,
+                    },
+                )
+            })?;
+            executed.push((tid, pc));
+            state.workers[w].pc += 1;
+        }
+    }
+
+    fn advance_all(&self, state: &mut ExecState) -> FireResult {
+        let mut all = Vec::new();
+        for w in 0..state.workers.len() {
+            all.extend(self.advance(state, w)?);
+        }
+        Ok(all)
+    }
+
+    fn finished(&self, state: &ExecState, w: usize) -> bool {
+        state.workers[w].pc >= self.l.workers[w].steps.len()
+    }
+
+    fn all_finished(&self, state: &ExecState) -> bool {
+        (0..state.workers.len()).all(|w| self.finished(state, w))
+    }
+
+    /// Is worker `w` able to take a transition? Its pc rests on a
+    /// visible, guard-true step (advance invariant); a conditional
+    /// atomic additionally needs its condition to hold *now*.
+    fn enabled(&self, state: &ExecState, w: usize) -> bool {
+        if self.finished(state, w) {
+            return false;
+        }
+        let step = &self.l.workers[w].steps[state.workers[w].pc];
+        match &step.op {
+            Op::AtomicBegin(Some(cond)) => matches!(
+                eval_rv(
+                    cond,
+                    &state.store,
+                    &state.workers[w].locals,
+                    self.holes,
+                    self.l
+                ),
+                Ok(v) if v != 0
+            ),
+            _ => true,
+        }
+    }
+
+    /// Fires one transition of worker `w`: the visible step at its pc
+    /// (a whole atomic section if it is an AtomicBegin), then advances.
+    fn fire(&self, state: &mut ExecState, w: usize) -> FireResult {
+        let thread = &self.l.workers[w];
+        let tid = self.trace_tid(w);
+        let mut executed = Vec::new();
+        let pc = state.workers[w].pc;
+        let step = &thread.steps[pc];
+        let fail = |mut executed: Vec<(ThreadId, usize)>, kind, ix: usize| {
+            executed.push((tid, ix));
+            (
+                executed,
+                Failure {
+                    kind,
+                    tid,
+                    step: ix,
+                    span: thread.steps[ix].span,
+                },
+            )
+        };
+        match &step.op {
+            Op::AtomicBegin(_) => {
+                executed.push((tid, pc));
+                let end = self.match_end[w][pc];
+                for ix in pc + 1..end {
+                    let s = &thread.steps[ix];
+                    let g = eval_rv(
+                        &s.guard,
+                        &state.store,
+                        &state.workers[w].locals,
+                        self.holes,
+                        self.l,
+                    )
+                    .map_err(|k| fail(executed.clone(), k, ix))?;
+                    if g == 0 {
+                        continue;
+                    }
+                    exec_op(
+                        &s.op,
+                        &mut state.store,
+                        &mut state.workers[w].locals,
+                        self.holes,
+                        self.l,
+                    )
+                    .map_err(|k| fail(executed.clone(), k, ix))?;
+                    executed.push((tid, ix));
+                }
+                executed.push((tid, end));
+                state.workers[w].pc = end + 1;
+            }
+            _ => {
+                exec_op(
+                    &step.op,
+                    &mut state.store,
+                    &mut state.workers[w].locals,
+                    self.holes,
+                    self.l,
+                )
+                .map_err(|k| fail(executed.clone(), k, pc))?;
+                executed.push((tid, pc));
+                state.workers[w].pc = pc + 1;
+            }
+        }
+        executed.extend(self.advance(state, w).map_err(|(mut sofar, f)| {
+            let mut all = executed.clone();
+            all.append(&mut sofar);
+            (all, f)
+        })?);
+        Ok(executed)
+    }
+
+    fn blocked_positions(&self, state: &ExecState) -> Vec<(ThreadId, usize)> {
+        (0..state.workers.len())
+            .filter(|&w| !self.finished(state, w))
+            .map(|w| (self.trace_tid(w), state.workers[w].pc))
+            .collect()
+    }
+
+    fn deadlock_failure(&self, state: &ExecState) -> Failure {
+        let (tid, step) = self.blocked_positions(state)[0];
+        let span = self.l.workers[tid - 1].steps[step].span;
+        Failure {
+            kind: FailureKind::Deadlock,
+            tid,
+            step,
+            span,
+        }
+    }
+
+    /// Canonical state encoding with dead locals masked out.
+    fn canonical(&self, state: &ExecState) -> Vec<i64> {
+        let mut v = Vec::with_capacity(
+            state.workers.len()
+                + state.store.globals.len()
+                + state.store.allocs.len()
+                + state
+                    .workers
+                    .iter()
+                    .map(|w| w.locals.len())
+                    .sum::<usize>(),
+        );
+        for w in &state.workers {
+            v.push(w.pc as i64);
+        }
+        v.extend_from_slice(&state.store.globals);
+        for h in &state.store.heap {
+            v.extend_from_slice(h);
+        }
+        v.extend(state.store.allocs.iter().map(|&a| a as i64));
+        for (wix, w) in state.workers.iter().enumerate() {
+            let live = &self.live[wix];
+            let mask = live.get(w.pc).or_else(|| live.last());
+            for (i, &val) in w.locals.iter().enumerate() {
+                let alive = mask
+                    .map(|m| m[i / 64] & (1u64 << (i % 64)) != 0)
+                    .unwrap_or(false);
+                v.push(if alive { val } else { 0 });
+            }
+        }
+        v
+    }
+
+    fn run(&mut self, max_states: usize) -> CheckOutcome {
+        let mut stats = CheckStats::default();
+        let mut store = Store::initial(self.l);
+        let prologue_steps = match self.run_seq(0, &self.l.prologue, &mut store) {
+            Ok((_, steps)) => steps,
+            Err((steps, failure)) => {
+                return CheckOutcome {
+                    verdict: Verdict::Fail(CexTrace {
+                        steps,
+                        failure,
+                        deadlock: vec![],
+                    }),
+                    stats,
+                }
+            }
+        };
+        let mut init = self.initial_workers(store);
+        match self.advance_all(&mut init) {
+            Ok(steps) => {
+                // Initial invisible steps become part of every trace.
+                let mut pre = prologue_steps.clone();
+                pre.extend(steps);
+                self.dfs(init, pre, max_states, &mut stats)
+            }
+            Err((steps, failure)) => {
+                let mut all = prologue_steps;
+                all.extend(steps);
+                CheckOutcome {
+                    verdict: Verdict::Fail(CexTrace {
+                        steps: all,
+                        failure,
+                        deadlock: vec![],
+                    }),
+                    stats,
+                }
+            }
+        }
+    }
+
+    fn dfs(
+        &mut self,
+        init: ExecState,
+        prefix: Vec<(ThreadId, usize)>,
+        max_states: usize,
+        stats: &mut CheckStats,
+    ) -> CheckOutcome {
+        struct Frame {
+            state: ExecState,
+            executed: Vec<(ThreadId, usize)>,
+            next_choice: usize,
+        }
+        let mut visited: HashSet<Vec<i64>> = HashSet::new();
+        let mut stack = vec![Frame {
+            state: init,
+            executed: Vec::new(),
+            next_choice: 0,
+        }];
+        visited.insert(self.canonical(&stack[0].state));
+
+        let build_trace = |stack: &[Frame],
+                           extra: Vec<(ThreadId, usize)>|
+         -> Vec<(ThreadId, usize)> {
+            let mut t = prefix.clone();
+            for f in stack {
+                t.extend(f.executed.iter().copied());
+            }
+            t.extend(extra);
+            t
+        };
+
+        while let Some(top_ix) = stack.len().checked_sub(1) {
+            if visited.len() > max_states {
+                return CheckOutcome {
+                    verdict: Verdict::Unknown,
+                    stats: *stats,
+                };
+            }
+            let nworkers = stack[top_ix].state.workers.len();
+            // First time at this frame with choice 0: handle terminal
+            // states.
+            if stack[top_ix].next_choice == 0 {
+                let state = &stack[top_ix].state;
+                let any_enabled = (0..nworkers).any(|w| self.enabled(state, w));
+                if !any_enabled {
+                    if self.all_finished(state) {
+                        stats.terminal_states += 1;
+                        let mut store = state.store.clone();
+                        match self.run_seq(self.l.epilogue_tid(), &self.l.epilogue, &mut store) {
+                            Ok(_) => {
+                                stack.pop();
+                                continue;
+                            }
+                            Err((esteps, failure)) => {
+                                let steps = build_trace(&stack, esteps);
+                                return CheckOutcome {
+                                    verdict: Verdict::Fail(CexTrace {
+                                        steps,
+                                        failure,
+                                        deadlock: vec![],
+                                    }),
+                                    stats: *stats,
+                                };
+                            }
+                        }
+                    } else {
+                        let failure = self.deadlock_failure(state);
+                        let deadlock = self.blocked_positions(state);
+                        let steps = build_trace(&stack, vec![]);
+                        return CheckOutcome {
+                            verdict: Verdict::Fail(CexTrace {
+                                steps,
+                                failure,
+                                deadlock,
+                            }),
+                            stats: *stats,
+                        };
+                    }
+                }
+            }
+            // Try the next enabled worker.
+            let mut fired = false;
+            while stack[top_ix].next_choice < nworkers {
+                let w = stack[top_ix].next_choice;
+                stack[top_ix].next_choice += 1;
+                if !self.enabled(&stack[top_ix].state, w) {
+                    continue;
+                }
+                let mut next = stack[top_ix].state.clone();
+                stats.transitions += 1;
+                match self.fire(&mut next, w) {
+                    Ok(executed) => {
+                        let canon = self.canonical(&next);
+                        if visited.insert(canon) {
+                            stats.states = visited.len();
+                            stack.push(Frame {
+                                state: next,
+                                executed,
+                                next_choice: 0,
+                            });
+                            fired = true;
+                            break;
+                        }
+                    }
+                    Err((executed, failure)) => {
+                        let steps = build_trace(&stack, executed);
+                        return CheckOutcome {
+                            verdict: Verdict::Fail(CexTrace {
+                                steps,
+                                failure,
+                                deadlock: vec![],
+                            }),
+                            stats: *stats,
+                        };
+                    }
+                }
+            }
+            if !fired {
+                stack.pop();
+            }
+        }
+        stats.states = visited.len();
+        CheckOutcome {
+            verdict: Verdict::Pass,
+            stats: *stats,
+        }
+    }
+}
+
+/// Statically pairs AtomicBegin with its AtomicEnd (atomics do not
+/// nest).
+fn compute_match_end(thread: &Thread) -> Vec<usize> {
+    let mut out = vec![usize::MAX; thread.steps.len()];
+    for (ix, s) in thread.steps.iter().enumerate() {
+        if matches!(s.op, Op::AtomicBegin(_)) {
+            let end = thread.steps[ix + 1..]
+                .iter()
+                .position(|t| matches!(t.op, Op::AtomicEnd))
+                .map(|off| ix + 1 + off)
+                .expect("lowering emits matching AtomicEnd");
+            out[ix] = end;
+        }
+    }
+    out
+}
+
+/// `live[pc]` = bitmask of locals read by any step at index >= pc.
+fn compute_liveness(thread: &Thread) -> Vec<Vec<u64>> {
+    let words = thread.locals.len().div_ceil(64);
+    let mut live = vec![vec![0u64; words]; thread.steps.len() + 1];
+    for ix in (0..thread.steps.len()).rev() {
+        let mut mask = live[ix + 1].clone();
+        let mut add = |l: usize| mask[l / 64] |= 1u64 << (l % 64);
+        let visit_rv = |rv: &Rv, add: &mut dyn FnMut(usize)| collect_rv_reads(rv, add);
+        let s = &thread.steps[ix];
+        visit_rv(&s.guard, &mut add);
+        match &s.op {
+            Op::Assign(lv, rv) => {
+                collect_lv_reads(lv, &mut add);
+                visit_rv(rv, &mut add);
+            }
+            Op::Swap { dst, loc, val } => {
+                collect_lv_reads(dst, &mut add);
+                collect_lv_reads(loc, &mut add);
+                visit_rv(val, &mut add);
+            }
+            Op::Cas { dst, loc, old, new } => {
+                collect_lv_reads(dst, &mut add);
+                collect_lv_reads(loc, &mut add);
+                visit_rv(old, &mut add);
+                visit_rv(new, &mut add);
+            }
+            Op::FetchAdd { dst, loc, .. } => {
+                collect_lv_reads(dst, &mut add);
+                collect_lv_reads(loc, &mut add);
+            }
+            Op::Alloc { dst, inits, .. } => {
+                collect_lv_reads(dst, &mut add);
+                for (_, rv) in inits {
+                    visit_rv(rv, &mut add);
+                }
+            }
+            Op::Assert(c) => visit_rv(c, &mut add),
+            Op::AtomicBegin(Some(c)) => visit_rv(c, &mut add),
+            Op::AtomicBegin(None) | Op::AtomicEnd => {}
+        }
+        live[ix] = mask;
+    }
+    live
+}
+
+fn collect_rv_reads(rv: &Rv, add: &mut dyn FnMut(usize)) {
+    match rv {
+        Rv::Local(x) => add(*x),
+        Rv::LocalDyn { base, len, ix } => {
+            // Dynamic: conservatively keep the whole region.
+            for k in 0..*len {
+                add(base + k);
+            }
+            collect_rv_reads(ix, add);
+        }
+        Rv::GlobalDyn { ix, .. } => collect_rv_reads(ix, add),
+        Rv::Field { obj, .. } => collect_rv_reads(obj, add),
+        Rv::Unary(_, a) => collect_rv_reads(a, add),
+        Rv::Binary(_, a, b) => {
+            collect_rv_reads(a, add);
+            collect_rv_reads(b, add);
+        }
+        Rv::Ite(c, a, b) => {
+            collect_rv_reads(c, add);
+            collect_rv_reads(a, add);
+            collect_rv_reads(b, add);
+        }
+        Rv::Const(_) | Rv::Global(_) | Rv::Hole(_) => {}
+    }
+}
+
+/// Locals read while *resolving* an l-value (indices, objects) — and
+/// the written local itself stays live (it is about to hold a value
+/// that later steps may read via the same mask at a later pc; writes
+/// do not read, so only address components are collected).
+fn collect_lv_reads(lv: &Lv, add: &mut dyn FnMut(usize)) {
+    match lv {
+        Lv::Local(_) | Lv::Global(_) => {}
+        Lv::LocalDyn { base, len, ix } => {
+            for k in 0..*len {
+                add(base + k);
+            }
+            collect_rv_reads(ix, add);
+        }
+        Lv::GlobalDyn { ix, .. } => collect_rv_reads(ix, add),
+        Lv::Field { obj, .. } => collect_rv_reads(obj, add),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_ir::{desugar::desugar_program, lower::lower_program, Config};
+
+    fn lowered(src: &str) -> Lowered {
+        let cfg = Config::default();
+        let p = psketch_lang::check_program(src).unwrap();
+        let (sk, holes) = desugar_program(&p, &cfg).unwrap();
+        lower_program(&sk, holes, &cfg).unwrap()
+    }
+
+    fn run(src: &str) -> CheckOutcome {
+        let l = lowered(src);
+        let a = l.holes.identity_assignment();
+        check(&l, &a)
+    }
+
+    #[test]
+    fn sequential_assert_pass_and_fail() {
+        assert!(run("int g; harness void main() { g = 3; assert g == 3; }").is_ok());
+        let out = run("int g; harness void main() { g = 3; assert g == 4; }");
+        let cex = out.counterexample().expect("fails");
+        assert_eq!(cex.failure.kind, FailureKind::AssertFailed);
+        assert_eq!(cex.failure.tid, 0);
+    }
+
+    #[test]
+    fn race_found_lost_update() {
+        // Classic lost update: g = g + 1 from two threads can yield 1.
+        let out = run(
+            "int g;
+             harness void main() {
+                 fork (i; 2) { int t = g; g = t + 1; }
+                 assert g == 2;
+             }",
+        );
+        let cex = out.counterexample().expect("race must be found");
+        assert_eq!(cex.failure.kind, FailureKind::AssertFailed);
+        assert_eq!(cex.failure.tid, 3, "failure detected in the epilogue");
+    }
+
+    #[test]
+    fn atomic_section_prevents_race() {
+        assert!(run(
+            "int g;
+             harness void main() {
+                 fork (i; 2) { atomic { int t = g; g = t + 1; } }
+                 assert g == 2;
+             }",
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn conditional_atomic_orders_threads() {
+        // Thread 1 waits for thread 0's value.
+        assert!(run(
+            "int turn; int log0; int log1;
+             harness void main() {
+                 fork (i; 2) {
+                     if (i == 0) {
+                         log0 = 1;
+                         atomic { turn = 1; }
+                     } else {
+                         atomic (turn == 1) { }
+                         log1 = log0 + 1;
+                     }
+                 }
+                 assert log1 == 2;
+             }",
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn deadlock_detected_with_set() {
+        let out = run(
+            "int a; int b;
+             harness void main() {
+                 fork (i; 2) {
+                     if (i == 0) { atomic (a == 1) { } b = 1; }
+                     else { atomic (b == 1) { } a = 1; }
+                 }
+             }",
+        );
+        let cex = out.counterexample().expect("deadlock");
+        assert_eq!(cex.failure.kind, FailureKind::Deadlock);
+        assert_eq!(cex.deadlock.len(), 2);
+    }
+
+    #[test]
+    fn lock_prelude_works() {
+        // Locks via conditional atomics (paper Figure 7).
+        assert!(run(
+            "struct Lock { int owner = -1; }
+             Lock lk; int g;
+             void lock(Lock l) { atomic (l.owner == -1) { l.owner = pid(); } }
+             void unlock(Lock l) { assert l.owner == pid(); l.owner = -1; }
+             harness void main() {
+                 lk = new Lock();
+                 fork (i; 2) {
+                     lock(lk);
+                     int t = g;
+                     g = t + 1;
+                     unlock(lk);
+                 }
+                 assert g == 2;
+             }",
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn null_deref_found() {
+        let out = run(
+            "struct N { int v; N next; } N head;
+             harness void main() {
+                 fork (i; 1) { int x = head.v; }
+             }",
+        );
+        assert_eq!(
+            out.counterexample().unwrap().failure.kind,
+            FailureKind::NullDeref
+        );
+    }
+
+    #[test]
+    fn pool_exhaustion_found() {
+        let out = run(
+            "struct N { int v; }
+             harness void main() {
+                 int k = 0;
+                 while (k < 100) { N n = new N(1); k = k + 1; }
+             }",
+        );
+        // Either pool exhaustion or the loop bound fires first; with
+        // pool=8 < unroll bound budget 8 iterations, loop asserts.
+        assert!(!out.is_ok());
+    }
+
+    #[test]
+    fn loop_termination_bound_fails_spinning() {
+        let out = run(
+            "int g;
+             harness void main() {
+                 fork (i; 1) { while (g == 0) { } }
+             }",
+        );
+        let cex = out.counterexample().unwrap();
+        assert_eq!(cex.failure.kind, FailureKind::AssertFailed);
+    }
+
+    #[test]
+    fn swap_based_counter_is_exact() {
+        // AtomicReadAndIncr makes the increment atomic: always 2.
+        assert!(run(
+            "int g;
+             harness void main() {
+                 fork (i; 2) { int old = AtomicReadAndIncr(g); }
+                 assert g == 2;
+             }",
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn trace_replay_reproduces_failure() {
+        let l = lowered(
+            "int g;
+             harness void main() {
+                 fork (i; 2) { int t = g; g = t + 1; }
+                 assert g == 2;
+             }",
+        );
+        let a = l.holes.identity_assignment();
+        let out = check(&l, &a);
+        let cex = out.counterexample().unwrap();
+        // The interleaving 0,1,0,1… (by trace worker order) must fail
+        // the same way when replayed.
+        let order: Vec<usize> = cex
+            .steps
+            .iter()
+            .filter(|(t, _)| *t >= 1 && *t <= l.workers.len())
+            .map(|(t, _)| t - 1)
+            .collect();
+        let replayed = replay(&l, &a, &order).expect("replay fails too");
+        assert_eq!(replayed.failure.kind, cex.failure.kind);
+    }
+
+    #[test]
+    fn stats_reported() {
+        let l = lowered(
+            "int g;
+             harness void main() {
+                 fork (i; 2) { g = g + 1; }
+             }",
+        );
+        let a = l.holes.identity_assignment();
+        let out = check(&l, &a);
+        assert!(out.is_ok());
+        assert!(out.stats.states > 1);
+        assert!(out.stats.transitions >= out.stats.states - 1);
+    }
+
+    #[test]
+    fn state_limit_yields_unknown() {
+        let l = lowered(
+            "int g;
+             harness void main() {
+                 fork (i; 3) { g = g + 1; g = g + 1; g = g + 1; }
+             }",
+        );
+        let a = l.holes.identity_assignment();
+        let out = check_with_limit(&l, &a, 2);
+        assert!(matches!(out.verdict, Verdict::Unknown));
+    }
+
+    #[test]
+    fn candidate_dependent_outcome() {
+        // Hole picks the asserted value: candidate 3 passes, others
+        // fail.
+        let l = lowered("int g; harness void main() { g = ??(3); assert g == 3; }");
+        let pass = Assignment::from_values(vec![3]);
+        let fail = Assignment::from_values(vec![4]);
+        assert!(check(&l, &pass).is_ok());
+        assert!(!check(&l, &fail).is_ok());
+    }
+}

@@ -1,0 +1,521 @@
+//! Concrete stores and expression/step evaluation.
+
+use psketch_ir::{Assignment, Lowered, Lv, Op, Rv, ThreadId};
+use psketch_lang::ast::{BinOp, UnOp};
+use psketch_lang::error::Span;
+use std::fmt;
+
+/// Why an execution failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailureKind {
+    /// An `assert` evaluated to false (includes loop-bound
+    /// termination asserts).
+    AssertFailed,
+    /// A field of `null` was read or written.
+    NullDeref,
+    /// An array index was out of bounds.
+    OutOfBounds,
+    /// A struct pool ran out of objects.
+    PoolExhausted,
+    /// All unfinished threads were blocked on conditional atomics.
+    Deadlock,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FailureKind::AssertFailed => "assertion failed",
+            FailureKind::NullDeref => "null dereference",
+            FailureKind::OutOfBounds => "array index out of bounds",
+            FailureKind::PoolExhausted => "heap pool exhausted",
+            FailureKind::Deadlock => "deadlock",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A failure with its location.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// The thread that hit it (trace numbering: 0 = prologue).
+    pub tid: ThreadId,
+    /// The step index within that thread.
+    pub step: usize,
+    /// Source position of the step.
+    pub span: Span,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at thread {} step {} ({})",
+            self.kind, self.tid, self.step, self.span
+        )
+    }
+}
+
+/// A counterexample trace: the observation the inductive synthesizer
+/// learns from (paper §6).
+#[derive(Clone, Debug)]
+pub struct CexTrace {
+    /// Executed steps in order: `(thread, step index)`; includes
+    /// guard-true invisible steps.
+    pub steps: Vec<(ThreadId, usize)>,
+    /// The failure that ended the execution.
+    pub failure: Failure,
+    /// For deadlocks: the blocked position `(thread, step)` of every
+    /// unfinished thread (the paper's deadlock set `D`).
+    pub deadlock: Vec<(ThreadId, usize)>,
+}
+
+impl fmt::Display for CexTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}; {} steps", self.failure, self.steps.len())
+    }
+}
+
+/// The shared part of an execution state.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Store {
+    /// Global slot values.
+    pub globals: Vec<i64>,
+    /// Heap cells: `heap[sid][obj * nfields + fid]`.
+    pub heap: Vec<Vec<i64>>,
+    /// Allocation counts per struct pool.
+    pub allocs: Vec<usize>,
+}
+
+impl Store {
+    /// The initial store of a lowered program.
+    pub fn initial(l: &Lowered) -> Store {
+        Store {
+            globals: l.globals.iter().map(|g| g.init).collect(),
+            heap: l
+                .structs
+                .iter()
+                .map(|s| vec![0; s.fields.len() * s.capacity])
+                .collect(),
+            allocs: vec![0; l.structs.len()],
+        }
+    }
+}
+
+/// Evaluation error (failure kind only; position added by the caller).
+pub(crate) type EvalResult = Result<i64, FailureKind>;
+
+/// Evaluates a pure r-value.
+///
+/// `&&`/`||` and `Ite` are lazy, so memory failures in undemanded
+/// subexpressions do not fire — matching the symbolic evaluator's
+/// demand-conditioned failures.
+pub(crate) fn eval_rv(
+    rv: &Rv,
+    store: &Store,
+    locals: &[i64],
+    holes: &Assignment,
+    l: &Lowered,
+) -> EvalResult {
+    let wrap = |v: i64| l.config.wrap(v);
+    Ok(match rv {
+        Rv::Const(c) => *c,
+        Rv::Global(g) => store.globals[*g],
+        Rv::Local(x) => locals[*x],
+        Rv::Hole(h) => holes.value(*h) as i64,
+        Rv::GlobalDyn { base, len, ix } => {
+            let i = eval_rv(ix, store, locals, holes, l)?;
+            if i < 0 || i as usize >= *len {
+                return Err(FailureKind::OutOfBounds);
+            }
+            store.globals[base + i as usize]
+        }
+        Rv::LocalDyn { base, len, ix } => {
+            let i = eval_rv(ix, store, locals, holes, l)?;
+            if i < 0 || i as usize >= *len {
+                return Err(FailureKind::OutOfBounds);
+            }
+            locals[base + i as usize]
+        }
+        Rv::Field { sid, fid, obj } => {
+            let o = eval_rv(obj, store, locals, holes, l)?;
+            let cell = field_cell(*sid, *fid, o, l)?;
+            store.heap[*sid][cell]
+        }
+        Rv::Unary(op, a) => {
+            let v = eval_rv(a, store, locals, holes, l)?;
+            match op {
+                UnOp::Not => i64::from(v == 0),
+                UnOp::Neg => wrap(-v),
+                UnOp::BitsToInt => v,
+            }
+        }
+        Rv::Binary(BinOp::And, a, b) => {
+            if eval_rv(a, store, locals, holes, l)? == 0 {
+                0
+            } else {
+                i64::from(eval_rv(b, store, locals, holes, l)? != 0)
+            }
+        }
+        Rv::Binary(BinOp::Or, a, b) => {
+            if eval_rv(a, store, locals, holes, l)? != 0 {
+                1
+            } else {
+                i64::from(eval_rv(b, store, locals, holes, l)? != 0)
+            }
+        }
+        Rv::Binary(op, a, b) => {
+            let x = eval_rv(a, store, locals, holes, l)?;
+            let y = eval_rv(b, store, locals, holes, l)?;
+            match op {
+                BinOp::Add => wrap(x + y),
+                BinOp::Sub => wrap(x - y),
+                BinOp::Mul => wrap(x.wrapping_mul(y)),
+                BinOp::Div => {
+                    debug_assert!(y != 0, "lowering guarantees constant non-zero divisors");
+                    wrap(x.wrapping_div(y))
+                }
+                BinOp::Mod => {
+                    debug_assert!(y != 0);
+                    wrap(x.wrapping_rem(y))
+                }
+                BinOp::Eq => i64::from(x == y),
+                BinOp::Ne => i64::from(x != y),
+                BinOp::Lt => i64::from(x < y),
+                BinOp::Le => i64::from(x <= y),
+                BinOp::Gt => i64::from(x > y),
+                BinOp::Ge => i64::from(x >= y),
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            }
+        }
+        Rv::Ite(c, a, b) => {
+            if eval_rv(c, store, locals, holes, l)? != 0 {
+                eval_rv(a, store, locals, holes, l)?
+            } else {
+                eval_rv(b, store, locals, holes, l)?
+            }
+        }
+    })
+}
+
+/// Heap cell index for `obj.field`; fails on null.
+fn field_cell(sid: usize, fid: usize, obj: i64, l: &Lowered) -> Result<usize, FailureKind> {
+    if obj == 0 {
+        return Err(FailureKind::NullDeref);
+    }
+    let layout = &l.structs[sid];
+    let ix = (obj - 1) as usize;
+    if ix >= layout.capacity {
+        return Err(FailureKind::OutOfBounds);
+    }
+    Ok(ix * layout.fields.len() + fid)
+}
+
+/// A write destination resolved to a concrete cell.
+pub(crate) enum Cell {
+    Global(usize),
+    Local(usize),
+    Heap { sid: usize, cell: usize },
+}
+
+pub(crate) fn resolve_lv(
+    lv: &Lv,
+    store: &Store,
+    locals: &[i64],
+    holes: &Assignment,
+    l: &Lowered,
+) -> Result<Cell, FailureKind> {
+    Ok(match lv {
+        Lv::Global(g) => Cell::Global(*g),
+        Lv::Local(x) => Cell::Local(*x),
+        Lv::GlobalDyn { base, len, ix } => {
+            let i = eval_rv(ix, store, locals, holes, l)?;
+            if i < 0 || i as usize >= *len {
+                return Err(FailureKind::OutOfBounds);
+            }
+            Cell::Global(base + i as usize)
+        }
+        Lv::LocalDyn { base, len, ix } => {
+            let i = eval_rv(ix, store, locals, holes, l)?;
+            if i < 0 || i as usize >= *len {
+                return Err(FailureKind::OutOfBounds);
+            }
+            Cell::Local(base + i as usize)
+        }
+        Lv::Field { sid, fid, obj } => {
+            let o = eval_rv(obj, store, locals, holes, l)?;
+            Cell::Heap {
+                sid: *sid,
+                cell: field_cell(*sid, *fid, o, l)?,
+            }
+        }
+    })
+}
+
+pub(crate) fn write_cell(cell: Cell, v: i64, store: &mut Store, locals: &mut [i64]) {
+    match cell {
+        Cell::Global(g) => store.globals[g] = v,
+        Cell::Local(x) => locals[x] = v,
+        Cell::Heap { sid, cell } => store.heap[sid][cell] = v,
+    }
+}
+
+pub(crate) fn read_cell(cell: &Cell, store: &Store, locals: &[i64]) -> i64 {
+    match cell {
+        Cell::Global(g) => store.globals[*g],
+        Cell::Local(x) => locals[*x],
+        Cell::Heap { sid, cell } => store.heap[*sid][*cell],
+    }
+}
+
+/// Executes one step's operation (guard already known true).
+/// `AtomicBegin`/`AtomicEnd` are no-ops here; the checker interprets
+/// them for scheduling.
+pub(crate) fn exec_op(
+    op: &Op,
+    store: &mut Store,
+    locals: &mut [i64],
+    holes: &Assignment,
+    l: &Lowered,
+) -> Result<(), FailureKind> {
+    match op {
+        Op::Assign(lv, rv) => {
+            let v = eval_rv(rv, store, locals, holes, l)?;
+            let cell = resolve_lv(lv, store, locals, holes, l)?;
+            write_cell(cell, v, store, locals);
+        }
+        Op::Swap { dst, loc, val } => {
+            let v = eval_rv(val, store, locals, holes, l)?;
+            let loc_cell = resolve_lv(loc, store, locals, holes, l)?;
+            let old = read_cell(&loc_cell, store, locals);
+            write_cell(loc_cell, v, store, locals);
+            let dst_cell = resolve_lv(dst, store, locals, holes, l)?;
+            write_cell(dst_cell, old, store, locals);
+        }
+        Op::Cas { dst, loc, old, new } => {
+            let ov = eval_rv(old, store, locals, holes, l)?;
+            let nv = eval_rv(new, store, locals, holes, l)?;
+            let loc_cell = resolve_lv(loc, store, locals, holes, l)?;
+            let cur = read_cell(&loc_cell, store, locals);
+            let ok = cur == ov;
+            if ok {
+                write_cell(loc_cell, nv, store, locals);
+            }
+            let dst_cell = resolve_lv(dst, store, locals, holes, l)?;
+            write_cell(dst_cell, i64::from(ok), store, locals);
+        }
+        Op::FetchAdd { dst, loc, delta } => {
+            let loc_cell = resolve_lv(loc, store, locals, holes, l)?;
+            let old = read_cell(&loc_cell, store, locals);
+            write_cell(loc_cell, l.config.wrap(old + delta), store, locals);
+            let dst_cell = resolve_lv(dst, store, locals, holes, l)?;
+            write_cell(dst_cell, old, store, locals);
+        }
+        Op::Alloc { dst, sid, inits } => {
+            let layout = &l.structs[*sid];
+            if store.allocs[*sid] >= layout.capacity {
+                return Err(FailureKind::PoolExhausted);
+            }
+            let obj = store.allocs[*sid];
+            store.allocs[*sid] += 1;
+            let nf = layout.fields.len();
+            for (fid, (_, _, default)) in layout.fields.iter().enumerate() {
+                store.heap[*sid][obj * nf + fid] = *default;
+            }
+            // Evaluate overrides before publishing the reference.
+            let mut vals = Vec::with_capacity(inits.len());
+            for (fid, rv) in inits {
+                vals.push((*fid, eval_rv(rv, store, locals, holes, l)?));
+            }
+            for (fid, v) in vals {
+                store.heap[*sid][obj * nf + fid] = v;
+            }
+            let dst_cell = resolve_lv(dst, store, locals, holes, l)?;
+            write_cell(dst_cell, (obj + 1) as i64, store, locals);
+        }
+        Op::Assert(c) => {
+            if eval_rv(c, store, locals, holes, l)? == 0 {
+                return Err(FailureKind::AssertFailed);
+            }
+        }
+        Op::AtomicBegin(_) | Op::AtomicEnd => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_ir::{desugar::desugar_program, lower::lower_program, Config};
+
+    fn lowered(src: &str) -> Lowered {
+        let cfg = Config::default();
+        let p = psketch_lang::check_program(src).unwrap();
+        let (sk, holes) = desugar_program(&p, &cfg).unwrap();
+        lower_program(&sk, holes, &cfg).unwrap()
+    }
+
+    #[test]
+    fn initial_store_shape() {
+        let l = lowered(
+            "struct N { int v; N next; } N g; int x = 7;
+             harness void main() { }",
+        );
+        let s = Store::initial(&l);
+        assert_eq!(s.globals, vec![0, 7]);
+        assert_eq!(s.heap.len(), 1);
+        assert_eq!(s.heap[0].len(), 2 * l.config.pool);
+        assert_eq!(s.allocs, vec![0]);
+    }
+
+    #[test]
+    fn lazy_and_suppresses_null_deref() {
+        let l = lowered("struct N { int v; } harness void main() { }");
+        let store = Store::initial(&l);
+        let holes = l.holes.identity_assignment();
+        // null.v demanded: fails.
+        let bad = Rv::Field {
+            sid: 0,
+            fid: 0,
+            obj: Box::new(Rv::Const(0)),
+        };
+        assert_eq!(
+            eval_rv(&bad, &store, &[], &holes, &l),
+            Err(FailureKind::NullDeref)
+        );
+        // false && null.v: lazy, ok.
+        let guarded = Rv::Binary(BinOp::And, Box::new(Rv::Const(0)), Box::new(bad.clone()));
+        assert_eq!(eval_rv(&guarded, &store, &[], &holes, &l), Ok(0));
+        // true || null.v: lazy, ok.
+        let guarded_or = Rv::Binary(BinOp::Or, Box::new(Rv::Const(1)), Box::new(bad));
+        assert_eq!(eval_rv(&guarded_or, &store, &[], &holes, &l), Ok(1));
+    }
+
+    #[test]
+    fn arithmetic_wraps_at_width() {
+        let l = lowered("harness void main() { }");
+        let store = Store::initial(&l);
+        let holes = l.holes.identity_assignment();
+        let add = Rv::Binary(
+            BinOp::Add,
+            Box::new(Rv::Const(127)),
+            Box::new(Rv::Const(1)),
+        );
+        assert_eq!(eval_rv(&add, &store, &[], &holes, &l), Ok(-128));
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let l = lowered("int[4] a; harness void main() { }");
+        let store = Store::initial(&l);
+        let holes = l.holes.identity_assignment();
+        let read = Rv::GlobalDyn {
+            base: 0,
+            len: 4,
+            ix: Box::new(Rv::Const(4)),
+        };
+        assert_eq!(
+            eval_rv(&read, &store, &[], &holes, &l),
+            Err(FailureKind::OutOfBounds)
+        );
+        let neg = Rv::GlobalDyn {
+            base: 0,
+            len: 4,
+            ix: Box::new(Rv::Const(-1)),
+        };
+        assert_eq!(
+            eval_rv(&neg, &store, &[], &holes, &l),
+            Err(FailureKind::OutOfBounds)
+        );
+    }
+
+    #[test]
+    fn alloc_initializes_and_exhausts() {
+        let l = lowered("struct N { int v = 9; N next; } harness void main() { }");
+        let mut store = Store::initial(&l);
+        let mut locals = vec![0i64];
+        let holes = l.holes.identity_assignment();
+        let op = Op::Alloc {
+            dst: Lv::Local(0),
+            sid: 0,
+            inits: vec![(0, Rv::Const(5))],
+        };
+        for k in 0..l.config.pool {
+            exec_op(&op, &mut store, &mut locals, &holes, &l).unwrap();
+            assert_eq!(locals[0], (k + 1) as i64);
+        }
+        // v overridden to 5, default for next is 0.
+        assert_eq!(store.heap[0][0], 5);
+        assert_eq!(store.heap[0][1], 0);
+        assert_eq!(
+            exec_op(&op, &mut store, &mut locals, &holes, &l),
+            Err(FailureKind::PoolExhausted)
+        );
+    }
+
+    #[test]
+    fn swap_cas_fetchadd_semantics() {
+        let l = lowered("int g = 3; harness void main() { }");
+        let mut store = Store::initial(&l);
+        let mut locals = vec![0i64];
+        let holes = l.holes.identity_assignment();
+        exec_op(
+            &Op::Swap {
+                dst: Lv::Local(0),
+                loc: Lv::Global(0),
+                val: Rv::Const(10),
+            },
+            &mut store,
+            &mut locals,
+            &holes,
+            &l,
+        )
+        .unwrap();
+        assert_eq!((locals[0], store.globals[0]), (3, 10));
+
+        exec_op(
+            &Op::Cas {
+                dst: Lv::Local(0),
+                loc: Lv::Global(0),
+                old: Rv::Const(10),
+                new: Rv::Const(11),
+            },
+            &mut store,
+            &mut locals,
+            &holes,
+            &l,
+        )
+        .unwrap();
+        assert_eq!((locals[0], store.globals[0]), (1, 11));
+
+        exec_op(
+            &Op::Cas {
+                dst: Lv::Local(0),
+                loc: Lv::Global(0),
+                old: Rv::Const(10),
+                new: Rv::Const(12),
+            },
+            &mut store,
+            &mut locals,
+            &holes,
+            &l,
+        )
+        .unwrap();
+        assert_eq!((locals[0], store.globals[0]), (0, 11));
+
+        exec_op(
+            &Op::FetchAdd {
+                dst: Lv::Local(0),
+                loc: Lv::Global(0),
+                delta: -1,
+            },
+            &mut store,
+            &mut locals,
+            &holes,
+            &l,
+        )
+        .unwrap();
+        assert_eq!((locals[0], store.globals[0]), (11, 10));
+    }
+}

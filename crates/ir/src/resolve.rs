@@ -1,0 +1,317 @@
+//! Resolution: mapping a solved hole [`Assignment`] back onto the
+//! desugared sketch and simplifying, to print the synthesized
+//! implementation (reproducing the paper's Figures 2, 4 and 6).
+
+use crate::hole::Assignment;
+use psketch_lang::ast::{BinOp, Expr, FnDef, Program, Stmt, UnOp};
+
+/// Substitutes hole values into a desugared program and simplifies.
+pub fn resolve_program(sketch: &Program, assignment: &Assignment) -> Program {
+    Program {
+        structs: sketch.structs.clone(),
+        globals: sketch.globals.clone(),
+        functions: sketch
+            .functions
+            .iter()
+            .map(|f| resolve_fn(f, assignment))
+            .collect(),
+    }
+}
+
+/// Substitutes hole values into one function and simplifies.
+pub fn resolve_fn(f: &FnDef, assignment: &Assignment) -> FnDef {
+    FnDef {
+        body: simplify_stmt(&subst_stmt(&f.body, assignment)),
+        ..f.clone()
+    }
+}
+
+fn subst_stmt(s: &Stmt, a: &Assignment) -> Stmt {
+    match s {
+        Stmt::Block(ss) => Stmt::Block(ss.iter().map(|s| subst_stmt(s, a)).collect()),
+        Stmt::Decl(t, n, init, sp) => Stmt::Decl(
+            t.clone(),
+            n.clone(),
+            init.as_ref().map(|e| subst_expr(e, a)),
+            *sp,
+        ),
+        Stmt::Assign(l, r, sp) => Stmt::Assign(subst_expr(l, a), subst_expr(r, a), *sp),
+        Stmt::If(c, t, e, sp) => Stmt::If(
+            subst_expr(c, a),
+            Box::new(subst_stmt(t, a)),
+            e.as_ref().map(|e| Box::new(subst_stmt(e, a))),
+            *sp,
+        ),
+        Stmt::While(c, b, sp) => {
+            Stmt::While(subst_expr(c, a), Box::new(subst_stmt(b, a)), *sp)
+        }
+        Stmt::Return(e, sp) => Stmt::Return(e.as_ref().map(|e| subst_expr(e, a)), *sp),
+        Stmt::Assert(e, sp) => Stmt::Assert(subst_expr(e, a), *sp),
+        Stmt::Expr(e, sp) => Stmt::Expr(subst_expr(e, a), *sp),
+        Stmt::Atomic(c, b, sp) => Stmt::Atomic(
+            c.as_ref().map(|c| subst_expr(c, a)),
+            Box::new(subst_stmt(b, a)),
+            *sp,
+        ),
+        Stmt::Reorder(ss, sp) => {
+            Stmt::Reorder(ss.iter().map(|s| subst_stmt(s, a)).collect(), *sp)
+        }
+        Stmt::Fork(v, n, b, sp) => Stmt::Fork(
+            v.clone(),
+            subst_expr(n, a),
+            Box::new(subst_stmt(b, a)),
+            *sp,
+        ),
+        Stmt::Repeat(n, b, sp) => {
+            Stmt::Repeat(subst_expr(n, a), Box::new(subst_stmt(b, a)), *sp)
+        }
+    }
+}
+
+fn subst_expr(e: &Expr, a: &Assignment) -> Expr {
+    match e {
+        Expr::HoleRef(id, _, sp) => Expr::Int(a.value(*id) as i64, *sp),
+        Expr::Choice(id, alts, _) => {
+            let ix = (a.value(*id) as usize).min(alts.len().saturating_sub(1));
+            subst_expr(&alts[ix], a)
+        }
+        Expr::Field(b, f, sp) => Expr::Field(Box::new(subst_expr(b, a)), f.clone(), *sp),
+        Expr::Index(b, i, sp) => Expr::Index(
+            Box::new(subst_expr(b, a)),
+            Box::new(subst_expr(i, a)),
+            *sp,
+        ),
+        Expr::Slice(b, s, l, sp) => Expr::Slice(
+            Box::new(subst_expr(b, a)),
+            Box::new(subst_expr(s, a)),
+            *l,
+            *sp,
+        ),
+        Expr::Unary(op, x, sp) => Expr::Unary(*op, Box::new(subst_expr(x, a)), *sp),
+        Expr::Binary(op, l, r, sp) => Expr::Binary(
+            *op,
+            Box::new(subst_expr(l, a)),
+            Box::new(subst_expr(r, a)),
+            *sp,
+        ),
+        Expr::Call(f, args, sp) => Expr::Call(
+            f.clone(),
+            args.iter().map(|x| subst_expr(x, a)).collect(),
+            *sp,
+        ),
+        Expr::New(t, args, sp) => Expr::New(
+            t.clone(),
+            args.iter().map(|x| subst_expr(x, a)).collect(),
+            *sp,
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Constant value of an expression, if it folds.
+fn const_of(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Int(v, _) => Some(*v),
+        Expr::Bool(b, _) => Some(i64::from(*b)),
+        Expr::Unary(UnOp::Not, x, _) => Some(i64::from(const_of(x)? == 0)),
+        Expr::Unary(UnOp::Neg, x, _) => Some(-const_of(x)?),
+        Expr::Binary(op, l, r, _) => {
+            let (l, r) = (const_of(l)?, const_of(r)?);
+            Some(match op {
+                BinOp::Add => l + r,
+                BinOp::Sub => l - r,
+                BinOp::Mul => l * r,
+                BinOp::Div => l.checked_div(r)?,
+                BinOp::Mod => l.checked_rem(r)?,
+                BinOp::Eq => i64::from(l == r),
+                BinOp::Ne => i64::from(l != r),
+                BinOp::Lt => i64::from(l < r),
+                BinOp::Le => i64::from(l <= r),
+                BinOp::Gt => i64::from(l > r),
+                BinOp::Ge => i64::from(l >= r),
+                BinOp::And => i64::from(l != 0 && r != 0),
+                BinOp::Or => i64::from(l != 0 || r != 0),
+            })
+        }
+        _ => None,
+    }
+}
+
+fn simplify_expr(e: &Expr) -> Expr {
+    let e = match e {
+        Expr::Unary(op, x, sp) => Expr::Unary(*op, Box::new(simplify_expr(x)), *sp),
+        Expr::Binary(op, l, r, sp) => Expr::Binary(
+            *op,
+            Box::new(simplify_expr(l)),
+            Box::new(simplify_expr(r)),
+            *sp,
+        ),
+        Expr::Field(b, f, sp) => Expr::Field(Box::new(simplify_expr(b)), f.clone(), *sp),
+        Expr::Index(b, i, sp) => Expr::Index(
+            Box::new(simplify_expr(b)),
+            Box::new(simplify_expr(i)),
+            *sp,
+        ),
+        Expr::Call(f, args, sp) => {
+            Expr::Call(f.clone(), args.iter().map(simplify_expr).collect(), *sp)
+        }
+        Expr::New(t, args, sp) => {
+            Expr::New(t.clone(), args.iter().map(simplify_expr).collect(), *sp)
+        }
+        other => other.clone(),
+    };
+    match const_of(&e) {
+        Some(v) if matches!(e, Expr::Binary(op, ..) if op.is_boolean_result()) => {
+            Expr::Bool(v != 0, e.span())
+        }
+        Some(v) if !matches!(e, Expr::Int(..) | Expr::Bool(..)) => Expr::Int(v, e.span()),
+        _ => e,
+    }
+}
+
+/// Simplifies a statement: folds constant conditions, drops dead
+/// branches and flattens blocks.
+pub fn simplify_stmt(s: &Stmt) -> Stmt {
+    match s {
+        Stmt::Block(ss) => {
+            let mut out = Vec::new();
+            for s in ss {
+                match simplify_stmt(s) {
+                    Stmt::Block(inner) => out.extend(inner),
+                    other => out.push(other),
+                }
+            }
+            Stmt::Block(out)
+        }
+        Stmt::If(c, t, e, sp) => {
+            let c = simplify_expr(c);
+            match const_of(&c) {
+                Some(v) if v != 0 => simplify_stmt(t),
+                Some(_) => match e {
+                    Some(e) => simplify_stmt(e),
+                    None => Stmt::Block(vec![]),
+                },
+                None => {
+                    let t = simplify_stmt(t);
+                    let e = e.as_ref().map(|e| simplify_stmt(e));
+                    let e = match e {
+                        Some(Stmt::Block(ref ss)) if ss.is_empty() => None,
+                        other => other,
+                    };
+                    if matches!(&t, Stmt::Block(ss) if ss.is_empty()) && e.is_none() {
+                        Stmt::Block(vec![])
+                    } else {
+                        Stmt::If(c, Box::new(t), e.map(Box::new), *sp)
+                    }
+                }
+            }
+        }
+        Stmt::While(c, b, sp) => {
+            let c = simplify_expr(c);
+            if const_of(&c) == Some(0) {
+                Stmt::Block(vec![])
+            } else {
+                Stmt::While(c, Box::new(simplify_stmt(b)), *sp)
+            }
+        }
+        Stmt::Decl(t, n, init, sp) => Stmt::Decl(
+            t.clone(),
+            n.clone(),
+            init.as_ref().map(simplify_expr),
+            *sp,
+        ),
+        Stmt::Assign(l, r, sp) => Stmt::Assign(simplify_expr(l), simplify_expr(r), *sp),
+        Stmt::Return(e, sp) => Stmt::Return(e.as_ref().map(simplify_expr), *sp),
+        Stmt::Assert(e, sp) => Stmt::Assert(simplify_expr(e), *sp),
+        Stmt::Expr(e, sp) => Stmt::Expr(simplify_expr(e), *sp),
+        Stmt::Atomic(c, b, sp) => Stmt::Atomic(
+            c.as_ref().map(simplify_expr),
+            Box::new(simplify_stmt(b)),
+            *sp,
+        ),
+        Stmt::Reorder(ss, sp) => {
+            Stmt::Reorder(ss.iter().map(simplify_stmt).collect(), *sp)
+        }
+        Stmt::Fork(v, n, b, sp) => Stmt::Fork(
+            v.clone(),
+            simplify_expr(n),
+            Box::new(simplify_stmt(b)),
+            *sp,
+        ),
+        Stmt::Repeat(n, b, sp) => {
+            Stmt::Repeat(simplify_expr(n), Box::new(simplify_stmt(b)), *sp)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::desugar::desugar_program;
+    use psketch_lang::pretty::print_program;
+
+    fn resolve(src: &str, values: Vec<u64>) -> String {
+        let p = psketch_lang::check_program(src).unwrap();
+        let (sk, table) = desugar_program(&p, &Config::default()).unwrap();
+        let a = Assignment::from_values(values);
+        assert!(a.validate(&table), "assignment out of domain");
+        print_program(&resolve_program(&sk, &a))
+    }
+
+    #[test]
+    fn const_hole_resolves_to_literal() {
+        let out = resolve("int g; void f() { g = ??(3); }", vec![5]);
+        assert!(out.contains("g = 5;"), "{out}");
+    }
+
+    #[test]
+    fn choice_resolves_to_alternative() {
+        let out = resolve(
+            "struct E { E next; } E tail;
+             void f() { E t = {| tail(.next)? | null |}; }",
+            vec![1], // alternatives sorted: null, tail, tail.next? order from enumerate (sorted)
+        );
+        // Value 1 picks the second well-typed alternative.
+        assert!(out.contains("E t = "), "{out}");
+        assert!(!out.contains("choice#"), "{out}");
+    }
+
+    #[test]
+    fn reorder_resolves_to_permutation() {
+        let src = "int g; int h; void f() { reorder { g = 1; h = 2; } }";
+        // Quadratic: holes o0, o1; o0=1, o1=0 means h=2 runs first.
+        let out = resolve(src, vec![1, 0]);
+        let pos_h = out.find("h = 2;").unwrap();
+        let pos_g = out.find("g = 1;").unwrap();
+        assert!(pos_h < pos_g, "{out}");
+        assert!(!out.contains("hole#"), "{out}");
+        assert!(!out.contains("if"), "reorder residue: {out}");
+    }
+
+    #[test]
+    fn repeat_hole_resolves_to_count() {
+        let src = "int g; void f() { repeat (??) { g = g + 1; } }";
+        let out = resolve(src, vec![2]);
+        assert_eq!(out.matches("g = g + 1;").count(), 2, "{out}");
+    }
+
+    #[test]
+    fn optional_fixup_disappears_when_false() {
+        // Mimics the paper: `if (anExpr) fixup;` where anExpr resolves
+        // to `false` — the fixup statement is optimized away (Fig. 2).
+        let src = "int g; void f(int tmp, int v) {
+            if ({| tmp == v | tmp != v | false |}) { g = v; }
+        }";
+        // Alternatives sort with identifiers first: tmp == v,
+        // tmp != v, false.
+        let out = resolve(src, vec![2]);
+        assert!(!out.contains("g = v"), "{out}");
+    }
+
+    #[test]
+    fn simplify_folds_nested_blocks() {
+        let s = Stmt::Block(vec![Stmt::Block(vec![Stmt::Block(vec![])])]);
+        assert_eq!(simplify_stmt(&s), Stmt::Block(vec![]));
+    }
+}

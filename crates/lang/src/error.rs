@@ -1,0 +1,94 @@
+//! Front-end errors carrying source positions.
+
+use std::fmt;
+
+/// A position in the original source text.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl Span {
+    /// Builds a span at `line:col` (both 1-based).
+    pub fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Which front-end phase produced an error.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// `#define` macro handling.
+    Preprocess,
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Type checking / name resolution.
+    Type,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Preprocess => "preprocess",
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Type => "type",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An error at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceError {
+    /// The phase that failed.
+    pub phase: Phase,
+    /// Where it failed.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl SourceError {
+    /// Creates an error.
+    pub fn new(phase: Phase, span: Span, message: impl Into<String>) -> SourceError {
+        SourceError {
+            phase,
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.span, self.message)
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// Result alias for front-end phases.
+pub type SourceResult<T> = Result<T, SourceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SourceError::new(Phase::Parse, Span::new(3, 7), "expected ';'");
+        assert_eq!(e.to_string(), "parse error at 3:7: expected ';'");
+    }
+}

@@ -1,0 +1,402 @@
+//! The lexer.
+
+use crate::error::{Phase, SourceError, SourceResult, Span};
+use crate::token::{Tok, Token};
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+/// Tokenizes PSKETCH source text.
+///
+/// Comments (`// …` and `/* … */`) and whitespace are skipped.
+///
+/// # Errors
+///
+/// Returns a [`SourceError`] on an unexpected character, an unterminated
+/// comment or string, or an integer literal out of range.
+pub fn lex(source: &str) -> SourceResult<Vec<Token>> {
+    let mut lx = Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(t) = lx.next_token()? {
+        out.push(t);
+    }
+    Ok(out)
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SourceError {
+        SourceError::new(Phase::Lex, self.span(), msg)
+    }
+
+    fn skip_trivia(&mut self) -> SourceResult<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.span();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(SourceError::new(
+                                    Phase::Lex,
+                                    start,
+                                    "unterminated block comment",
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> SourceResult<Option<Token>> {
+        self.skip_trivia()?;
+        let span = self.span();
+        let c = match self.peek() {
+            None => return Ok(None),
+            Some(c) => c,
+        };
+        let tok = match c {
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let mut s = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        s.push(c as char);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Tok::keyword(&s).unwrap_or(Tok::Ident(s))
+            }
+            b'0'..=b'9' => {
+                let mut v: i64 = 0;
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        v = v
+                            .checked_mul(10)
+                            .and_then(|v| v.checked_add((c - b'0') as i64))
+                            .ok_or_else(|| self.err("integer literal too large"))?;
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Tok::Int(v)
+            }
+            b'"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'"') => break,
+                        Some(b'\n') | None => {
+                            return Err(SourceError::new(Phase::Lex, span, "unterminated string"))
+                        }
+                        Some(c) => s.push(c as char),
+                    }
+                }
+                Tok::Str(s)
+            }
+            b'{' => {
+                self.bump();
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    Tok::GenOpen
+                } else {
+                    Tok::LBrace
+                }
+            }
+            b'}' => {
+                self.bump();
+                Tok::RBrace
+            }
+            b'|' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'}') => {
+                        self.bump();
+                        Tok::GenClose
+                    }
+                    Some(b'|') => {
+                        self.bump();
+                        Tok::OrOr
+                    }
+                    _ => Tok::Pipe,
+                }
+            }
+            b'(' => {
+                self.bump();
+                Tok::LParen
+            }
+            b')' => {
+                self.bump();
+                Tok::RParen
+            }
+            b'[' => {
+                self.bump();
+                Tok::LBracket
+            }
+            b']' => {
+                self.bump();
+                Tok::RBracket
+            }
+            b';' => {
+                self.bump();
+                Tok::Semi
+            }
+            b',' => {
+                self.bump();
+                Tok::Comma
+            }
+            b'.' => {
+                self.bump();
+                Tok::Dot
+            }
+            b'=' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::EqEq
+                } else {
+                    Tok::Assign
+                }
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::NotEq
+                } else {
+                    Tok::Bang
+                }
+            }
+            b'<' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::Le
+                } else {
+                    Tok::Lt
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            b'+' => {
+                self.bump();
+                Tok::Plus
+            }
+            b'-' => {
+                self.bump();
+                Tok::Minus
+            }
+            b'*' => {
+                self.bump();
+                Tok::Star
+            }
+            b'/' => {
+                self.bump();
+                Tok::Slash
+            }
+            b'%' => {
+                self.bump();
+                Tok::Percent
+            }
+            b'&' => {
+                self.bump();
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    Tok::AndAnd
+                } else {
+                    return Err(SourceError::new(Phase::Lex, span, "expected '&&'"));
+                }
+            }
+            b'?' => {
+                self.bump();
+                if self.peek() == Some(b'?') {
+                    self.bump();
+                    Tok::Hole
+                } else {
+                    Tok::Question
+                }
+            }
+            b':' => {
+                self.bump();
+                if self.peek() == Some(b':') {
+                    self.bump();
+                    Tok::ColonColon
+                } else {
+                    return Err(SourceError::new(Phase::Lex, span, "expected '::'"));
+                }
+            }
+            other => {
+                return Err(SourceError::new(
+                    Phase::Lex,
+                    span,
+                    format!("unexpected character {:?}", other as char),
+                ))
+            }
+        };
+        Ok(Some(Token { tok, span }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_basic_program_shapes() {
+        let ts = kinds("int x = 5; x = x + 1;");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::KwInt,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(5),
+                Tok::Semi,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Ident("x".into()),
+                Tok::Plus,
+                Tok::Int(1),
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_sketch_constructs() {
+        let ts = kinds("{| tail(.next)? | null |} ?? ??");
+        assert_eq!(ts[0], Tok::GenOpen);
+        assert!(ts.contains(&Tok::Question));
+        assert!(ts.contains(&Tok::Pipe));
+        assert_eq!(*ts.last().unwrap(), Tok::Hole);
+        assert!(ts.contains(&Tok::GenClose));
+    }
+
+    #[test]
+    fn gen_open_vs_brace() {
+        assert_eq!(kinds("{ |")[0], Tok::LBrace);
+        assert_eq!(kinds("{|")[0], Tok::GenOpen);
+        assert_eq!(kinds("a || b")[1], Tok::OrOr);
+        assert_eq!(kinds("a | b")[1], Tok::Pipe);
+        assert_eq!(kinds("|}")[0], Tok::GenClose);
+    }
+
+    #[test]
+    fn comments_and_strings() {
+        let ts = kinds("// line\nx /* blk \n blk */ \"1100\"");
+        assert_eq!(
+            ts,
+            vec![Tok::Ident("x".into()), Tok::Str("1100".into())]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].span, Span::new(1, 1));
+        assert_eq!(toks[1].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn slice_and_comparison_tokens() {
+        assert_eq!(
+            kinds("a[1::2] <= 3 >= 4 != 5 == 6"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::LBracket,
+                Tok::Int(1),
+                Tok::ColonColon,
+                Tok::Int(2),
+                Tok::RBracket,
+                Tok::Le,
+                Tok::Int(3),
+                Tok::Ge,
+                Tok::Int(4),
+                Tok::NotEq,
+                Tok::Int(5),
+                Tok::EqEq,
+                Tok::Int(6),
+            ]
+        );
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(lex("@").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("& x").is_err());
+        assert!(lex(": x").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

@@ -1,0 +1,817 @@
+//! Recursive-descent parser.
+
+use crate::ast::*;
+use crate::error::{Phase, SourceError, SourceResult, Span};
+use crate::regen::parse_regex;
+use crate::token::{Tok, Token};
+
+/// Parses a token stream into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`SourceError`] at the first syntax error.
+pub fn parse(tokens: &[Token]) -> SourceResult<Program> {
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    // ----- token helpers -----
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Tok> {
+        self.tokens.get(self.pos + off).map(|t| &t.tok)
+    }
+
+    fn span(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| t.span)
+            .unwrap_or_default()
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SourceError {
+        SourceError::new(Phase::Parse, self.span(), msg)
+    }
+
+    fn expect(&mut self, tok: &Tok) -> SourceResult<Span> {
+        match self.tokens.get(self.pos) {
+            Some(t) if t.tok == *tok => {
+                self.pos += 1;
+                Ok(t.span)
+            }
+            Some(t) => Err(SourceError::new(
+                Phase::Parse,
+                t.span,
+                format!("expected '{}', found '{}'", tok.spelling(), t.tok.spelling()),
+            )),
+            None => Err(self.err(format!("expected '{}', found end of input", tok.spelling()))),
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> SourceResult<String> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            Some(t) => Err(self.err(format!("expected identifier, found '{}'", t.spelling()))),
+            None => Err(self.err("expected identifier, found end of input")),
+        }
+    }
+
+    fn int_lit(&mut self) -> SourceResult<i64> {
+        match self.peek() {
+            Some(Tok::Int(v)) => {
+                let v = *v;
+                self.pos += 1;
+                Ok(v)
+            }
+            _ => Err(self.err("expected integer literal")),
+        }
+    }
+
+    // ----- grammar: items -----
+
+    fn program(&mut self) -> SourceResult<Program> {
+        let mut prog = Program::default();
+        while self.peek().is_some() {
+            match self.peek() {
+                Some(Tok::Struct) => prog.structs.push(self.struct_def()?),
+                _ => {
+                    let span = self.span();
+                    let is_harness = self.eat(&Tok::Harness);
+                    let is_generator = self.eat(&Tok::Generator);
+                    let ty = self.parse_type()?;
+                    let name = self.ident()?;
+                    if self.peek() == Some(&Tok::LParen) {
+                        prog.functions
+                            .push(self.fn_def(is_harness, is_generator, ty, name, span)?);
+                    } else {
+                        if is_harness || is_generator {
+                            return Err(self.err(
+                                "'harness'/'generator' only apply to functions",
+                            ));
+                        }
+                        let init = if self.eat(&Tok::Assign) {
+                            Some(self.expr()?)
+                        } else {
+                            None
+                        };
+                        self.expect(&Tok::Semi)?;
+                        prog.globals.push(GlobalDef {
+                            ty,
+                            name,
+                            init,
+                            span,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(prog)
+    }
+
+    fn struct_def(&mut self) -> SourceResult<StructDef> {
+        let span = self.expect(&Tok::Struct)?;
+        let name = self.ident()?;
+        self.expect(&Tok::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            let ty = self.parse_type()?;
+            let fname = self.ident()?;
+            let init = if self.eat(&Tok::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect(&Tok::Semi)?;
+            fields.push(Field {
+                ty,
+                name: fname,
+                init,
+            });
+        }
+        Ok(StructDef { name, fields, span })
+    }
+
+    fn fn_def(
+        &mut self,
+        is_harness: bool,
+        is_generator: bool,
+        ret: Type,
+        name: String,
+        span: Span,
+    ) -> SourceResult<FnDef> {
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                let ty = self.parse_type()?;
+                let pname = self.ident()?;
+                params.push(Param { ty, name: pname });
+                if self.eat(&Tok::RParen) {
+                    break;
+                }
+                self.expect(&Tok::Comma)?;
+            }
+        }
+        let implements = if self.eat(&Tok::Implements) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let body = self.block()?;
+        Ok(FnDef {
+            name,
+            ret,
+            params,
+            body,
+            implements,
+            is_harness,
+            is_generator,
+            span,
+        })
+    }
+
+    fn parse_type(&mut self) -> SourceResult<Type> {
+        let base = match self.peek() {
+            Some(Tok::Void) => {
+                self.pos += 1;
+                Type::Void
+            }
+            Some(Tok::KwInt) | Some(Tok::KwObject) => {
+                self.pos += 1;
+                Type::Int
+            }
+            Some(Tok::KwBit) | Some(Tok::KwBool) => {
+                self.pos += 1;
+                Type::Bool
+            }
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Type::Ref(s)
+            }
+            _ => return Err(self.err("expected a type")),
+        };
+        let mut dims = Vec::new();
+        while self.peek() == Some(&Tok::LBracket) {
+            self.pos += 1;
+            let n = self.int_lit()?;
+            if n <= 0 {
+                return Err(self.err("array length must be positive"));
+            }
+            self.expect(&Tok::RBracket)?;
+            dims.push(n as usize);
+        }
+        // `int[2][3]` is an array of 2 arrays of 3 ints: wrap from the
+        // right so the leftmost dimension is outermost.
+        let mut ty = base;
+        for &n in dims.iter().rev() {
+            ty = Type::Array(Box::new(ty), n);
+        }
+        Ok(ty)
+    }
+
+    // ----- grammar: statements -----
+
+    fn block(&mut self) -> SourceResult<Stmt> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(Stmt::Block(stmts))
+    }
+
+    fn stmt(&mut self) -> SourceResult<Stmt> {
+        let span = self.span();
+        match self.peek() {
+            Some(Tok::LBrace) => self.block(),
+            Some(Tok::If) => {
+                self.pos += 1;
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let then = Box::new(self.stmt()?);
+                let els = if self.eat(&Tok::Else) {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If(cond, then, els, span))
+            }
+            Some(Tok::While) => {
+                self.pos += 1;
+                self.expect(&Tok::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::While(cond, body, span))
+            }
+            Some(Tok::Return) => {
+                self.pos += 1;
+                let e = if self.peek() == Some(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Return(e, span))
+            }
+            Some(Tok::Assert) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(Stmt::Assert(e, span))
+            }
+            Some(Tok::Atomic) => {
+                self.pos += 1;
+                let cond = if self.peek() == Some(&Tok::LParen) {
+                    self.pos += 1;
+                    let c = self.expr()?;
+                    self.expect(&Tok::RParen)?;
+                    Some(c)
+                } else {
+                    None
+                };
+                let body = if self.eat(&Tok::Semi) {
+                    // `atomic (cond);` — pure wait.
+                    Box::new(Stmt::Block(vec![]))
+                } else {
+                    Box::new(self.block()?)
+                };
+                Ok(Stmt::Atomic(cond, body, span))
+            }
+            Some(Tok::Reorder) => {
+                self.pos += 1;
+                self.expect(&Tok::LBrace)?;
+                let mut stmts = Vec::new();
+                while !self.eat(&Tok::RBrace) {
+                    stmts.push(self.stmt()?);
+                }
+                Ok(Stmt::Reorder(stmts, span))
+            }
+            Some(Tok::Fork) => {
+                self.pos += 1;
+                self.expect(&Tok::LParen)?;
+                let _ = self.eat(&Tok::KwInt);
+                let var = self.ident()?;
+                if !self.eat(&Tok::Semi) {
+                    self.expect(&Tok::Comma)?;
+                }
+                let count = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::Fork(var, count, body, span))
+            }
+            Some(Tok::Repeat) => {
+                self.pos += 1;
+                self.expect(&Tok::LParen)?;
+                let n = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::Repeat(n, body, span))
+            }
+            Some(Tok::KwInt) | Some(Tok::KwBit) | Some(Tok::KwBool) | Some(Tok::KwObject)
+            | Some(Tok::Void) => self.decl_stmt(span),
+            Some(Tok::Ident(_)) if self.starts_decl() => self.decl_stmt(span),
+            _ => {
+                // Assignment or expression statement.
+                let lhs = self.expr()?;
+                if self.eat(&Tok::Assign) {
+                    if !lhs.is_lvalue() {
+                        return Err(SourceError::new(
+                            Phase::Parse,
+                            lhs.span(),
+                            "left-hand side of '=' is not assignable",
+                        ));
+                    }
+                    let rhs = self.expr()?;
+                    self.expect(&Tok::Semi)?;
+                    Ok(Stmt::Assign(lhs, rhs, span))
+                } else {
+                    self.expect(&Tok::Semi)?;
+                    Ok(Stmt::Expr(lhs, span))
+                }
+            }
+        }
+    }
+
+    /// Does `Ident …` start a declaration? Yes for `Ident Ident` and
+    /// `Ident [ INT ] … Ident`.
+    fn starts_decl(&self) -> bool {
+        let mut off = 1;
+        loop {
+            match (self.peek_at(off), self.peek_at(off + 1), self.peek_at(off + 2)) {
+                (Some(Tok::Ident(_)), _, _) => return true,
+                (Some(Tok::LBracket), Some(Tok::Int(_)), Some(Tok::RBracket)) => off += 3,
+                _ => return false,
+            }
+        }
+    }
+
+    fn decl_stmt(&mut self, span: Span) -> SourceResult<Stmt> {
+        let ty = self.parse_type()?;
+        let name = self.ident()?;
+        let init = if self.eat(&Tok::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(&Tok::Semi)?;
+        Ok(Stmt::Decl(ty, name, init, span))
+    }
+
+    // ----- grammar: expressions -----
+
+    fn expr(&mut self) -> SourceResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> SourceResult<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == Some(&Tok::OrOr) {
+            let span = self.span();
+            self.pos += 1;
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> SourceResult<Expr> {
+        let mut lhs = self.eq_expr()?;
+        while self.peek() == Some(&Tok::AndAnd) {
+            let span = self.span();
+            self.pos += 1;
+            let rhs = self.eq_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn eq_expr(&mut self) -> SourceResult<Expr> {
+        let mut lhs = self.rel_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::EqEq) => BinOp::Eq,
+                Some(Tok::NotEq) => BinOp::Ne,
+                _ => break,
+            };
+            let span = self.span();
+            self.pos += 1;
+            let rhs = self.rel_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn rel_expr(&mut self) -> SourceResult<Expr> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Lt) => BinOp::Lt,
+                Some(Tok::Le) => BinOp::Le,
+                Some(Tok::Gt) => BinOp::Gt,
+                Some(Tok::Ge) => BinOp::Ge,
+                _ => break,
+            };
+            let span = self.span();
+            self.pos += 1;
+            let rhs = self.add_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> SourceResult<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            let span = self.span();
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> SourceResult<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            let span = self.span();
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> SourceResult<Expr> {
+        let span = self.span();
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.pos += 1;
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary(UnOp::Not, Box::new(e), span))
+            }
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary(UnOp::Neg, Box::new(e), span))
+            }
+            // Cast `(int) e`.
+            Some(Tok::LParen) if self.peek_at(1) == Some(&Tok::KwInt)
+                && self.peek_at(2) == Some(&Tok::RParen) =>
+            {
+                self.pos += 3;
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary(UnOp::BitsToInt, Box::new(e), span))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> SourceResult<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            let span = self.span();
+            match self.peek() {
+                Some(Tok::Dot) => {
+                    self.pos += 1;
+                    let f = self.ident()?;
+                    e = Expr::Field(Box::new(e), f, span);
+                }
+                Some(Tok::LBracket) => {
+                    self.pos += 1;
+                    let ix = self.expr()?;
+                    if self.eat(&Tok::ColonColon) {
+                        let len = self.int_lit()?;
+                        if len <= 0 {
+                            return Err(self.err("slice length must be positive"));
+                        }
+                        self.expect(&Tok::RBracket)?;
+                        e = Expr::Slice(Box::new(e), Box::new(ix), len as usize, span);
+                    } else {
+                        self.expect(&Tok::RBracket)?;
+                        e = Expr::Index(Box::new(e), Box::new(ix), span);
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> SourceResult<Expr> {
+        let span = self.span();
+        match self.peek().cloned() {
+            Some(Tok::Int(v)) => {
+                self.pos += 1;
+                Ok(Expr::Int(v, span))
+            }
+            Some(Tok::True) => {
+                self.pos += 1;
+                Ok(Expr::Bool(true, span))
+            }
+            Some(Tok::False) => {
+                self.pos += 1;
+                Ok(Expr::Bool(false, span))
+            }
+            Some(Tok::Null) => {
+                self.pos += 1;
+                Ok(Expr::Null(span))
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                let bits: SourceResult<Vec<bool>> = s
+                    .chars()
+                    .map(|c| match c {
+                        '0' => Ok(false),
+                        '1' => Ok(true),
+                        other => Err(SourceError::new(
+                            Phase::Parse,
+                            span,
+                            format!("bit-array literal may only contain 0/1, found {other:?}"),
+                        )),
+                    })
+                    .collect();
+                Ok(Expr::BitArray(bits?, span))
+            }
+            Some(Tok::Hole) => {
+                self.pos += 1;
+                // `??(w)` with literal width only.
+                if self.peek() == Some(&Tok::LParen) {
+                    if let (Some(Tok::Int(w)), Some(Tok::RParen)) =
+                        (self.peek_at(1), self.peek_at(2))
+                    {
+                        let w = *w;
+                        self.pos += 3;
+                        if !(1..=30).contains(&w) {
+                            return Err(self.err("hole width must be in 1..=30"));
+                        }
+                        return Ok(Expr::Hole(Some(w as u32), span));
+                    }
+                }
+                Ok(Expr::Hole(None, span))
+            }
+            Some(Tok::GenOpen) => {
+                self.pos += 1;
+                let start = self.pos;
+                let mut depth = 0usize;
+                loop {
+                    match self.peek() {
+                        None => return Err(self.err("unterminated '{|' generator")),
+                        Some(Tok::GenOpen) => {
+                            return Err(self.err("generators cannot nest"));
+                        }
+                        Some(Tok::GenClose) if depth == 0 => break,
+                        Some(Tok::LParen) => depth += 1,
+                        Some(Tok::RParen) => depth = depth.saturating_sub(1),
+                        _ => {}
+                    }
+                    self.pos += 1;
+                }
+                let inner = &self.tokens[start..self.pos];
+                self.pos += 1; // consume '|}'
+                let re = parse_regex(inner, span)?;
+                Ok(Expr::Gen(re, span))
+            }
+            Some(Tok::New) => {
+                self.pos += 1;
+                let name = self.ident()?;
+                let mut args = Vec::new();
+                if self.eat(&Tok::LParen) && !self.eat(&Tok::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if self.eat(&Tok::RParen) {
+                            break;
+                        }
+                        self.expect(&Tok::Comma)?;
+                    }
+                }
+                Ok(Expr::New(name, args, span))
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Tok::RParen) {
+                                break;
+                            }
+                            self.expect(&Tok::Comma)?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args, span))
+                } else {
+                    Ok(Expr::Var(name, span))
+                }
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(t) => Err(self.err(format!("expected expression, found '{}'", t.spelling()))),
+            None => Err(self.err("expected expression, found end of input")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn prog(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap_or_else(|e| panic!("{e} in {src:?}"))
+    }
+
+    fn perr(src: &str) -> SourceError {
+        parse(&lex(src).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn parses_struct_and_globals() {
+        let p = prog("struct Node { int key; Node next; } Node head; int size = 0;");
+        assert_eq!(p.structs.len(), 1);
+        assert_eq!(p.structs[0].fields.len(), 2);
+        assert_eq!(p.globals.len(), 2);
+        assert!(matches!(p.globals[1].init, Some(Expr::Int(0, _))));
+    }
+
+    #[test]
+    fn parses_functions_and_harness() {
+        let p = prog(
+            "int add(int a, int b) { return a + b; }
+             harness void main() { int x = add(1, 2); assert x == 3; }",
+        );
+        assert_eq!(p.functions.len(), 2);
+        assert!(p.harness().is_some());
+        assert_eq!(p.functions[0].params.len(), 2);
+    }
+
+    #[test]
+    fn parses_implements() {
+        let p = prog("int f(int x) implements g { return x; }");
+        assert_eq!(p.functions[0].implements.as_deref(), Some("g"));
+    }
+
+    #[test]
+    fn parses_paper_enqueue_sketch() {
+        let src = r#"
+            struct QueueEntry { Object stored; QueueEntry next; int taken; }
+            QueueEntry prevHead; QueueEntry tail;
+            void Enqueue(Object newobject) {
+                QueueEntry tmp = null;
+                QueueEntry newEntry = new QueueEntry(newobject);
+                reorder {
+                    {| tail(.next)? | (tmp|newEntry).next |} = {| (tail|tmp|newEntry)(.next)? | null |};
+                    tmp = AtomicSwap({| tail(.next)? | (tmp|newEntry).next |}, {| (tail|tmp|newEntry)(.next)? | null |});
+                    if ({| tmp == newEntry | tmp != newEntry | false |}) {
+                        {| tail(.next)? | (tmp|newEntry).next |} = {| (tail|tmp|newEntry)(.next)? | null |};
+                    }
+                }
+            }
+        "#;
+        let p = prog(src);
+        let f = p.function("Enqueue").unwrap();
+        let Stmt::Block(ss) = &f.body else { panic!() };
+        assert!(matches!(ss[2], Stmt::Reorder(ref inner, _) if inner.len() == 3));
+    }
+
+    #[test]
+    fn parses_fork_atomic_repeat() {
+        let p = prog(
+            "harness void main() {
+                fork (int i; 3) {
+                    atomic { int x = 0; }
+                    atomic (i == 0) { }
+                    atomic (i == 1);
+                }
+                repeat (2) { int q = ??; }
+            }",
+        );
+        let f = p.harness().unwrap();
+        let Stmt::Block(ss) = &f.body else { panic!() };
+        assert!(matches!(ss[0], Stmt::Fork(..)));
+        assert!(matches!(ss[1], Stmt::Repeat(..)));
+    }
+
+    #[test]
+    fn fork_accepts_comma_form() {
+        let p = prog("harness void main() { fork (i, 2) { } }");
+        let Stmt::Block(ss) = &p.harness().unwrap().body else { panic!() };
+        let Stmt::Fork(v, n, _, _) = &ss[0] else { panic!() };
+        assert_eq!(v, "i");
+        assert!(matches!(n, Expr::Int(2, _)));
+    }
+
+    #[test]
+    fn decl_vs_assignment_disambiguation() {
+        let p = prog(
+            "struct T { int v; }
+             void f() {
+                 T x = null;       // decl via Ident Ident
+                 x.v = 3;          // field assign
+                 int[4] a;         // array decl
+                 a[0] = 1;         // index assign
+                 a[1::2] = a[0::2];// slice assign
+             }",
+        );
+        let Stmt::Block(ss) = &p.functions[0].body else { panic!() };
+        assert!(matches!(ss[0], Stmt::Decl(..)));
+        assert!(matches!(ss[1], Stmt::Assign(..)));
+        assert!(matches!(ss[2], Stmt::Decl(Type::Array(..), ..)));
+        assert!(matches!(ss[3], Stmt::Assign(Expr::Index(..), ..)));
+        assert!(matches!(ss[4], Stmt::Assign(Expr::Slice(..), Expr::Slice(..), _)));
+    }
+
+    #[test]
+    fn hole_widths_and_bit_arrays() {
+        let p = prog("void f() { int a = ??; int b = ??(5); bit[4] c = \"1010\"; }");
+        let Stmt::Block(ss) = &p.functions[0].body else { panic!() };
+        assert!(matches!(ss[0], Stmt::Decl(_, _, Some(Expr::Hole(None, _)), _)));
+        assert!(matches!(ss[1], Stmt::Decl(_, _, Some(Expr::Hole(Some(5), _)), _)));
+        assert!(
+            matches!(ss[2], Stmt::Decl(_, _, Some(Expr::BitArray(ref b, _)), _) if b.len() == 4)
+        );
+    }
+
+    #[test]
+    fn cast_and_precedence() {
+        let p = prog("void f(bit[8] b) { int x = (int) b[0::2] * 2 + 1; bit y = 1 < 2 && 3 == 3; }");
+        let Stmt::Block(ss) = &p.functions[0].body else { panic!() };
+        let Stmt::Decl(_, _, Some(e), _) = &ss[0] else { panic!() };
+        // ((int)b[0::2] * 2) + 1
+        let Expr::Binary(BinOp::Add, lhs, _, _) = e else { panic!("{e:?}") };
+        assert!(matches!(**lhs, Expr::Binary(BinOp::Mul, ..)));
+        let Stmt::Decl(_, _, Some(e2), _) = &ss[1] else { panic!() };
+        assert!(matches!(e2, Expr::Binary(BinOp::And, ..)));
+    }
+
+    #[test]
+    fn while_and_return() {
+        let p = prog("int f() { while (true) { return 1; } return 0; }");
+        let Stmt::Block(ss) = &p.functions[0].body else { panic!() };
+        assert!(matches!(ss[0], Stmt::While(..)));
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(perr("void f() { x = ; }").message.contains("expression"));
+        assert!(perr("void f() { 3 = x; }").message.contains("assignable"));
+        assert!(perr("struct S { int x }").message.contains("';'"));
+        assert!(perr("harness int x = 3;").message.contains("functions"));
+        assert!(perr("generator int x = 3;").message.contains("functions"));
+        assert!(perr("void f() { {| a |; }").to_string().contains("unterminated"));
+        assert!(perr("void f() { int x = ??(99); }").message.contains("width"));
+    }
+
+    #[test]
+    fn nested_generator_is_rejected() {
+        assert!(parse(&lex("void f() { x = {| a {| b |} |}; }").unwrap()).is_err());
+    }
+
+    #[test]
+    fn multi_dim_array_type() {
+        let p = prog("int[2][3] g;");
+        let Type::Array(inner, 2) = &p.globals[0].ty else { panic!() };
+        assert_eq!(**inner, Type::Array(Box::new(Type::Int), 3));
+    }
+}

@@ -1,0 +1,364 @@
+//! A small `#define` preprocessor.
+//!
+//! The paper's sketches lean on C-style macros (`#define aLocation
+//! {| tail(.next)? | … |}`), so we support object-like and
+//! function-like `#define`s. Directives occupy a single (possibly
+//! `\`-continued) line; expansion is token-based and recursive up to a
+//! fixed depth.
+
+use crate::error::{Phase, SourceError, SourceResult, Span};
+use crate::lexer::lex;
+use crate::token::{Tok, Token};
+
+const MAX_EXPANSION_DEPTH: usize = 32;
+
+#[derive(Clone, Debug)]
+struct Macro {
+    params: Option<Vec<String>>,
+    body: Vec<Token>,
+}
+
+/// Expands `#define` macros, returning equivalent macro-free source.
+///
+/// The output preserves the line structure of the input (each directive
+/// line becomes blank), so downstream spans still point into the
+/// original text.
+///
+/// # Errors
+///
+/// Returns a [`SourceError`] on malformed directives, unknown `#`
+/// directives, unbalanced macro arguments, or runaway recursive
+/// expansion.
+pub fn preprocess(source: &str) -> SourceResult<String> {
+    let mut macros: Vec<(String, Macro)> = Vec::new();
+    let mut kept = String::new();
+
+    // Phase 1: collect directives, blank them out of the kept text.
+    let mut lines = source.lines().enumerate().peekable();
+    while let Some((ix, line)) = lines.next() {
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            let lineno = (ix + 1) as u32;
+            let rest = rest.trim_start();
+            let Some(def) = rest.strip_prefix("define") else {
+                return Err(SourceError::new(
+                    Phase::Preprocess,
+                    Span::new(lineno, 1),
+                    format!("unsupported directive: #{}", rest.split_whitespace().next().unwrap_or("")),
+                ));
+            };
+            let mut text = def.to_string();
+            kept.push('\n');
+            // Handle '\' continuations.
+            while text.trim_end().ends_with('\\') {
+                let t = text.trim_end();
+                text = t[..t.len() - 1].to_string();
+                match lines.next() {
+                    Some((_, cont)) => {
+                        text.push(' ');
+                        text.push_str(cont);
+                        kept.push('\n');
+                    }
+                    None => break,
+                }
+            }
+            let (name, mac) = parse_define(&text, lineno)?;
+            macros.retain(|(n, _)| *n != name);
+            macros.push((name, mac));
+        } else {
+            kept.push_str(line);
+            kept.push('\n');
+        }
+    }
+
+    if macros.is_empty() {
+        return Ok(kept);
+    }
+
+    // Phase 2: token-level expansion.
+    let tokens = lex(&kept)?;
+    let expanded = expand(&tokens, &macros, 0)?;
+
+    // Phase 3: re-render to text. Spans are approximated by the
+    // original token positions where available.
+    Ok(render(&expanded))
+}
+
+fn parse_define(text: &str, lineno: u32) -> SourceResult<(String, Macro)> {
+    let span = Span::new(lineno, 1);
+    let err = |m: &str| SourceError::new(Phase::Preprocess, span, m.to_string());
+    let text = text.trim_start();
+    let name_end = text
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(text.len());
+    if name_end == 0 {
+        return Err(err("expected macro name after #define"));
+    }
+    let name = text[..name_end].to_string();
+    let rest = &text[name_end..];
+    // Function-like only when '(' immediately follows the name.
+    if let Some(after) = rest.strip_prefix('(') {
+        let close = after
+            .find(')')
+            .ok_or_else(|| err("missing ')' in macro parameter list"))?;
+        let params: Vec<String> = after[..close]
+            .split(',')
+            .map(|p| p.trim().to_string())
+            .filter(|p| !p.is_empty())
+            .collect();
+        let body = lex(&after[close + 1..])?;
+        Ok((
+            name,
+            Macro {
+                params: Some(params),
+                body,
+            },
+        ))
+    } else {
+        let body = lex(rest)?;
+        Ok((
+            name,
+            Macro {
+                params: None,
+                body,
+            },
+        ))
+    }
+}
+
+fn lookup<'m>(macros: &'m [(String, Macro)], name: &str) -> Option<&'m Macro> {
+    macros.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+}
+
+fn expand(tokens: &[Token], macros: &[(String, Macro)], depth: usize) -> SourceResult<Vec<Token>> {
+    if depth > MAX_EXPANSION_DEPTH {
+        let span = tokens.first().map(|t| t.span).unwrap_or_default();
+        return Err(SourceError::new(
+            Phase::Preprocess,
+            span,
+            "macro expansion too deep (recursive macro?)",
+        ));
+    }
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        let name = match &t.tok {
+            Tok::Ident(n) => n.clone(),
+            _ => {
+                out.push(t.clone());
+                i += 1;
+                continue;
+            }
+        };
+        let Some(mac) = lookup(macros, &name) else {
+            out.push(t.clone());
+            i += 1;
+            continue;
+        };
+        match &mac.params {
+            None => {
+                let body = expand(&mac.body, macros, depth + 1)?;
+                out.extend(reposition(body, t.span));
+                i += 1;
+            }
+            Some(params) => {
+                // Require an argument list; otherwise leave the
+                // identifier alone (C behaviour).
+                if tokens.get(i + 1).map(|t| &t.tok) != Some(&Tok::LParen) {
+                    out.push(t.clone());
+                    i += 1;
+                    continue;
+                }
+                let (args, consumed) = collect_args(&tokens[i + 2..], t.span)?;
+                if args.len() != params.len() {
+                    return Err(SourceError::new(
+                        Phase::Preprocess,
+                        t.span,
+                        format!(
+                            "macro {name} expects {} argument(s), got {}",
+                            params.len(),
+                            args.len()
+                        ),
+                    ));
+                }
+                let mut substituted = Vec::new();
+                for bt in &mac.body {
+                    match &bt.tok {
+                        Tok::Ident(p) => {
+                            if let Some(ix) = params.iter().position(|q| q == p) {
+                                substituted.extend(args[ix].iter().cloned());
+                            } else {
+                                substituted.push(bt.clone());
+                            }
+                        }
+                        _ => substituted.push(bt.clone()),
+                    }
+                }
+                let body = expand(&substituted, macros, depth + 1)?;
+                out.extend(reposition(body, t.span));
+                i += 2 + consumed; // name, '(', args..., ')'
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Collects comma-separated balanced argument token lists; `rest`
+/// starts just after the '('. Returns the args and the number of tokens
+/// consumed including the closing ')'.
+fn collect_args(rest: &[Token], span: Span) -> SourceResult<(Vec<Vec<Token>>, usize)> {
+    let mut args: Vec<Vec<Token>> = vec![Vec::new()];
+    let mut depth = 0usize;
+    for (ix, t) in rest.iter().enumerate() {
+        match &t.tok {
+            Tok::LParen | Tok::LBracket | Tok::GenOpen => {
+                depth += 1;
+                args.last_mut().unwrap().push(t.clone());
+            }
+            Tok::RParen if depth == 0 => {
+                if args.len() == 1 && args[0].is_empty() {
+                    args.clear();
+                }
+                return Ok((args, ix + 1));
+            }
+            Tok::RParen | Tok::RBracket | Tok::GenClose => {
+                depth = depth.saturating_sub(1);
+                args.last_mut().unwrap().push(t.clone());
+            }
+            Tok::Comma if depth == 0 => args.push(Vec::new()),
+            _ => args.last_mut().unwrap().push(t.clone()),
+        }
+    }
+    Err(SourceError::new(
+        Phase::Preprocess,
+        span,
+        "unterminated macro argument list",
+    ))
+}
+
+fn reposition(body: Vec<Token>, at: Span) -> Vec<Token> {
+    body.into_iter()
+        .map(|mut t| {
+            t.span = at;
+            t
+        })
+        .collect()
+}
+
+/// Renders tokens back to source text, one line, space-separated.
+/// Token spellings are unambiguous so a later re-lex yields the same
+/// stream (module positions).
+fn render(tokens: &[Token]) -> String {
+    let mut out = String::new();
+    let mut line = 1u32;
+    for t in tokens {
+        while line < t.span.line {
+            out.push('\n');
+            line += 1;
+        }
+        out.push_str(&t.tok.spelling());
+        out.push(' ');
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(&preprocess(src).unwrap())
+            .unwrap()
+            .into_iter()
+            .map(|t| t.tok)
+            .collect()
+    }
+
+    #[test]
+    fn passthrough_without_macros() {
+        let src = "int x = 1;\n";
+        assert_eq!(preprocess(src).unwrap(), src);
+    }
+
+    #[test]
+    fn object_macro_expands() {
+        let ts = toks("#define N 5\nint x = N;");
+        assert!(ts.contains(&Tok::Int(5)));
+        assert!(!ts.iter().any(|t| *t == Tok::Ident("N".into())));
+    }
+
+    #[test]
+    fn function_macro_expands_args() {
+        let ts = toks("#define SQ(a) (a * a)\nint y = SQ(x + 1);");
+        let spell: Vec<String> = ts.iter().map(|t| t.spelling()).collect();
+        assert_eq!(
+            spell.join(" "),
+            "int y = ( x + 1 * x + 1 ) ;"
+        );
+    }
+
+    #[test]
+    fn paper_style_generator_macro() {
+        let src = "#define aLocation {| tail(.next)? | (tmp|newEntry).next |}\nx = aLocation;";
+        let ts = toks(src);
+        assert_eq!(ts[0], Tok::Ident("x".into()));
+        assert_eq!(ts[1], Tok::Assign);
+        assert_eq!(ts[2], Tok::GenOpen);
+        assert!(ts.contains(&Tok::GenClose));
+    }
+
+    #[test]
+    fn nested_macro_use() {
+        let ts = toks("#define A 1\n#define B (A + A)\nint x = B;");
+        let spell: Vec<String> = ts.iter().map(|t| t.spelling()).collect();
+        assert_eq!(spell.join(" "), "int x = ( 1 + 1 ) ;");
+    }
+
+    #[test]
+    fn macro_with_two_params() {
+        let ts = toks("#define anExpr(x,y) x == y | x != y | false\nb = anExpr(tmp, q);");
+        let spell: Vec<String> = ts.iter().map(|t| t.spelling()).collect();
+        assert_eq!(spell.join(" "), "b = tmp == q | tmp != q | false ;");
+    }
+
+    #[test]
+    fn redefinition_takes_latest() {
+        let ts = toks("#define N 1\n#define N 2\nint x = N;");
+        assert!(ts.contains(&Tok::Int(2)));
+        assert!(!ts.contains(&Tok::Int(1)));
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let ts = toks("#define LONG 1 + \\\n 2\nint x = LONG;");
+        assert!(ts.contains(&Tok::Int(1)));
+        assert!(ts.contains(&Tok::Int(2)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(preprocess("#include <x>").is_err());
+        assert!(preprocess("#define").is_err());
+        assert!(preprocess("#define F(a b\nF(1)").is_err());
+        assert!(preprocess("#define F(a) a\nF(1, 2);").is_err());
+        assert!(preprocess("#define A B\n#define B A\nA").is_err());
+        assert!(preprocess("#define F(a) a\nF(1").is_err());
+    }
+
+    #[test]
+    fn function_macro_without_parens_left_alone() {
+        let ts = toks("#define F(a) a\nint F = 3;");
+        assert!(ts.contains(&Tok::Ident("F".into())));
+    }
+
+    #[test]
+    fn line_numbers_preserved_for_directives() {
+        let out = preprocess("#define X 1\nint q;").unwrap();
+        // Directive line is blanked, code stays on line 2.
+        assert!(out.starts_with('\n'));
+        let toks = lex(&out).unwrap();
+        assert_eq!(toks[0].span.line, 2);
+    }
+}

@@ -1,0 +1,277 @@
+//! Pretty printer: AST back to PSKETCH source text.
+//!
+//! Used to display resolved sketches (the synthesizer substitutes
+//! choices into the AST and prints the result, reproducing the paper's
+//! Figures 2, 4 and 6).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for s in &p.structs {
+        print_struct(&mut out, s);
+    }
+    for g in &p.globals {
+        match &g.init {
+            Some(e) => {
+                let _ = writeln!(out, "{} {} = {};", g.ty, g.name, print_expr(e));
+            }
+            None => {
+                let _ = writeln!(out, "{} {};", g.ty, g.name);
+            }
+        }
+    }
+    for f in &p.functions {
+        print_fn(&mut out, f);
+    }
+    out
+}
+
+fn print_struct(out: &mut String, s: &StructDef) {
+    let _ = writeln!(out, "struct {} {{", s.name);
+    for f in &s.fields {
+        match &f.init {
+            Some(e) => {
+                let _ = writeln!(out, "    {} {} = {};", f.ty, f.name, print_expr(e));
+            }
+            None => {
+                let _ = writeln!(out, "    {} {};", f.ty, f.name);
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+}
+
+/// Renders one function definition.
+pub fn print_fn(out: &mut String, f: &FnDef) {
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| format!("{} {}", p.ty, p.name))
+        .collect();
+    let harness = if f.is_harness { "harness " } else { "" };
+    let implements = match &f.implements {
+        Some(s) => format!(" implements {s}"),
+        None => String::new(),
+    };
+    let _ = write!(
+        out,
+        "{harness}{} {}({}){implements} ",
+        f.ret,
+        f.name,
+        params.join(", ")
+    );
+    print_stmt(out, &f.body, 0);
+    out.push('\n');
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+/// Renders a statement at the given indentation level.
+pub fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
+    match s {
+        Stmt::Block(ss) => {
+            out.push_str("{\n");
+            for s in ss {
+                indent(out, level + 1);
+                print_stmt(out, s, level + 1);
+                out.push('\n');
+            }
+            indent(out, level);
+            out.push('}');
+        }
+        Stmt::Decl(ty, name, init, _) => match init {
+            Some(e) => {
+                let _ = write!(out, "{ty} {name} = {};", print_expr(e));
+            }
+            None => {
+                let _ = write!(out, "{ty} {name};");
+            }
+        },
+        Stmt::Assign(l, r, _) => {
+            let _ = write!(out, "{} = {};", print_expr(l), print_expr(r));
+        }
+        Stmt::If(c, t, e, _) => {
+            let _ = write!(out, "if ({}) ", print_expr(c));
+            print_stmt(out, t, level);
+            if let Some(e) = e {
+                out.push_str(" else ");
+                print_stmt(out, e, level);
+            }
+        }
+        Stmt::While(c, b, _) => {
+            let _ = write!(out, "while ({}) ", print_expr(c));
+            print_stmt(out, b, level);
+        }
+        Stmt::Return(e, _) => match e {
+            Some(e) => {
+                let _ = write!(out, "return {};", print_expr(e));
+            }
+            None => out.push_str("return;"),
+        },
+        Stmt::Assert(e, _) => {
+            let _ = write!(out, "assert {};", print_expr(e));
+        }
+        Stmt::Expr(e, _) => {
+            let _ = write!(out, "{};", print_expr(e));
+        }
+        Stmt::Atomic(cond, body, _) => {
+            match cond {
+                Some(c) => {
+                    let _ = write!(out, "atomic ({}) ", print_expr(c));
+                }
+                None => out.push_str("atomic "),
+            }
+            if matches!(&**body, Stmt::Block(ss) if ss.is_empty()) && cond.is_some() {
+                // `atomic (cond);` pure-wait form.
+                out.pop();
+                out.push(';');
+            } else {
+                print_stmt(out, body, level);
+            }
+        }
+        Stmt::Reorder(ss, _) => {
+            out.push_str("reorder {\n");
+            for s in ss {
+                indent(out, level + 1);
+                print_stmt(out, s, level + 1);
+                out.push('\n');
+            }
+            indent(out, level);
+            out.push('}');
+        }
+        Stmt::Fork(v, n, b, _) => {
+            let _ = write!(out, "fork ({v}; {}) ", print_expr(n));
+            print_stmt(out, b, level);
+        }
+        Stmt::Repeat(n, b, _) => {
+            let _ = write!(out, "repeat ({}) ", print_expr(n));
+            print_stmt(out, b, level);
+        }
+    }
+}
+
+/// Renders an expression (fully parenthesized at binary operators to
+/// stay unambiguous without tracking precedence).
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v, _) => v.to_string(),
+        Expr::Bool(b, _) => b.to_string(),
+        Expr::Null(_) => "null".into(),
+        Expr::BitArray(bits, _) => {
+            let s: String = bits.iter().map(|&b| if b { '1' } else { '0' }).collect();
+            format!("\"{s}\"")
+        }
+        Expr::Var(n, _) => n.clone(),
+        Expr::Field(b, f, _) => format!("{}.{f}", print_expr(b)),
+        Expr::Index(b, i, _) => format!("{}[{}]", print_expr(b), print_expr(i)),
+        Expr::Slice(b, s, l, _) => format!("{}[{}::{l}]", print_expr(b), print_expr(s)),
+        Expr::Unary(UnOp::Not, e, _) => format!("!{}", print_expr_atom(e)),
+        Expr::Unary(UnOp::Neg, e, _) => format!("-{}", print_expr_atom(e)),
+        Expr::Unary(UnOp::BitsToInt, e, _) => format!("(int) {}", print_expr_atom(e)),
+        Expr::Binary(op, l, r, _) => format!(
+            "{} {} {}",
+            print_expr_atom(l),
+            op.spelling(),
+            print_expr_atom(r)
+        ),
+        Expr::Call(f, args, _) => {
+            let a: Vec<String> = args.iter().map(print_expr).collect();
+            format!("{f}({})", a.join(", "))
+        }
+        Expr::New(s, args, _) => {
+            let a: Vec<String> = args.iter().map(print_expr).collect();
+            format!("new {s}({})", a.join(", "))
+        }
+        Expr::Hole(None, _) => "??".into(),
+        Expr::Hole(Some(w), _) => format!("??({w})"),
+        Expr::Gen(re, _) => format!("{{| {re} |}}"),
+        Expr::HoleRef(id, dom, _) => format!("hole#{id}<{dom}>"),
+        Expr::Choice(id, alts, _) => {
+            let a: Vec<String> = alts.iter().map(print_expr).collect();
+            format!("choice#{id}({})", a.join(", "))
+        }
+    }
+}
+
+fn print_expr_atom(e: &Expr) -> String {
+    match e {
+        Expr::Binary(..) => format!("({})", print_expr(e)),
+        _ => print_expr(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse_program(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        let printed2 = print_program(&p2);
+        assert_eq!(printed, printed2, "printer not a fixpoint for {src:?}");
+    }
+
+    #[test]
+    fn roundtrips_structures() {
+        roundtrip("struct N { int v = 0; N next; } N head; int size = 3;");
+    }
+
+    #[test]
+    fn roundtrips_statements() {
+        roundtrip(
+            "harness void main() {
+                int x = 1;
+                if (x == 1) { x = 2; } else { x = 3; }
+                while (x > 0) { x = x - 1; }
+                assert x == 0;
+                fork (i; 2) { atomic { x = x + 1; } atomic (x == 2); }
+                repeat (2) { x = ??; }
+                return;
+            }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_sketch_constructs() {
+        roundtrip(
+            "struct E { E next; int taken; } E tail;
+            void f() {
+                E tmp = null;
+                reorder {
+                    {| tail(.next)? | tmp.next |} = {| (tail|tmp)(.next)? | null |};
+                    tmp = AtomicSwap(tail, tmp);
+                }
+                int w = ??(4);
+            }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_arrays_and_casts() {
+        roundtrip(
+            "void f(bit[8] b) {
+                int[4] a;
+                a[0] = (int) b[0::2];
+                a[1::2] = a[2::2];
+                bit[4] c = \"1010\";
+            }",
+        );
+    }
+
+    #[test]
+    fn parenthesization_is_unambiguous() {
+        let p = parse_program("void f() { int x = 1 + 2 * 3; assert x == 7; }").unwrap();
+        let printed = print_program(&p);
+        assert!(printed.contains("1 + (2 * 3)"));
+    }
+}

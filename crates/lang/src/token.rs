@@ -1,0 +1,249 @@
+//! Tokens of the PSKETCH language.
+
+use crate::error::Span;
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Tok {
+    /// Identifier or non-reserved word.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (bit-array initializers like `"1100"`).
+    Str(String),
+
+    // Keywords.
+    /// `struct`
+    Struct,
+    /// `void`
+    Void,
+    /// `int`
+    KwInt,
+    /// `bit`
+    KwBit,
+    /// `bool` / `boolean`
+    KwBool,
+    /// `Object` (alias for `int`)
+    KwObject,
+    /// `null`
+    Null,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `assert`
+    Assert,
+    /// `atomic`
+    Atomic,
+    /// `reorder`
+    Reorder,
+    /// `fork`
+    Fork,
+    /// `repeat`
+    Repeat,
+    /// `new`
+    New,
+    /// `harness`
+    Harness,
+    /// `implements`
+    Implements,
+    /// `generator`
+    Generator,
+
+    // Punctuation and operators.
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `|` (generator alternation)
+    Pipe,
+    /// `?` (generator optionality)
+    Question,
+    /// `??`
+    Hole,
+    /// `{|`
+    GenOpen,
+    /// `|}`
+    GenClose,
+    /// `::` (slices)
+    ColonColon,
+}
+
+impl Tok {
+    /// Surface spelling, used in diagnostics and by the pretty printer.
+    pub fn spelling(&self) -> String {
+        match self {
+            Tok::Ident(s) => s.clone(),
+            Tok::Int(v) => v.to_string(),
+            Tok::Str(s) => format!("{s:?}"),
+            Tok::Struct => "struct".into(),
+            Tok::Void => "void".into(),
+            Tok::KwInt => "int".into(),
+            Tok::KwBit => "bit".into(),
+            Tok::KwBool => "bool".into(),
+            Tok::KwObject => "Object".into(),
+            Tok::Null => "null".into(),
+            Tok::True => "true".into(),
+            Tok::False => "false".into(),
+            Tok::If => "if".into(),
+            Tok::Else => "else".into(),
+            Tok::While => "while".into(),
+            Tok::Return => "return".into(),
+            Tok::Assert => "assert".into(),
+            Tok::Atomic => "atomic".into(),
+            Tok::Reorder => "reorder".into(),
+            Tok::Fork => "fork".into(),
+            Tok::Repeat => "repeat".into(),
+            Tok::New => "new".into(),
+            Tok::Harness => "harness".into(),
+            Tok::Implements => "implements".into(),
+            Tok::Generator => "generator".into(),
+            Tok::LBrace => "{".into(),
+            Tok::RBrace => "}".into(),
+            Tok::LParen => "(".into(),
+            Tok::RParen => ")".into(),
+            Tok::LBracket => "[".into(),
+            Tok::RBracket => "]".into(),
+            Tok::Semi => ";".into(),
+            Tok::Comma => ",".into(),
+            Tok::Dot => ".".into(),
+            Tok::Assign => "=".into(),
+            Tok::EqEq => "==".into(),
+            Tok::NotEq => "!=".into(),
+            Tok::Lt => "<".into(),
+            Tok::Le => "<=".into(),
+            Tok::Gt => ">".into(),
+            Tok::Ge => ">=".into(),
+            Tok::Plus => "+".into(),
+            Tok::Minus => "-".into(),
+            Tok::Star => "*".into(),
+            Tok::Slash => "/".into(),
+            Tok::Percent => "%".into(),
+            Tok::Bang => "!".into(),
+            Tok::AndAnd => "&&".into(),
+            Tok::OrOr => "||".into(),
+            Tok::Pipe => "|".into(),
+            Tok::Question => "?".into(),
+            Tok::Hole => "??".into(),
+            Tok::GenOpen => "{|".into(),
+            Tok::GenClose => "|}".into(),
+            Tok::ColonColon => "::".into(),
+        }
+    }
+
+    /// Looks up the keyword for an identifier spelling, if any.
+    pub fn keyword(word: &str) -> Option<Tok> {
+        Some(match word {
+            "struct" => Tok::Struct,
+            "void" => Tok::Void,
+            "int" => Tok::KwInt,
+            "bit" => Tok::KwBit,
+            "bool" | "boolean" => Tok::KwBool,
+            "Object" => Tok::KwObject,
+            "null" | "NULL" => Tok::Null,
+            "true" => Tok::True,
+            "false" => Tok::False,
+            "if" => Tok::If,
+            "else" => Tok::Else,
+            "while" => Tok::While,
+            "return" => Tok::Return,
+            "assert" => Tok::Assert,
+            "atomic" => Tok::Atomic,
+            "reorder" => Tok::Reorder,
+            "fork" => Tok::Fork,
+            "repeat" => Tok::Repeat,
+            "new" => Tok::New,
+            "harness" => Tok::Harness,
+            "implements" => Tok::Implements,
+            "generator" => Tok::Generator,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.spelling())
+    }
+}
+
+/// A token with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Token {
+    /// The token kind/payload.
+    pub tok: Tok,
+    /// Source location of the first character.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(Tok::keyword("while"), Some(Tok::While));
+        assert_eq!(Tok::keyword("boolean"), Some(Tok::KwBool));
+        assert_eq!(Tok::keyword("frobnicate"), None);
+    }
+
+    #[test]
+    fn spelling_roundtrip_examples() {
+        assert_eq!(Tok::Hole.spelling(), "??");
+        assert_eq!(Tok::GenOpen.spelling(), "{|");
+        assert_eq!(Tok::Ident("abc".into()).spelling(), "abc");
+    }
+}

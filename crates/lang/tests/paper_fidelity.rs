@@ -1,0 +1,230 @@
+//! Front-end fidelity: the sketches as printed in the paper's figures
+//! parse and typecheck (nearly) verbatim.
+
+use psketch_lang::check_program;
+
+#[test]
+fn figure1_enqueue_sketch_parses() {
+    // Figure 1, modulo: `Node` → `QueueEntry` for `tmp`'s type (the
+    // paper mixes the two names), and the fixup condition flattened
+    // into one generator (nested generators are not supported).
+    let src = r#"
+#define aLocation {| tail(.next)? | (tmp|newEntry).next |}
+#define aValue {| (tail|tmp|newEntry)(.next)? | null |}
+#define anExpr {| tmp == (tail|newEntry)(.next)? | tmp != (tail|newEntry)(.next)? | false |}
+
+struct QueueEntry { Object stored; QueueEntry next; int taken; }
+QueueEntry prevHead;
+QueueEntry tail;
+
+void Enqueue(Object newobject) {
+    QueueEntry tmp = null;
+    QueueEntry newEntry = new QueueEntry(newobject);
+    reorder {
+        aLocation = aValue;
+        tmp = AtomicSwap(aLocation, aValue);
+        if (anExpr) { aLocation = aValue; }
+    }
+}
+"#;
+    check_program(src).unwrap();
+}
+
+#[test]
+fn figure2_resolved_enqueue_parses() {
+    let src = r#"
+struct QueueEntry { Object stored; QueueEntry next; int taken; }
+QueueEntry tail;
+
+void Enqueue(Object newobject) {
+    QueueEntry tmp = null;
+    QueueEntry newEntry = new QueueEntry(newobject);
+    tmp = AtomicSwap(tail, newEntry);
+    tmp.next = newEntry;
+}
+"#;
+    check_program(src).unwrap();
+}
+
+#[test]
+fn figure3_dequeue_sketch_parses() {
+    // Figure 3 with the memory-safe guard `p.next != null` added (the
+    // paper's `p(.next)?.taken` choice dereferences `p.next`).
+    let src = r#"
+struct QueueEntry { Object stored; QueueEntry next; int taken; }
+QueueEntry prevHead;
+
+Object Dequeue() {
+    QueueEntry nextEntry = prevHead.next;
+    while (nextEntry != null && atomicSwap(nextEntry.taken, 1) == 1) {
+        nextEntry = nextEntry.next;
+    }
+    if (nextEntry == null) { return 0 - 1; }
+    QueueEntry p = {| prevHead | nextEntry |};
+    while (p.next != null && {| p(.next)?.taken |} == 1) {
+        prevHead = p;
+        p = p.next;
+    }
+    return nextEntry.stored;
+}
+"#;
+    check_program(src).unwrap();
+}
+
+#[test]
+fn section8_soup_dequeue_parses() {
+    let src = r#"
+struct QueueEntry { Object stored; QueueEntry next; int taken; }
+QueueEntry prevHead;
+
+Object Dequeue() {
+    QueueEntry tmp = null;
+    boolean taken = 1;
+    while (taken) {
+        reorder {
+            tmp = {| prevHead(.next)?(.next)? |};
+            if (tmp == null) { return null; }
+            prevHead = {| (tmp|prevHead)(.next)? |};
+            if (!tmp.taken) { taken = AtomicSwap(tmp.taken, 1); }
+        }
+    }
+    return tmp.stored;
+}
+"#;
+    // `return null` in an Object(=int) function is the one paper-ism
+    // we reject; `boolean taken = 1` and `!tmp.taken` coerce fine.
+    let err = check_program(src).unwrap_err();
+    assert!(err.message.contains("null"), "{err}");
+
+    let fixed = src.replace("return null;", "return 0 - 1;");
+    check_program(&fixed).unwrap();
+}
+
+#[test]
+fn figure5_hand_over_hand_sketch_parses() {
+    // Figure 5 with `lock`/`unlock` over an owner field (Figure 7
+    // style, since our locks are not built-in).
+    let src = r#"
+#define NODE {| (tprev|cur|prev)(.next)? |}
+#define COMP {| (!)? ((null|cur|prev)(.next)? == (null|cur|prev)(.next)?) |}
+
+struct Node { int key; int owner; Node next; }
+
+void lock(Node n) { atomic (n.owner == -1) { n.owner = pid(); } }
+void unlock(Node n) { assert n.owner == pid(); n.owner = -1; }
+
+void scan(Node start, int key) {
+    Node prev = start;
+    Node cur = start.next;
+    while (cur.key < key) {
+        Node tprev = prev;
+        reorder {
+            if (COMP) { lock(NODE); }
+            if (COMP) { unlock(NODE); }
+            prev = cur;
+            cur = cur.next;
+        }
+    }
+}
+"#;
+    check_program(src).unwrap();
+}
+
+#[test]
+fn figure7_lock_parses() {
+    let src = r#"
+struct Lock { int owner = -1; }
+
+void unlock(Lock lk) {
+    assert lk.owner == pid();
+    lk.owner = -1;
+}
+
+void lock(Lock lk) {
+    atomic (lk.owner == -1) {
+        lk.owner = pid();
+    }
+}
+"#;
+    check_program(src).unwrap();
+}
+
+#[test]
+fn barrier_predicate_generator_parses() {
+    // §8.2.2's generator function, verbatim shape.
+    let src = r#"
+generator boolean predicate(int a, int b, bit c, bit d) {
+    return {| (!)? (a == b | (a|b) == ?? | c | d) |};
+}
+int count;
+bit sense;
+bit[4] senses;
+
+void next(int th) {
+    bit s = senses[th];
+    s = predicate(0, 0, s, s);
+    int cv = 0;
+    bit tmp = false;
+    reorder {
+        senses[th] = s;
+        cv = AtomicReadAndDecr(count);
+        tmp = predicate(count, cv, s, tmp);
+        if (tmp) {
+            reorder {
+                count = 4;
+                sense = predicate(count, cv, s, s);
+            }
+        }
+        tmp = predicate(count, cv, s, tmp);
+        if (tmp) {
+            bit t = predicate(0, 0, s, s);
+            atomic (sense == t);
+        }
+    }
+}
+"#;
+    check_program(src).unwrap();
+}
+
+#[test]
+fn section3_trans_spec_parses() {
+    // The executable transpose specification from §3 (loop form).
+    let src = r#"
+int[16] trans(int[16] M) {
+    int[16] T;
+    int i = 0;
+    while (i < 4) {
+        int j = 0;
+        while (j < 4) {
+            T[4 * i + j] = M[4 * j + i];
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+    return T;
+}
+"#;
+    check_program(src).unwrap();
+}
+
+#[test]
+fn shufps_with_bit_selectors_parses() {
+    // §3's shufps emulation: bit-array selectors with `(int)` casts
+    // and `a[b::c]` sub-array indexing.
+    let src = r#"
+int[4] shufps(int[4] x1, int[4] x2, bit[8] b) {
+    int[4] s;
+    s[0] = x1[(int) b[0::2]];
+    s[1] = x1[(int) b[2::2]];
+    s[2] = x2[(int) b[4::2]];
+    s[3] = x2[(int) b[6::2]];
+    return s;
+}
+
+void caller() {
+    int[4] a;
+    int[4] r = shufps(a, a, "11001000");
+}
+"#;
+    check_program(src).unwrap();
+}

@@ -1,0 +1,112 @@
+//! Property test: pretty-printing is a parser fixpoint for randomly
+//! generated programs.
+
+use proptest::prelude::*;
+use psketch_lang::ast::*;
+use psketch_lang::error::Span;
+use psketch_lang::pretty::print_program;
+
+fn sp() -> Span {
+    Span::default()
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<i8>().prop_map(|v| Expr::Int(v.unsigned_abs() as i64, sp())),
+        any::<bool>().prop_map(|b| Expr::Bool(b, sp())),
+        Just(Expr::Var("x".into(), sp())),
+        Just(Expr::Var("y".into(), sp())),
+        Just(Expr::Hole(None, sp())),
+        Just(Expr::Hole(Some(4), sp())),
+    ];
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary(
+                BinOp::Add,
+                Box::new(a),
+                Box::new(b),
+                sp()
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary(
+                BinOp::Lt,
+                Box::new(a),
+                Box::new(b),
+                sp()
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary(
+                BinOp::And,
+                Box::new(a),
+                Box::new(b),
+                sp()
+            )),
+            inner
+                .clone()
+                .prop_map(|a| Expr::Unary(UnOp::Not, Box::new(a), sp())),
+            inner
+                .clone()
+                .prop_map(|a| Expr::Unary(UnOp::Neg, Box::new(a), sp())),
+            prop::collection::vec(inner.clone(), 0..=2)
+                .prop_map(|args| Expr::Call("f".into(), args, sp())),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        expr_strategy().prop_map(|e| Stmt::Assign(Expr::Var("x".into(), sp()), e, sp())),
+        expr_strategy().prop_map(|e| Stmt::Assert(e, sp())),
+        expr_strategy().prop_map(|e| Stmt::Decl(Type::Int, "z".into(), Some(e), sp())),
+        Just(Stmt::Return(None, sp())),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (expr_strategy(), inner.clone(), prop::option::of(inner.clone())).prop_map(
+                |(c, t, e)| Stmt::If(
+                    c,
+                    Box::new(Stmt::Block(vec![t])),
+                    e.map(|e| Box::new(Stmt::Block(vec![e]))),
+                    sp()
+                )
+            ),
+            (expr_strategy(), inner.clone())
+                .prop_map(|(c, b)| Stmt::While(c, Box::new(Stmt::Block(vec![b])), sp())),
+            inner
+                .clone()
+                .prop_map(|b| Stmt::Atomic(None, Box::new(Stmt::Block(vec![b])), sp())),
+            prop::collection::vec(inner.clone(), 1..=3)
+                .prop_map(|ss| Stmt::Reorder(ss, sp())),
+            prop::collection::vec(inner, 0..=3).prop_map(Stmt::Block),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// print → parse → print is a fixpoint (printing is unambiguous).
+    #[test]
+    fn printer_is_parser_fixpoint(body in prop::collection::vec(stmt_strategy(), 0..4)) {
+        let program = Program {
+            structs: vec![],
+            globals: vec![
+                GlobalDef { ty: Type::Int, name: "x".into(), init: None, span: sp() },
+                GlobalDef { ty: Type::Int, name: "y".into(), init: None, span: sp() },
+            ],
+            functions: vec![FnDef {
+                name: "f".into(),
+                ret: Type::Void,
+                params: vec![],
+                body: Stmt::Block(body),
+                implements: None,
+                is_harness: false,
+                is_generator: false,
+                span: sp(),
+            }],
+        };
+        let p1 = print_program(&program);
+        let reparsed = psketch_lang::parse_program(&p1)
+            .unwrap_or_else(|e| panic!("printed program does not parse: {e}\n{p1}"));
+        let p2 = print_program(&reparsed);
+        prop_assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for regular-expression expression generators.
+
+use proptest::prelude::*;
+use psketch_lang::error::Span;
+use psketch_lang::regen::{parse_regex, Regex};
+use psketch_lang::token::Tok;
+
+/// Random generator regexes over a small identifier/field alphabet.
+fn regex_strategy() -> impl Strategy<Value = Regex> {
+    let atom = prop_oneof![
+        Just(Regex::Atom(Tok::Ident("a".into()))),
+        Just(Regex::Atom(Tok::Ident("b".into()))),
+        Just(Regex::Atom(Tok::Dot)),
+        Just(Regex::Atom(Tok::Ident("next".into()))),
+        Just(Regex::Atom(Tok::Null)),
+        Just(Regex::Atom(Tok::EqEq)),
+        Just(Regex::Atom(Tok::Bang)),
+    ];
+    atom.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..=3).prop_map(Regex::Seq),
+            prop::collection::vec(inner.clone(), 1..=3).prop_map(Regex::Alt),
+            inner.prop_map(|r| Regex::Opt(Box::new(r))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `language_size` upper-bounds the deduplicated enumeration.
+    #[test]
+    fn language_size_bounds_enumeration(re in regex_strategy()) {
+        let size = re.language_size();
+        prop_assume!(size <= 4096);
+        let strings = re.enumerate(4096).unwrap();
+        prop_assert!(strings.len() as u64 <= size);
+        prop_assert!(!strings.is_empty());
+        // Deduplicated: all strings distinct.
+        let set: std::collections::HashSet<_> = strings.iter().collect();
+        prop_assert_eq!(set.len(), strings.len());
+    }
+
+    /// Printing a regex and re-parsing it preserves the language.
+    #[test]
+    fn display_preserves_language(re in regex_strategy()) {
+        prop_assume!(re.language_size() <= 1024);
+        let printed = re.to_string();
+        let tokens = psketch_lang::lex(&printed)
+            .unwrap_or_else(|e| panic!("printed regex does not lex: {e}: {printed}"));
+        let reparsed = parse_regex(&tokens, Span::default())
+            .unwrap_or_else(|e| panic!("printed regex does not parse: {e}: {printed}"));
+        let a = re.enumerate(4096).unwrap();
+        let b = reparsed.enumerate(4096).unwrap();
+        prop_assert_eq!(a, b, "language changed through display: {}", printed);
+    }
+
+    /// Every enumerated string is in the language of an alternation
+    /// with the original regex (sanity via containment of sizes under
+    /// `Alt`).
+    #[test]
+    fn alt_unions_languages(
+        r1 in regex_strategy(),
+        r2 in regex_strategy(),
+    ) {
+        prop_assume!(r1.language_size() + r2.language_size() <= 2048);
+        let union = Regex::Alt(vec![r1.clone(), r2.clone()]);
+        let u = union.enumerate(8192).unwrap();
+        for s in r1.enumerate(4096).unwrap() {
+            prop_assert!(u.contains(&s));
+        }
+        for s in r2.enumerate(4096).unwrap() {
+            prop_assert!(u.contains(&s));
+        }
+    }
+
+    /// `Opt` adds exactly the empty string to the language.
+    #[test]
+    fn opt_adds_epsilon(re in regex_strategy()) {
+        prop_assume!(re.language_size() <= 1024);
+        let opt = Regex::Opt(Box::new(re.clone()));
+        let with = opt.enumerate(4096).unwrap();
+        prop_assert!(with.contains(&vec![]));
+        for s in re.enumerate(4096).unwrap() {
+            prop_assert!(with.contains(&s));
+        }
+    }
+}

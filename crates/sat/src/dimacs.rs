@@ -1,0 +1,164 @@
+//! DIMACS CNF reading and writing.
+//!
+//! Used by the test suite and by the debugging binaries in
+//! `psketch-suite` to dump the synthesizer's queries for inspection
+//! with external tools.
+
+use crate::{Lit, SolveResult, Solver, Var};
+use std::fmt::Write as _;
+
+/// Error produced while parsing DIMACS text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// A CNF formula in memory: variable count plus clauses of signed
+/// integers DIMACS-style (1-based, negative = negated).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Declared number of variables.
+    pub num_vars: usize,
+    /// Clauses; each literal is a non-zero signed 1-based index.
+    pub clauses: Vec<Vec<i64>>,
+}
+
+impl Cnf {
+    /// Parses DIMACS CNF text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseDimacsError`] on malformed input (bad header,
+    /// non-integer tokens, unterminated clause).
+    pub fn parse(text: &str) -> Result<Cnf, ParseDimacsError> {
+        let mut cnf = Cnf::default();
+        let mut current: Vec<i64> = Vec::new();
+        let mut seen_header = false;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('p') {
+                let mut it = rest.split_whitespace();
+                if it.next() != Some("cnf") {
+                    return Err(ParseDimacsError {
+                        line: lineno + 1,
+                        message: "expected 'p cnf <vars> <clauses>'".into(),
+                    });
+                }
+                cnf.num_vars = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or(ParseDimacsError {
+                        line: lineno + 1,
+                        message: "bad variable count".into(),
+                    })?;
+                seen_header = true;
+                continue;
+            }
+            if !seen_header {
+                return Err(ParseDimacsError {
+                    line: lineno + 1,
+                    message: "clause before header".into(),
+                });
+            }
+            for tok in line.split_whitespace() {
+                let v: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                    line: lineno + 1,
+                    message: format!("bad literal {tok:?}"),
+                })?;
+                if v == 0 {
+                    cnf.clauses.push(std::mem::take(&mut current));
+                } else {
+                    current.push(v);
+                }
+            }
+        }
+        if !current.is_empty() {
+            return Err(ParseDimacsError {
+                line: text.lines().count(),
+                message: "unterminated clause".into(),
+            });
+        }
+        Ok(cnf)
+    }
+
+    /// Renders the formula as DIMACS text.
+    pub fn to_dimacs(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "p cnf {} {}", self.num_vars, self.clauses.len());
+        for c in &self.clauses {
+            for &l in c {
+                let _ = write!(out, "{l} ");
+            }
+            let _ = writeln!(out, "0");
+        }
+        out
+    }
+
+    /// Loads this formula into a fresh [`Solver`] and solves it.
+    pub fn solve(&self) -> SolveResult {
+        let mut s = Solver::new();
+        self.load_into(&mut s);
+        s.solve()
+    }
+
+    /// Adds all variables/clauses of the formula to `solver`.
+    ///
+    /// Variables `1..=num_vars` map to solver variables in creation
+    /// order starting at the solver's current variable count.
+    pub fn load_into(&self, solver: &mut Solver) -> Vec<Var> {
+        let base: Vec<Var> = (0..self.num_vars).map(|_| solver.new_var()).collect();
+        for clause in &self.clauses {
+            let lits = clause.iter().map(|&l| {
+                let v = base[(l.unsigned_abs() as usize) - 1];
+                Lit::new(v, l > 0)
+            });
+            solver.add_clause(lits);
+        }
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+        let cnf = Cnf::parse(text).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses, vec![vec![1, -2], vec![2, 3]]);
+        let re = Cnf::parse(&cnf.to_dimacs()).unwrap();
+        assert_eq!(re, cnf);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Cnf::parse("1 2 0").is_err());
+        assert!(Cnf::parse("p cnf x 2").is_err());
+        assert!(Cnf::parse("p cnf 2 1\n1 2").is_err());
+        assert!(Cnf::parse("p dnf 2 1\n1 2 0").is_err());
+    }
+
+    #[test]
+    fn solve_simple() {
+        let sat = Cnf::parse("p cnf 2 2\n1 2 0\n-1 0\n").unwrap();
+        assert_eq!(sat.solve(), SolveResult::Sat);
+        let unsat = Cnf::parse("p cnf 1 2\n1 0\n-1 0\n").unwrap();
+        assert_eq!(unsat.solve(), SolveResult::Unsat);
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+//! A conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! This crate is the decision engine behind the PSKETCH inductive
+//! synthesizer (see the `psketch-core` crate). The paper delegates the
+//! inductive-synthesis step to "an efficient, general purpose SAT-based
+//! solver"; since no solver crate is available offline, this is a
+//! self-contained reimplementation of the classic MiniSat architecture:
+//!
+//! * two-watched-literal propagation,
+//! * first-UIP conflict analysis with clause minimization,
+//! * VSIDS-style activity heuristics with phase saving,
+//! * Luby restarts and activity-based clause-database reduction,
+//! * incremental solving under assumptions.
+//!
+//! # Examples
+//!
+//! ```
+//! use psketch_sat::{Solver, Lit, SolveResult};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause([Lit::pos(a), Lit::pos(b)]);
+//! s.add_clause([Lit::neg(a)]);
+//! assert_eq!(s.solve(), SolveResult::Sat);
+//! assert_eq!(s.value(b), Some(true));
+//! ```
+
+mod lit;
+mod solver;
+
+pub mod dimacs;
+
+pub use lit::{Lit, Var};
+pub use solver::{SolveResult, Solver, SolverStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivially_sat_empty() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn unit_conflict_is_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([Lit::pos(a)]);
+        s.add_clause([Lit::neg(a)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+}

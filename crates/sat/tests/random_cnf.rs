@@ -1,0 +1,141 @@
+//! Differential testing: CDCL vs. brute-force enumeration on random
+//! small CNF formulas, plus model validity checks.
+
+use proptest::prelude::*;
+use psketch_sat::{Lit, SolveResult, Solver};
+
+/// Evaluates a CNF (clauses of signed 1-based lits) under assignment
+/// bits (bit i = variable i+1).
+fn eval_cnf(num_vars: usize, clauses: &[Vec<i64>], assignment: u32) -> bool {
+    let _ = num_vars;
+    clauses.iter().all(|c| {
+        c.iter().any(|&l| {
+            let bit = (assignment >> (l.unsigned_abs() - 1)) & 1 == 1;
+            if l > 0 {
+                bit
+            } else {
+                !bit
+            }
+        })
+    })
+}
+
+fn brute_force_sat(num_vars: usize, clauses: &[Vec<i64>]) -> bool {
+    (0u32..(1 << num_vars)).any(|a| eval_cnf(num_vars, clauses, a))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn cdcl_agrees_with_brute_force(
+        num_vars in 1usize..=8,
+        seed_clauses in prop::collection::vec(prop::collection::vec(0usize..1, 0..1), 0..1),
+        raw in prop::collection::vec(prop::collection::vec((1i64..=8, prop::bool::ANY), 1..=3), 0..24),
+    ) {
+        let _ = seed_clauses;
+        let clauses: Vec<Vec<i64>> = raw
+            .into_iter()
+            .map(|c| {
+                c.into_iter()
+                    .map(|(v, sign)| {
+                        let v = ((v - 1) % num_vars as i64) + 1;
+                        if sign { v } else { -v }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut s = Solver::new();
+        let vars: Vec<_> = (0..num_vars).map(|_| s.new_var()).collect();
+        for c in &clauses {
+            s.add_clause(c.iter().map(|&l| Lit::new(vars[(l.unsigned_abs() as usize) - 1], l > 0)));
+        }
+        let got = s.solve();
+        let want = brute_force_sat(num_vars, &clauses);
+        prop_assert_eq!(got == SolveResult::Sat, want);
+
+        if got == SolveResult::Sat {
+            // The returned model must actually satisfy the formula.
+            let mut assignment = 0u32;
+            for (i, &v) in vars.iter().enumerate() {
+                if s.value(v) == Some(true) {
+                    assignment |= 1 << i;
+                }
+            }
+            prop_assert!(eval_cnf(num_vars, &clauses, assignment));
+        }
+    }
+
+    #[test]
+    fn assumptions_consistent_with_added_units(
+        num_vars in 2usize..=6,
+        raw in prop::collection::vec(prop::collection::vec((1i64..=6, prop::bool::ANY), 1..=3), 1..16),
+        assume_var in 0usize..6,
+        assume_sign in prop::bool::ANY,
+    ) {
+        let clauses: Vec<Vec<i64>> = raw
+            .into_iter()
+            .map(|c| c.into_iter()
+                .map(|(v, s)| { let v = ((v - 1) % num_vars as i64) + 1; if s { v } else { -v } })
+                .collect())
+            .collect();
+        let assume_var = assume_var % num_vars;
+
+        // Solving under assumption l must match solving with unit clause l.
+        let mut s1 = Solver::new();
+        let v1: Vec<_> = (0..num_vars).map(|_| s1.new_var()).collect();
+        for c in &clauses {
+            s1.add_clause(c.iter().map(|&l| Lit::new(v1[(l.unsigned_abs() as usize) - 1], l > 0)));
+        }
+        let a = Lit::new(v1[assume_var], assume_sign);
+        let with_assumption = s1.solve_with(&[a]);
+
+        let mut s2 = Solver::new();
+        let v2: Vec<_> = (0..num_vars).map(|_| s2.new_var()).collect();
+        for c in &clauses {
+            s2.add_clause(c.iter().map(|&l| Lit::new(v2[(l.unsigned_abs() as usize) - 1], l > 0)));
+        }
+        s2.add_clause([Lit::new(v2[assume_var], assume_sign)]);
+        let with_unit = s2.solve();
+
+        prop_assert_eq!(with_assumption, with_unit);
+    }
+}
+
+#[test]
+fn hard_random_3sat_instance() {
+    // A fixed pseudo-random 3-SAT instance near the phase transition
+    // (n=40, m=170): solver must terminate and agree with its own model.
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let n = 40usize;
+    let m = 170usize;
+    let mut s = Solver::new();
+    let vars: Vec<_> = (0..n).map(|_| s.new_var()).collect();
+    let mut clauses = Vec::new();
+    for _ in 0..m {
+        let mut c = Vec::new();
+        for _ in 0..3 {
+            let v = (next() as usize) % n;
+            let sign = next() & 1 == 0;
+            c.push(Lit::new(vars[v], sign));
+        }
+        clauses.push(c.clone());
+        s.add_clause(c);
+    }
+    if s.solve() == SolveResult::Sat {
+        for c in &clauses {
+            assert!(
+                c.iter().any(|&l| s.lit_model_value(l) == Some(true)
+                    || s.lit_model_value(l).is_none() && !l.is_positive()),
+                "model does not satisfy clause"
+            );
+        }
+    }
+}

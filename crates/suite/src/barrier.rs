@@ -1,0 +1,190 @@
+//! The sense-reversing barrier benchmarks (paper §8.2.2):
+//! `barrier1` (restricted) and `barrier2` (full).
+//!
+//! The barrier keeps a global `sense`, per-thread `senses`, and a
+//! count of threads yet to arrive. The `next()` method is sketched as
+//! a soup of operations under sketched conditions; the client has `N`
+//! threads pass `B` barrier points, each asserting that its left
+//! neighbour reached the previous point (`reached[t][b]`, flattened).
+
+use std::fmt::Write as _;
+
+/// Which barrier sketch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BarrierVariant {
+    /// `barrier1`: wake/wait structure given, conditions and the
+    /// wake-block ordering sketched.
+    Restricted,
+    /// `barrier2`: the full soup — everything in one reorder, all
+    /// conditions from the `predicate` generator.
+    Full,
+    /// The known-correct implementation, hole-free.
+    Solved,
+}
+
+fn next_source(v: BarrierVariant) -> &'static str {
+    match v {
+        BarrierVariant::Restricted => {
+            r#"
+void next(int th) {
+    bit s = !senses[th];
+    senses[th] = s;
+    int cv = AtomicReadAndDecr(count);
+    if ({| (cv|count) == ?? |}) {
+        reorder {
+            count = N;
+            sense = {| s | !s | sense | !sense |};
+        }
+    }
+    if ({| (!)? ((cv|count) == ??) |}) {
+        atomic (sense == {| s | !s | sense | !sense |});
+    }
+}
+"#
+        }
+        BarrierVariant::Full => {
+            // §8.2.2: the operations as a soup; `predicate` is the
+            // paper's generator function (fresh holes per call).
+            r#"
+generator bit predicate(int a, int b, bit cc, bit dd) {
+    return {| (!)? (a == b | b == ?? | cc | dd) |};
+}
+
+void next(int th) {
+    bit s = senses[th];
+    s = predicate(0, 0, s, s);
+    int cv = 0;
+    bit tmp = false;
+    reorder {
+        senses[th] = s;
+        cv = AtomicReadAndDecr(count);
+        tmp = predicate(count, cv, s, tmp);
+        if (tmp) {
+            reorder {
+                count = N;
+                sense = predicate(count, cv, s, s);
+            }
+        }
+        tmp = predicate(count, cv, s, tmp);
+        if (tmp) {
+            bit t = predicate(0, 0, s, s);
+            atomic (sense == t);
+        }
+    }
+}
+"#
+        }
+        BarrierVariant::Solved => {
+            r#"
+void next(int th) {
+    bit s = !senses[th];
+    senses[th] = s;
+    int cv = AtomicReadAndDecr(count);
+    if (cv == 1) {
+        count = N;
+        sense = s;
+    }
+    if (!(cv == 1)) {
+        atomic (sense == s);
+    }
+}
+"#
+        }
+    }
+}
+
+/// Generates the barrier benchmark for `n` threads passing `b` barrier
+/// points.
+pub fn barrier_source(v: BarrierVariant, n: usize, b: usize) -> String {
+    assert!(n >= 2 && b >= 1);
+    let nb = n * b;
+    let mut src = format!(
+        r#"
+#define N {n}
+bit sense;
+int count = {n};
+bit[{n}] senses;
+bit[{nb}] reached;
+"#
+    );
+    src.push_str(next_source(v));
+    let mut h = String::new();
+    h.push_str("harness void main() {\n");
+    let _ = writeln!(h, "    fork (t; {n}) {{");
+    h.push_str(&format!("        int left = (t + {n} - 1) % {n};\n"));
+    for round in 0..b {
+        let _ = writeln!(h, "        reached[t * {b} + {round}] = true;");
+        let _ = writeln!(h, "        next(t);");
+        let _ = writeln!(h, "        assert reached[left * {b} + {round}];");
+    }
+    h.push_str("    }\n");
+    // After the last barrier the count must be reset for the next
+    // round and every thread must have passed every point.
+    let _ = writeln!(h, "    assert count == {n};");
+    for t in 0..n {
+        for round in 0..b {
+            let _ = writeln!(h, "    assert reached[{t} * {b} + {round}];");
+        }
+    }
+    h.push_str("}\n");
+    src.push_str(&h);
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_core::{Options, Synthesis};
+    use psketch_ir::Config;
+
+    fn options() -> Options {
+        Options {
+            config: Config {
+                hole_width: 2,
+                unroll: 4,
+                pool: 2,
+                ..Config::default()
+            },
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn sources_typecheck() {
+        for v in [
+            BarrierVariant::Restricted,
+            BarrierVariant::Full,
+            BarrierVariant::Solved,
+        ] {
+            let src = barrier_source(v, 3, 2);
+            psketch_lang::check_program(&src)
+                .unwrap_or_else(|e| panic!("{v:?}: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn solved_barrier_verifies() {
+        let src = barrier_source(BarrierVariant::Solved, 2, 2);
+        let s = Synthesis::new(&src, options()).unwrap();
+        let a = s.lowered().holes.identity_assignment();
+        assert!(
+            s.verify_candidate(&a).is_none(),
+            "known-correct barrier rejected"
+        );
+    }
+
+    #[test]
+    fn solved_barrier_three_threads() {
+        let src = barrier_source(BarrierVariant::Solved, 3, 2);
+        let s = Synthesis::new(&src, options()).unwrap();
+        let a = s.lowered().holes.identity_assignment();
+        assert!(s.verify_candidate(&a).is_none());
+    }
+
+    #[test]
+    fn barrier1_resolves_small() {
+        let src = barrier_source(BarrierVariant::Restricted, 2, 1);
+        let out = Synthesis::new(&src, options()).unwrap().run();
+        assert!(out.resolved(), "barrier1 N=2 B=1 must resolve");
+    }
+}

@@ -1,0 +1,78 @@
+//! Regenerates the paper's Figure 9: per-test performance of the
+//! synthesizer on every benchmark workload.
+//!
+//! Prints one block per test with the same quantities the paper
+//! reports (Resolvable, Itns, Total, Ssolve, Smodel, Vsolve, Vmodel,
+//! memory) plus a trailing machine-readable TSV table.
+//!
+//! Usage: `cargo run --release -p psketch-suite --bin fig9 [filter]`
+//! where `filter` restricts to benchmarks whose name contains it.
+
+use psketch_core::{render_stats, Synthesis};
+use psketch_suite::figure9_runs;
+
+fn main() {
+    let filter = std::env::args().nth(1).unwrap_or_default();
+    let mut tsv = vec![
+        "benchmark\ttest\tresolvable\texpected\titns\tpaper_itns\ttotal_s\tpaper_total_s\tssolve_s\tsmodel_s\tvsolve_s\tvmodel_s\tlog10_C\tstates\tmem_mib".to_string(),
+    ];
+    let mut mismatches = 0;
+    for run in figure9_runs() {
+        if !run.benchmark.contains(&filter) {
+            continue;
+        }
+        let s = match Synthesis::new(&run.source, run.options.clone()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{} [{}]: {e}", run.benchmark, run.test);
+                continue;
+            }
+        };
+        let out = s.run();
+        print!("{}", render_stats(run.benchmark, &run.test, &out));
+        let agreed = out.resolved() == run.expected_resolvable;
+        if !agreed {
+            mismatches += 1;
+            println!(
+                "  ** MISMATCH: paper reports {}",
+                if run.expected_resolvable { "yes" } else { "NO" }
+            );
+        }
+        if let Some(p) = run.paper_iterations {
+            println!(
+                "  paper: Itns {}  Total {:.0}s (2 GHz Core 2 Duo, 2008)",
+                p,
+                run.paper_total_secs.unwrap_or(0.0)
+            );
+        }
+        println!();
+        let st = &out.stats;
+        tsv.push(format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{:.1}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.2}\t{}\t{:.1}",
+            run.benchmark,
+            run.test,
+            if out.resolved() { "yes" } else if out.definitely_unresolvable { "NO" } else { "unknown" },
+            if run.expected_resolvable { "yes" } else { "NO" },
+            st.iterations,
+            run.paper_iterations.unwrap_or(0),
+            st.total.as_secs_f64(),
+            run.paper_total_secs.unwrap_or(0.0),
+            st.s_solve.as_secs_f64(),
+            st.s_model.as_secs_f64(),
+            st.v_solve.as_secs_f64(),
+            st.v_model.as_secs_f64(),
+            st.log10_space,
+            st.states,
+            st.peak_memory as f64 / (1024.0 * 1024.0),
+        ));
+    }
+    println!("==== TSV ====");
+    for line in &tsv {
+        println!("{line}");
+    }
+    println!(
+        "==== outcome agreement: {}/{} rows match the paper ====",
+        tsv.len() - 1 - mismatches,
+        tsv.len() - 1
+    );
+}

@@ -1,0 +1,27 @@
+//! Regenerates the paper's Table 1: benchmark summary with
+//! candidate-space sizes |C|.
+
+use psketch_core::Synthesis;
+use psketch_suite::table1_entries;
+
+fn main() {
+    println!(
+        "{:<10} {:<48} {:>12} {:>10}",
+        "Sketch", "Description", "|C| (ours)", "|C| paper"
+    );
+    println!("{}", "-".repeat(84));
+    for entry in table1_entries() {
+        let s = Synthesis::new(&entry.run.source, entry.run.options.clone())
+            .expect("benchmark lowers");
+        let space = s.candidate_space();
+        let rendered = if space < 1000 {
+            space.to_string()
+        } else {
+            format!("10^{:.1}", s.lowered().holes.log10_candidate_space())
+        };
+        println!(
+            "{:<10} {:<48} {:>12} {:>10}",
+            entry.benchmark, entry.description, rendered, entry.paper_space
+        );
+    }
+}

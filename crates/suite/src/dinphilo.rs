@@ -1,0 +1,177 @@
+//! The dining-philosophers benchmark (paper §8.2.5).
+//!
+//! `P` philosophers contend for `P` chopsticks (conditional atomics
+//! over an owner array). The acquisition policy — which chopstick to
+//! pick up first, as an expression of the philosopher's index — is
+//! sketched; the release order is also left open. Correctness:
+//! deadlock freedom (implicit) plus the bounded-liveness property that
+//! every philosopher eats `T` times within the bounded execution.
+
+use std::fmt::Write as _;
+
+/// Which dining-philosophers program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PhiloVariant {
+    /// The sketch: acquisition policy and release order unknown.
+    Sketch,
+    /// The textbook solution (pick the lower-numbered chopstick
+    /// first), hole-free.
+    Solved,
+}
+
+fn eat_source(v: PhiloVariant, p_count: usize) -> String {
+    match v {
+        PhiloVariant::Sketch => format!(
+            r#"
+void eat(int p) {{
+    int left = p;
+    int right = (p + 1) % {p_count};
+    int first = 0;
+    int second = 0;
+    if ({{| p % 2 == ?? | p == ?? | p < ?? | true |}}) {{
+        first = left;
+        second = right;
+    }} else {{
+        first = right;
+        second = left;
+    }}
+    atomic (chop[first] == -1) {{ chop[first] = pid(); }}
+    atomic (chop[second] == -1) {{ chop[second] = pid(); }}
+    meals[p] = meals[p] + 1;
+    reorder {{
+        chop[second] = -1;
+        chop[first] = -1;
+    }}
+}}
+"#
+        ),
+        PhiloVariant::Solved => format!(
+            r#"
+void eat(int p) {{
+    int left = p;
+    int right = (p + 1) % {p_count};
+    int first = 0;
+    int second = 0;
+    if (p < {p_count} - 1) {{
+        first = left;
+        second = right;
+    }} else {{
+        first = right;
+        second = left;
+    }}
+    atomic (chop[first] == -1) {{ chop[first] = pid(); }}
+    atomic (chop[second] == -1) {{ chop[second] = pid(); }}
+    meals[p] = meals[p] + 1;
+    chop[second] = -1;
+    chop[first] = -1;
+}}
+"#
+        ),
+    }
+}
+
+/// Generates the benchmark for `p_count` philosophers eating `t` times.
+pub fn dinphilo_source(v: PhiloVariant, p_count: usize, t: usize) -> String {
+    assert!((2..=7).contains(&p_count), "2..=7 philosophers supported");
+    let mut src = format!(
+        r#"
+int[{p_count}] chop;
+int[{p_count}] meals;
+"#
+    );
+    // Chopsticks start free (-1): initialize in the prologue since
+    // array globals default to 0.
+    src.push_str(&eat_source(v, p_count));
+    let mut h = String::new();
+    h.push_str("harness void main() {\n");
+    for k in 0..p_count {
+        let _ = writeln!(h, "    chop[{k}] = -1;");
+    }
+    let _ = writeln!(h, "    fork (p; {p_count}) {{");
+    for _ in 0..t {
+        h.push_str("        eat(p);\n");
+    }
+    h.push_str("    }\n");
+    // Bounded liveness: everyone ate T times; all chopsticks free.
+    for k in 0..p_count {
+        let _ = writeln!(h, "    assert meals[{k}] == {t};");
+        let _ = writeln!(h, "    assert chop[{k}] == -1;");
+    }
+    h.push_str("}\n");
+    src.push_str(&h);
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_core::{Options, Synthesis};
+    use psketch_ir::Config;
+
+    fn options(_p: usize) -> Options {
+        Options {
+            config: Config {
+                hole_width: 3,
+                unroll: 4,
+                pool: 2,
+                int_width: 8,
+                ..Config::default()
+            },
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn sources_typecheck() {
+        for v in [PhiloVariant::Sketch, PhiloVariant::Solved] {
+            for p in [2, 3, 5] {
+                let src = dinphilo_source(v, p, 2);
+                psketch_lang::check_program(&src)
+                    .unwrap_or_else(|e| panic!("{v:?} P={p}: {e}\n{src}"));
+            }
+        }
+    }
+
+    #[test]
+    fn solved_philosophers_verify() {
+        let src = dinphilo_source(PhiloVariant::Solved, 3, 2);
+        let s = Synthesis::new(&src, options(3)).unwrap();
+        let a = s.lowered().holes.identity_assignment();
+        assert!(
+            s.verify_candidate(&a).is_none(),
+            "textbook solution rejected"
+        );
+    }
+
+    #[test]
+    fn naive_all_left_first_deadlocks() {
+        // All grabbing their left chopstick first must deadlock.
+        let src = "
+            int[3] chop;
+            int[3] meals;
+            void eat(int p) {
+                int left = p;
+                int right = (p + 1) % 3;
+                atomic (chop[left] == -1) { chop[left] = pid(); }
+                atomic (chop[right] == -1) { chop[right] = pid(); }
+                meals[p] = meals[p] + 1;
+                chop[right] = -1;
+                chop[left] = -1;
+            }
+            harness void main() {
+                chop[0] = -1; chop[1] = -1; chop[2] = -1;
+                fork (p; 3) { eat(p); }
+            }";
+        let s = Synthesis::new(src, options(3)).unwrap();
+        let a = s.lowered().holes.identity_assignment();
+        let cex = s.verify_candidate(&a).expect("must deadlock");
+        assert_eq!(cex.failure.kind, psketch_core::FailureKind::Deadlock);
+    }
+
+    #[test]
+    fn sketch_resolves_small() {
+        let src = dinphilo_source(PhiloVariant::Sketch, 3, 1);
+        let out = Synthesis::new(&src, options(3)).unwrap().run();
+        assert!(out.resolved(), "dinphilo P=3 T=1 must resolve");
+    }
+}

@@ -1,0 +1,185 @@
+//! The doubly-linked list sketch — one of the benchmarks the paper
+//! mentions but omits ("we have sketched other data structures that we
+//! omit here, including a doubly-linked list", §8.2).
+//!
+//! Reconstruction: writers insert nodes after the head under a lock
+//! while an *unlocked* reader repeatedly walks the list forward. The
+//! four pointer updates of the insertion (`n.prev`, `n.next`,
+//! `p.next`, `q.prev`) are a `reorder` soup with generator operands;
+//! only publication orders that keep the list forward-consistent for
+//! the concurrent reader survive (the new node's `next` must be set
+//! before the node becomes reachable). The epilogue checks full
+//! doubly-linked consistency.
+
+use std::fmt::Write as _;
+
+/// Which doubly-linked-list program.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DlistVariant {
+    /// Pointer-update order and operands sketched.
+    Sketch,
+    /// The safe publication order, hole-free.
+    Solved,
+}
+
+fn insert_source(v: DlistVariant) -> &'static str {
+    match v {
+        DlistVariant::Sketch => {
+            r#"
+void insertAfter(DNode p, int key) {
+    lockN(p);
+    DNode q = p.next;
+    DNode n = new DNode(key, -1, null, null);
+    reorder {
+        n.prev = {| p | q | n |};
+        n.next = {| p | q | n |};
+        p.next = {| (n|q)(.next|.prev)? |};
+        q.prev = {| (n|p)(.next|.prev)? |};
+    }
+    unlockN(p);
+}
+"#
+        }
+        DlistVariant::Solved => {
+            r#"
+void insertAfter(DNode p, int key) {
+    lockN(p);
+    DNode q = p.next;
+    DNode n = new DNode(key, -1, null, null);
+    n.prev = p;
+    n.next = q;
+    p.next = n;
+    q.prev = n;
+    unlockN(p);
+}
+"#
+        }
+    }
+}
+
+/// Generates the benchmark: `writers` threads insert one key each
+/// after the head while one extra thread reads.
+pub fn dlist_source(v: DlistVariant, writers: usize) -> String {
+    assert!((1..=3).contains(&writers));
+    let nthreads = writers + 1;
+    let max_nodes = writers + 2;
+    let mut src = format!(
+        r#"
+struct DNode {{ int key; int owner; DNode next; DNode prev; }}
+DNode head;
+DNode tailS;
+
+void lockN(DNode n) {{ atomic (n.owner == -1) {{ n.owner = pid(); }} }}
+void unlockN(DNode n) {{ assert n.owner == pid(); n.owner = -1; }}
+
+void readForward() {{
+    DNode c = head;
+    int steps = 0;
+    while (c.next != null) {{
+        c = c.next;
+        steps = steps + 1;
+        assert steps <= {max_nodes};
+    }}
+    assert c == tailS;
+}}
+
+void checkDoublyLinked(int expected) {{
+    DNode c = head;
+    int n = 1;
+    while (c.next != null) {{
+        assert c.next.prev == c;
+        assert c.owner == -1;
+        c = c.next;
+        n = n + 1;
+        assert n <= {max_nodes};
+    }}
+    assert c == tailS;
+    assert n == expected;
+    DNode b = tailS;
+    int m = 1;
+    while (b.prev != null) {{
+        assert b.prev.next == b;
+        b = b.prev;
+        m = m + 1;
+        assert m <= {max_nodes};
+    }}
+    assert b == head;
+    assert m == expected;
+}}
+"#
+    );
+    src.push_str(insert_source(v));
+    let mut h = String::new();
+    h.push_str("harness void main() {\n");
+    h.push_str("    tailS = new DNode(99, -1, null, null);\n");
+    h.push_str("    head = new DNode(0, -1, tailS, null);\n");
+    h.push_str("    tailS.prev = head;\n");
+    let _ = writeln!(h, "    fork (i; {nthreads}) {{");
+    for t in 0..writers {
+        let _ = writeln!(
+            h,
+            "        if (i == {t}) {{ insertAfter(head, {}); }}",
+            t + 1
+        );
+    }
+    let _ = writeln!(
+        h,
+        "        if (i == {writers}) {{ readForward(); readForward(); }}"
+    );
+    h.push_str("    }\n");
+    let _ = writeln!(h, "    checkDoublyLinked({});", writers + 2);
+    h.push_str("}\n");
+    src.push_str(&h);
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_core::{Config, Options, Synthesis};
+
+    fn options() -> Options {
+        Options {
+            config: Config {
+                unroll: 6,
+                pool: 6,
+                ..Config::default()
+            },
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn sources_typecheck() {
+        for v in [DlistVariant::Sketch, DlistVariant::Solved] {
+            let src = dlist_source(v, 2);
+            psketch_lang::check_program(&src)
+                .unwrap_or_else(|e| panic!("{v:?}: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn solved_insertion_verifies() {
+        let src = dlist_source(DlistVariant::Solved, 2);
+        let s = Synthesis::new(&src, options()).unwrap();
+        let a = s.lowered().holes.identity_assignment();
+        assert!(
+            s.verify_candidate(&a).is_none(),
+            "safe publication order rejected"
+        );
+    }
+
+    #[test]
+    fn sketch_resolves_and_publishes_safely() {
+        let src = dlist_source(DlistVariant::Sketch, 1);
+        let s = Synthesis::new(&src, options()).unwrap();
+        let out = s.run();
+        let r = out.resolution.expect("dlist sketch resolves");
+        let ins = s.resolve_function("insertAfter", &r.assignment).unwrap();
+        // The synthesized order must set n.next = q before publishing
+        // p.next = n, or the unlocked reader would fall off the list.
+        let set_next = ins.find("n.next = q").expect("links forward");
+        let publish = ins.find("p.next = n").expect("publishes");
+        assert!(set_next < publish, "unsafe publication:\n{ins}");
+    }
+}

@@ -1,0 +1,462 @@
+//! The lock-free queue benchmarks (paper §2 and §8.2.1):
+//! `queueE1`, `queueE2`, `queueDE1`, `queueDE2`.
+//!
+//! The queue is the exam problem of §2: `prevHead`/`tail` pointers,
+//! nodes marked `taken` on dequeue, an `AtomicSwap`-based lock-free
+//! `Enqueue`. Sketches:
+//!
+//! * `queueE1` — restricted `Enqueue` (4 candidates, Table 1);
+//! * `queueE2` — the full Figure 1 `Enqueue` sketch;
+//! * `queueDE1`/`queueDE2` — the same plus the single-while-loop
+//!   "soup" `Dequeue` sketch of §8.2.1.
+//!
+//! Correctness (paper §8.2.1): sequential consistency (per-enqueuer
+//! FIFO) and structural integrity, checked in the epilogue; memory
+//! safety, deadlock freedom and bounded termination are implicit.
+
+use crate::workload::{OpKind, Workload};
+use std::fmt::Write as _;
+
+/// Which `Enqueue` to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EnqueueVariant {
+    /// `queueE1`: restricted sketch, |C| = 4.
+    Restricted,
+    /// `queueE2`: the full Figure 1 sketch.
+    Full,
+    /// The known-correct implementation (Figure 2), hole-free.
+    Solved,
+}
+
+/// Which `Dequeue` to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DequeueVariant {
+    /// The fixed concurrent dequeue (resolved Figure 4 shape).
+    Given,
+    /// The Figure 3 sketch (4 candidates): sketched prevHead
+    /// advancement.
+    SketchAdvance,
+    /// The §8.2.1 single-while-loop "soup" sketch.
+    SketchSoup,
+}
+
+/// Shared queue declarations and helper functions.
+fn queue_prelude(max_nodes: usize) -> String {
+    format!(
+        r#"
+struct QueueEntry {{ Object stored; QueueEntry next; int taken; }}
+
+QueueEntry listHead;
+QueueEntry prevHead;
+QueueEntry tail;
+
+int posInList(Object v) {{
+    QueueEntry c = listHead.next;
+    int p = 0;
+    while (c != null) {{
+        if (c.stored == v) {{ return p; }}
+        p = p + 1;
+        c = c.next;
+    }}
+    return 0 - 1;
+}}
+
+int takenOf(Object v) {{
+    QueueEntry c = listHead.next;
+    while (c != null) {{
+        if (c.stored == v) {{ return c.taken; }}
+        c = c.next;
+    }}
+    return 0 - 1;
+}}
+
+int takenCount() {{
+    QueueEntry c = listHead.next;
+    int k = 0;
+    while (c != null) {{
+        if (c.taken == 1) {{ k = k + 1; }}
+        c = c.next;
+    }}
+    return k;
+}}
+
+void checkStructure(int totalEnq) {{
+    assert tail != null;
+    assert prevHead != null;
+    assert prevHead.taken == 1;
+    assert tail.next == null;
+    QueueEntry c = listHead;
+    int n = 0;
+    bit sawUntaken = false;
+    bit sawTail = false;
+    bit sawPrevHead = false;
+    while (c != null) {{
+        n = n + 1;
+        assert n <= {max_nodes};
+        if (c.taken == 0) {{ sawUntaken = true; }}
+        if (c.taken == 1) {{ assert !sawUntaken; }}
+        if (c == tail) {{ sawTail = true; }}
+        if (c == prevHead) {{ sawPrevHead = true; }}
+        c = c.next;
+    }}
+    assert sawTail;
+    assert sawPrevHead;
+    assert n == totalEnq + 1;
+}}
+"#
+    )
+}
+
+fn enqueue_source(v: EnqueueVariant) -> &'static str {
+    match v {
+        EnqueueVariant::Restricted => {
+            r#"
+void Enqueue(Object newobject) {
+    QueueEntry tmp = null;
+    QueueEntry newEntry = new QueueEntry(newobject, null, 0);
+    reorder {
+        tmp = AtomicSwap(tail, newEntry);
+        tmp.next = {| newEntry | tmp |};
+    }
+}
+"#
+        }
+        EnqueueVariant::Full => {
+            // Figure 1, with the fixup condition flattened into a
+            // single generator (nested generators are not supported).
+            r#"
+#define aLocation {| tail(.next)? | (tmp|newEntry).next |}
+#define aValue {| (tail|tmp|newEntry)(.next)? | null |}
+#define anExpr {| tmp == (tail|newEntry)(.next)? | tmp != (tail|newEntry)(.next)? | tmp == null | tmp != null | false |}
+
+void Enqueue(Object newobject) {
+    QueueEntry tmp = null;
+    QueueEntry newEntry = new QueueEntry(newobject, null, 0);
+    reorder {
+        aLocation = aValue;
+        tmp = AtomicSwap(aLocation, aValue);
+        if (anExpr) { aLocation = aValue; }
+    }
+}
+"#
+        }
+        EnqueueVariant::Solved => {
+            r#"
+void Enqueue(Object newobject) {
+    QueueEntry tmp = null;
+    QueueEntry newEntry = new QueueEntry(newobject, null, 0);
+    tmp = AtomicSwap(tail, newEntry);
+    tmp.next = newEntry;
+}
+"#
+        }
+    }
+}
+
+fn dequeue_source(v: DequeueVariant) -> &'static str {
+    match v {
+        DequeueVariant::Given => {
+            r#"
+Object Dequeue() {
+    QueueEntry nextEntry = prevHead.next;
+    while (nextEntry != null && AtomicSwap(nextEntry.taken, 1) == 1) {
+        nextEntry = nextEntry.next;
+    }
+    if (nextEntry == null) { return 0 - 1; }
+    QueueEntry p = prevHead;
+    while (p.next != null && p.next.taken == 1) {
+        prevHead = p;
+        p = p.next;
+    }
+    return nextEntry.stored;
+}
+"#
+        }
+        DequeueVariant::SketchAdvance => {
+            // Figure 3: sketched start and body of the advancement
+            // loop (4 candidates).
+            r#"
+Object Dequeue() {
+    QueueEntry nextEntry = prevHead.next;
+    while (nextEntry != null && AtomicSwap(nextEntry.taken, 1) == 1) {
+        nextEntry = nextEntry.next;
+    }
+    if (nextEntry == null) { return 0 - 1; }
+    QueueEntry p = {| prevHead | nextEntry |};
+    while (p.next != null && {| p(.next)?.taken |} == 1) {
+        prevHead = p;
+        p = p.next;
+    }
+    return nextEntry.stored;
+}
+"#
+        }
+        DequeueVariant::SketchSoup => {
+            // §8.2.1: "simply places in a reorder block all the
+            // statements that one could reasonably expect to be
+            // necessary".
+            r#"
+Object Dequeue() {
+    QueueEntry tmp = null;
+    bit taken = true;
+    while (taken) {
+        reorder {
+            tmp = {| prevHead(.next)?(.next)? |};
+            if (tmp == null) { return 0 - 1; }
+            prevHead = {| (tmp|prevHead)(.next)? |};
+            if (tmp.taken == 0) { taken = AtomicSwap(tmp.taken, 1); }
+        }
+    }
+    return tmp.stored;
+}
+"#
+        }
+    }
+}
+
+/// Emits the op statements for one context.
+fn emit_ops(out: &mut String, ops: &[OpKind], ctx: usize, indent: &str) {
+    let mut enq = 0;
+    let mut deq = 0;
+    for op in ops {
+        match op {
+            OpKind::Insert => {
+                let v = Workload::insert_value(ctx, enq);
+                let _ = writeln!(out, "{indent}Enqueue({v});");
+                enq += 1;
+            }
+            OpKind::Delete => {
+                let _ = writeln!(out, "{indent}gd_{ctx}_{deq} = Dequeue();");
+                deq += 1;
+            }
+        }
+    }
+}
+
+/// Generates the complete benchmark source for an enqueue/dequeue
+/// variant pair on a workload.
+pub fn queue_source(enq: EnqueueVariant, deq: DequeueVariant, w: &Workload) -> String {
+    let total_enq = w.total_inserts();
+    let n = w.num_threads();
+    let max_nodes = total_enq + 1;
+    let mut src = queue_prelude(max_nodes);
+    src.push_str(enqueue_source(enq));
+    src.push_str(dequeue_source(deq));
+
+    let mut h = String::new();
+    h.push_str("harness void main() {\n");
+    // Dequeue-result slots, declared at harness scope => shared
+    // globals each thread writes only its own.
+    let contexts: Vec<(usize, &[OpKind])> = std::iter::once((0usize, &w.pre[..]))
+        .chain(w.threads.iter().enumerate().map(|(i, t)| (i + 1, &t[..])))
+        .chain(std::iter::once((n + 1, &w.post[..])))
+        .collect();
+    let mut gd_vars: Vec<(usize, usize)> = Vec::new();
+    for &(ctx, ops) in &contexts {
+        for (j, _) in ops
+            .iter()
+            .filter(|o| **o == OpKind::Delete)
+            .enumerate()
+        {
+            let _ = writeln!(h, "    int gd_{ctx}_{j} = 0 - 1;");
+            gd_vars.push((ctx, j));
+        }
+    }
+    h.push_str("    prevHead = new QueueEntry(0, null, 1);\n");
+    h.push_str("    listHead = prevHead;\n");
+    h.push_str("    tail = prevHead;\n");
+    emit_ops(&mut h, &w.pre, 0, "    ");
+    let _ = writeln!(h, "    fork (i; {n}) {{");
+    for (t, ops) in w.threads.iter().enumerate() {
+        let _ = writeln!(h, "        if (i == {t}) {{");
+        emit_ops(&mut h, ops, t + 1, "            ");
+        h.push_str("        }\n");
+    }
+    h.push_str("    }\n");
+    emit_ops(&mut h, &w.post, n + 1, "    ");
+
+    // ---- epilogue checks ----
+    let _ = writeln!(h, "    checkStructure({total_enq});");
+    // Sequential-context dequeues have *deterministic* results
+    // (this is why the paper's tests carry an `ed` prefix: it rules
+    // out degenerate dequeues that always report an empty queue).
+    // Prologue: simulate the FIFO exactly.
+    {
+        let mut fifo: std::collections::VecDeque<i64> = std::collections::VecDeque::new();
+        let mut enq = 0;
+        let mut deq = 0;
+        for op in &w.pre {
+            match op {
+                OpKind::Insert => {
+                    fifo.push_back(Workload::insert_value(0, enq));
+                    enq += 1;
+                }
+                OpKind::Delete => {
+                    let expect = fifo.pop_front().unwrap_or(-1);
+                    let _ = writeln!(h, "    assert gd_0_{deq} == {expect};");
+                    deq += 1;
+                }
+            }
+        }
+        // Epilogue dequeues: guaranteed non-empty when even the
+        // maximal number of earlier dequeues cannot drain the queue;
+        // and sequential dequeues return values in list (FIFO) order.
+        let leftover_after_pre = fifo.len();
+        let worker_inserts: usize = w
+            .threads
+            .iter()
+            .flatten()
+            .filter(|o| **o == OpKind::Insert)
+            .count();
+        let worker_deletes: usize = w
+            .threads
+            .iter()
+            .flatten()
+            .filter(|o| **o == OpKind::Delete)
+            .count();
+        let epi = n + 1;
+        let mut post_enq = 0;
+        let mut post_deq = 0;
+        for op in &w.post {
+            match op {
+                OpKind::Insert => post_enq += 1,
+                OpKind::Delete => {
+                    let guaranteed = (leftover_after_pre + worker_inserts + post_enq)
+                        as i64
+                        - (worker_deletes + post_deq) as i64;
+                    if guaranteed > 0 {
+                        let _ = writeln!(h, "    assert gd_{epi}_{post_deq} != 0 - 1;");
+                    }
+                    if post_deq > 0 {
+                        let p = post_deq - 1;
+                        let _ = writeln!(
+                            h,
+                            "    assert gd_{epi}_{p} == 0 - 1 || gd_{epi}_{post_deq} == 0 - 1 \
+                             || posInList(gd_{epi}_{p}) < posInList(gd_{epi}_{post_deq});"
+                        );
+                    }
+                    post_deq += 1;
+                }
+            }
+        }
+    }
+    // Every enqueued value is in the list; per-context FIFO order.
+    for &(ctx, ops) in &contexts {
+        let enqs: Vec<i64> = ops
+            .iter()
+            .filter(|o| **o == OpKind::Insert)
+            .enumerate()
+            .map(|(j, _)| Workload::insert_value(ctx, j))
+            .collect();
+        for (j, v) in enqs.iter().enumerate() {
+            let _ = writeln!(h, "    int pos_{ctx}_{j} = posInList({v});");
+            let _ = writeln!(h, "    assert pos_{ctx}_{j} != 0 - 1;");
+        }
+        for j in 1..enqs.len() {
+            let _ = writeln!(h, "    assert pos_{ctx}_{} < pos_{ctx}_{j};", j - 1);
+        }
+    }
+    // Dequeue results: valid, distinct, and count-coherent.
+    for &(ctx, j) in &gd_vars {
+        let _ = writeln!(
+            h,
+            "    assert gd_{ctx}_{j} == 0 - 1 || takenOf(gd_{ctx}_{j}) == 1;"
+        );
+    }
+    for (a, &(c1, j1)) in gd_vars.iter().enumerate() {
+        for &(c2, j2) in gd_vars.iter().skip(a + 1) {
+            let _ = writeln!(
+                h,
+                "    assert gd_{c1}_{j1} == 0 - 1 || gd_{c2}_{j2} == 0 - 1 || gd_{c1}_{j1} != gd_{c2}_{j2};"
+            );
+        }
+    }
+    h.push_str("    int got = 0;\n");
+    for &(ctx, j) in &gd_vars {
+        let _ = writeln!(h, "    if (gd_{ctx}_{j} != 0 - 1) {{ got = got + 1; }}");
+    }
+    h.push_str("    assert takenCount() == got;\n");
+    h.push_str("}\n");
+    src.push_str(&h);
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_core::{Options, Synthesis};
+    use psketch_ir::Config;
+
+    fn options(w: &Workload) -> Options {
+        Options {
+            config: Config {
+                unroll: w.total_inserts() + 2,
+                pool: w.total_inserts() + 2,
+                ..Config::default()
+            },
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn all_variant_sources_typecheck() {
+        let w = Workload::parse("ed(ed|ed)").unwrap();
+        for enq in [
+            EnqueueVariant::Restricted,
+            EnqueueVariant::Full,
+            EnqueueVariant::Solved,
+        ] {
+            for deq in [
+                DequeueVariant::Given,
+                DequeueVariant::SketchAdvance,
+                DequeueVariant::SketchSoup,
+            ] {
+                let src = queue_source(enq, deq, &w);
+                psketch_lang::check_program(&src)
+                    .unwrap_or_else(|e| panic!("{enq:?}/{deq:?}: {e}\n{src}"));
+            }
+        }
+    }
+
+    #[test]
+    fn solved_queue_passes_verification() {
+        // The known solution (Figures 2 + 4) must pass the checker on
+        // the smallest workload — validates our correctness harness.
+        let w = Workload::parse("ed(e|d)").unwrap();
+        let src = queue_source(EnqueueVariant::Solved, DequeueVariant::Given, &w);
+        let s = Synthesis::new(&src, options(&w)).unwrap();
+        let a = s.lowered().holes.identity_assignment();
+        assert!(
+            s.verify_candidate(&a).is_none(),
+            "known-correct queue rejected by the harness"
+        );
+    }
+
+    #[test]
+    fn queue_e1_resolves_to_figure2() {
+        let w = Workload::parse("ed(e|d)").unwrap();
+        let src = queue_source(EnqueueVariant::Restricted, DequeueVariant::Given, &w);
+        let s = Synthesis::new(&src, options(&w)).unwrap();
+        assert_eq!(s.candidate_space(), 4);
+        let out = s.run();
+        let r = out.resolution.expect("queueE1 resolves");
+        let enq = s.resolve_function("Enqueue", &r.assignment).unwrap();
+        // Figure 2: swap first, then tmp.next = newEntry.
+        let swap_pos = enq.find("AtomicSwap").unwrap();
+        let link_pos = enq.find("tmp.next = newEntry").unwrap();
+        assert!(swap_pos < link_pos, "{enq}");
+    }
+
+    #[test]
+    fn wrong_enqueue_order_is_rejected() {
+        let w = Workload::parse("ed(e|d)").unwrap();
+        let src = queue_source(EnqueueVariant::Restricted, DequeueVariant::Given, &w);
+        let s = Synthesis::new(&src, options(&w)).unwrap();
+        // Order hole reversed: link before swap. tmp is null then.
+        let bad = psketch_ir::Assignment::from_values(vec![1, 0, 0]);
+        assert!(
+            s.verify_candidate(&bad).is_some(),
+            "null-deref candidate must fail"
+        );
+    }
+}

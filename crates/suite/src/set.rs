@@ -1,0 +1,505 @@
+//! The list-based set benchmarks: `fineset1`/`fineset2`
+//! (hand-over-hand locking, paper §8.2.3) and `lazyset` (the
+//! one-lock `remove()` question, §8.2.4).
+//!
+//! Sets are sorted singly-linked lists between two sentinel nodes.
+//! Node locks are modelled as an `owner` field driven by conditional
+//! atomics (paper Figure 7).
+
+use crate::workload::{OpKind, Workload};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Sentinel keys.
+pub const MIN_KEY: i64 = -100;
+/// Upper sentinel.
+pub const MAX_KEY: i64 = 100;
+
+/// Which set benchmark.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SetVariant {
+    /// `fineset1`: restricted hand-over-hand `find` sketch.
+    FineRestricted,
+    /// `fineset2`: the full Figure 5 sketch.
+    FineFull,
+    /// Hand-over-hand with the known-correct `find` (Figure 6 shape).
+    FineSolved,
+    /// `lazyset`: lazy list with a singly-locked sketched `remove`.
+    Lazy,
+    /// The "full version of the lazy list-based set" the paper
+    /// mentions but omits (§8.2): `remove` takes the standard *two*
+    /// locks, with the validation condition, marking order and unlink
+    /// source sketched. Unlike [`SetVariant::Lazy`], this resolves on
+    /// mixed add/remove workloads.
+    LazyTwoLock,
+}
+
+impl SetVariant {
+    fn is_lazy(self) -> bool {
+        matches!(self, SetVariant::Lazy | SetVariant::LazyTwoLock)
+    }
+}
+
+fn fine_prelude() -> String {
+    format!(
+        r#"
+struct Node {{ int key; int owner; Node next; }}
+Node head;
+
+void lockN(Node n) {{ atomic (n.owner == -1) {{ n.owner = pid(); }} }}
+void unlockN(Node n) {{ assert n.owner == pid(); n.owner = -1; }}
+
+void checkSet(int maxNodes) {{
+    assert head != null;
+    assert head.key == {MIN_KEY};
+    Node c = head;
+    int n = 1;
+    while (c.next != null) {{
+        assert c.owner == -1;
+        assert c.key < c.next.key;
+        c = c.next;
+        n = n + 1;
+        assert n <= maxNodes;
+    }}
+    assert c.key == {MAX_KEY};
+    assert c.owner == -1;
+}}
+
+bit member(int k) {{
+    Node c = head.next;
+    while (c.key < k) {{ c = c.next; }}
+    return c.key == k;
+}}
+"#
+    )
+}
+
+fn lazy_prelude() -> String {
+    format!(
+        r#"
+struct Node {{ int key; int owner; bit marked; Node next; }}
+Node head;
+
+void lockN(Node n) {{ atomic (n.owner == -1) {{ n.owner = pid(); }} }}
+void unlockN(Node n) {{ assert n.owner == pid(); n.owner = -1; }}
+
+void checkSet(int maxNodes) {{
+    assert head != null;
+    assert head.key == {MIN_KEY};
+    Node c = head;
+    int n = 1;
+    while (c.next != null) {{
+        assert c.owner == -1;
+        assert !c.marked;
+        assert c.key < c.next.key;
+        c = c.next;
+        n = n + 1;
+        assert n <= maxNodes;
+    }}
+    assert c.key == {MAX_KEY};
+    assert c.owner == -1;
+}}
+
+bit member(int k) {{
+    Node c = head.next;
+    while (c.key < k) {{ c = c.next; }}
+    return c.key == k;
+}}
+"#
+    )
+}
+
+fn fine_find(v: SetVariant) -> &'static str {
+    match v {
+        SetVariant::FineRestricted => {
+            // Smaller NODE/COMP sets than Figure 5.
+            r#"
+#define NODE {| (tprev|cur)(.next)? |}
+#define COMP {| (!)? (null == (cur|prev)(.next)?) |}
+
+Node find(int key) {
+    Node prev = head;
+    lockN(prev);
+    Node cur = prev.next;
+    lockN(cur);
+    while (cur.key < key) {
+        Node tprev = prev;
+        reorder {
+            if (COMP) { lockN(NODE); }
+            if (COMP) { unlockN(NODE); }
+            prev = cur;
+            cur = cur.next;
+        }
+    }
+    return prev;
+}
+"#
+        }
+        SetVariant::FineFull => {
+            // Figure 5's generators.
+            r#"
+#define NODE {| (tprev|cur|prev)(.next)? |}
+#define COMP {| (!)? ((null|cur|prev)(.next)? == (null|cur|prev)(.next)?) |}
+
+Node find(int key) {
+    Node prev = head;
+    lockN(prev);
+    Node cur = prev.next;
+    lockN(cur);
+    while (cur.key < key) {
+        Node tprev = prev;
+        reorder {
+            if (COMP) { lockN(NODE); }
+            if (COMP) { unlockN(NODE); }
+            prev = cur;
+            cur = cur.next;
+        }
+    }
+    return prev;
+}
+"#
+        }
+        SetVariant::FineSolved => {
+            r#"
+Node find(int key) {
+    Node prev = head;
+    lockN(prev);
+    Node cur = prev.next;
+    lockN(cur);
+    while (cur.key < key) {
+        Node tprev = prev;
+        lockN(cur.next);
+        unlockN(tprev);
+        prev = cur;
+        cur = cur.next;
+    }
+    return prev;
+}
+"#
+        }
+        SetVariant::Lazy | SetVariant::LazyTwoLock => {
+            unreachable!("lazy sets have no hand-over-hand find")
+        }
+    }
+}
+
+fn fine_ops() -> &'static str {
+    r#"
+void add(int key) {
+    Node prev = find(key);
+    Node cur = prev.next;
+    if (cur.key != key) {
+        Node n = new Node(key, -1, cur);
+        prev.next = n;
+    }
+    unlockN(cur);
+    unlockN(prev);
+}
+
+void remove(int key) {
+    Node prev = find(key);
+    Node cur = prev.next;
+    if (cur.key == key) {
+        prev.next = cur.next;
+    }
+    unlockN(cur);
+    unlockN(prev);
+}
+"#
+}
+
+fn lazy_ops() -> &'static str {
+    // add(): the standard two-lock optimistic protocol with a bounded
+    // retry loop. remove(): stripped of locks; PSKETCH chooses which
+    // single node to lock, the validation condition, the unlink
+    // source, and the marking order (§8.2.4).
+    r#"
+void add(int key) {
+    bit done = false;
+    while (!done) {
+        Node pred = head;
+        Node curr = head.next;
+        while (curr.key < key) { pred = curr; curr = curr.next; }
+        lockN(pred);
+        lockN(curr);
+        if (!pred.marked && !curr.marked && pred.next == curr) {
+            if (curr.key != key) {
+                Node n = new Node(key, -1, false, curr);
+                pred.next = n;
+            }
+            done = true;
+        }
+        unlockN(curr);
+        unlockN(pred);
+    }
+}
+
+#define LOCKEE {| pred | curr |}
+#define VALID {| pred.next == curr | (!)? (pred|curr).marked | curr == curr |}
+
+void remove(int key) {
+    Node pred = head;
+    Node curr = head.next;
+    while (curr.key < key) { pred = curr; curr = curr.next; }
+    lockN(LOCKEE);
+    if (VALID) {
+        if (curr.key == key) {
+            reorder {
+                curr.marked = true;
+                pred.next = {| (curr|pred)(.next)? |};
+            }
+        }
+    }
+    unlockN(LOCKEE);
+}
+"#
+}
+
+fn lazy_two_lock_ops() -> &'static str {
+    // add() as in the single-lock variant; remove() locks *both*
+    // pred and curr (the standard lazy-list protocol) but leaves the
+    // validation, the marking/unlink order and the unlink source to
+    // the synthesizer.
+    r#"
+void add(int key) {
+    bit done = false;
+    while (!done) {
+        Node pred = head;
+        Node curr = head.next;
+        while (curr.key < key) { pred = curr; curr = curr.next; }
+        lockN(pred);
+        lockN(curr);
+        if (!pred.marked && !curr.marked && pred.next == curr) {
+            if (curr.key != key) {
+                Node n = new Node(key, -1, false, curr);
+                pred.next = n;
+            }
+            done = true;
+        }
+        unlockN(curr);
+        unlockN(pred);
+    }
+}
+
+#define VALID {| pred.next == curr | (!)? (pred|curr).marked | pred.next == curr && !pred.marked && !curr.marked | curr == curr |}
+
+void remove(int key) {
+    bit done = false;
+    while (!done) {
+        Node pred = head;
+        Node curr = head.next;
+        while (curr.key < key) { pred = curr; curr = curr.next; }
+        lockN(pred);
+        lockN(curr);
+        if (VALID) {
+            if (curr.key == key) {
+                reorder {
+                    curr.marked = true;
+                    pred.next = {| (curr|pred)(.next)? |};
+                }
+            }
+            done = true;
+        }
+        unlockN(curr);
+        unlockN(pred);
+    }
+}
+"#
+}
+
+/// Key used by the `j`-th insert of context `ctx` (distinct per
+/// context, increasing with `j`, strictly inside the sentinels).
+fn insert_key(ctx: usize, j: usize) -> i64 {
+    Workload::insert_value(ctx, j)
+}
+
+/// Target key for the `j`-th delete of context `ctx`: the context's
+/// own `j`-th insert when it has one, otherwise the previous
+/// context's.
+fn delete_key(w: &Workload, ctx: usize, j: usize) -> i64 {
+    let ops_of = |c: usize| -> &[OpKind] {
+        if c == 0 {
+            &w.pre
+        } else if c <= w.threads.len() {
+            &w.threads[c - 1]
+        } else {
+            &w.post
+        }
+    };
+    let inserts = |c: usize| ops_of(c).iter().filter(|o| **o == OpKind::Insert).count();
+    let mut c = ctx;
+    loop {
+        if inserts(c) > j {
+            return insert_key(c, j);
+        }
+        if c == 0 {
+            // No insert anywhere before: target a key never added.
+            return insert_key(9, j);
+        }
+        c -= 1;
+    }
+}
+
+fn emit_ops(out: &mut String, w: &Workload, ops: &[OpKind], ctx: usize, indent: &str) {
+    let mut ins = 0;
+    let mut del = 0;
+    for op in ops {
+        match op {
+            OpKind::Insert => {
+                let _ = writeln!(out, "{indent}add({});", insert_key(ctx, ins));
+                ins += 1;
+            }
+            OpKind::Delete => {
+                let _ = writeln!(out, "{indent}remove({});", delete_key(w, ctx, del));
+                del += 1;
+            }
+        }
+    }
+}
+
+/// Generates a set benchmark for a workload.
+pub fn set_source(v: SetVariant, w: &Workload) -> String {
+    let n = w.num_threads();
+    let max_nodes = 2 + w.total_inserts();
+    let mut src = if v.is_lazy() {
+        lazy_prelude()
+    } else {
+        fine_prelude()
+    };
+    if v == SetVariant::LazyTwoLock {
+        src.push_str(lazy_two_lock_ops());
+    } else if v.is_lazy() {
+        src.push_str(lazy_ops());
+    } else {
+        src.push_str(fine_find(v));
+        src.push_str(fine_ops());
+    }
+
+    let mut h = String::new();
+    h.push_str("harness void main() {\n");
+    // Sentinels. `new` initializes positional fields in declaration
+    // order; remaining fields default.
+    if v.is_lazy() {
+        let _ = writeln!(h, "    Node tailS = new Node({MAX_KEY}, -1, false, null);");
+        let _ = writeln!(h, "    head = new Node({MIN_KEY}, -1, false, tailS);");
+    } else {
+        let _ = writeln!(h, "    Node tailS = new Node({MAX_KEY}, -1, null);");
+        let _ = writeln!(h, "    head = new Node({MIN_KEY}, -1, tailS);");
+    }
+    emit_ops(&mut h, w, &w.pre, 0, "    ");
+    let _ = writeln!(h, "    fork (i; {n}) {{");
+    for (t, ops) in w.threads.iter().enumerate() {
+        let _ = writeln!(h, "        if (i == {t}) {{");
+        emit_ops(&mut h, w, ops, t + 1, "            ");
+        h.push_str("        }\n");
+    }
+    h.push_str("    }\n");
+    emit_ops(&mut h, w, &w.post, n + 1, "    ");
+    let _ = writeln!(h, "    checkSet({max_nodes});");
+
+    // Membership is asserted only for keys whose whole history is
+    // sequential (single context): concurrent add/remove races leave
+    // membership interleaving-dependent.
+    let mut history: HashMap<i64, Vec<(usize, OpKind)>> = HashMap::new();
+    let contexts: Vec<(usize, &[OpKind])> = std::iter::once((0usize, &w.pre[..]))
+        .chain(w.threads.iter().enumerate().map(|(i, t)| (i + 1, &t[..])))
+        .chain(std::iter::once((n + 1, &w.post[..])))
+        .collect();
+    for &(ctx, ops) in &contexts {
+        let mut ins = 0;
+        let mut del = 0;
+        for op in ops {
+            let key = match op {
+                OpKind::Insert => {
+                    ins += 1;
+                    insert_key(ctx, ins - 1)
+                }
+                OpKind::Delete => {
+                    del += 1;
+                    delete_key(w, ctx, del - 1)
+                }
+            };
+            history.entry(key).or_default().push((ctx, *op));
+        }
+    }
+    let mut keys: Vec<i64> = history.keys().copied().collect();
+    keys.sort_unstable();
+    for key in keys {
+        let ops = &history[&key];
+        let single_ctx = ops.iter().all(|(c, _)| *c == ops[0].0);
+        if single_ctx {
+            // Sequential history: simulate.
+            let mut present = false;
+            for (_, op) in ops {
+                match op {
+                    OpKind::Insert => present = true,
+                    OpKind::Delete => present = false,
+                }
+            }
+            if present {
+                let _ = writeln!(h, "    assert member({key});");
+            } else {
+                let _ = writeln!(h, "    assert !member({key});");
+            }
+        }
+    }
+    h.push_str("}\n");
+    src.push_str(&h);
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_core::{Options, Synthesis};
+    use psketch_ir::Config;
+
+    fn options(w: &Workload) -> Options {
+        Options {
+            config: Config {
+                unroll: w.total_inserts() + 3,
+                pool: w.total_inserts() + 3,
+                ..Config::default()
+            },
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn sources_typecheck() {
+        let w = Workload::parse("ar(ar|ar)").unwrap();
+        for v in [
+            SetVariant::FineRestricted,
+            SetVariant::FineFull,
+            SetVariant::FineSolved,
+            SetVariant::Lazy,
+        ] {
+            let src = set_source(v, &w);
+            psketch_lang::check_program(&src)
+                .unwrap_or_else(|e| panic!("{v:?}: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn solved_fineset_verifies() {
+        let w = Workload::parse("ar(a|r)").unwrap();
+        let src = set_source(SetVariant::FineSolved, &w);
+        let s = Synthesis::new(&src, options(&w)).unwrap();
+        let a = s.lowered().holes.identity_assignment();
+        assert!(
+            s.verify_candidate(&a).is_none(),
+            "known-correct hand-over-hand set rejected"
+        );
+    }
+
+    #[test]
+    fn delete_keys_follow_rule() {
+        let w = Workload::parse("ar(aa|rr)").unwrap();
+        // Thread 2 (`rr`, ctx 2) has no inserts → falls back to
+        // thread 1's keys.
+        assert_eq!(delete_key(&w, 2, 0), insert_key(1, 0));
+        assert_eq!(delete_key(&w, 2, 1), insert_key(1, 1));
+        // Prologue `ar` removes its own key.
+        assert_eq!(delete_key(&w, 0, 0), insert_key(0, 0));
+    }
+}

@@ -1,0 +1,180 @@
+//! Workload descriptors in the paper's notation.
+//!
+//! A test named `ed(ee|dd)` performs a sequential enqueue `e` and
+//! dequeue `d`, then forks one thread per `|`-separated group; text
+//! after the closing parenthesis runs sequentially afterwards
+//! (e.g. `(e|e|e)ddd`). Set benchmarks use `a`/`r` for add/remove.
+
+use std::fmt;
+
+/// One operation of a workload.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpKind {
+    /// Enqueue (queues) / add (sets).
+    Insert,
+    /// Dequeue (queues) / remove (sets).
+    Delete,
+}
+
+/// A parsed workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Workload {
+    /// Sequential prefix.
+    pub pre: Vec<OpKind>,
+    /// One op-sequence per forked thread.
+    pub threads: Vec<Vec<OpKind>>,
+    /// Sequential suffix.
+    pub post: Vec<OpKind>,
+    /// The original descriptor.
+    pub name: String,
+}
+
+/// Error parsing a workload descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseWorkloadError(pub String);
+
+impl fmt::Display for ParseWorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad workload descriptor: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseWorkloadError {}
+
+impl Workload {
+    /// Parses a descriptor like `ed(ed|ed)` or `(e|e|e)ddd`.
+    ///
+    /// `e`/`a` mean insert; `d`/`r` mean delete.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed descriptors (missing parentheses, unknown
+    /// letters, empty thread groups).
+    pub fn parse(desc: &str) -> Result<Workload, ParseWorkloadError> {
+        let err = || ParseWorkloadError(desc.to_string());
+        let open = desc.find('(').ok_or_else(err)?;
+        let close = desc.rfind(')').ok_or_else(err)?;
+        if close < open {
+            return Err(err());
+        }
+        let ops = |s: &str| -> Result<Vec<OpKind>, ParseWorkloadError> {
+            s.chars()
+                .map(|c| match c {
+                    'e' | 'a' => Ok(OpKind::Insert),
+                    'd' | 'r' => Ok(OpKind::Delete),
+                    _ => Err(err()),
+                })
+                .collect()
+        };
+        let pre = ops(&desc[..open])?;
+        let post = ops(&desc[close + 1..])?;
+        let threads: Result<Vec<Vec<OpKind>>, _> = desc[open + 1..close]
+            .split('|')
+            .map(|g| {
+                let v = ops(g)?;
+                if v.is_empty() {
+                    Err(err())
+                } else {
+                    Ok(v)
+                }
+            })
+            .collect();
+        let threads = threads?;
+        if threads.is_empty() {
+            return Err(err());
+        }
+        Ok(Workload {
+            pre,
+            threads,
+            post,
+            name: desc.to_string(),
+        })
+    }
+
+    /// Total number of insert operations.
+    pub fn total_inserts(&self) -> usize {
+        self.pre
+            .iter()
+            .chain(self.threads.iter().flatten())
+            .chain(self.post.iter())
+            .filter(|o| **o == OpKind::Insert)
+            .count()
+    }
+
+    /// Total number of delete operations.
+    pub fn total_deletes(&self) -> usize {
+        self.pre
+            .iter()
+            .chain(self.threads.iter().flatten())
+            .chain(self.post.iter())
+            .filter(|o| **o == OpKind::Delete)
+            .count()
+    }
+
+    /// Number of forked threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The value the `j`-th insert of context `ctx` uses
+    /// (contexts: 0 = prologue, `1..=n` workers, `n+1` = epilogue).
+    /// Values are distinct and increase with `j` within a context.
+    pub fn insert_value(ctx: usize, j: usize) -> i64 {
+        (10 * (ctx + 1) + j + 1) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_descriptors() {
+        let w = Workload::parse("ed(ee|dd)").unwrap();
+        assert_eq!(w.pre, vec![OpKind::Insert, OpKind::Delete]);
+        assert_eq!(w.threads.len(), 2);
+        assert_eq!(w.threads[0], vec![OpKind::Insert, OpKind::Insert]);
+        assert_eq!(w.threads[1], vec![OpKind::Delete, OpKind::Delete]);
+        assert!(w.post.is_empty());
+
+        let w = Workload::parse("(e|e|e)ddd").unwrap();
+        assert!(w.pre.is_empty());
+        assert_eq!(w.threads.len(), 3);
+        assert_eq!(w.post.len(), 3);
+
+        let w = Workload::parse("ar(arar|arar)").unwrap();
+        assert_eq!(w.pre.len(), 2);
+        assert_eq!(w.threads[0].len(), 4);
+    }
+
+    #[test]
+    fn counts() {
+        let w = Workload::parse("ed(ed|ed)").unwrap();
+        assert_eq!(w.total_inserts(), 3);
+        assert_eq!(w.total_deletes(), 3);
+        assert_eq!(w.num_threads(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Workload::parse("ed").is_err());
+        assert!(Workload::parse("e(x)").is_err());
+        assert!(Workload::parse("e()").is_err());
+        assert!(Workload::parse("e(a||b)").is_err());
+        assert!(Workload::parse(")e(").is_err());
+    }
+
+    #[test]
+    fn values_distinct_and_ordered() {
+        let mut seen = std::collections::HashSet::new();
+        for ctx in 0..5 {
+            let mut last = 0;
+            for j in 0..4 {
+                let v = Workload::insert_value(ctx, j);
+                assert!(v > last);
+                last = v;
+                assert!(seen.insert(v), "duplicate value {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Harness validation: the known-correct ("solved") implementation of
+//! every benchmark must pass verification on each of its Figure 9
+//! workloads. This pins the correctness conditions themselves — a
+//! harness that rejects the textbook solution would silently turn
+//! resolvable benchmarks into NOs.
+
+use psketch_core::{Config, Options, Synthesis};
+use psketch_suite::barrier::{barrier_source, BarrierVariant};
+use psketch_suite::dinphilo::{dinphilo_source, PhiloVariant};
+use psketch_suite::dlist::{dlist_source, DlistVariant};
+use psketch_suite::queue::{queue_source, DequeueVariant, EnqueueVariant};
+use psketch_suite::set::{set_source, SetVariant};
+use psketch_suite::workload::Workload;
+
+fn assert_solved(src: &str, opts: Options, what: &str) {
+    let s = Synthesis::new(src, opts).unwrap_or_else(|e| panic!("{what}: {e}"));
+    let a = s.lowered().holes.identity_assignment();
+    if let Some(cex) = s.verify_candidate(&a) {
+        panic!(
+            "{what}: known-correct implementation rejected:\n{}",
+            psketch_exec::format_trace(s.lowered(), &cex)
+        );
+    }
+}
+
+#[test]
+fn solved_queue_passes_all_small_workloads() {
+    for wl in ["ed(e|d)", "ed(ee|dd)", "ed(ed|ed)", "(e|e)dd"] {
+        let w = Workload::parse(wl).unwrap();
+        let opts = Options {
+            config: Config {
+                unroll: w.total_inserts() + 2,
+                pool: w.total_inserts() + 2,
+                ..Config::default()
+            },
+            ..Options::default()
+        };
+        let src = queue_source(EnqueueVariant::Solved, DequeueVariant::Given, &w);
+        assert_solved(&src, opts, &format!("queue {wl}"));
+    }
+}
+
+#[test]
+#[ignore = "slow: the three-thread and long workloads (run with --ignored, release)"]
+fn solved_queue_passes_large_workloads() {
+    for wl in ["(e|e|e)ddd", "ed(eded|eded)"] {
+        let w = Workload::parse(wl).unwrap();
+        let opts = Options {
+            config: Config {
+                unroll: w.total_inserts() + 2,
+                pool: w.total_inserts() + 2,
+                ..Config::default()
+            },
+            ..Options::default()
+        };
+        let src = queue_source(EnqueueVariant::Solved, DequeueVariant::Given, &w);
+        assert_solved(&src, opts, &format!("queue {wl}"));
+    }
+}
+
+#[test]
+fn solved_barrier_passes_paper_parameters() {
+    for (n, b) in [(2, 2), (2, 3), (3, 2)] {
+        let opts = Options {
+            config: Config {
+                hole_width: 2,
+                unroll: 4,
+                pool: 2,
+                ..Config::default()
+            },
+            ..Options::default()
+        };
+        let src = barrier_source(BarrierVariant::Solved, n, b);
+        assert_solved(&src, opts, &format!("barrier N={n} B={b}"));
+    }
+}
+
+#[test]
+fn solved_fineset_passes_mixed_workloads() {
+    for wl in ["ar(a|r)", "ar(ar|ar)", "ar(aa|rr)"] {
+        let w = Workload::parse(wl).unwrap();
+        let opts = Options {
+            config: Config {
+                unroll: w.total_inserts() + 3,
+                pool: w.total_inserts() + 3,
+                ..Config::default()
+            },
+            ..Options::default()
+        };
+        let src = set_source(SetVariant::FineSolved, &w);
+        assert_solved(&src, opts, &format!("fineset {wl}"));
+    }
+}
+
+#[test]
+fn solved_philosophers_pass() {
+    for (p, t) in [(2, 2), (3, 2)] {
+        let opts = Options {
+            config: Config {
+                hole_width: 3,
+                unroll: 4,
+                pool: 2,
+                ..Config::default()
+            },
+            ..Options::default()
+        };
+        let src = dinphilo_source(PhiloVariant::Solved, p, t);
+        assert_solved(&src, opts, &format!("dinphilo P={p} T={t}"));
+    }
+}
+
+#[test]
+fn solved_dlist_passes() {
+    for writers in [1, 2] {
+        let opts = Options {
+            config: Config {
+                unroll: 6,
+                pool: 6,
+                ..Config::default()
+            },
+            ..Options::default()
+        };
+        let src = dlist_source(DlistVariant::Solved, writers);
+        assert_solved(&src, opts, &format!("dlist writers={writers}"));
+    }
+}
+
+#[test]
+fn broken_variants_are_rejected() {
+    // Sanity that the harnesses are not vacuous: breaking the solved
+    // queue (link before swap) must produce a counterexample.
+    let w = Workload::parse("ed(e|d)").unwrap();
+    let opts = Options {
+        config: Config {
+            unroll: w.total_inserts() + 2,
+            pool: w.total_inserts() + 2,
+            ..Config::default()
+        },
+        ..Options::default()
+    };
+    let src = queue_source(EnqueueVariant::Solved, DequeueVariant::Given, &w).replace(
+        "tmp = AtomicSwap(tail, newEntry);\n    tmp.next = newEntry;",
+        "tmp.next = newEntry;\n    tmp = AtomicSwap(tail, newEntry);",
+    );
+    assert!(src.contains("tmp.next = newEntry;\n    tmp = AtomicSwap"));
+    let s = Synthesis::new(&src, opts).unwrap();
+    let a = s.lowered().holes.identity_assignment();
+    assert!(
+        s.verify_candidate(&a).is_some(),
+        "broken enqueue must be rejected"
+    );
+}

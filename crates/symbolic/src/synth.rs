@@ -1,0 +1,555 @@
+//! The inductive synthesizer (paper §5–6).
+//!
+//! Maintains a SAT instance over the hole bits. Each observation — a
+//! counterexample trace (concurrent mode) or a concrete input
+//! (sequential `implements` mode) — contributes the constraint
+//! `¬fail(Sk_t[c])`, encoded by symbolically evaluating the projected
+//! trace. [`Synthesizer::next_candidate`] asks the solver for hole
+//! values consistent with every observation so far; `None` means the
+//! sketch cannot be resolved.
+
+use crate::bv::Bv;
+use crate::circuit::{Circuit, NodeRef};
+use crate::eval::SymEval;
+use crate::project::{project, sequential_order, trace_end_position};
+use psketch_exec::CexTrace;
+use psketch_ir::{Assignment, HoleId, Lowered};
+use psketch_lang::ast::{BinOp, Expr, UnOp};
+use psketch_sat::{SolveResult, Solver, Var};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Work counters for one synthesis session.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SynthStats {
+    /// Observations (traces/inputs) added.
+    pub observations: usize,
+    /// Circuit nodes built so far.
+    pub nodes: usize,
+    /// Time spent building boolean encodings (the paper's `Smodel`).
+    pub encode_time: Duration,
+    /// Time spent in the SAT solver (the paper's `Ssolve`).
+    pub solve_time: Duration,
+}
+
+/// The inductive synthesizer.
+pub struct Synthesizer<'l> {
+    l: &'l Lowered,
+    circuit: Circuit,
+    solver: Solver,
+    hole_bvs: Vec<Bv>,
+    hole_vars: Vec<Vec<Var>>,
+    /// Statistics.
+    pub stats: SynthStats,
+}
+
+impl<'l> Synthesizer<'l> {
+    /// Creates a synthesizer for a lowered sketch: allocates hole bits,
+    /// asserts domain bounds and the sketch's static validity
+    /// constraints (e.g. reorder permutation-ness).
+    pub fn new(l: &'l Lowered) -> Synthesizer<'l> {
+        let t0 = Instant::now();
+        let mut circuit = Circuit::new();
+        let mut solver = Solver::new();
+        let w = l.config.int_width as usize;
+        let nholes = l.holes.num_holes();
+        let mut hole_bvs = Vec::with_capacity(nholes);
+        let mut hole_vars = Vec::with_capacity(nholes);
+        for h in 0..nholes {
+            let domain = l.holes.domain(h as HoleId);
+            let nbits = (64 - (domain - 1).leading_zeros()).max(1) as usize;
+            let nbits = nbits.min(w);
+            let mut bits = Vec::with_capacity(w);
+            let mut vars = Vec::with_capacity(nbits);
+            for _ in 0..nbits {
+                let b = circuit.input();
+                vars.push(solver.new_var());
+                bits.push(b);
+            }
+            // Bind circuit inputs to pre-created solver vars by
+            // encoding them now, in order.
+            while bits.len() < w {
+                bits.push(circuit.constant(false));
+            }
+            let bv = Bv(bits);
+            // Domain bound when not a power of two.
+            if domain != (1u64 << nbits.min(63)) {
+                let dom = Bv::constant(&mut circuit, domain as i64, w);
+                let inb = Bv::ult(&mut circuit, &bv, &dom);
+                circuit.assert_true(inb, &mut solver);
+            }
+            hole_bvs.push(bv);
+            hole_vars.push(vars);
+        }
+        let mut s = Synthesizer {
+            l,
+            circuit,
+            solver,
+            hole_bvs,
+            hole_vars,
+            stats: SynthStats::default(),
+        };
+        // Force-encode the hole bits so decoding can read them, and
+        // tie each input node to its reserved variable.
+        s.bind_hole_bits();
+        // Static constraints from desugaring.
+        let constraints: Vec<Expr> = s.l.holes.constraints().to_vec();
+        for cexpr in &constraints {
+            let v = s.eval_constraint(cexpr);
+            let node = v.nonzero(&mut s.circuit);
+            s.circuit.assert_true(node, &mut s.solver);
+        }
+        s.stats.encode_time += t0.elapsed();
+        s.stats.nodes = s.circuit.len();
+        s
+    }
+
+    /// The lowered program under synthesis.
+    pub fn lowered(&self) -> &Lowered {
+        self.l
+    }
+
+    fn bind_hole_bits(&mut self) {
+        // The circuit allocates Tseitin vars lazily; we reserved
+        // solver vars for the hole bits up front so the mapping is
+        // stable. Encode each input node and link it to the reserved
+        // var by equivalence clauses.
+        for (h, bv) in self.hole_bvs.clone().iter().enumerate() {
+            for (k, &bit) in bv.0.iter().enumerate() {
+                if bit.as_const().is_some() {
+                    continue;
+                }
+                let lit = self.circuit.lit(bit, &mut self.solver);
+                let reserved = self.hole_vars[h][k];
+                let rl = psketch_sat::Lit::pos(reserved);
+                self.solver.add_clause([!lit, rl]);
+                self.solver.add_clause([lit, !rl]);
+            }
+        }
+    }
+
+    /// Evaluates a static constraint expression over hole bits.
+    fn eval_constraint(&mut self, e: &Expr) -> Bv {
+        let w = self.l.config.int_width as usize;
+        let c = &mut self.circuit;
+        match e {
+            Expr::HoleRef(h, _, _) => self.hole_bvs[*h as usize].clone(),
+            Expr::Int(v, _) => Bv::constant(c, *v, w),
+            Expr::Bool(b, _) => Bv::constant(c, i64::from(*b), w),
+            Expr::Unary(UnOp::Not, a, _) => {
+                let av = self.eval_constraint(a);
+                let nz = av.nonzero(&mut self.circuit);
+                Bv::from_bool(&mut self.circuit, nz.not(), w)
+            }
+            Expr::Unary(UnOp::Neg, a, _) => {
+                let av = self.eval_constraint(a);
+                Bv::neg(&mut self.circuit, &av)
+            }
+            Expr::Binary(op, a, b, _) => {
+                let x = self.eval_constraint(a);
+                let y = self.eval_constraint(b);
+                let c = &mut self.circuit;
+                let as_bool = |c: &mut Circuit, n: NodeRef| Bv::from_bool(c, n, w);
+                match op {
+                    BinOp::Add => Bv::add(c, &x, &y),
+                    BinOp::Sub => Bv::sub(c, &x, &y),
+                    BinOp::Mul => Bv::mul(c, &x, &y),
+                    BinOp::Eq => {
+                        let n = Bv::eq(c, &x, &y);
+                        as_bool(c, n)
+                    }
+                    BinOp::Ne => {
+                        let n = Bv::eq(c, &x, &y).not();
+                        as_bool(c, n)
+                    }
+                    BinOp::Lt => {
+                        let n = Bv::slt(c, &x, &y);
+                        as_bool(c, n)
+                    }
+                    BinOp::Le => {
+                        let n = Bv::sle(c, &x, &y);
+                        as_bool(c, n)
+                    }
+                    BinOp::Gt => {
+                        let n = Bv::slt(c, &y, &x);
+                        as_bool(c, n)
+                    }
+                    BinOp::Ge => {
+                        let n = Bv::sle(c, &y, &x);
+                        as_bool(c, n)
+                    }
+                    BinOp::And => {
+                        let nx = x.nonzero(c);
+                        let ny = y.nonzero(c);
+                        let n = c.and(nx, ny);
+                        as_bool(c, n)
+                    }
+                    BinOp::Or => {
+                        let nx = x.nonzero(c);
+                        let ny = y.nonzero(c);
+                        let n = c.or(nx, ny);
+                        as_bool(c, n)
+                    }
+                    BinOp::Div | BinOp::Mod => {
+                        panic!("division in hole constraints is not supported")
+                    }
+                }
+            }
+            other => panic!("unsupported constraint expression: {other:?}"),
+        }
+    }
+
+    /// Adds a counterexample-trace observation (concurrent CEGIS).
+    pub fn add_trace(&mut self, cex: &CexTrace) {
+        let t0 = Instant::now();
+        let order = project(self.l, cex);
+        let deadlock: HashSet<_> = cex.deadlock.iter().copied().collect();
+        let deadlock_at = trace_end_position(&order, cex);
+        let inputs = HashMap::new();
+        let ev = SymEval::new(&mut self.circuit, self.l, &self.hole_bvs, &inputs);
+        let fail = ev.run(&mut self.circuit, &order, &deadlock, deadlock_at);
+        self.circuit.assert_true(fail.not(), &mut self.solver);
+        self.stats.observations += 1;
+        self.stats.nodes = self.circuit.len();
+        self.stats.encode_time += t0.elapsed();
+    }
+
+    /// Adds a concrete-input observation (sequential CEGIS, §5):
+    /// `values[i]` initializes the `i`-th `is_input` global slot.
+    pub fn add_input(&mut self, values: &[i64]) {
+        let t0 = Instant::now();
+        let w = self.l.config.int_width as usize;
+        let mut inputs = HashMap::new();
+        let mut vi = 0;
+        for (ix, g) in self.l.globals.iter().enumerate() {
+            if g.is_input {
+                let v = values.get(vi).copied().unwrap_or(0);
+                inputs.insert(ix, Bv::constant(&mut self.circuit, v, w));
+                vi += 1;
+            }
+        }
+        let order = sequential_order(self.l);
+        let ev = SymEval::new(&mut self.circuit, self.l, &self.hole_bvs, &inputs);
+        let fail = ev.run(&mut self.circuit, &order, &HashSet::new(), order.len());
+        self.circuit.assert_true(fail.not(), &mut self.solver);
+        self.stats.observations += 1;
+        self.stats.nodes = self.circuit.len();
+        self.stats.encode_time += t0.elapsed();
+    }
+
+    /// Asks for hole values consistent with all observations. `None`
+    /// means the sketch cannot be resolved (for these observations —
+    /// and since observations only ever shrink the space, for the
+    /// whole problem).
+    pub fn next_candidate(&mut self) -> Option<Assignment> {
+        let t0 = Instant::now();
+        let r = self.solver.solve();
+        self.stats.solve_time += t0.elapsed();
+        if r == SolveResult::Unsat {
+            return None;
+        }
+        let mut values = Vec::with_capacity(self.hole_vars.len());
+        for vars in &self.hole_vars {
+            let mut v = 0u64;
+            for (k, &var) in vars.iter().enumerate() {
+                if self.solver.value(var) == Some(true) {
+                    v |= 1 << k;
+                }
+            }
+            values.push(v);
+        }
+        let a = Assignment::from_values(values);
+        debug_assert!(a.validate(&self.l.holes));
+        Some(a)
+    }
+
+    /// Excludes a specific assignment from future candidates (used to
+    /// enumerate multiple correct solutions).
+    pub fn block(&mut self, a: &Assignment) {
+        let mut clause = Vec::new();
+        for (h, vars) in self.hole_vars.iter().enumerate() {
+            let v = a.value(h as HoleId);
+            for (k, &var) in vars.iter().enumerate() {
+                let bit = (v >> k) & 1 == 1;
+                clause.push(psketch_sat::Lit::new(var, !bit));
+            }
+        }
+        self.solver.add_clause(clause);
+    }
+}
+
+/// Soundness probe: does the projection of `cex` reproduce its failure
+/// under the candidate that generated it? CEGIS progress relies on
+/// this — a trace that does not refute its own candidate would make
+/// the loop propose that candidate forever. Used by tests and
+/// debugging tools.
+pub fn trace_reproduces(l: &Lowered, cex: &CexTrace, candidate: &Assignment) -> bool {
+    let w = l.config.int_width as usize;
+    let mut circuit = Circuit::new();
+    let holes: Vec<Bv> = (0..l.holes.num_holes())
+        .map(|h| Bv::constant(&mut circuit, candidate.value(h as HoleId) as i64, w))
+        .collect();
+    let order = crate::project::project(l, cex);
+    let deadlock: HashSet<_> = cex.deadlock.iter().copied().collect();
+    let deadlock_at = trace_end_position(&order, cex);
+    let inputs = HashMap::new();
+    let ev = SymEval::new(&mut circuit, l, &holes, &inputs);
+    let fail = ev.run(&mut circuit, &order, &deadlock, deadlock_at);
+    match fail.as_const() {
+        Some(b) => b,
+        None => circuit.eval(fail, &HashMap::new()),
+    }
+}
+
+/// Sequential verification by SAT (paper §5): given a candidate, finds
+/// an input on which the sketched function disagrees with its
+/// specification, or `None` when none exists (the candidate is
+/// correct for the modelled bit width).
+pub fn verify_sequential(l: &Lowered, candidate: &Assignment) -> Option<Vec<i64>> {
+    let w = l.config.int_width as usize;
+    let mut circuit = Circuit::new();
+    let mut solver = Solver::new();
+    let holes: Vec<Bv> = (0..l.holes.num_holes())
+        .map(|h| Bv::constant(&mut circuit, candidate.value(h as HoleId) as i64, w))
+        .collect();
+    let mut inputs = HashMap::new();
+    let mut input_slots = Vec::new();
+    for (ix, g) in l.globals.iter().enumerate() {
+        if g.is_input {
+            inputs.insert(ix, Bv::input(&mut circuit, w));
+            input_slots.push(ix);
+        }
+    }
+    let order = sequential_order(l);
+    let ev = SymEval::new(&mut circuit, l, &holes, &inputs);
+    let fail = ev.run(&mut circuit, &order, &HashSet::new(), order.len());
+    circuit.assert_true(fail, &mut solver);
+    if solver.solve() == SolveResult::Unsat {
+        return None;
+    }
+    let mut out = Vec::with_capacity(input_slots.len());
+    for ix in input_slots {
+        let bv = &inputs[&ix];
+        let mut v: i64 = 0;
+        for (k, &bit) in bv.0.iter().enumerate() {
+            let lit = circuit.lit(bit, &mut solver);
+            if solver.lit_model_value(lit) == Some(true) {
+                v |= 1 << k;
+            }
+        }
+        if w < 64 && v & (1 << (w - 1)) != 0 {
+            v -= 1 << w;
+        }
+        out.push(v);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_exec::check;
+    use psketch_ir::{desugar::desugar_program, lower, Config};
+
+    fn lowered(src: &str) -> Lowered {
+        let cfg = Config::default();
+        let p = psketch_lang::check_program(src).unwrap();
+        let (sk, holes) = desugar_program(&p, &cfg).unwrap();
+        lower::lower_program(&sk, holes, &cfg).unwrap()
+    }
+
+    /// Minimal CEGIS loop for tests (the real one lives in
+    /// psketch-core).
+    fn mini_cegis(l: &Lowered) -> Option<(Assignment, usize)> {
+        let mut synth = Synthesizer::new(l);
+        for iter in 0..64 {
+            let cand = synth.next_candidate()?;
+            let out = check(l, &cand);
+            match out.counterexample() {
+                None => return Some((cand, iter + 1)),
+                Some(cex) => synth.add_trace(cex),
+            }
+        }
+        panic!("mini CEGIS did not converge in 64 iterations");
+    }
+
+    #[test]
+    fn synthesizes_a_constant() {
+        let l = lowered("int g; harness void main() { g = ??(4); assert g == 11; }");
+        let (a, iters) = mini_cegis(&l).expect("resolvable");
+        assert_eq!(a.value(0), 11);
+        assert!(iters <= 3, "took {iters} iterations");
+    }
+
+    #[test]
+    fn unresolvable_sketch_reports_none() {
+        // g is 0 or 1; assert demands 5.
+        let l = lowered("int g; harness void main() { g = ??(1); assert g == 5; }");
+        assert!(mini_cegis(&l).is_none());
+    }
+
+    #[test]
+    fn reorder_constraint_makes_candidates_permutations() {
+        let l = lowered(
+            "int g;
+             harness void main() {
+                 reorder { g = g + 1; g = g * 2; g = g + 3; }
+                 assert g >= 0;
+             }",
+        );
+        let mut synth = Synthesizer::new(&l);
+        let a = synth.next_candidate().expect("sat");
+        let perm: Vec<u64> = (0..3).map(|h| a.value(h)).collect();
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2], "not a permutation: {perm:?}");
+    }
+
+    #[test]
+    fn synthesizes_an_ordering() {
+        // Only g=g+1 before g=g*2 (from 0): (0+1)*2 = 2.
+        let l = lowered(
+            "int g;
+             harness void main() {
+                 reorder { g = g + 1; g = g * 2; }
+                 assert g == 2;
+             }",
+        );
+        let (a, _) = mini_cegis(&l).expect("resolvable");
+        // Quadratic encoding: hole i gives the statement at position i.
+        assert_eq!((a.value(0), a.value(1)), (0, 1));
+    }
+
+    #[test]
+    fn concurrent_synthesis_chooses_atomicity() {
+        // The generator picks between a racy add and an atomic
+        // increment; only the atomic one survives all interleavings.
+        let l = lowered(
+            "int g;
+             harness void main() {
+                 fork (i; 2) {
+                     if (??(1) == 0) { int t = g; g = t + 1; }
+                     else { int old = AtomicReadAndIncr(g); }
+                 }
+                 assert g == 2;
+             }",
+        );
+        let (a, iters) = mini_cegis(&l).expect("resolvable");
+        assert_eq!(a.value(0), 1, "must pick the atomic increment");
+        assert!(iters <= 8);
+    }
+
+    #[test]
+    fn deadlock_observations_prune() {
+        // Choose lock order per thread; same order avoids deadlock.
+        let l = lowered(
+            "struct Lock { int owner = -1; }
+             Lock a; Lock b; int g;
+             void lock(Lock l) { atomic (l.owner == -1) { l.owner = pid(); } }
+             void unlock(Lock l) { l.owner = -1; }
+             harness void main() {
+                 a = new Lock(); b = new Lock();
+                 fork (i; 2) {
+                     if (??(1) == 0) {
+                         if (i == 0) { lock(a); lock(b); }
+                         else { lock(b); lock(a); }
+                     } else { lock(a); lock(b); }
+                     g = g + 1;
+                     unlock(b); unlock(a);
+                 }
+                 assert g == 2;
+             }",
+        );
+        let (_a, iters) = mini_cegis(&l).expect("resolvable");
+        assert!(iters <= 6);
+    }
+
+    #[test]
+    fn sequential_cegis_on_implements() {
+        let cfg = Config::default();
+        let p = psketch_lang::check_program(
+            "int spec(int x) { return x + x + x; }
+             int impl(int x) implements spec { return x * ??(3); }",
+        )
+        .unwrap();
+        let (sk, holes) = desugar_program(&p, &cfg).unwrap();
+        let l = lower::lower_equivalence(&sk, holes, "impl", &cfg).unwrap();
+        let mut synth = Synthesizer::new(&l);
+        let mut iters = 0;
+        let solution = loop {
+            iters += 1;
+            assert!(iters < 20);
+            let cand = synth.next_candidate().expect("resolvable");
+            match verify_sequential(&l, &cand) {
+                None => break cand,
+                Some(cex_input) => synth.add_input(&cex_input),
+            }
+        };
+        assert_eq!(solution.value(0), 3);
+        assert!(iters <= 5, "took {iters}");
+    }
+
+    #[test]
+    fn sequential_unresolvable() {
+        let cfg = Config::default();
+        let p = psketch_lang::check_program(
+            "int spec(int x) { return x + 1; }
+             int impl(int x) implements spec { return x * ??(2); }",
+        )
+        .unwrap();
+        let (sk, holes) = desugar_program(&p, &cfg).unwrap();
+        let l = lower::lower_equivalence(&sk, holes, "impl", &cfg).unwrap();
+        let mut synth = Synthesizer::new(&l);
+        let mut resolved = false;
+        for _ in 0..10 {
+            match synth.next_candidate() {
+                None => {
+                    resolved = false;
+                    break;
+                }
+                Some(cand) => match verify_sequential(&l, &cand) {
+                    None => {
+                        resolved = true;
+                        break;
+                    }
+                    Some(cex) => synth.add_input(&cex),
+                },
+            }
+        }
+        assert!(!resolved, "x*c can never equal x+1 for all x");
+    }
+
+    #[test]
+    fn blocking_enumerates_solutions() {
+        let l = lowered("int g; harness void main() { g = ??(2); assert g < 2; }");
+        let mut synth = Synthesizer::new(&l);
+        let mut seen = Vec::new();
+        while let Some(cand) = synth.next_candidate() {
+            let out = check(&l, &cand);
+            match out.counterexample() {
+                None => {
+                    seen.push(cand.value(0));
+                    synth.block(&cand);
+                }
+                Some(cex) => synth.add_trace(cex),
+            }
+            if seen.len() > 4 {
+                break;
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let l = lowered("int g; harness void main() { g = ??(2); assert g == 1; }");
+        let mut synth = Synthesizer::new(&l);
+        let c0 = synth.next_candidate().unwrap();
+        if let Some(cex) = check(&l, &c0).counterexample() {
+            synth.add_trace(cex);
+            assert_eq!(synth.stats.observations, 1);
+        }
+        assert!(synth.stats.nodes > 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the Tseitin encoding: for random circuits, the
+//! SAT solver's verdict on `assert_true(node)` must match brute force
+//! over the circuit inputs, and returned models must satisfy the
+//! circuit under concrete evaluation.
+
+use proptest::prelude::*;
+use psketch_sat::{SolveResult, Solver};
+use psketch_symbolic::circuit::{Circuit, NodeRef};
+use std::collections::HashMap;
+
+/// A recipe for building a random circuit over `n` inputs.
+#[derive(Clone, Debug)]
+enum Gate {
+    And(usize, usize, bool, bool),
+    Or(usize, usize, bool, bool),
+    Xor(usize, usize),
+    Ite(usize, usize, usize),
+    NotOf(usize),
+}
+
+fn gate_strategy(pool: usize) -> impl Strategy<Value = Gate> {
+    prop_oneof![
+        (0..pool, 0..pool, any::<bool>(), any::<bool>())
+            .prop_map(|(a, b, na, nb)| Gate::And(a, b, na, nb)),
+        (0..pool, 0..pool, any::<bool>(), any::<bool>())
+            .prop_map(|(a, b, na, nb)| Gate::Or(a, b, na, nb)),
+        (0..pool, 0..pool).prop_map(|(a, b)| Gate::Xor(a, b)),
+        (0..pool, 0..pool, 0..pool).prop_map(|(c, t, e)| Gate::Ite(c, t, e)),
+        (0..pool).prop_map(Gate::NotOf),
+    ]
+}
+
+fn build(
+    c: &mut Circuit,
+    n_inputs: usize,
+    gates: &[Gate],
+) -> (Vec<NodeRef>, NodeRef) {
+    let inputs: Vec<NodeRef> = (0..n_inputs).map(|_| c.input()).collect();
+    let mut pool = inputs.clone();
+    for g in gates {
+        let pick = |ix: usize, pool: &[NodeRef]| pool[ix % pool.len()];
+        let node = match g {
+            Gate::And(a, b, na, nb) => {
+                let mut x = pick(*a, &pool);
+                let mut y = pick(*b, &pool);
+                if *na {
+                    x = x.not();
+                }
+                if *nb {
+                    y = y.not();
+                }
+                c.and(x, y)
+            }
+            Gate::Or(a, b, na, nb) => {
+                let mut x = pick(*a, &pool);
+                let mut y = pick(*b, &pool);
+                if *na {
+                    x = x.not();
+                }
+                if *nb {
+                    y = y.not();
+                }
+                c.or(x, y)
+            }
+            Gate::Xor(a, b) => {
+                let (x, y) = (pick(*a, &pool), pick(*b, &pool));
+                c.xor(x, y)
+            }
+            Gate::Ite(s, t, e) => {
+                let (x, y, z) = (pick(*s, &pool), pick(*t, &pool), pick(*e, &pool));
+                c.ite(x, y, z)
+            }
+            Gate::NotOf(a) => pick(*a, &pool).not(),
+        };
+        pool.push(node);
+    }
+    let out = *pool.last().unwrap();
+    (inputs, out)
+}
+
+fn brute_force_satisfiable(c: &Circuit, inputs: &[NodeRef], out: NodeRef) -> bool {
+    let n = inputs.len();
+    (0u32..(1 << n)).any(|bits| {
+        let mut env = HashMap::new();
+        for (i, &inp) in inputs.iter().enumerate() {
+            env.insert(c.input_index(inp), bits >> i & 1 == 1);
+        }
+        c.eval(out, &env)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tseitin_matches_brute_force(
+        n_inputs in 1usize..=6,
+        gates in prop::collection::vec(gate_strategy(32), 1..24),
+    ) {
+        let mut c = Circuit::new();
+        let (inputs, out) = build(&mut c, n_inputs, &gates);
+        let expected = brute_force_satisfiable(&c, &inputs, out);
+
+        let mut solver = Solver::new();
+        // Force input variables into the solver so models cover them.
+        let input_lits: Vec<_> = inputs
+            .iter()
+            .map(|&i| c.lit(i, &mut solver))
+            .collect();
+        c.assert_true(out, &mut solver);
+        let got = solver.solve() == SolveResult::Sat;
+        prop_assert_eq!(got, expected, "circuit with {} gates", gates.len());
+
+        if got {
+            // The model must satisfy the circuit concretely.
+            let mut env = HashMap::new();
+            for (&inp, &lit) in inputs.iter().zip(&input_lits) {
+                env.insert(
+                    c.input_index(inp),
+                    solver.lit_model_value(lit).unwrap_or(false),
+                );
+            }
+            prop_assert!(c.eval(out, &env), "model does not satisfy the circuit");
+        }
+    }
+
+    /// Asserting a node AND its negation is always UNSAT — exercises
+    /// polarity handling through shared Tseitin variables.
+    #[test]
+    fn node_and_negation_unsat(
+        n_inputs in 1usize..=5,
+        gates in prop::collection::vec(gate_strategy(16), 1..16),
+    ) {
+        let mut c = Circuit::new();
+        let (_, out) = build(&mut c, n_inputs, &gates);
+        let mut solver = Solver::new();
+        c.assert_true(out, &mut solver);
+        c.assert_true(out.not(), &mut solver);
+        prop_assert_eq!(solver.solve(), SolveResult::Unsat);
+    }
+}

@@ -1,0 +1,154 @@
+//! Reproduction of the paper's headline results on reduced workloads
+//! (fast enough for debug-mode CI). The full Figure 9 matrix runs via
+//! `cargo run --release -p psketch-suite --bin fig9` and the
+//! `fig9_cegis` Criterion bench.
+
+use psketch_repro::core::{Config, Options, Synthesis};
+use psketch_repro::suite::barrier::{barrier_source, BarrierVariant};
+use psketch_repro::suite::dinphilo::{dinphilo_source, PhiloVariant};
+use psketch_repro::suite::queue::{queue_source, DequeueVariant, EnqueueVariant};
+use psketch_repro::suite::set::{set_source, SetVariant};
+use psketch_repro::suite::workload::Workload;
+
+fn queue_options(w: &Workload) -> Options {
+    Options {
+        config: Config {
+            unroll: w.total_inserts() + 2,
+            pool: w.total_inserts() + 2,
+            ..Config::default()
+        },
+        ..Options::default()
+    }
+}
+
+#[test]
+fn figure2_enqueue_synthesis() {
+    // §2: the restricted Enqueue sketch resolves to Figure 2 — swap
+    // the tail first, then link.
+    let w = Workload::parse("ed(e|d)").unwrap();
+    let src = queue_source(EnqueueVariant::Restricted, DequeueVariant::Given, &w);
+    let s = Synthesis::new(&src, queue_options(&w)).unwrap();
+    assert_eq!(s.candidate_space(), 4, "Table 1: queueE1 has |C| = 4");
+    let out = s.run();
+    let r = out.resolution.expect("queueE1 resolves");
+    let enq = s.resolve_function("Enqueue", &r.assignment).unwrap();
+    let swap = enq.find("AtomicSwap(tail, newEntry)").expect("uses the swap");
+    let link = enq.find("tmp.next = newEntry").expect("links the node");
+    assert!(swap < link, "Figure 2 order:\n{enq}");
+}
+
+#[test]
+fn figure4_dequeue_synthesis() {
+    // §8.2.1: the soup Dequeue resolves into a working taken-marking
+    // dequeue (Figure 4 family).
+    let w = Workload::parse("ed(e|d)").unwrap();
+    let src = queue_source(EnqueueVariant::Restricted, DequeueVariant::SketchSoup, &w);
+    let s = Synthesis::new(&src, queue_options(&w)).unwrap();
+    let out = s.run();
+    let r = out.resolution.expect("queueDE1 resolves");
+    let deq = s.resolve_function("Dequeue", &r.assignment).unwrap();
+    // The synthesized dequeue must read through prevHead and take via
+    // the atomic swap.
+    assert!(deq.contains("prevHead"), "{deq}");
+    assert!(deq.contains("AtomicSwap(tmp.taken, 1)"), "{deq}");
+}
+
+#[test]
+fn figure3_sketch_resolves() {
+    // The 4-candidate Figure 3 dequeue sketch.
+    let w = Workload::parse("ed(e|d)").unwrap();
+    let src = queue_source(
+        EnqueueVariant::Restricted,
+        DequeueVariant::SketchAdvance,
+        &w,
+    );
+    let s = Synthesis::new(&src, queue_options(&w)).unwrap();
+    let out = s.run();
+    assert!(out.resolved(), "Figure 3 sketch resolves");
+}
+
+#[test]
+fn barrier_restricted_resolves() {
+    let src = barrier_source(BarrierVariant::Restricted, 2, 2);
+    let opts = Options {
+        config: Config {
+            hole_width: 2,
+            unroll: 4,
+            pool: 2,
+            ..Config::default()
+        },
+        ..Options::default()
+    };
+    let out = Synthesis::new(&src, opts).unwrap().run();
+    assert!(out.resolved(), "barrier1 resolves");
+}
+
+#[test]
+fn lazyset_answers_match_paper() {
+    // §8.2.4: one lock is NOT enough when adds and removes contend
+    // (NO), but is enough when removes never race the adds (yes).
+    let opts = |w: &Workload| Options {
+        config: Config {
+            unroll: w.total_inserts() + 3,
+            pool: w.total_inserts() + 3,
+            ..Config::default()
+        },
+        ..Options::default()
+    };
+    let w_no = Workload::parse("ar(ar|ar)").unwrap();
+    let out = Synthesis::new(&set_source(SetVariant::Lazy, &w_no), opts(&w_no))
+        .unwrap()
+        .run();
+    assert!(
+        !out.resolved() && out.definitely_unresolvable,
+        "mixed adds/removes must answer NO"
+    );
+
+    let w_yes = Workload::parse("ar(aa|rr)").unwrap();
+    let out = Synthesis::new(&set_source(SetVariant::Lazy, &w_yes), opts(&w_yes))
+        .unwrap()
+        .run();
+    assert!(out.resolved(), "segregated adds/removes must resolve");
+}
+
+#[test]
+fn dining_philosophers_policy_is_deadlock_free() {
+    let src = dinphilo_source(PhiloVariant::Sketch, 3, 1);
+    let opts = Options {
+        config: Config {
+            hole_width: 3,
+            unroll: 4,
+            pool: 2,
+            ..Config::default()
+        },
+        ..Options::default()
+    };
+    let s = Synthesis::new(&src, opts).unwrap();
+    let out = s.run();
+    let r = out.resolution.expect("a policy exists");
+    // The policy must break the symmetry: it cannot give all
+    // philosophers the same first chopstick side, which the constant
+    // alternatives (`true`, `false`) would.
+    let eat = s.resolve_function("eat", &r.assignment).unwrap();
+    assert!(
+        !eat.contains("if (true)") && !eat.contains("if (false)"),
+        "symmetric policies deadlock:\n{eat}"
+    );
+}
+
+#[test]
+#[ignore = "runs the full 26-row Figure 9 matrix; use --ignored (release recommended)"]
+fn full_figure9_matrix_agrees_with_paper() {
+    for run in psketch_repro::suite::figure9_runs() {
+        let s = Synthesis::new(&run.source, run.options.clone())
+            .unwrap_or_else(|e| panic!("{} [{}]: {e}", run.benchmark, run.test));
+        let out = s.run();
+        assert_eq!(
+            out.resolved(),
+            run.expected_resolvable,
+            "{} [{}] diverged from the paper",
+            run.benchmark,
+            run.test
+        );
+    }
+}
