@@ -6,7 +6,7 @@
 //! practice. This bench runs the same reorder synthesis problem under
 //! both encodings.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psketch_bench::Harness;
 use psketch_core::{Config, Options, ReorderEncoding, Synthesis};
 use std::hint::black_box;
 
@@ -48,7 +48,7 @@ fn concurrent_reorder_source() -> String {
          assert head.next != null;
          assert head.next.next != null;
      }"
-        .to_string()
+    .to_string()
 }
 
 fn options(enc: ReorderEncoding) -> Options {
@@ -63,55 +63,30 @@ fn options(enc: ReorderEncoding) -> Options {
     }
 }
 
-fn bench_sequential_reorder(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/reorder_sequential");
+fn main() {
+    let h = Harness::with_samples(10);
     for k in [4usize, 5, 6] {
         let src = reorder_source(k);
         for (name, enc) in [
             ("quadratic", ReorderEncoding::Quadratic),
             ("exponential", ReorderEncoding::Exponential),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, k),
-                &src,
-                |b, src| {
-                    b.iter(|| {
-                        let out = Synthesis::new(black_box(src), options(enc))
-                            .unwrap()
-                            .run();
-                        assert!(out.resolved());
-                        black_box(out.stats.iterations)
-                    })
-                },
-            );
+            h.bench(&format!("ablation/reorder_sequential/{name}/{k}"), || {
+                let out = Synthesis::new(black_box(&src), options(enc)).unwrap().run();
+                assert!(out.resolved());
+                black_box(out.stats.iterations);
+            });
         }
     }
-    group.finish();
-}
-
-fn bench_concurrent_reorder(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/reorder_concurrent");
     let src = concurrent_reorder_source();
     for (name, enc) in [
         ("quadratic", ReorderEncoding::Quadratic),
         ("exponential", ReorderEncoding::Exponential),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let out = Synthesis::new(black_box(&src), options(enc))
-                    .unwrap()
-                    .run();
-                assert!(out.resolved());
-                black_box(out.stats.iterations)
-            })
+        h.bench(&format!("ablation/reorder_concurrent/{name}"), || {
+            let out = Synthesis::new(black_box(&src), options(enc)).unwrap().run();
+            assert!(out.resolved());
+            black_box(out.stats.iterations);
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_sequential_reorder, bench_concurrent_reorder
-}
-criterion_main!(benches);

@@ -8,7 +8,7 @@
 //! * `por_on` vs `por_off`: how much the sound absorb-local-steps
 //!   reduction shrinks the explicit search.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use psketch_bench::Harness;
 use psketch_core::{Config, Options, Synthesis, VerifierKind};
 use psketch_exec::check;
 use psketch_ir::{desugar::desugar_program, lower::lower_program};
@@ -28,31 +28,23 @@ fn philo_options(verifier: VerifierKind) -> Options {
     }
 }
 
-fn bench_verifier_strategies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/verifier");
-    group.sample_size(10);
+fn main() {
+    let h = Harness::with_samples(10);
     let src = dinphilo_source(PhiloVariant::Sketch, 4, 3);
     for (name, kind) in [
         ("exhaustive", VerifierKind::Exhaustive),
         ("hybrid16", VerifierKind::Hybrid { samples: 16 }),
         ("hybrid64", VerifierKind::Hybrid { samples: 64 }),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let out = Synthesis::new(black_box(&src), philo_options(kind))
-                    .unwrap()
-                    .run();
-                assert!(out.resolved());
-                black_box((out.stats.iterations, out.stats.sampled_refutations))
-            })
+        h.bench(&format!("ablation/verifier/{name}"), || {
+            let out = Synthesis::new(black_box(&src), philo_options(kind))
+                .unwrap()
+                .run();
+            assert!(out.resolved());
+            black_box((out.stats.iterations, out.stats.sampled_refutations));
         });
     }
-    group.finish();
-}
 
-fn bench_local_step_reduction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation/por");
-    group.sample_size(10);
     let src = "
         int g;
         harness void main() {
@@ -75,20 +67,10 @@ fn bench_local_step_reduction(c: &mut Criterion) {
         let (sk, holes) = desugar_program(&p, &cfg).unwrap();
         let l = lower_program(&sk, holes, &cfg).unwrap();
         let a = l.holes.identity_assignment();
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let out = check(black_box(&l), &a);
-                assert!(out.is_ok());
-                black_box(out.stats.states)
-            })
+        h.bench(&format!("ablation/por/{name}"), || {
+            let out = check(black_box(&l), &a);
+            assert!(out.is_ok());
+            black_box(out.stats.states);
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_verifier_strategies, bench_local_step_reduction
-}
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! paper's `Ssolve`/`Smodel`/`Vsolve`/`Vmodel` columns.
 #![allow(clippy::needless_range_loop)]
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use psketch_bench::Harness;
 use psketch_core::Synthesis;
 use psketch_exec::check;
 use psketch_ir::{desugar::desugar_program, lower::lower_program, Config};
@@ -12,27 +12,10 @@ use psketch_suite::workload::Workload;
 use psketch_symbolic::Synthesizer;
 use std::hint::black_box;
 
-/// `Vmodel`: front end + lowering of a queue benchmark.
-fn bench_lowering(c: &mut Criterion) {
-    let w = Workload::parse("ed(ed|ed)").unwrap();
-    let src = queue_source(EnqueueVariant::Full, DequeueVariant::Given, &w);
-    let cfg = Config {
-        unroll: 5,
-        pool: 5,
-        ..Config::default()
-    };
-    c.bench_function("components/vmodel_lowering", |b| {
-        b.iter(|| {
-            let p = psketch_lang::check_program(black_box(&src)).unwrap();
-            let (sk, holes) = desugar_program(&p, &cfg).unwrap();
-            black_box(lower_program(&sk, holes, &cfg).unwrap().total_steps())
-        })
-    });
-}
+fn main() {
+    let h = Harness::with_samples(10);
 
-/// `Vsolve`: model checking one candidate of queueE2 over all
-/// interleavings.
-fn bench_model_checking(c: &mut Criterion) {
+    // `Vmodel`: front end + lowering of a queue benchmark.
     let w = Workload::parse("ed(ed|ed)").unwrap();
     let src = queue_source(EnqueueVariant::Full, DequeueVariant::Given, &w);
     let cfg = Config {
@@ -40,69 +23,56 @@ fn bench_model_checking(c: &mut Criterion) {
         pool: 5,
         ..Config::default()
     };
+    h.bench("components/vmodel_lowering", || {
+        let p = psketch_lang::check_program(black_box(&src)).unwrap();
+        let (sk, holes) = desugar_program(&p, &cfg).unwrap();
+        black_box(lower_program(&sk, holes, &cfg).unwrap().total_steps());
+    });
+
+    // `Vsolve`: model checking one candidate of queueE2 over all
+    // interleavings.
     let p = psketch_lang::check_program(&src).unwrap();
     let (sk, holes) = desugar_program(&p, &cfg).unwrap();
     let l = lower_program(&sk, holes, &cfg).unwrap();
     let a = l.holes.identity_assignment();
-    c.bench_function("components/vsolve_checker", |b| {
-        b.iter(|| black_box(check(&l, &a).stats.states))
+    h.bench("components/vsolve_checker", || {
+        black_box(check(&l, &a).stats.states);
     });
-}
 
-/// `Smodel`: building the boolean encoding of one observation.
-fn bench_trace_encoding(c: &mut Criterion) {
-    let w = Workload::parse("ed(ed|ed)").unwrap();
-    let src = queue_source(EnqueueVariant::Full, DequeueVariant::Given, &w);
-    let cfg = Config {
-        unroll: 5,
-        pool: 5,
-        ..Config::default()
-    };
-    let p = psketch_lang::check_program(&src).unwrap();
-    let (sk, holes) = desugar_program(&p, &cfg).unwrap();
-    let l = lower_program(&sk, holes, &cfg).unwrap();
-    let a = l.holes.identity_assignment();
+    // `Smodel`: building the boolean encoding of one observation.
     let cex = check(&l, &a)
         .counterexample()
         .expect("identity candidate fails queueE2")
         .clone();
-    c.bench_function("components/smodel_encoding", |b| {
-        b.iter(|| {
-            let mut synth = Synthesizer::new(&l);
-            synth.add_trace(black_box(&cex));
-            black_box(synth.stats.nodes)
-        })
+    h.bench("components/smodel_encoding", || {
+        let mut synth = Synthesizer::new(&l);
+        synth.add_trace(black_box(&cex));
+        black_box(synth.stats.nodes);
     });
-}
 
-/// `Ssolve`: raw CDCL throughput on a pigeonhole family.
-fn bench_sat(c: &mut Criterion) {
-    c.bench_function("components/ssolve_php7", |b| {
-        b.iter(|| {
-            let n = 7;
-            let m = 6;
-            let mut s = Solver::new();
-            let p: Vec<Vec<Lit>> = (0..n)
-                .map(|_| (0..m).map(|_| Lit::pos(s.new_var())).collect())
-                .collect();
-            for row in &p {
-                s.add_clause(row.iter().copied());
-            }
-            for j in 0..m {
-                for i1 in 0..n {
-                    for i2 in (i1 + 1)..n {
-                        s.add_clause([!p[i1][j], !p[i2][j]]);
-                    }
+    // `Ssolve`: raw CDCL throughput on a pigeonhole family.
+    h.bench("components/ssolve_php7", || {
+        let n = 7;
+        let m = 6;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..m).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause([!p[i1][j], !p[i2][j]]);
                 }
             }
-            assert_eq!(s.solve(), SolveResult::Unsat);
-            black_box(s.stats().conflicts)
-        })
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        black_box(s.stats().conflicts);
     });
-}
 
-/// Whole-loop reference point: queueE1 end to end.
-fn bench_cegis_queue_e1(c: &mut Criterion) {
+    // Whole-loop reference point: queueE1 end to end.
     let w = Workload::parse("ed(e|d)").unwrap();
     let src = queue_source(EnqueueVariant::Restricted, DequeueVariant::Given, &w);
     let opts = psketch_core::Options {
@@ -113,18 +83,9 @@ fn bench_cegis_queue_e1(c: &mut Criterion) {
         },
         ..psketch_core::Options::default()
     };
-    c.bench_function("components/cegis_queueE1", |b| {
-        b.iter(|| {
-            let out = Synthesis::new(black_box(&src), opts.clone()).unwrap().run();
-            assert!(out.resolved());
-            black_box(out.stats.iterations)
-        })
+    h.bench("components/cegis_queueE1", || {
+        let out = Synthesis::new(black_box(&src), opts.clone()).unwrap().run();
+        assert!(out.resolved());
+        black_box(out.stats.iterations);
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_lowering, bench_model_checking, bench_trace_encoding, bench_sat, bench_cegis_queue_e1
-}
-criterion_main!(benches);

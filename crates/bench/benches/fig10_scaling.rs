@@ -5,7 +5,7 @@
 //! single sketch family whose |C| grows geometrically (wider constant
 //! holes and longer reorder blocks) and measures end-to-end synthesis.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psketch_bench::Harness;
 use psketch_core::{Options, Synthesis};
 use std::hint::black_box;
 
@@ -41,43 +41,26 @@ fn reorder_sweep_source(k: usize) -> String {
     )
 }
 
-fn bench_hole_width_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10/hole_width");
+fn main() {
+    let h = Harness::with_samples(10);
     for width in [2u32, 4, 6, 8] {
         let src = const_sweep_source(width);
-        group.bench_with_input(BenchmarkId::from_parameter(width), &src, |b, src| {
-            b.iter(|| {
-                let out = Synthesis::new(black_box(src), Options::default())
-                    .unwrap()
-                    .run();
-                assert!(out.resolved());
-                black_box(out.stats.iterations)
-            })
+        h.bench(&format!("fig10/hole_width/{width}"), || {
+            let out = Synthesis::new(black_box(&src), Options::default())
+                .unwrap()
+                .run();
+            assert!(out.resolved());
+            black_box(out.stats.iterations);
         });
     }
-    group.finish();
-}
-
-fn bench_reorder_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10/reorder_k");
     for k in [3usize, 4, 5, 6] {
         let src = reorder_sweep_source(k);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &src, |b, src| {
-            b.iter(|| {
-                let out = Synthesis::new(black_box(src), Options::default())
-                    .unwrap()
-                    .run();
-                assert!(out.resolved());
-                black_box(out.stats.iterations)
-            })
+        h.bench(&format!("fig10/reorder_k/{k}"), || {
+            let out = Synthesis::new(black_box(&src), Options::default())
+                .unwrap()
+                .run();
+            assert!(out.resolved());
+            black_box(out.stats.iterations);
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_hole_width_sweep, bench_reorder_sweep
-}
-criterion_main!(benches);

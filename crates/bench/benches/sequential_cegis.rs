@@ -4,7 +4,7 @@
 //! A reduced version of the paper's shufps matrix-transpose contest
 //! problem: synthesize the shuffle selectors of a 2×2 transpose.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use psketch_bench::Harness;
 use psketch_core::{Options, Synthesis};
 use std::hint::black_box;
 
@@ -44,35 +44,22 @@ int impl(int x, int y) implements spec { return x * ??(2) + y * ??(2) + ??(3); }
 "#
 }
 
-fn bench_mini_transpose(c: &mut Criterion) {
-    c.bench_function("sequential/mini_transpose", |b| {
-        b.iter(|| {
-            let out = Synthesis::new(black_box(mini_transpose()), Options::default())
-                .unwrap()
-                .run();
-            assert!(out.resolved(), "mini transpose must resolve");
-            black_box(out.stats.iterations)
-        })
+fn main() {
+    let h = Harness::with_samples(10);
+    h.bench("sequential/mini_transpose", || {
+        let out = Synthesis::new(black_box(mini_transpose()), Options::default())
+            .unwrap()
+            .run();
+        assert!(out.resolved(), "mini transpose must resolve");
+        black_box(out.stats.iterations);
+    });
+    h.bench("sequential/linear_equiv", || {
+        let out = Synthesis::new(black_box(linear_equiv()), Options::default())
+            .unwrap()
+            .run();
+        assert!(out.resolved());
+        let a = &out.resolution.unwrap().assignment;
+        assert_eq!((a.value(0), a.value(1), a.value(2)), (3, 2, 5));
+        black_box(out.stats.iterations);
     });
 }
-
-fn bench_linear_equiv(c: &mut Criterion) {
-    c.bench_function("sequential/linear_equiv", |b| {
-        b.iter(|| {
-            let out = Synthesis::new(black_box(linear_equiv()), Options::default())
-                .unwrap()
-                .run();
-            assert!(out.resolved());
-            let a = &out.resolution.unwrap().assignment;
-            assert_eq!((a.value(0), a.value(1), a.value(2)), (3, 2, 5));
-            black_box(out.stats.iterations)
-        })
-    });
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_mini_transpose, bench_linear_equiv
-}
-criterion_main!(benches);

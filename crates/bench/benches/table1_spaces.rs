@@ -1,31 +1,18 @@
 //! Table 1: front-end throughput — parse, typecheck, desugar and
 //! candidate-space computation for each of the ten benchmark sketches.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use psketch_bench::Harness;
 use psketch_core::Synthesis;
 use psketch_suite::table1_entries;
 use std::hint::black_box;
 
-fn bench_table1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
+fn main() {
+    let h = Harness::with_samples(10);
     for entry in table1_entries() {
-        group.bench_function(entry.benchmark, |b| {
-            b.iter(|| {
-                let s = Synthesis::new(
-                    black_box(&entry.run.source),
-                    entry.run.options.clone(),
-                )
+        h.bench(&format!("table1/{}", entry.benchmark), || {
+            let s = Synthesis::new(black_box(&entry.run.source), entry.run.options.clone())
                 .expect("lowers");
-                black_box(s.candidate_space())
-            })
+            black_box(s.candidate_space());
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table1
-}
-criterion_main!(benches);

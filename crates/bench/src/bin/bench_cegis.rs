@@ -1,0 +1,95 @@
+//! Machine-readable CEGIS scaling benchmark → `BENCH_cegis.json`.
+//!
+//! Runs a small/medium/large trio of Figure 9 sketches through the
+//! full CEGIS loop at `threads` ∈ {1, 2, 4, 8} (plus a portfolio-width
+//! series at `portfolio` ∈ {1, 3}) and records per-run wall-clock,
+//! explored states and iteration counts. Thread scaling is bounded by
+//! the host's available cores — the `cores` field in the meta block
+//! records how many were present when the numbers were taken.
+//!
+//! Usage: `cargo run --release -p psketch-bench --bin bench_cegis
+//! [output.json]` (default `BENCH_cegis.json` in the current
+//! directory).
+
+use psketch_bench::{Harness, JsonValue, JsonWriter};
+use psketch_core::{Options, Synthesis};
+use psketch_suite::figure9_runs;
+use std::cell::RefCell;
+use std::hint::black_box;
+
+/// The `(benchmark, test)` rows measured, spanning ~20ms to ~1s of
+/// sequential CEGIS time.
+const SKETCHES: &[(&str, &str)] = &[
+    ("queueE1", "ed(ed|ed)"),
+    ("barrier2", "N=2,B=3"),
+    ("fineset2", "ar(ar|ar)"),
+];
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_cegis.json".to_string());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let h = Harness::with_samples(3);
+    let mut w = JsonWriter::new();
+
+    let runs = figure9_runs();
+    for (benchmark, test) in SKETCHES {
+        let run = runs
+            .iter()
+            .find(|r| r.benchmark == *benchmark && r.test == *test)
+            .expect("sketch is a Figure 9 row");
+        for (threads, portfolio) in [(1, 1), (2, 1), (4, 1), (8, 1), (1, 3), (4, 3)] {
+            let options = Options {
+                threads,
+                portfolio,
+                ..run.options.clone()
+            };
+            let id = format!("cegis/{benchmark}/{test}/t{threads}p{portfolio}");
+            let last = RefCell::new(None);
+            let m = h
+                .bench(&id, || {
+                    let s =
+                        Synthesis::new(black_box(&run.source), options.clone()).expect("lowers");
+                    let out = s.run();
+                    assert_eq!(out.resolved(), run.expected_resolvable, "{id}");
+                    *last.borrow_mut() = Some(out);
+                })
+                .expect("no filter in use");
+            let out = last.into_inner().expect("ran at least once");
+            w.record(&[
+                ("sketch", JsonValue::Str(format!("{benchmark}/{test}"))),
+                ("threads", JsonValue::Int(threads as i64)),
+                ("portfolio", JsonValue::Int(portfolio as i64)),
+                ("secs_median", JsonValue::Num(m.median.as_secs_f64())),
+                ("secs_min", JsonValue::Num(m.min.as_secs_f64())),
+                ("states", JsonValue::Int(out.stats.states as i64)),
+                ("iterations", JsonValue::Int(out.stats.iterations as i64)),
+                (
+                    "portfolio_width",
+                    JsonValue::Int(out.stats.portfolio_width as i64),
+                ),
+                ("resolved", JsonValue::Bool(out.resolved())),
+            ]);
+        }
+    }
+
+    let doc = w.render(&[
+        ("schema", JsonValue::Int(1)),
+        ("suite", JsonValue::Str("cegis_thread_scaling".into())),
+        ("cores", JsonValue::Int(cores as i64)),
+        ("samples", JsonValue::Int(h.samples as i64)),
+        (
+            "note",
+            JsonValue::Str(
+                "speedup from threads > cores is not expected; \
+                 compare against the cores field"
+                    .into(),
+            ),
+        ),
+    ]);
+    std::fs::write(&out_path, doc).expect("write BENCH_cegis.json");
+    println!("wrote {out_path}");
+}

@@ -1,1 +1,187 @@
-//! Criterion benches live under `benches/`; see the crate manifest.
+#![warn(missing_docs)]
+//! Benchmark support for the PSKETCH reproduction.
+//!
+//! The benches under `benches/` are plain `harness = false` binaries
+//! built on [`Harness`], a dependency-free timing loop (the container
+//! has no crates.io access, so Criterion is unavailable). Each
+//! measurement reports min/median/mean over a fixed sample count.
+//!
+//! [`JsonWriter`] emits the machine-readable `BENCH_cegis.json`
+//! consumed by the perf-trajectory tooling (see the `bench_cegis`
+//! binary).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// A named collection of timed measurements.
+pub struct Harness {
+    /// Samples per measurement.
+    pub samples: usize,
+    filter: Option<String>,
+}
+
+/// One measurement's summary statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+}
+
+impl Default for Harness {
+    fn default() -> Harness {
+        Harness::new()
+    }
+}
+
+impl Harness {
+    /// Creates a harness; `--bench` style argv filters (first
+    /// non-flag argument) restrict which measurements run.
+    pub fn new() -> Harness {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with("--") && a != "bench");
+        Harness {
+            samples: 10,
+            filter,
+        }
+    }
+
+    /// With a specific sample count.
+    pub fn with_samples(samples: usize) -> Harness {
+        Harness {
+            samples,
+            ..Harness::new()
+        }
+    }
+
+    /// Times `f` `self.samples` times and prints a summary line.
+    /// Returns `None` when the name does not match the CLI filter.
+    pub fn bench(&self, name: &str, mut f: impl FnMut()) -> Option<Measurement> {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return None;
+            }
+        }
+        // One warm-up run outside the measurement.
+        f();
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            f();
+            times.push(t0.elapsed());
+        }
+        times.sort_unstable();
+        let m = Measurement {
+            min: times[0],
+            median: times[times.len() / 2],
+            mean: times.iter().sum::<Duration>() / times.len() as u32,
+        };
+        println!(
+            "{name:<48} min {:>10.3?}  median {:>10.3?}  mean {:>10.3?}  (n={})",
+            m.min, m.median, m.mean, self.samples
+        );
+        Some(m)
+    }
+}
+
+/// Hand-rolled JSON emitter (objects of scalar fields only — exactly
+/// what the bench records need; no serde available offline).
+#[derive(Default)]
+pub struct JsonWriter {
+    rows: Vec<String>,
+}
+
+impl JsonWriter {
+    /// A fresh writer.
+    pub fn new() -> JsonWriter {
+        JsonWriter::default()
+    }
+
+    /// Appends one record; `fields` are (key, value).
+    pub fn record(&mut self, fields: &[(&str, JsonValue)]) {
+        let mut row = String::from("    {");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            if i > 0 {
+                row.push_str(", ");
+            }
+            let _ = write!(row, "\"{k}\": {v}");
+        }
+        row.push('}');
+        self.rows.push(row);
+    }
+
+    /// Renders the whole document: `{"meta": {...}, "runs": [...]}`.
+    pub fn render(&self, meta: &[(&str, JsonValue)]) -> String {
+        let mut out = String::from("{\n  \"meta\": {");
+        for (i, (k, v)) in meta.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{k}\": {v}");
+        }
+        out.push_str("},\n  \"runs\": [\n");
+        out.push_str(&self.rows.join(",\n"));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// A JSON scalar.
+pub enum JsonValue {
+    /// A string (escaped on output).
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float (rendered with 6 decimals).
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl std::fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonValue::Str(s) => {
+                write!(f, "\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+            }
+            JsonValue::Int(v) => write!(f, "{v}"),
+            JsonValue::Num(v) => write!(f, "{v:.6}"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_measures() {
+        let h = Harness::with_samples(3);
+        let m = h
+            .bench("noop", || {
+                std::hint::black_box(1 + 1);
+            })
+            .unwrap();
+        assert!(m.min <= m.median);
+    }
+
+    #[test]
+    fn json_renders_valid_shape() {
+        let mut w = JsonWriter::new();
+        w.record(&[
+            ("sketch", JsonValue::Str("queueE1".into())),
+            ("threads", JsonValue::Int(4)),
+            ("secs", JsonValue::Num(0.25)),
+            ("resolved", JsonValue::Bool(true)),
+        ]);
+        let doc = w.render(&[("schema", JsonValue::Int(1))]);
+        assert!(doc.contains("\"sketch\": \"queueE1\""));
+        assert!(doc.contains("\"schema\": 1"));
+        assert!(doc.starts_with('{') && doc.trim_end().ends_with('}'));
+    }
+}

@@ -1,7 +1,7 @@
 //! The CEGIS driver.
 
 use crate::mem;
-use psketch_exec::{check_with_limit, random_run, CexTrace, Verdict};
+use psketch_exec::{check_parallel, check_with_limit, random_run, CexTrace, Verdict};
 use psketch_ir::{desugar, lower, resolve, Assignment, Config, Lowered};
 use psketch_lang::ast::Program;
 use psketch_lang::{SourceError, SourceResult};
@@ -50,6 +50,15 @@ pub struct Options {
     pub mode: Option<Mode>,
     /// Verification strategy for harness mode.
     pub verifier: VerifierKind,
+    /// Search threads inside one verification call: the exhaustive
+    /// checker splits its frontier across this many workers, and the
+    /// hybrid sampler fans its random schedules across them. `1` (the
+    /// default) runs the exact sequential paths.
+    pub threads: usize,
+    /// Candidates proposed and verified concurrently per CEGIS
+    /// iteration (portfolio width). Every refuted candidate's trace is
+    /// fed back in one batch. `1` (the default) is classic CEGIS.
+    pub portfolio: usize,
 }
 
 impl Default for Options {
@@ -60,6 +69,8 @@ impl Default for Options {
             max_states: 20_000_000,
             mode: None,
             verifier: VerifierKind::Exhaustive,
+            threads: 1,
+            portfolio: 1,
         }
     }
 }
@@ -94,6 +105,12 @@ pub struct CegisStats {
     /// Candidates refuted by a sampled schedule before any exhaustive
     /// search (hybrid verifier only).
     pub sampled_refutations: usize,
+    /// States first discovered by each checker thread, summed over all
+    /// verification calls (one entry for sequential runs).
+    pub per_thread_states: Vec<usize>,
+    /// Widest batch of candidates verified concurrently in one
+    /// iteration (1 for classic CEGIS).
+    pub portfolio_width: usize,
 }
 
 /// A successful resolution.
@@ -175,9 +192,7 @@ impl Synthesis {
         };
         let lowered = match &mode {
             Mode::Harness => lower::lower_program(&sketch, holes, &options.config)?,
-            Mode::Equivalence(f) => {
-                lower::lower_equivalence(&sketch, holes, f, &options.config)?
-            }
+            Mode::Equivalence(f) => lower::lower_equivalence(&sketch, holes, f, &options.config)?,
         };
         Ok(Synthesis {
             sketch,
@@ -220,30 +235,44 @@ impl Synthesis {
         let mut synth = Synthesizer::new(&self.lowered);
         let mut resolution = None;
         let mut definitely_unresolvable = false;
+        let width = self.options.portfolio.max(1);
 
-        for _ in 0..self.options.max_iterations {
-            stats.iterations += 1;
-            let Some(candidate) = synth.next_candidate() else {
+        'cegis: while stats.iterations < self.options.max_iterations {
+            let k = width.min(self.options.max_iterations - stats.iterations);
+            let candidates = synth.next_candidates(k);
+            if candidates.is_empty() {
                 definitely_unresolvable = true;
                 break;
-            };
+            }
+            let base = stats.iterations;
+            stats.iterations += candidates.len();
+            stats.portfolio_width = stats.portfolio_width.max(candidates.len());
             let tv = Instant::now();
-            let iteration = stats.iterations;
-            let counterexample = self.verify_at(&candidate, &mut stats, iteration);
+            let results = self.verify_batch(&candidates, base);
             stats.v_solve += tv.elapsed();
-            match counterexample {
-                VerifyResult::Correct => {
-                    let resolved =
-                        resolve::resolve_program(&self.sketch, &candidate);
-                    resolution = Some(Resolution {
-                        assignment: candidate,
-                        source: psketch_lang::pretty::print_program(&resolved),
-                    });
-                    break;
+            for (_, effort) in &results {
+                stats.merge_effort(effort);
+            }
+            // A correct candidate wins; otherwise every trace feeds
+            // back as one observation batch.
+            let mut unknown = false;
+            for (candidate, (result, _)) in candidates.into_iter().zip(results) {
+                match result {
+                    VerifyResult::Correct => {
+                        let resolved = resolve::resolve_program(&self.sketch, &candidate);
+                        resolution = Some(Resolution {
+                            assignment: candidate,
+                            source: psketch_lang::pretty::print_program(&resolved),
+                        });
+                        break 'cegis;
+                    }
+                    VerifyResult::Trace(cex) => synth.add_trace(&cex),
+                    VerifyResult::Input(x) => synth.add_input(&x),
+                    VerifyResult::Unknown => unknown = true,
                 }
-                VerifyResult::Trace(cex) => synth.add_trace(&cex),
-                VerifyResult::Input(x) => synth.add_input(&x),
-                VerifyResult::Unknown => break,
+            }
+            if unknown {
+                break;
             }
         }
         stats.s_solve = synth.stats.solve_time;
@@ -261,32 +290,56 @@ impl Synthesis {
     /// Verifies one candidate, returning its counterexample if any.
     /// Exposed for tests and tooling.
     pub fn verify_candidate(&self, candidate: &Assignment) -> Option<CexTrace> {
-        let mut stats = CegisStats::default();
-        match self.verify_at(candidate, &mut stats, 0) {
+        match self.verify_once(candidate, 0).0 {
             VerifyResult::Trace(t) => Some(t),
             _ => None,
         }
     }
 
-    fn verify_at(
+    /// Verifies a batch of candidates, concurrently when the batch has
+    /// more than one. `base` is the iteration count before this batch
+    /// (seeds the hybrid sampler exactly as sequential CEGIS would).
+    fn verify_batch(
+        &self,
+        candidates: &[Assignment],
+        base: usize,
+    ) -> Vec<(VerifyResult, VerifyEffort)> {
+        match candidates {
+            [one] => vec![self.verify_once(one, base + 1)],
+            many => std::thread::scope(|scope| {
+                let handles: Vec<_> = many
+                    .iter()
+                    .enumerate()
+                    .map(|(ix, c)| scope.spawn(move || self.verify_once(c, base + ix + 1)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            }),
+        }
+    }
+
+    fn verify_once(
         &self,
         candidate: &Assignment,
-        stats: &mut CegisStats,
         iteration: usize,
-    ) -> VerifyResult {
-        match &self.mode {
+    ) -> (VerifyResult, VerifyEffort) {
+        let mut effort = VerifyEffort::default();
+        let threads = self.options.threads.max(1);
+        let result = match &self.mode {
             Mode::Harness => {
                 if let VerifierKind::Hybrid { samples } = self.options.verifier {
-                    for k in 0..samples {
-                        let seed = (iteration as u64) << 16 | k as u64;
-                        if let Some(cex) = random_run(&self.lowered, candidate, seed) {
-                            stats.sampled_refutations += 1;
-                            return VerifyResult::Trace(cex);
-                        }
+                    if let Some(cex) = self.sample_schedules(candidate, iteration, samples, threads)
+                    {
+                        effort.sampled_refutation = true;
+                        return (VerifyResult::Trace(cex), effort);
                     }
                 }
-                let out = check_with_limit(&self.lowered, candidate, self.options.max_states);
-                stats.states += out.stats.states;
+                let out = if threads > 1 {
+                    check_parallel(&self.lowered, candidate, self.options.max_states, threads)
+                } else {
+                    check_with_limit(&self.lowered, candidate, self.options.max_states)
+                };
+                effort.states = out.stats.states;
+                effort.per_thread_states = out.per_thread_states;
                 match out.verdict {
                     Verdict::Pass => VerifyResult::Correct,
                     Verdict::Fail(cex) => VerifyResult::Trace(cex),
@@ -297,7 +350,52 @@ impl Synthesis {
                 None => VerifyResult::Correct,
                 Some(x) => VerifyResult::Input(x),
             },
+        };
+        (result, effort)
+    }
+
+    /// Hybrid pre-pass: runs `samples` random schedules, fanned across
+    /// `threads` workers, cancelling the pack as soon as any schedule
+    /// refutes the candidate. Seeds are identical to the sequential
+    /// sampler, so `threads = 1` and `threads = N` try the same
+    /// schedule set.
+    fn sample_schedules(
+        &self,
+        candidate: &Assignment,
+        iteration: usize,
+        samples: usize,
+        threads: usize,
+    ) -> Option<CexTrace> {
+        let seed = |k: usize| (iteration as u64) << 16 | k as u64;
+        if threads <= 1 || samples <= 1 {
+            return (0..samples).find_map(|k| random_run(&self.lowered, candidate, seed(k)));
         }
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Mutex;
+        let stop = AtomicBool::new(false);
+        let found: Mutex<Option<CexTrace>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for t in 0..threads.min(samples) {
+                let stop = &stop;
+                let found = &found;
+                scope.spawn(move || {
+                    for k in (t..samples).step_by(threads) {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        if let Some(cex) = random_run(&self.lowered, candidate, seed(k)) {
+                            stop.store(true, Ordering::Relaxed);
+                            let mut slot = found.lock().unwrap();
+                            if slot.is_none() {
+                                *slot = Some(cex);
+                            }
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        found.into_inner().unwrap()
     }
 
     /// Enumerates up to `limit` *distinct* correct resolutions.
@@ -316,8 +414,7 @@ impl Synthesis {
             let Some(candidate) = synth.next_candidate() else {
                 break;
             };
-            let mut stats = CegisStats::default();
-            match self.verify_at(&candidate, &mut stats, iterations) {
+            match self.verify_once(&candidate, iterations).0 {
                 VerifyResult::Correct => {
                     let resolved = resolve::resolve_program(&self.sketch, &candidate);
                     synth.block(&candidate);
@@ -352,6 +449,34 @@ enum VerifyResult {
     Unknown,
 }
 
+/// Search effort of one verification call.
+#[derive(Default)]
+struct VerifyEffort {
+    states: usize,
+    per_thread_states: Vec<usize>,
+    sampled_refutation: bool,
+}
+
+impl CegisStats {
+    fn merge_effort(&mut self, effort: &VerifyEffort) {
+        self.states += effort.states;
+        if effort.sampled_refutation {
+            self.sampled_refutations += 1;
+        }
+        if self.per_thread_states.len() < effort.per_thread_states.len() {
+            self.per_thread_states
+                .resize(effort.per_thread_states.len(), 0);
+        }
+        for (acc, n) in self
+            .per_thread_states
+            .iter_mut()
+            .zip(&effort.per_thread_states)
+        {
+            *acc += n;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,8 +508,7 @@ mod tests {
     fn concurrent_reorder_synthesis() {
         // Thread-safe counter with a reorder: the lock must be taken
         // before the increment and released after.
-        let out = run(
-            "struct Lock { int owner = -1; }
+        let out = run("struct Lock { int owner = -1; }
              Lock lk; int g;
              void lock(Lock l) { atomic (l.owner == -1) { l.owner = pid(); } }
              void unlock(Lock l) { assert l.owner == pid(); l.owner = -1; }
@@ -400,8 +524,7 @@ mod tests {
                      }
                  }
                  assert g == 2;
-             }",
-        );
+             }");
         let r = out.resolution.expect("resolvable");
         // Permutation must be lock < read < write < unlock.
         let order: Vec<u64> = (0..4).map(|h| r.assignment.value(h)).collect();
@@ -410,10 +533,8 @@ mod tests {
 
     #[test]
     fn equivalence_mode_autodetects() {
-        let out = run(
-            "int spec(int x) { return x + x; }
-             int dbl(int x) implements spec { return x * ??(2); }",
-        );
+        let out = run("int spec(int x) { return x + x; }
+             int dbl(int x) implements spec { return x * ??(2); }");
         let r = out.resolution.expect("resolvable");
         assert_eq!(r.assignment.value(0), 2);
         assert!(r.source.contains("x * 2"), "{}", r.source);
@@ -435,13 +556,11 @@ mod tests {
 
     #[test]
     fn stats_populate_figure9_columns() {
-        let out = run(
-            "int g;
+        let out = run("int g;
              harness void main() {
                  fork (i; 2) { int old = AtomicReadAndIncr(g); }
                  assert g == ??(2);
-             }",
-        );
+             }");
         assert!(out.resolved());
         let st = &out.stats;
         assert!(st.total >= st.s_solve);
@@ -509,6 +628,79 @@ mod tests {
         let all = s.enumerate(10);
         assert_eq!(all.len(), 2, "both orders are correct");
         assert_ne!(all[0].assignment, all[1].assignment);
+    }
+
+    #[test]
+    fn parallel_and_portfolio_agree_with_sequential() {
+        let src = "int g;
+             harness void main() {
+                 fork (i; 2) {
+                     if (??(1) == 0) { int t = g; g = t + 1; }
+                     else { int old = AtomicReadAndIncr(g); }
+                 }
+                 assert g == 2;
+             }";
+        let sequential = run(src);
+        for (threads, portfolio) in [(4, 1), (1, 3), (4, 3)] {
+            let opts = Options {
+                threads,
+                portfolio,
+                ..Options::default()
+            };
+            let out = Synthesis::new(src, opts).unwrap().run();
+            let r = out.resolution.expect("resolvable with threads/portfolio");
+            assert_eq!(
+                r.assignment,
+                sequential.resolution.as_ref().unwrap().assignment,
+                "threads={threads} portfolio={portfolio}"
+            );
+            if portfolio > 1 {
+                assert!(out.stats.portfolio_width > 1);
+            }
+            if threads > 1 {
+                assert!(out.stats.per_thread_states.len() >= threads);
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_reports_unresolvable() {
+        let opts = Options {
+            portfolio: 4,
+            ..Options::default()
+        };
+        let out = Synthesis::new(
+            "int g; harness void main() { g = ??(2); assert g == 9; }",
+            opts,
+        )
+        .unwrap()
+        .run();
+        assert!(!out.resolved());
+        assert!(out.definitely_unresolvable);
+    }
+
+    #[test]
+    fn hybrid_sampling_parallel_still_resolves() {
+        let opts = Options {
+            threads: 4,
+            verifier: VerifierKind::Hybrid { samples: 16 },
+            ..Options::default()
+        };
+        let out = Synthesis::new(
+            "int g;
+             harness void main() {
+                 fork (i; 2) {
+                     if (??(1) == 0) { int t = g; g = t + 1; }
+                     else { int old = AtomicReadAndIncr(g); }
+                 }
+                 assert g == 2;
+             }",
+            opts,
+        )
+        .unwrap()
+        .run();
+        let r = out.resolution.expect("resolvable");
+        assert_eq!(r.assignment.value(0), 1);
     }
 
     #[test]

@@ -5,11 +5,9 @@
 //! masked out of the canonical state to merge equivalent paths) and
 //! exact counterexample-trace extraction.
 
-use crate::store::{
-    eval_rv, exec_op, CexTrace, Failure, FailureKind, Store,
-};
+use crate::fingerprint::FpSet;
+use crate::store::{eval_rv, exec_op, CexTrace, Failure, FailureKind, Store};
 use psketch_ir::{Assignment, Lowered, Lv, Op, Rv, Thread, ThreadId};
-use std::collections::HashSet;
 
 /// The checker's verdict.
 #[derive(Clone, Debug)]
@@ -40,6 +38,10 @@ pub struct CheckOutcome {
     pub verdict: Verdict,
     /// Search counters.
     pub stats: CheckStats,
+    /// States first discovered by each search thread. The sequential
+    /// checker reports a single entry; the parallel checker one entry
+    /// per worker thread (the shared initial state is unattributed).
+    pub per_thread_states: Vec<usize>,
 }
 
 impl CheckOutcome {
@@ -231,19 +233,19 @@ pub fn random_run(l: &Lowered, candidate: &Assignment, seed: u64) -> Option<CexT
 }
 
 #[derive(Clone)]
-struct WorkerState {
-    pc: usize,
-    locals: Vec<i64>,
+pub(crate) struct WorkerState {
+    pub(crate) pc: usize,
+    pub(crate) locals: Vec<i64>,
 }
 
 #[derive(Clone)]
-struct ExecState {
-    store: Store,
-    workers: Vec<WorkerState>,
+pub(crate) struct ExecState {
+    pub(crate) store: Store,
+    pub(crate) workers: Vec<WorkerState>,
 }
 
-struct Checker<'a> {
-    l: &'a Lowered,
+pub(crate) struct Checker<'a> {
+    pub(crate) l: &'a Lowered,
     holes: &'a Assignment,
     /// `match_end[w][pc]` = index of the AtomicEnd matching an
     /// AtomicBegin at `pc`.
@@ -252,15 +254,11 @@ struct Checker<'a> {
     live: Vec<Vec<Vec<u64>>>,
 }
 
-type FireResult = Result<Vec<(ThreadId, usize)>, (Vec<(ThreadId, usize)>, Failure)>;
+pub(crate) type FireResult = Result<Vec<(ThreadId, usize)>, (Vec<(ThreadId, usize)>, Failure)>;
 
 impl<'a> Checker<'a> {
-    fn new(l: &'a Lowered, holes: &'a Assignment) -> Checker<'a> {
-        let match_end = l
-            .workers
-            .iter()
-            .map(compute_match_end)
-            .collect();
+    pub(crate) fn new(l: &'a Lowered, holes: &'a Assignment) -> Checker<'a> {
+        let match_end = l.workers.iter().map(compute_match_end).collect();
         let live = l.workers.iter().map(compute_liveness).collect();
         Checker {
             l,
@@ -270,7 +268,7 @@ impl<'a> Checker<'a> {
         }
     }
 
-    fn initial_workers(&self, store: Store) -> ExecState {
+    pub(crate) fn initial_workers(&self, store: Store) -> ExecState {
         ExecState {
             store,
             workers: self
@@ -291,7 +289,7 @@ impl<'a> Checker<'a> {
 
     /// Runs a sequential phase (prologue/epilogue) to completion.
     #[allow(clippy::type_complexity)]
-    fn run_seq(
+    pub(crate) fn run_seq(
         &self,
         tid: ThreadId,
         thread: &Thread,
@@ -430,7 +428,7 @@ impl<'a> Checker<'a> {
         }
     }
 
-    fn advance_all(&self, state: &mut ExecState) -> FireResult {
+    pub(crate) fn advance_all(&self, state: &mut ExecState) -> FireResult {
         let mut all = Vec::new();
         for w in 0..state.workers.len() {
             all.extend(self.advance(state, w)?);
@@ -442,14 +440,14 @@ impl<'a> Checker<'a> {
         state.workers[w].pc >= self.l.workers[w].steps.len()
     }
 
-    fn all_finished(&self, state: &ExecState) -> bool {
+    pub(crate) fn all_finished(&self, state: &ExecState) -> bool {
         (0..state.workers.len()).all(|w| self.finished(state, w))
     }
 
     /// Is worker `w` able to take a transition? Its pc rests on a
     /// visible, guard-true step (advance invariant); a conditional
     /// atomic additionally needs its condition to hold *now*.
-    fn enabled(&self, state: &ExecState, w: usize) -> bool {
+    pub(crate) fn enabled(&self, state: &ExecState, w: usize) -> bool {
         if self.finished(state, w) {
             return false;
         }
@@ -471,7 +469,7 @@ impl<'a> Checker<'a> {
 
     /// Fires one transition of worker `w`: the visible step at its pc
     /// (a whole atomic section if it is an AtomicBegin), then advances.
-    fn fire(&self, state: &mut ExecState, w: usize) -> FireResult {
+    pub(crate) fn fire(&self, state: &mut ExecState, w: usize) -> FireResult {
         let thread = &self.l.workers[w];
         let tid = self.trace_tid(w);
         let mut executed = Vec::new();
@@ -540,14 +538,14 @@ impl<'a> Checker<'a> {
         Ok(executed)
     }
 
-    fn blocked_positions(&self, state: &ExecState) -> Vec<(ThreadId, usize)> {
+    pub(crate) fn blocked_positions(&self, state: &ExecState) -> Vec<(ThreadId, usize)> {
         (0..state.workers.len())
             .filter(|&w| !self.finished(state, w))
             .map(|w| (self.trace_tid(w), state.workers[w].pc))
             .collect()
     }
 
-    fn deadlock_failure(&self, state: &ExecState) -> Failure {
+    pub(crate) fn deadlock_failure(&self, state: &ExecState) -> Failure {
         let (tid, step) = self.blocked_positions(state)[0];
         let span = self.l.workers[tid - 1].steps[step].span;
         Failure {
@@ -559,16 +557,12 @@ impl<'a> Checker<'a> {
     }
 
     /// Canonical state encoding with dead locals masked out.
-    fn canonical(&self, state: &ExecState) -> Vec<i64> {
+    pub(crate) fn canonical(&self, state: &ExecState) -> Vec<i64> {
         let mut v = Vec::with_capacity(
             state.workers.len()
                 + state.store.globals.len()
                 + state.store.allocs.len()
-                + state
-                    .workers
-                    .iter()
-                    .map(|w| w.locals.len())
-                    .sum::<usize>(),
+                + state.workers.iter().map(|w| w.locals.len()).sum::<usize>(),
         );
         for w in &state.workers {
             v.push(w.pc as i64);
@@ -604,6 +598,7 @@ impl<'a> Checker<'a> {
                         deadlock: vec![],
                     }),
                     stats,
+                    per_thread_states: vec![stats.states],
                 }
             }
         };
@@ -625,6 +620,7 @@ impl<'a> Checker<'a> {
                         deadlock: vec![],
                     }),
                     stats,
+                    per_thread_states: vec![stats.states],
                 }
             }
         }
@@ -642,30 +638,30 @@ impl<'a> Checker<'a> {
             executed: Vec<(ThreadId, usize)>,
             next_choice: usize,
         }
-        let mut visited: HashSet<Vec<i64>> = HashSet::new();
+        let mut visited = FpSet::new();
         let mut stack = vec![Frame {
             state: init,
             executed: Vec::new(),
             next_choice: 0,
         }];
-        visited.insert(self.canonical(&stack[0].state));
+        visited.insert(&self.canonical(&stack[0].state));
 
-        let build_trace = |stack: &[Frame],
-                           extra: Vec<(ThreadId, usize)>|
-         -> Vec<(ThreadId, usize)> {
-            let mut t = prefix.clone();
-            for f in stack {
-                t.extend(f.executed.iter().copied());
-            }
-            t.extend(extra);
-            t
-        };
+        let build_trace =
+            |stack: &[Frame], extra: Vec<(ThreadId, usize)>| -> Vec<(ThreadId, usize)> {
+                let mut t = prefix.clone();
+                for f in stack {
+                    t.extend(f.executed.iter().copied());
+                }
+                t.extend(extra);
+                t
+            };
 
         while let Some(top_ix) = stack.len().checked_sub(1) {
             if visited.len() > max_states {
                 return CheckOutcome {
                     verdict: Verdict::Unknown,
                     stats: *stats,
+                    per_thread_states: vec![stats.states],
                 };
             }
             let nworkers = stack[top_ix].state.workers.len();
@@ -692,6 +688,7 @@ impl<'a> Checker<'a> {
                                         deadlock: vec![],
                                     }),
                                     stats: *stats,
+                                    per_thread_states: vec![stats.states],
                                 };
                             }
                         }
@@ -706,6 +703,7 @@ impl<'a> Checker<'a> {
                                 deadlock,
                             }),
                             stats: *stats,
+                            per_thread_states: vec![stats.states],
                         };
                     }
                 }
@@ -722,8 +720,7 @@ impl<'a> Checker<'a> {
                 stats.transitions += 1;
                 match self.fire(&mut next, w) {
                     Ok(executed) => {
-                        let canon = self.canonical(&next);
-                        if visited.insert(canon) {
+                        if visited.insert(&self.canonical(&next)) {
                             stats.states = visited.len();
                             stack.push(Frame {
                                 state: next,
@@ -743,6 +740,7 @@ impl<'a> Checker<'a> {
                                 deadlock: vec![],
                             }),
                             stats: *stats,
+                            per_thread_states: vec![stats.states],
                         };
                     }
                 }
@@ -755,6 +753,7 @@ impl<'a> Checker<'a> {
         CheckOutcome {
             verdict: Verdict::Pass,
             stats: *stats,
+            per_thread_states: vec![stats.states],
         }
     }
 }
@@ -895,13 +894,11 @@ mod tests {
     #[test]
     fn race_found_lost_update() {
         // Classic lost update: g = g + 1 from two threads can yield 1.
-        let out = run(
-            "int g;
+        let out = run("int g;
              harness void main() {
                  fork (i; 2) { int t = g; g = t + 1; }
                  assert g == 2;
-             }",
-        );
+             }");
         let cex = out.counterexample().expect("race must be found");
         assert_eq!(cex.failure.kind, FailureKind::AssertFailed);
         assert_eq!(cex.failure.tid, 3, "failure detected in the epilogue");
@@ -909,21 +906,18 @@ mod tests {
 
     #[test]
     fn atomic_section_prevents_race() {
-        assert!(run(
-            "int g;
+        assert!(run("int g;
              harness void main() {
                  fork (i; 2) { atomic { int t = g; g = t + 1; } }
                  assert g == 2;
-             }",
-        )
+             }",)
         .is_ok());
     }
 
     #[test]
     fn conditional_atomic_orders_threads() {
         // Thread 1 waits for thread 0's value.
-        assert!(run(
-            "int turn; int log0; int log1;
+        assert!(run("int turn; int log0; int log1;
              harness void main() {
                  fork (i; 2) {
                      if (i == 0) {
@@ -935,22 +929,19 @@ mod tests {
                      }
                  }
                  assert log1 == 2;
-             }",
-        )
+             }",)
         .is_ok());
     }
 
     #[test]
     fn deadlock_detected_with_set() {
-        let out = run(
-            "int a; int b;
+        let out = run("int a; int b;
              harness void main() {
                  fork (i; 2) {
                      if (i == 0) { atomic (a == 1) { } b = 1; }
                      else { atomic (b == 1) { } a = 1; }
                  }
-             }",
-        );
+             }");
         let cex = out.counterexample().expect("deadlock");
         assert_eq!(cex.failure.kind, FailureKind::Deadlock);
         assert_eq!(cex.deadlock.len(), 2);
@@ -959,8 +950,7 @@ mod tests {
     #[test]
     fn lock_prelude_works() {
         // Locks via conditional atomics (paper Figure 7).
-        assert!(run(
-            "struct Lock { int owner = -1; }
+        assert!(run("struct Lock { int owner = -1; }
              Lock lk; int g;
              void lock(Lock l) { atomic (l.owner == -1) { l.owner = pid(); } }
              void unlock(Lock l) { assert l.owner == pid(); l.owner = -1; }
@@ -973,19 +963,16 @@ mod tests {
                      unlock(lk);
                  }
                  assert g == 2;
-             }",
-        )
+             }",)
         .is_ok());
     }
 
     #[test]
     fn null_deref_found() {
-        let out = run(
-            "struct N { int v; N next; } N head;
+        let out = run("struct N { int v; N next; } N head;
              harness void main() {
                  fork (i; 1) { int x = head.v; }
-             }",
-        );
+             }");
         assert_eq!(
             out.counterexample().unwrap().failure.kind,
             FailureKind::NullDeref
@@ -994,13 +981,11 @@ mod tests {
 
     #[test]
     fn pool_exhaustion_found() {
-        let out = run(
-            "struct N { int v; }
+        let out = run("struct N { int v; }
              harness void main() {
                  int k = 0;
                  while (k < 100) { N n = new N(1); k = k + 1; }
-             }",
-        );
+             }");
         // Either pool exhaustion or the loop bound fires first; with
         // pool=8 < unroll bound budget 8 iterations, loop asserts.
         assert!(!out.is_ok());
@@ -1008,12 +993,10 @@ mod tests {
 
     #[test]
     fn loop_termination_bound_fails_spinning() {
-        let out = run(
-            "int g;
+        let out = run("int g;
              harness void main() {
                  fork (i; 1) { while (g == 0) { } }
-             }",
-        );
+             }");
         let cex = out.counterexample().unwrap();
         assert_eq!(cex.failure.kind, FailureKind::AssertFailed);
     }
@@ -1021,13 +1004,11 @@ mod tests {
     #[test]
     fn swap_based_counter_is_exact() {
         // AtomicReadAndIncr makes the increment atomic: always 2.
-        assert!(run(
-            "int g;
+        assert!(run("int g;
              harness void main() {
                  fork (i; 2) { int old = AtomicReadAndIncr(g); }
                  assert g == 2;
-             }",
-        )
+             }",)
         .is_ok());
     }
 

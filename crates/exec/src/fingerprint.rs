@@ -1,0 +1,183 @@
+//! 64-bit state fingerprints and the visited sets built on them.
+//!
+//! The checker's canonical state is a `Vec<i64>`; storing every vector
+//! verbatim makes the visited set the dominant memory and hashing cost
+//! of the search. Instead we reduce each state to a 64-bit fingerprint
+//! (a splitmix64-style mix over the words) and store only that. With
+//! a 64-bit fingerprint the collision probability over `n` states is
+//! about `n^2 / 2^65` — negligible at the state counts this checker
+//! reaches — and the `exact-visited` feature keeps the full states
+//! around to assert that no collision actually happened.
+
+use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+#[cfg(feature = "exact-visited")]
+use std::collections::HashMap;
+
+/// Mixes a canonical state vector down to 64 bits.
+pub fn fingerprint(state: &[i64]) -> u64 {
+    let mut h: u64 = 0x243f_6a88_85a3_08d3 ^ (state.len() as u64);
+    for &x in state {
+        let mut z = h ^ (x as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h = z ^ (z >> 31);
+    }
+    h
+}
+
+/// Pass-through hasher for keys that are already fingerprints.
+#[derive(Default)]
+pub struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("fingerprint sets only hash u64 keys")
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type FpHashSet = HashSet<u64, BuildHasherDefault<IdentityHasher>>;
+
+#[cfg(feature = "exact-visited")]
+fn check_collision(exact: &mut HashMap<u64, Vec<i64>>, fp: u64, state: &[i64], fresh: bool) {
+    if fresh {
+        exact.insert(fp, state.to_vec());
+    } else if let Some(prev) = exact.get(&fp) {
+        assert_eq!(
+            prev.as_slice(),
+            state,
+            "fingerprint collision on {fp:#018x}"
+        );
+    }
+}
+
+/// Single-threaded visited set keyed by state fingerprint.
+#[derive(Default)]
+pub struct FpSet {
+    set: FpHashSet,
+    #[cfg(feature = "exact-visited")]
+    exact: HashMap<u64, Vec<i64>>,
+}
+
+impl FpSet {
+    /// An empty set.
+    pub fn new() -> FpSet {
+        FpSet::default()
+    }
+
+    /// Inserts `state`; true when it was not present.
+    pub fn insert(&mut self, state: &[i64]) -> bool {
+        let fp = fingerprint(state);
+        let fresh = self.set.insert(fp);
+        #[cfg(feature = "exact-visited")]
+        check_collision(&mut self.exact, fp, state, fresh);
+        fresh
+    }
+
+    /// Number of distinct states inserted.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True when no state has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+/// Concurrent visited set: fingerprints spread over lock-striped
+/// shards, so parallel search threads rarely contend on the same lock.
+pub struct ShardedFpSet {
+    shards: Vec<Mutex<FpHashSet>>,
+    count: AtomicUsize,
+    #[cfg(feature = "exact-visited")]
+    exact: Vec<Mutex<HashMap<u64, Vec<i64>>>>,
+}
+
+impl ShardedFpSet {
+    /// A set with at least `min_shards` shards (rounded up to a power
+    /// of two).
+    pub fn new(min_shards: usize) -> ShardedFpSet {
+        let n = min_shards.max(1).next_power_of_two();
+        ShardedFpSet {
+            shards: (0..n).map(|_| Mutex::new(FpHashSet::default())).collect(),
+            count: AtomicUsize::new(0),
+            #[cfg(feature = "exact-visited")]
+            exact: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// Inserts `state`; true when it was not present. Linearizes on the
+    /// shard lock: two threads inserting the same state race to one
+    /// winner.
+    pub fn insert(&self, state: &[i64]) -> bool {
+        let fp = fingerprint(state);
+        // Shard on the high bits; the table buckets use the low bits.
+        let ix = (fp >> 48) as usize & (self.shards.len() - 1);
+        let fresh = self.shards[ix].lock().unwrap().insert(fp);
+        if fresh {
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+        #[cfg(feature = "exact-visited")]
+        check_collision(&mut self.exact[ix].lock().unwrap(), fp, state, fresh);
+        fresh
+    }
+
+    /// Number of distinct states inserted (monotone; may lag a racing
+    /// insert by a moment).
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// True when no state has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_differs_on_order_and_length() {
+        assert_ne!(fingerprint(&[1, 2]), fingerprint(&[2, 1]));
+        assert_ne!(fingerprint(&[0]), fingerprint(&[0, 0]));
+        assert_eq!(fingerprint(&[7, -3]), fingerprint(&[7, -3]));
+    }
+
+    #[test]
+    fn fpset_deduplicates() {
+        let mut s = FpSet::new();
+        assert!(s.insert(&[1, 2, 3]));
+        assert!(!s.insert(&[1, 2, 3]));
+        assert!(s.insert(&[3, 2, 1]));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn sharded_set_deduplicates_across_threads() {
+        let s = ShardedFpSet::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for k in 0..1000i64 {
+                        s.insert(&[k, k * 31, -k]);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len(), 1000);
+    }
+}

@@ -36,9 +36,12 @@
 //! ```
 
 mod checker;
+pub mod fingerprint;
+mod parallel;
 mod store;
 pub mod trace_fmt;
 
 pub use checker::{check, check_with_limit, random_run, replay, CheckOutcome, CheckStats, Verdict};
+pub use parallel::check_parallel;
 pub use store::{CexTrace, Failure, FailureKind, Store};
 pub use trace_fmt::{format_lowered, format_trace};

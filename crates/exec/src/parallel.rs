@@ -1,0 +1,298 @@
+//! Parallel explicit-state search.
+//!
+//! Splits the interleaving exploration of [`crate::check`] across
+//! worker threads. The search space is a DAG of canonical states; each
+//! worker repeatedly takes a frontier node (an [`ExecState`] plus the
+//! schedule prefix that reached it), fires every enabled transition,
+//! claims the newly discovered successors through a sharded
+//! fingerprint set, keeps one successor to continue depth-first and
+//! publishes the rest to a shared work queue for other threads to
+//! steal.
+//!
+//! The exploration order differs from the sequential checker, but the
+//! verdict cannot: both explore exactly the reachable canonical states,
+//! a failing transition always produces the full schedule prefix that
+//! reproduces it (never-accept-wrong is preserved — every reported
+//! counterexample is a real execution), and `Pass` is only returned
+//! once the frontier is drained with no failure and no limit hit.
+//! Which counterexample is returned when several interleavings fail is
+//! a race, so callers must only rely on pass/fail, not on the specific
+//! trace.
+
+use crate::checker::{CheckOutcome, CheckStats, Checker, ExecState, Verdict};
+use crate::fingerprint::ShardedFpSet;
+use crate::store::{CexTrace, Failure, Store};
+use psketch_ir::{Assignment, Lowered, ThreadId};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// A frontier node: a state plus the schedule that reached it.
+struct Job {
+    state: ExecState,
+    trace: Vec<(ThreadId, usize)>,
+}
+
+struct QueueState {
+    jobs: Vec<Job>,
+    /// Workers currently blocked waiting for a job.
+    idle: usize,
+    /// Set when the search is over (drained, failed, or over limit).
+    done: bool,
+}
+
+/// Shared search state: work queue, visited set, result slots.
+struct Shared<'a> {
+    ck: Checker<'a>,
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    visited: ShardedFpSet,
+    stop: AtomicBool,
+    over_limit: AtomicBool,
+    failure: Mutex<Option<CexTrace>>,
+    transitions: AtomicUsize,
+    terminal_states: AtomicUsize,
+    max_states: usize,
+    thread_count: usize,
+}
+
+impl<'a> Shared<'a> {
+    /// Records the first failure and halts the search.
+    fn fail(
+        &self,
+        steps: Vec<(ThreadId, usize)>,
+        failure: Failure,
+        deadlock: Vec<(ThreadId, usize)>,
+    ) {
+        let mut slot = self.failure.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(CexTrace {
+                steps,
+                failure,
+                deadlock,
+            });
+        }
+        drop(slot);
+        self.halt();
+    }
+
+    /// Stops all workers, waking any that sleep on the queue.
+    fn halt(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let mut q = self.queue.lock().unwrap();
+        q.done = true;
+        self.available.notify_all();
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+/// Model-checks `candidate` over every interleaving using `threads`
+/// search threads, bounding the number of distinct states explored.
+///
+/// `threads <= 1` runs the sequential [`crate::check_with_limit`]
+/// unchanged. The parallel verdict agrees with the sequential one on
+/// pass/fail/unknown-at-the-same-limit, but a failing run may return a
+/// different (equally valid) counterexample.
+pub fn check_parallel(
+    l: &Lowered,
+    candidate: &Assignment,
+    max_states: usize,
+    threads: usize,
+) -> CheckOutcome {
+    if threads <= 1 {
+        return crate::check_with_limit(l, candidate, max_states);
+    }
+    let ck = Checker::new(l, candidate);
+
+    // Prologue and initial local-step absorption run once, up front,
+    // exactly as in the sequential checker.
+    let mut store = Store::initial(l);
+    let mut prefix: Vec<(ThreadId, usize)> = Vec::new();
+    match ck.run_seq(0, &l.prologue, &mut store) {
+        Ok((_, steps)) => prefix.extend(steps),
+        Err((steps, failure)) => {
+            return CheckOutcome {
+                verdict: Verdict::Fail(CexTrace {
+                    steps,
+                    failure,
+                    deadlock: vec![],
+                }),
+                stats: CheckStats::default(),
+                per_thread_states: vec![0; threads],
+            }
+        }
+    }
+    let mut init = ck.initial_workers(store);
+    match ck.advance_all(&mut init) {
+        Ok(steps) => prefix.extend(steps),
+        Err((steps, failure)) => {
+            prefix.extend(steps);
+            return CheckOutcome {
+                verdict: Verdict::Fail(CexTrace {
+                    steps: prefix,
+                    failure,
+                    deadlock: vec![],
+                }),
+                stats: CheckStats::default(),
+                per_thread_states: vec![0; threads],
+            };
+        }
+    }
+
+    let visited = ShardedFpSet::new(threads * 16);
+    visited.insert(&ck.canonical(&init));
+    let shared = Shared {
+        ck,
+        queue: Mutex::new(QueueState {
+            jobs: vec![Job {
+                state: init,
+                trace: prefix,
+            }],
+            idle: 0,
+            done: false,
+        }),
+        available: Condvar::new(),
+        visited,
+        stop: AtomicBool::new(false),
+        over_limit: AtomicBool::new(false),
+        failure: Mutex::new(None),
+        transitions: AtomicUsize::new(0),
+        terminal_states: AtomicUsize::new(0),
+        max_states,
+        thread_count: threads,
+    };
+
+    let per_thread_states: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| scope.spawn(|| worker(&shared)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let stats = CheckStats {
+        states: shared.visited.len(),
+        transitions: shared.transitions.load(Ordering::Relaxed),
+        terminal_states: shared.terminal_states.load(Ordering::Relaxed),
+    };
+    let failure = shared.failure.into_inner().unwrap();
+    let verdict = match failure {
+        Some(cex) => Verdict::Fail(cex),
+        None if shared.over_limit.load(Ordering::Relaxed) => Verdict::Unknown,
+        None => Verdict::Pass,
+    };
+    CheckOutcome {
+        verdict,
+        stats,
+        per_thread_states,
+    }
+}
+
+/// One search thread: drains the frontier until the space is exhausted
+/// or another thread halts the search. Returns the number of states
+/// this thread discovered first.
+fn worker(shared: &Shared<'_>) -> usize {
+    let mut discovered = 0usize;
+    'steal: loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if q.done {
+                    return discovered;
+                }
+                if let Some(j) = q.jobs.pop() {
+                    break j;
+                }
+                q.idle += 1;
+                // Queue empty and everyone idle: the space is drained.
+                if q.idle == shared.thread_count {
+                    q.done = true;
+                    shared.available.notify_all();
+                    return discovered;
+                }
+                q = shared.available.wait(q).unwrap();
+                q.idle -= 1;
+            }
+        };
+        // Work-first descent: expand the node; keep one fresh child
+        // locally, publish the others.
+        let mut current = job;
+        loop {
+            if shared.stopped() {
+                return discovered;
+            }
+            if shared.visited.len() > shared.max_states {
+                shared.over_limit.store(true, Ordering::SeqCst);
+                shared.halt();
+                return discovered;
+            }
+            match expand(shared, current, &mut discovered) {
+                Some(next) => current = next,
+                None => continue 'steal,
+            }
+        }
+    }
+}
+
+/// Expands one frontier node. Returns the child to continue with
+/// depth-first, or `None` when the node is terminal / yields nothing
+/// new / fails.
+fn expand(shared: &Shared<'_>, current: Job, discovered: &mut usize) -> Option<Job> {
+    let ck = &shared.ck;
+    let state = &current.state;
+    let nworkers = state.workers.len();
+    let any_enabled = (0..nworkers).any(|w| ck.enabled(state, w));
+    if !any_enabled {
+        if ck.all_finished(state) {
+            shared.terminal_states.fetch_add(1, Ordering::Relaxed);
+            let mut store = state.store.clone();
+            if let Err((esteps, failure)) =
+                ck.run_seq(ck.l.epilogue_tid(), &ck.l.epilogue, &mut store)
+            {
+                let mut steps = current.trace;
+                steps.extend(esteps);
+                shared.fail(steps, failure, vec![]);
+            }
+        } else {
+            let failure = ck.deadlock_failure(state);
+            let deadlock = ck.blocked_positions(state);
+            shared.fail(current.trace, failure, deadlock);
+        }
+        return None;
+    }
+    let mut keep: Option<Job> = None;
+    for w in 0..nworkers {
+        if !ck.enabled(state, w) {
+            continue;
+        }
+        let mut next = state.clone();
+        shared.transitions.fetch_add(1, Ordering::Relaxed);
+        match ck.fire(&mut next, w) {
+            Ok(executed) => {
+                if !shared.visited.insert(&ck.canonical(&next)) {
+                    continue;
+                }
+                *discovered += 1;
+                let mut trace = current.trace.clone();
+                trace.extend(executed);
+                let child = Job { state: next, trace };
+                match keep {
+                    None => keep = Some(child),
+                    Some(_) => {
+                        let mut q = shared.queue.lock().unwrap();
+                        q.jobs.push(child);
+                        shared.available.notify_one();
+                    }
+                }
+            }
+            Err((executed, failure)) => {
+                let mut steps = current.trace;
+                steps.extend(executed);
+                shared.fail(steps, failure, vec![]);
+                return None;
+            }
+        }
+    }
+    keep
+}

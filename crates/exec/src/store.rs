@@ -397,11 +397,7 @@ mod tests {
         let l = lowered("harness void main() { }");
         let store = Store::initial(&l);
         let holes = l.holes.identity_assignment();
-        let add = Rv::Binary(
-            BinOp::Add,
-            Box::new(Rv::Const(127)),
-            Box::new(Rv::Const(1)),
-        );
+        let add = Rv::Binary(BinOp::Add, Box::new(Rv::Const(127)), Box::new(Rv::Const(1)));
         assert_eq!(eval_rv(&add, &store, &[], &holes, &l), Ok(-128));
     }
 

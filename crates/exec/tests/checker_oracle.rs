@@ -44,12 +44,7 @@ fn rmw_possible(threads: usize) -> BTreeSet<i64> {
         }
     }
     let mut out = BTreeSet::new();
-    dfs(
-        0,
-        &mut vec![None; threads],
-        &mut vec![0; threads],
-        &mut out,
-    );
+    dfs(0, &mut vec![None; threads], &mut vec![0; threads], &mut out);
     out
 }
 
@@ -192,7 +187,11 @@ fn conditional_atomic_wakeups_are_not_missed() {
     );
     let a = l.holes.identity_assignment();
     let out = check(&l, &a);
-    assert!(out.is_ok(), "{:?}", out.counterexample().map(|c| &c.failure));
+    assert!(
+        out.is_ok(),
+        "{:?}",
+        out.counterexample().map(|c| &c.failure)
+    );
 }
 
 #[test]

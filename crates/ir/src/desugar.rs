@@ -23,9 +23,7 @@ use crate::config::{Config, ReorderEncoding};
 use crate::hole::{HoleTable, SiteKind};
 use psketch_lang::ast::*;
 use psketch_lang::error::{Phase, SourceError, SourceResult, Span};
-use psketch_lang::typecheck::{
-    assignable, generator_alternatives, infer_expr, Scope, TypeEnv,
-};
+use psketch_lang::typecheck::{assignable, generator_alternatives, infer_expr, Scope, TypeEnv};
 
 /// Desugars all synthesis constructs in `program`.
 ///
@@ -37,10 +35,7 @@ use psketch_lang::typecheck::{
 /// Reports ill-formed generator functions, empty generator languages,
 /// declarations directly inside `reorder`, and non-constant `repeat`
 /// counts that are not holes.
-pub fn desugar_program(
-    program: &Program,
-    config: &Config,
-) -> SourceResult<(Program, HoleTable)> {
+pub fn desugar_program(program: &Program, config: &Config) -> SourceResult<(Program, HoleTable)> {
     let env = TypeEnv::from_program(program)?;
     let mut out = Program {
         structs: program.structs.clone(),
@@ -210,11 +205,7 @@ impl<'a> Ctx<'a> {
             );
             let h = self.table.new_hole(site, alts.len() as u64, *gspan);
             let rhs = self.ds_expr(rhs, Some(&lty))?;
-            return Ok(Stmt::Assign(
-                Expr::Choice(h, alts, *gspan),
-                rhs,
-                span,
-            ));
+            return Ok(Stmt::Assign(Expr::Choice(h, alts, *gspan), rhs, span));
         }
         let lhs = self.ds_expr_nogen(lhs)?;
         let lty = infer_expr(&self.scope, &lhs, None)?;
@@ -275,10 +266,7 @@ impl<'a> Ctx<'a> {
                     _ if op.is_equality() => {
                         // Type one side to guide the other (null, holes).
                         match infer_expr(&self.scope, l, None) {
-                            Ok(lt) => (
-                                self.ds_expr(l, Some(&lt))?,
-                                self.ds_expr(r, Some(&lt))?,
-                            ),
+                            Ok(lt) => (self.ds_expr(l, Some(&lt))?, self.ds_expr(r, Some(&lt))?),
                             Err(_) => {
                                 let rt = infer_expr(&self.scope, r, None)?;
                                 (self.ds_expr(l, Some(&rt))?, self.ds_expr(r, Some(&rt))?)
@@ -362,7 +350,9 @@ impl<'a> Ctx<'a> {
                         format!("{name} expects {} arguments", f.params.len()),
                     ));
                 }
-                let Stmt::Block(ss) = &f.body else { unreachable!() };
+                let Stmt::Block(ss) = &f.body else {
+                    unreachable!()
+                };
                 let [Stmt::Return(Some(body), _)] = &ss[..] else {
                     unreachable!()
                 };
@@ -505,12 +495,7 @@ impl<'a> Ctx<'a> {
                     };
                     let mut next = Vec::with_capacity(2 * list.len() + 1);
                     for (p, existing) in list.iter().enumerate() {
-                        next.push(Stmt::If(
-                            guard_eq(p),
-                            Box::new(child.clone()),
-                            None,
-                            span,
-                        ));
+                        next.push(Stmt::If(guard_eq(p), Box::new(child.clone()), None, span));
                         next.push(existing.clone());
                     }
                     next.push(Stmt::If(
@@ -609,11 +594,9 @@ fn subst_vars(e: &Expr, map: &[(String, Expr)]) -> Expr {
             *s,
         ),
         Expr::Gen(re, s) => Expr::Gen(substitute_regex(re, map), *s),
-        Expr::Choice(id, alts, s) => Expr::Choice(
-            *id,
-            alts.iter().map(|a| subst_vars(a, map)).collect(),
-            *s,
-        ),
+        Expr::Choice(id, alts, s) => {
+            Expr::Choice(*id, alts.iter().map(|a| subst_vars(a, map)).collect(), *s)
+        }
         _ => e.clone(),
     }
 }
@@ -685,10 +668,8 @@ mod tests {
 
     #[test]
     fn generator_becomes_choice() {
-        let (p, t) = ds(
-            "struct E { E next; int taken; } E tail;
-             void f() { E tmp = {| tail(.next)? | null |}; }",
-        );
+        let (p, t) = ds("struct E { E next; int taken; } E tail;
+             void f() { E tmp = {| tail(.next)? | null |}; }");
         assert_eq!(t.num_holes(), 1);
         assert_eq!(t.domain(0), 3); // tail, tail.next, null
         let printed = print_program(&p);
@@ -697,10 +678,8 @@ mod tests {
 
     #[test]
     fn lvalue_generator_keeps_lvalues_only() {
-        let (_, t) = ds(
-            "struct E { E next; } E tail; E tmp;
-             void f() { {| (tail|tmp)(.next)? | null |} = tmp; }",
-        );
+        let (_, t) = ds("struct E { E next; } E tail; E tmp;
+             void f() { {| (tail|tmp)(.next)? | null |} = tmp; }");
         // null filtered out: 4 l-value alternatives remain.
         assert_eq!(t.domain(0), 4);
         let SiteKind::GenChoice { lvalue, alts } = &t.sites()[0].kind else {
@@ -712,12 +691,13 @@ mod tests {
 
     #[test]
     fn reorder_quadratic_holes_and_constraints() {
-        let (p, t) = ds(
-            "int g;
-             void f() { reorder { g = 1; g = 2; g = 3; } }",
-        );
+        let (p, t) = ds("int g;
+             void f() { reorder { g = 1; g = 2; g = 3; } }");
         assert_eq!(t.num_holes(), 3);
-        assert!(t.sites().iter().any(|s| matches!(s.kind, SiteKind::ReorderQuad { k: 3 })));
+        assert!(t
+            .sites()
+            .iter()
+            .any(|s| matches!(s.kind, SiteKind::ReorderQuad { k: 3 })));
         // C(3,2) = 3 pairwise constraints.
         assert_eq!(t.constraints().len(), 3);
         assert_eq!(t.candidate_space(), 6);
@@ -781,8 +761,7 @@ mod tests {
         let SiteKind::GenChoice { alts, .. } = &t.sites()[0].kind else {
             panic!()
         };
-        let printed: Vec<String> =
-            alts.iter().map(psketch_lang::pretty::print_expr).collect();
+        let printed: Vec<String> = alts.iter().map(psketch_lang::pretty::print_expr).collect();
         assert!(printed.iter().any(|s| s.contains("b.count")), "{printed:?}");
     }
 

@@ -48,6 +48,4 @@ pub mod step;
 
 pub use config::{Config, ReorderEncoding};
 pub use hole::{Assignment, HoleId, HoleTable, SiteId, SiteKind};
-pub use step::{
-    GlobalSlot, Lowered, Lv, Op, Rv, ScalarKind, Step, StructLayout, Thread, ThreadId,
-};
+pub use step::{GlobalSlot, Lowered, Lv, Op, Rv, ScalarKind, Step, StructLayout, Thread, ThreadId};

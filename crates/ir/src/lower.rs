@@ -33,11 +33,7 @@ fn lerr(span: Span, msg: impl Into<String>) -> SourceError {
 /// non-constant fork counts, unsupported constructs (multi-dimensional
 /// arrays, non-constant divisors), and globals with non-constant
 /// initializers.
-pub fn lower_program(
-    sketch: &Program,
-    holes: HoleTable,
-    config: &Config,
-) -> SourceResult<Lowered> {
+pub fn lower_program(sketch: &Program, holes: HoleTable, config: &Config) -> SourceResult<Lowered> {
     let harness = sketch
         .harness()
         .ok_or_else(|| lerr(Span::default(), "program has no harness function"))?;
@@ -66,7 +62,10 @@ pub fn lower_equivalence(
         .function(fn_name)
         .ok_or_else(|| lerr(Span::default(), format!("no function {fn_name}")))?;
     let spec_name = f.implements.clone().ok_or_else(|| {
-        lerr(f.span, format!("{fn_name} has no 'implements' specification"))
+        lerr(
+            f.span,
+            format!("{fn_name} has no 'implements' specification"),
+        )
     })?;
     if !sketch.globals.is_empty() {
         return Err(lerr(
@@ -94,8 +93,18 @@ pub fn lower_equivalence(
     match &f.ret {
         Type::Void => return Err(lerr(f.span, "equivalence checking needs a return value")),
         Type::Array(_, n) => {
-            stmts.push(Stmt::Decl(f.ret.clone(), "__r1".into(), Some(call(fn_name)), span));
-            stmts.push(Stmt::Decl(f.ret.clone(), "__r2".into(), Some(call(&spec_name)), span));
+            stmts.push(Stmt::Decl(
+                f.ret.clone(),
+                "__r1".into(),
+                Some(call(fn_name)),
+                span,
+            ));
+            stmts.push(Stmt::Decl(
+                f.ret.clone(),
+                "__r2".into(),
+                Some(call(&spec_name)),
+                span,
+            ));
             for k in 0..*n {
                 let ix = |name: &str| {
                     Expr::Index(
@@ -111,8 +120,18 @@ pub fn lower_equivalence(
             }
         }
         _ => {
-            stmts.push(Stmt::Decl(f.ret.clone(), "__r1".into(), Some(call(fn_name)), span));
-            stmts.push(Stmt::Decl(f.ret.clone(), "__r2".into(), Some(call(&spec_name)), span));
+            stmts.push(Stmt::Decl(
+                f.ret.clone(),
+                "__r1".into(),
+                Some(call(fn_name)),
+                span,
+            ));
+            stmts.push(Stmt::Decl(
+                f.ret.clone(),
+                "__r2".into(),
+                Some(call(&spec_name)),
+                span,
+            ));
             stmts.push(Stmt::Assert(
                 Expr::Binary(
                     BinOp::Eq,
@@ -491,9 +510,7 @@ impl<'a> Lowerer<'a> {
                 }
                 Ok(())
             }
-            Stmt::Assign(lhs, rhs, span) => {
-                self.emit_assign(ctx, lhs, rhs, guard, nthreads, *span)
-            }
+            Stmt::Assign(lhs, rhs, span) => self.emit_assign(ctx, lhs, rhs, guard, nthreads, *span),
             Stmt::Assert(e, span) => {
                 let v = self.eval(ctx, e, guard.clone(), nthreads)?.scalar(*span)?;
                 ctx.steps.push(Step::new(guard, Op::Assert(v), *span));
@@ -530,7 +547,10 @@ impl<'a> Lowerer<'a> {
                         .last()
                         .and_then(|f| f.ret_target.clone())
                         .ok_or_else(|| {
-                            lerr(*span, "return with value outside a value-returning function")
+                            lerr(
+                                *span,
+                                "return with value outside a value-returning function",
+                            )
                         })?;
                     self.emit_store(ctx, &target, e, guard.clone(), nthreads, *span)?;
                 }
@@ -556,10 +576,7 @@ impl<'a> Lowerer<'a> {
                         let before = ctx.steps.len();
                         let v = self.eval(ctx, c, guard.clone(), nthreads)?.scalar(*span)?;
                         if ctx.steps.len() != before {
-                            return Err(lerr(
-                                *span,
-                                "conditional-atomic conditions must be pure",
-                            ));
+                            return Err(lerr(*span, "conditional-atomic conditions must be pure"));
                         }
                         Some(v)
                     }
@@ -659,7 +676,11 @@ impl<'a> Lowerer<'a> {
                 if len != 1 {
                     return Err(lerr(span, "scalar assigned to an array variable"));
                 }
-                let lv = if global { Lv::Global(base) } else { Lv::Local(base) };
+                let lv = if global {
+                    Lv::Global(base)
+                } else {
+                    Lv::Local(base)
+                };
                 ctx.steps.push(Step::new(guard, Op::Assign(lv, rv), span));
             }
             Val::A(elems) => {
@@ -917,12 +938,11 @@ impl<'a> Lowerer<'a> {
                     })
             }
             Expr::Index(base, _, _) => self.static_kind_of(base, ctx, span),
-            Expr::New(sname, _, _) => Ok(ScalarKind::Ref(
-                *self
-                    .struct_ids
-                    .get(sname)
-                    .ok_or_else(|| lerr(span, format!("unknown struct {sname}")))?,
-            )),
+            Expr::New(sname, _, _) => {
+                Ok(ScalarKind::Ref(*self.struct_ids.get(sname).ok_or_else(
+                    || lerr(span, format!("unknown struct {sname}")),
+                )?))
+            }
             Expr::Choice(_, alts, _) => self.static_kind_of(&alts[0], ctx, span),
             Expr::Call(name, args, _) => match name.as_str() {
                 "AtomicSwap" | "atomicSwap" => self.static_kind_of(&args[0], ctx, span),
@@ -1123,7 +1143,9 @@ impl<'a> Lowerer<'a> {
                 let lv = self.eval(ctx, l, guard.clone(), nthreads)?.scalar(span)?;
                 let rv = self.eval(ctx, r, guard, nthreads)?.scalar(span)?;
                 match rv {
-                    Rv::Const(c) if c != 0 => Ok(Val::S(fold_binop(op, lv, Rv::Const(c), self.config))),
+                    Rv::Const(c) if c != 0 => {
+                        Ok(Val::S(fold_binop(op, lv, Rv::Const(c), self.config)))
+                    }
                     Rv::Const(_) => Err(lerr(span, "division by the constant zero")),
                     _ => Err(lerr(span, "division by a non-constant is not supported")),
                 }
@@ -1150,7 +1172,9 @@ impl<'a> Lowerer<'a> {
             "pid" => return Ok(Val::S(Rv::Const(ctx.pid))),
             "nthreads" => return Ok(Val::S(Rv::Const(nthreads))),
             "AtomicSwap" | "atomicSwap" => {
-                let val = self.eval(ctx, &args[1], guard.clone(), nthreads)?.scalar(span)?;
+                let val = self
+                    .eval(ctx, &args[1], guard.clone(), nthreads)?
+                    .scalar(span)?;
                 let kind = self
                     .static_kind_of(&args[0], ctx, span)
                     .unwrap_or(ScalarKind::Int);
@@ -1169,8 +1193,12 @@ impl<'a> Lowerer<'a> {
                 return Ok(Val::S(Rv::Local(dst)));
             }
             "CAS" => {
-                let old = self.eval(ctx, &args[1], guard.clone(), nthreads)?.scalar(span)?;
-                let new = self.eval(ctx, &args[2], guard.clone(), nthreads)?.scalar(span)?;
+                let old = self
+                    .eval(ctx, &args[1], guard.clone(), nthreads)?
+                    .scalar(span)?;
+                let new = self
+                    .eval(ctx, &args[2], guard.clone(), nthreads)?
+                    .scalar(span)?;
                 let dst = ctx.alloc_local("$cas", ScalarKind::Bool, 1);
                 self.for_each_location(ctx, &args[0], guard, nthreads, span, |ctx, lv, g| {
                     ctx.steps.push(Step::new(
@@ -1353,11 +1381,7 @@ fn lv_to_rv(lv: Lv) -> Rv {
 }
 
 /// Scalar kind of a non-array type.
-fn scalar_kind(
-    ty: &Type,
-    ids: &HashMap<String, StructId>,
-    span: Span,
-) -> SourceResult<ScalarKind> {
+fn scalar_kind(ty: &Type, ids: &HashMap<String, StructId>, span: Span) -> SourceResult<ScalarKind> {
     match ty {
         Type::Int => Ok(ScalarKind::Int),
         Type::Bool => Ok(ScalarKind::Bool),
@@ -1607,7 +1631,9 @@ mod tests {
         assert_eq!(begins, 2);
         assert_eq!(ends, 2);
         assert!(matches!(
-            w.iter().find(|s| matches!(s.op, Op::AtomicBegin(_))).map(|s| &s.op),
+            w.iter()
+                .find(|s| matches!(s.op, Op::AtomicBegin(_)))
+                .map(|s| &s.op),
             Some(Op::AtomicBegin(Some(_)))
         ));
     }
@@ -1641,9 +1667,9 @@ mod tests {
              }",
         );
         let find_const_add = |t: &Thread| {
-            t.steps.iter().any(|s| {
-                matches!(&s.op, Op::Assign(Lv::Global(_), Rv::Const(c)) if *c == 2 || *c == 3)
-            })
+            t.steps.iter().any(
+                |s| matches!(&s.op, Op::Assign(Lv::Global(_), Rv::Const(c)) if *c == 2 || *c == 3),
+            )
         };
         assert!(find_const_add(&l.workers[0]));
         assert!(find_const_add(&l.workers[1]));
@@ -1684,25 +1710,29 @@ mod tests {
         assert!(lower_err("int g; void f() { g = 1; }")
             .message
             .contains("harness"));
-        assert!(lower_err(
-            "harness void main() { fork (i; 2) { fork (j; 2) { } } }"
-        )
-        .message
-        .contains("fork"));
+        assert!(
+            lower_err("harness void main() { fork (i; 2) { fork (j; 2) { } } }")
+                .message
+                .contains("fork")
+        );
         assert!(lower_err(
             "int g; harness void main() { fork (i; 2) { atomic { atomic { g = 1; } } } }"
         )
         .message
         .contains("nested atomic"));
-        assert!(lower_err("int r(int x) { return r(x); } harness void main() { int q = r(1); }")
-            .message
-            .contains("depth"));
+        assert!(
+            lower_err("int r(int x) { return r(x); } harness void main() { int q = r(1); }")
+                .message
+                .contains("depth")
+        );
         assert!(lower_err("harness void main() { int x = 1 / 0; }")
             .message
             .contains("zero"));
-        assert!(lower_err("harness void main() { int a = 2; int x = 4 / a; }")
-            .message
-            .contains("non-constant"));
+        assert!(
+            lower_err("harness void main() { int a = 2; int x = 4 / a; }")
+                .message
+                .contains("non-constant")
+        );
     }
 
     #[test]

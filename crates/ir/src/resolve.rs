@@ -42,9 +42,7 @@ fn subst_stmt(s: &Stmt, a: &Assignment) -> Stmt {
             e.as_ref().map(|e| Box::new(subst_stmt(e, a))),
             *sp,
         ),
-        Stmt::While(c, b, sp) => {
-            Stmt::While(subst_expr(c, a), Box::new(subst_stmt(b, a)), *sp)
-        }
+        Stmt::While(c, b, sp) => Stmt::While(subst_expr(c, a), Box::new(subst_stmt(b, a)), *sp),
         Stmt::Return(e, sp) => Stmt::Return(e.as_ref().map(|e| subst_expr(e, a)), *sp),
         Stmt::Assert(e, sp) => Stmt::Assert(subst_expr(e, a), *sp),
         Stmt::Expr(e, sp) => Stmt::Expr(subst_expr(e, a), *sp),
@@ -53,18 +51,11 @@ fn subst_stmt(s: &Stmt, a: &Assignment) -> Stmt {
             Box::new(subst_stmt(b, a)),
             *sp,
         ),
-        Stmt::Reorder(ss, sp) => {
-            Stmt::Reorder(ss.iter().map(|s| subst_stmt(s, a)).collect(), *sp)
+        Stmt::Reorder(ss, sp) => Stmt::Reorder(ss.iter().map(|s| subst_stmt(s, a)).collect(), *sp),
+        Stmt::Fork(v, n, b, sp) => {
+            Stmt::Fork(v.clone(), subst_expr(n, a), Box::new(subst_stmt(b, a)), *sp)
         }
-        Stmt::Fork(v, n, b, sp) => Stmt::Fork(
-            v.clone(),
-            subst_expr(n, a),
-            Box::new(subst_stmt(b, a)),
-            *sp,
-        ),
-        Stmt::Repeat(n, b, sp) => {
-            Stmt::Repeat(subst_expr(n, a), Box::new(subst_stmt(b, a)), *sp)
-        }
+        Stmt::Repeat(n, b, sp) => Stmt::Repeat(subst_expr(n, a), Box::new(subst_stmt(b, a)), *sp),
     }
 }
 
@@ -76,11 +67,9 @@ fn subst_expr(e: &Expr, a: &Assignment) -> Expr {
             subst_expr(&alts[ix], a)
         }
         Expr::Field(b, f, sp) => Expr::Field(Box::new(subst_expr(b, a)), f.clone(), *sp),
-        Expr::Index(b, i, sp) => Expr::Index(
-            Box::new(subst_expr(b, a)),
-            Box::new(subst_expr(i, a)),
-            *sp,
-        ),
+        Expr::Index(b, i, sp) => {
+            Expr::Index(Box::new(subst_expr(b, a)), Box::new(subst_expr(i, a)), *sp)
+        }
         Expr::Slice(b, s, l, sp) => Expr::Slice(
             Box::new(subst_expr(b, a)),
             Box::new(subst_expr(s, a)),
@@ -147,11 +136,9 @@ fn simplify_expr(e: &Expr) -> Expr {
             *sp,
         ),
         Expr::Field(b, f, sp) => Expr::Field(Box::new(simplify_expr(b)), f.clone(), *sp),
-        Expr::Index(b, i, sp) => Expr::Index(
-            Box::new(simplify_expr(b)),
-            Box::new(simplify_expr(i)),
-            *sp,
-        ),
+        Expr::Index(b, i, sp) => {
+            Expr::Index(Box::new(simplify_expr(b)), Box::new(simplify_expr(i)), *sp)
+        }
         Expr::Call(f, args, sp) => {
             Expr::Call(f.clone(), args.iter().map(simplify_expr).collect(), *sp)
         }
@@ -214,12 +201,9 @@ pub fn simplify_stmt(s: &Stmt) -> Stmt {
                 Stmt::While(c, Box::new(simplify_stmt(b)), *sp)
             }
         }
-        Stmt::Decl(t, n, init, sp) => Stmt::Decl(
-            t.clone(),
-            n.clone(),
-            init.as_ref().map(simplify_expr),
-            *sp,
-        ),
+        Stmt::Decl(t, n, init, sp) => {
+            Stmt::Decl(t.clone(), n.clone(), init.as_ref().map(simplify_expr), *sp)
+        }
         Stmt::Assign(l, r, sp) => Stmt::Assign(simplify_expr(l), simplify_expr(r), *sp),
         Stmt::Return(e, sp) => Stmt::Return(e.as_ref().map(simplify_expr), *sp),
         Stmt::Assert(e, sp) => Stmt::Assert(simplify_expr(e), *sp),
@@ -229,18 +213,11 @@ pub fn simplify_stmt(s: &Stmt) -> Stmt {
             Box::new(simplify_stmt(b)),
             *sp,
         ),
-        Stmt::Reorder(ss, sp) => {
-            Stmt::Reorder(ss.iter().map(simplify_stmt).collect(), *sp)
+        Stmt::Reorder(ss, sp) => Stmt::Reorder(ss.iter().map(simplify_stmt).collect(), *sp),
+        Stmt::Fork(v, n, b, sp) => {
+            Stmt::Fork(v.clone(), simplify_expr(n), Box::new(simplify_stmt(b)), *sp)
         }
-        Stmt::Fork(v, n, b, sp) => Stmt::Fork(
-            v.clone(),
-            simplify_expr(n),
-            Box::new(simplify_stmt(b)),
-            *sp,
-        ),
-        Stmt::Repeat(n, b, sp) => {
-            Stmt::Repeat(simplify_expr(n), Box::new(simplify_stmt(b)), *sp)
-        }
+        Stmt::Repeat(n, b, sp) => Stmt::Repeat(simplify_expr(n), Box::new(simplify_stmt(b)), *sp),
     }
 }
 

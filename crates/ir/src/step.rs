@@ -291,9 +291,7 @@ impl Step {
     /// Builds a step, computing the `shared` flag.
     pub fn new(guard: Rv, op: Op, span: Span) -> Step {
         let shared = match &op {
-            Op::Assign(lv, rv) => {
-                lv.touches_shared() || lv.reads_shared() || rv.reads_shared()
-            }
+            Op::Assign(lv, rv) => lv.touches_shared() || lv.reads_shared() || rv.reads_shared(),
             Op::Swap { dst, loc, val } => {
                 dst.touches_shared()
                     || dst.reads_shared()
@@ -421,7 +419,11 @@ mod tests {
 
     #[test]
     fn shared_classification() {
-        let local_assign = Step::new(Rv::Const(1), Op::Assign(Lv::Local(0), Rv::Local(1)), Span::default());
+        let local_assign = Step::new(
+            Rv::Const(1),
+            Op::Assign(Lv::Local(0), Rv::Local(1)),
+            Span::default(),
+        );
         assert!(!local_assign.shared);
         let global_read = Step::new(
             Rv::Const(1),

@@ -14,9 +14,7 @@ fn lower_ok(src: &str) -> psketch_ir::Lowered {
 fn lower_err(src: &str) -> String {
     let cfg = Config::default();
     let p = check_program(src).unwrap();
-    match desugar_program(&p, &cfg)
-        .and_then(|(sk, holes)| lower::lower_program(&sk, holes, &cfg))
-    {
+    match desugar_program(&p, &cfg).and_then(|(sk, holes)| lower::lower_program(&sk, holes, &cfg)) {
         Err(e) => e.message,
         Ok(_) => panic!("expected lowering to fail:\n{src}"),
     }
@@ -117,9 +115,10 @@ fn shared_holes_across_threads_and_calls() {
     assert_eq!(l.holes.num_holes(), 1, "holes are per static site");
     // And the hole is referenced from both workers.
     for w in &l.workers {
-        let uses_hole = w.steps.iter().any(|s| {
-            matches!(&s.op, Op::Assign(_, rv) if rv_mentions_hole(rv))
-        });
+        let uses_hole = w
+            .steps
+            .iter()
+            .any(|s| matches!(&s.op, Op::Assign(_, rv) if rv_mentions_hole(rv)));
         assert!(uses_hole, "worker {} must reference the hole", w.name);
     }
 }
@@ -129,9 +128,7 @@ fn rv_mentions_hole(rv: &Rv) -> bool {
         Rv::Hole(_) => true,
         Rv::Binary(_, a, b) => rv_mentions_hole(a) || rv_mentions_hole(b),
         Rv::Unary(_, a) => rv_mentions_hole(a),
-        Rv::Ite(c, a, b) => {
-            rv_mentions_hole(c) || rv_mentions_hole(a) || rv_mentions_hole(b)
-        }
+        Rv::Ite(c, a, b) => rv_mentions_hole(c) || rv_mentions_hole(a) || rv_mentions_hole(b),
         Rv::Field { obj, .. } => rv_mentions_hole(obj),
         Rv::GlobalDyn { ix, .. } | Rv::LocalDyn { ix, .. } => rv_mentions_hole(ix),
         _ => false,

@@ -89,7 +89,10 @@ impl BinOp {
 
     /// True for operators producing booleans.
     pub fn is_boolean_result(self) -> bool {
-        !matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod)
+        !matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        )
     }
 
     /// Surface spelling.
@@ -347,10 +350,7 @@ mod tests {
     #[test]
     fn type_display() {
         assert_eq!(Type::Int.to_string(), "int");
-        assert_eq!(
-            Type::Array(Box::new(Type::Bool), 8).to_string(),
-            "bit[8]"
-        );
+        assert_eq!(Type::Array(Box::new(Type::Bool), 8).to_string(), "bit[8]");
         assert_eq!(Type::Ref("Node".into()).to_string(), "Node");
     }
 

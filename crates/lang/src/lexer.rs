@@ -354,10 +354,7 @@ mod tests {
     #[test]
     fn comments_and_strings() {
         let ts = kinds("// line\nx /* blk \n blk */ \"1100\"");
-        assert_eq!(
-            ts,
-            vec![Tok::Ident("x".into()), Tok::Str("1100".into())]
-        );
+        assert_eq!(ts, vec![Tok::Ident("x".into()), Tok::Str("1100".into())]);
     }
 
     #[test]

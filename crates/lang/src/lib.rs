@@ -35,8 +35,8 @@ pub mod ast;
 pub mod error;
 pub mod lexer;
 pub mod parser;
-pub mod pretty;
 pub mod preprocess;
+pub mod pretty;
 pub mod regen;
 pub mod token;
 pub mod typecheck;

@@ -52,7 +52,11 @@ impl<'a> Parser<'a> {
             Some(t) => Err(SourceError::new(
                 Phase::Parse,
                 t.span,
-                format!("expected '{}', found '{}'", tok.spelling(), t.tok.spelling()),
+                format!(
+                    "expected '{}', found '{}'",
+                    tok.spelling(),
+                    t.tok.spelling()
+                ),
             )),
             None => Err(self.err(format!("expected '{}', found end of input", tok.spelling()))),
         }
@@ -104,13 +108,16 @@ impl<'a> Parser<'a> {
                     let ty = self.parse_type()?;
                     let name = self.ident()?;
                     if self.peek() == Some(&Tok::LParen) {
-                        prog.functions
-                            .push(self.fn_def(is_harness, is_generator, ty, name, span)?);
+                        prog.functions.push(self.fn_def(
+                            is_harness,
+                            is_generator,
+                            ty,
+                            name,
+                            span,
+                        )?);
                     } else {
                         if is_harness || is_generator {
-                            return Err(self.err(
-                                "'harness'/'generator' only apply to functions",
-                            ));
+                            return Err(self.err("'harness'/'generator' only apply to functions"));
                         }
                         let init = if self.eat(&Tok::Assign) {
                             Some(self.expr()?)
@@ -363,7 +370,11 @@ impl<'a> Parser<'a> {
     fn starts_decl(&self) -> bool {
         let mut off = 1;
         loop {
-            match (self.peek_at(off), self.peek_at(off + 1), self.peek_at(off + 2)) {
+            match (
+                self.peek_at(off),
+                self.peek_at(off + 1),
+                self.peek_at(off + 2),
+            ) {
                 (Some(Tok::Ident(_)), _, _) => return true,
                 (Some(Tok::LBracket), Some(Tok::Int(_)), Some(Tok::RBracket)) => off += 3,
                 _ => return false,
@@ -492,8 +503,9 @@ impl<'a> Parser<'a> {
                 Ok(Expr::Unary(UnOp::Neg, Box::new(e), span))
             }
             // Cast `(int) e`.
-            Some(Tok::LParen) if self.peek_at(1) == Some(&Tok::KwInt)
-                && self.peek_at(2) == Some(&Tok::RParen) =>
+            Some(Tok::LParen)
+                if self.peek_at(1) == Some(&Tok::KwInt)
+                    && self.peek_at(2) == Some(&Tok::RParen) =>
             {
                 self.pos += 3;
                 let e = self.unary_expr()?;
@@ -736,8 +748,12 @@ mod tests {
     #[test]
     fn fork_accepts_comma_form() {
         let p = prog("harness void main() { fork (i, 2) { } }");
-        let Stmt::Block(ss) = &p.harness().unwrap().body else { panic!() };
-        let Stmt::Fork(v, n, _, _) = &ss[0] else { panic!() };
+        let Stmt::Block(ss) = &p.harness().unwrap().body else {
+            panic!()
+        };
+        let Stmt::Fork(v, n, _, _) = &ss[0] else {
+            panic!()
+        };
         assert_eq!(v, "i");
         assert!(matches!(n, Expr::Int(2, _)));
     }
@@ -754,20 +770,33 @@ mod tests {
                  a[1::2] = a[0::2];// slice assign
              }",
         );
-        let Stmt::Block(ss) = &p.functions[0].body else { panic!() };
+        let Stmt::Block(ss) = &p.functions[0].body else {
+            panic!()
+        };
         assert!(matches!(ss[0], Stmt::Decl(..)));
         assert!(matches!(ss[1], Stmt::Assign(..)));
         assert!(matches!(ss[2], Stmt::Decl(Type::Array(..), ..)));
         assert!(matches!(ss[3], Stmt::Assign(Expr::Index(..), ..)));
-        assert!(matches!(ss[4], Stmt::Assign(Expr::Slice(..), Expr::Slice(..), _)));
+        assert!(matches!(
+            ss[4],
+            Stmt::Assign(Expr::Slice(..), Expr::Slice(..), _)
+        ));
     }
 
     #[test]
     fn hole_widths_and_bit_arrays() {
         let p = prog("void f() { int a = ??; int b = ??(5); bit[4] c = \"1010\"; }");
-        let Stmt::Block(ss) = &p.functions[0].body else { panic!() };
-        assert!(matches!(ss[0], Stmt::Decl(_, _, Some(Expr::Hole(None, _)), _)));
-        assert!(matches!(ss[1], Stmt::Decl(_, _, Some(Expr::Hole(Some(5), _)), _)));
+        let Stmt::Block(ss) = &p.functions[0].body else {
+            panic!()
+        };
+        assert!(matches!(
+            ss[0],
+            Stmt::Decl(_, _, Some(Expr::Hole(None, _)), _)
+        ));
+        assert!(matches!(
+            ss[1],
+            Stmt::Decl(_, _, Some(Expr::Hole(Some(5), _)), _)
+        ));
         assert!(
             matches!(ss[2], Stmt::Decl(_, _, Some(Expr::BitArray(ref b, _)), _) if b.len() == 4)
         );
@@ -775,20 +804,31 @@ mod tests {
 
     #[test]
     fn cast_and_precedence() {
-        let p = prog("void f(bit[8] b) { int x = (int) b[0::2] * 2 + 1; bit y = 1 < 2 && 3 == 3; }");
-        let Stmt::Block(ss) = &p.functions[0].body else { panic!() };
-        let Stmt::Decl(_, _, Some(e), _) = &ss[0] else { panic!() };
+        let p =
+            prog("void f(bit[8] b) { int x = (int) b[0::2] * 2 + 1; bit y = 1 < 2 && 3 == 3; }");
+        let Stmt::Block(ss) = &p.functions[0].body else {
+            panic!()
+        };
+        let Stmt::Decl(_, _, Some(e), _) = &ss[0] else {
+            panic!()
+        };
         // ((int)b[0::2] * 2) + 1
-        let Expr::Binary(BinOp::Add, lhs, _, _) = e else { panic!("{e:?}") };
+        let Expr::Binary(BinOp::Add, lhs, _, _) = e else {
+            panic!("{e:?}")
+        };
         assert!(matches!(**lhs, Expr::Binary(BinOp::Mul, ..)));
-        let Stmt::Decl(_, _, Some(e2), _) = &ss[1] else { panic!() };
+        let Stmt::Decl(_, _, Some(e2), _) = &ss[1] else {
+            panic!()
+        };
         assert!(matches!(e2, Expr::Binary(BinOp::And, ..)));
     }
 
     #[test]
     fn while_and_return() {
         let p = prog("int f() { while (true) { return 1; } return 0; }");
-        let Stmt::Block(ss) = &p.functions[0].body else { panic!() };
+        let Stmt::Block(ss) = &p.functions[0].body else {
+            panic!()
+        };
         assert!(matches!(ss[0], Stmt::While(..)));
     }
 
@@ -799,8 +839,12 @@ mod tests {
         assert!(perr("struct S { int x }").message.contains("';'"));
         assert!(perr("harness int x = 3;").message.contains("functions"));
         assert!(perr("generator int x = 3;").message.contains("functions"));
-        assert!(perr("void f() { {| a |; }").to_string().contains("unterminated"));
-        assert!(perr("void f() { int x = ??(99); }").message.contains("width"));
+        assert!(perr("void f() { {| a |; }")
+            .to_string()
+            .contains("unterminated"));
+        assert!(perr("void f() { int x = ??(99); }")
+            .message
+            .contains("width"));
     }
 
     #[test]
@@ -811,7 +855,9 @@ mod tests {
     #[test]
     fn multi_dim_array_type() {
         let p = prog("int[2][3] g;");
-        let Type::Array(inner, 2) = &p.globals[0].ty else { panic!() };
+        let Type::Array(inner, 2) = &p.globals[0].ty else {
+            panic!()
+        };
         assert_eq!(**inner, Type::Array(Box::new(Type::Int), 3));
     }
 }

@@ -44,7 +44,10 @@ pub fn preprocess(source: &str) -> SourceResult<String> {
                 return Err(SourceError::new(
                     Phase::Preprocess,
                     Span::new(lineno, 1),
-                    format!("unsupported directive: #{}", rest.split_whitespace().next().unwrap_or("")),
+                    format!(
+                        "unsupported directive: #{}",
+                        rest.split_whitespace().next().unwrap_or("")
+                    ),
                 ));
             };
             let mut text = def.to_string();
@@ -116,13 +119,7 @@ fn parse_define(text: &str, lineno: u32) -> SourceResult<(String, Macro)> {
         ))
     } else {
         let body = lex(rest)?;
-        Ok((
-            name,
-            Macro {
-                params: None,
-                body,
-            },
-        ))
+        Ok((name, Macro { params: None, body }))
     }
 }
 
@@ -293,10 +290,7 @@ mod tests {
     fn function_macro_expands_args() {
         let ts = toks("#define SQ(a) (a * a)\nint y = SQ(x + 1);");
         let spell: Vec<String> = ts.iter().map(|t| t.spelling()).collect();
-        assert_eq!(
-            spell.join(" "),
-            "int y = ( x + 1 * x + 1 ) ;"
-        );
+        assert_eq!(spell.join(" "), "int y = ( x + 1 * x + 1 ) ;");
     }
 
     #[test]

@@ -215,8 +215,8 @@ mod tests {
     fn roundtrip(src: &str) {
         let p1 = parse_program(src).unwrap();
         let printed = print_program(&p1);
-        let p2 = parse_program(&printed)
-            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+        let p2 =
+            parse_program(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
         let printed2 = print_program(&p2);
         assert_eq!(printed, printed2, "printer not a fixpoint for {src:?}");
     }

@@ -157,7 +157,10 @@ pub fn parse_regex(tokens: &[Token], open_span: Span) -> SourceResult<Regex> {
         return Err(SourceError::new(
             Phase::Parse,
             p.tokens[p.pos].span,
-            format!("unexpected {:?} in generator", p.tokens[p.pos].tok.spelling()),
+            format!(
+                "unexpected {:?} in generator",
+                p.tokens[p.pos].tok.spelling()
+            ),
         ));
     }
     Ok(re)
@@ -270,12 +273,7 @@ mod tests {
             .enumerate(10_000)
             .unwrap()
             .into_iter()
-            .map(|ts| {
-                ts.iter()
-                    .map(|t| t.spelling())
-                    .collect::<Vec<_>>()
-                    .join("")
-            })
+            .map(|ts| ts.iter().map(|t| t.spelling()).collect::<Vec<_>>().join(""))
             .collect()
     }
 
@@ -291,10 +289,7 @@ mod tests {
         // {| tail(.next)? | (tmp|newEntry).next |}
         let mut s = strings("tail(.next)? | (tmp|newEntry).next");
         s.sort();
-        assert_eq!(
-            s,
-            vec!["newEntry.next", "tail", "tail.next", "tmp.next"]
-        );
+        assert_eq!(s, vec!["newEntry.next", "tail", "tail.next", "tmp.next"]);
     }
 
     #[test]
@@ -317,10 +312,7 @@ mod tests {
     #[test]
     fn double_deref() {
         let s = strings("prevHead(.next)?(.next)?");
-        assert_eq!(
-            s,
-            vec!["prevHead", "prevHead.next", "prevHead.next.next"]
-        );
+        assert_eq!(s, vec!["prevHead", "prevHead.next", "prevHead.next.next"]);
     }
 
     #[test]

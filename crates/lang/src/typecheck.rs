@@ -39,7 +39,10 @@ impl TypeEnv {
                     Type::Int | Type::Bool => {}
                     Type::Ref(t) if env.structs.contains_key(t) => {}
                     Type::Ref(t) => {
-                        return Err(terr(s.span, format!("unknown struct {t} in field {}", f.name)))
+                        return Err(terr(
+                            s.span,
+                            format!("unknown struct {t} in field {}", f.name),
+                        ))
                     }
                     other => {
                         return Err(terr(
@@ -372,9 +375,7 @@ pub fn generator_alternatives(
     expected: Option<&Type>,
     span: Span,
 ) -> SourceResult<Vec<Expr>> {
-    let strings = re
-        .enumerate(4096)
-        .map_err(|e| terr(span, e.to_string()))?;
+    let strings = re.enumerate(4096).map_err(|e| terr(span, e.to_string()))?;
     let mut alts = Vec::new();
     for toks in strings {
         let tokens: Vec<crate::token::Token> = toks
@@ -386,9 +387,7 @@ pub fn generator_alternatives(
         // parentheses, and `!a == b` would otherwise parse as
         // `(!a) == b`).
         let parsed = match tokens.split_first() {
-            Some((first, rest))
-                if first.tok == crate::token::Tok::Bang && !rest.is_empty() =>
-            {
+            Some((first, rest)) if first.tok == crate::token::Tok::Bang && !rest.is_empty() => {
                 parse_expr_tokens(rest)
                     .map(|e| Expr::Unary(UnOp::Not, Box::new(e), span))
                     .or_else(|_| parse_expr_tokens(&tokens))
@@ -478,14 +477,20 @@ fn infer_call(scope: &Scope<'_>, name: &str, args: &[Expr], span: Span) -> Sourc
             for a in &args[1..] {
                 let at = infer_expr(scope, a, Some(&lt))?;
                 if !assignable(&at, &lt) {
-                    return Err(terr(span, format!("CAS operand of type {at}, location {lt}")));
+                    return Err(terr(
+                        span,
+                        format!("CAS operand of type {at}, location {lt}"),
+                    ));
                 }
             }
             Ok(Type::Bool)
         }
         "AtomicReadAndDecr" | "AtomicReadAndIncr" => {
             if args.len() != 1 || !args[0].is_lvalue() {
-                return Err(terr(span, format!("{name} takes one assignable int location")));
+                return Err(terr(
+                    span,
+                    format!("{name} takes one assignable int location"),
+                ));
             }
             let lt = infer_expr(scope, &args[0], Some(&Type::Int))?;
             if !assignable(&lt, &Type::Int) {
@@ -618,7 +623,10 @@ fn check_stmt(scope: &mut Scope<'_>, s: &Stmt, ret: &Type) -> SourceResult<()> {
                 // desugaring.
                 let alts = generator_alternatives(scope, re, None, *gspan)?;
                 if !alts.iter().any(|a| a.is_lvalue()) {
-                    return Err(terr(*gspan, "generator on the left of '=' has no l-value alternative"));
+                    return Err(terr(
+                        *gspan,
+                        "generator on the left of '=' has no l-value alternative",
+                    ));
                 }
                 infer_expr(scope, rhs, None)?;
                 return Ok(());
@@ -626,7 +634,10 @@ fn check_stmt(scope: &mut Scope<'_>, s: &Stmt, ret: &Type) -> SourceResult<()> {
             let lt = infer_expr(scope, lhs, None)?;
             let rt = infer_expr(scope, rhs, Some(&lt))?;
             if !assignable(&rt, &lt) {
-                return Err(terr(*span, format!("assigning {rt} to location of type {lt}")));
+                return Err(terr(
+                    *span,
+                    format!("assigning {rt} to location of type {lt}"),
+                ));
             }
             Ok(())
         }
@@ -790,8 +801,10 @@ mod tests {
     #[test]
     fn implements_signature_check() {
         ok("int s(int x) { return x; } int f(int x) implements s { return x; }");
-        assert!(bad("int s(int x) { return x; } bit f(int x) implements s { return true; }")
-            .contains("signatures"));
+        assert!(
+            bad("int s(int x) { return x; } bit f(int x) implements s { return true; }")
+                .contains("signatures")
+        );
     }
 
     #[test]
@@ -806,7 +819,9 @@ mod tests {
     #[test]
     fn fork_declares_index() {
         ok("harness void main() { fork (i; 2) { int x = i + 1; } }");
-        assert!(bad("harness void main() { fork (i; 2) { } assert i == 0; }")
-            .contains("unknown variable"));
+        assert!(
+            bad("harness void main() { fork (i; 2) { } assert i == 0; }")
+                .contains("unknown variable")
+        );
     }
 }

@@ -1,96 +1,116 @@
 //! Property test: pretty-printing is a parser fixpoint for randomly
 //! generated programs.
 
-use proptest::prelude::*;
 use psketch_lang::ast::*;
 use psketch_lang::error::Span;
 use psketch_lang::pretty::print_program;
+use psketch_testutil::{cases, Rng};
 
 fn sp() -> Span {
     Span::default()
 }
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        any::<i8>().prop_map(|v| Expr::Int(v.unsigned_abs() as i64, sp())),
-        any::<bool>().prop_map(|b| Expr::Bool(b, sp())),
-        Just(Expr::Var("x".into(), sp())),
-        Just(Expr::Var("y".into(), sp())),
-        Just(Expr::Hole(None, sp())),
-        Just(Expr::Hole(Some(4), sp())),
-    ];
-    leaf.prop_recursive(4, 32, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary(
-                BinOp::Add,
-                Box::new(a),
-                Box::new(b),
-                sp()
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary(
-                BinOp::Lt,
-                Box::new(a),
-                Box::new(b),
-                sp()
-            )),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Binary(
-                BinOp::And,
-                Box::new(a),
-                Box::new(b),
-                sp()
-            )),
-            inner
-                .clone()
-                .prop_map(|a| Expr::Unary(UnOp::Not, Box::new(a), sp())),
-            inner
-                .clone()
-                .prop_map(|a| Expr::Unary(UnOp::Neg, Box::new(a), sp())),
-            prop::collection::vec(inner.clone(), 0..=2)
-                .prop_map(|args| Expr::Call("f".into(), args, sp())),
-        ]
-    })
+/// A random expression over `x`, `y`, holes, and calls to `f`.
+fn random_expr(rng: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 || rng.below(4) == 0 {
+        return match rng.below(6) {
+            0 => Expr::Int(rng.any_i8().unsigned_abs() as i64, sp()),
+            1 => Expr::Bool(rng.any_bool(), sp()),
+            2 => Expr::Var("x".into(), sp()),
+            3 => Expr::Var("y".into(), sp()),
+            4 => Expr::Hole(None, sp()),
+            _ => Expr::Hole(Some(4), sp()),
+        };
+    }
+    let d = depth - 1;
+    match rng.below(6) {
+        0 => Expr::Binary(
+            BinOp::Add,
+            Box::new(random_expr(rng, d)),
+            Box::new(random_expr(rng, d)),
+            sp(),
+        ),
+        1 => Expr::Binary(
+            BinOp::Lt,
+            Box::new(random_expr(rng, d)),
+            Box::new(random_expr(rng, d)),
+            sp(),
+        ),
+        2 => Expr::Binary(
+            BinOp::And,
+            Box::new(random_expr(rng, d)),
+            Box::new(random_expr(rng, d)),
+            sp(),
+        ),
+        3 => Expr::Unary(UnOp::Not, Box::new(random_expr(rng, d)), sp()),
+        4 => Expr::Unary(UnOp::Neg, Box::new(random_expr(rng, d)), sp()),
+        _ => {
+            let nargs = rng.below(3);
+            let args = (0..nargs).map(|_| random_expr(rng, d)).collect();
+            Expr::Call("f".into(), args, sp())
+        }
+    }
 }
 
-fn stmt_strategy() -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        expr_strategy().prop_map(|e| Stmt::Assign(Expr::Var("x".into(), sp()), e, sp())),
-        expr_strategy().prop_map(|e| Stmt::Assert(e, sp())),
-        expr_strategy().prop_map(|e| Stmt::Decl(Type::Int, "z".into(), Some(e), sp())),
-        Just(Stmt::Return(None, sp())),
-    ];
-    leaf.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            (expr_strategy(), inner.clone(), prop::option::of(inner.clone())).prop_map(
-                |(c, t, e)| Stmt::If(
-                    c,
-                    Box::new(Stmt::Block(vec![t])),
-                    e.map(|e| Box::new(Stmt::Block(vec![e]))),
-                    sp()
-                )
-            ),
-            (expr_strategy(), inner.clone())
-                .prop_map(|(c, b)| Stmt::While(c, Box::new(Stmt::Block(vec![b])), sp())),
-            inner
-                .clone()
-                .prop_map(|b| Stmt::Atomic(None, Box::new(Stmt::Block(vec![b])), sp())),
-            prop::collection::vec(inner.clone(), 1..=3)
-                .prop_map(|ss| Stmt::Reorder(ss, sp())),
-            prop::collection::vec(inner, 0..=3).prop_map(Stmt::Block),
-        ]
-    })
+/// A random statement; recursion bounded by `depth`.
+fn random_stmt(rng: &mut Rng, depth: usize) -> Stmt {
+    if depth == 0 || rng.below(3) == 0 {
+        return match rng.below(4) {
+            0 => Stmt::Assign(Expr::Var("x".into(), sp()), random_expr(rng, 2), sp()),
+            1 => Stmt::Assert(random_expr(rng, 2), sp()),
+            2 => Stmt::Decl(Type::Int, "z".into(), Some(random_expr(rng, 2)), sp()),
+            _ => Stmt::Return(None, sp()),
+        };
+    }
+    let d = depth - 1;
+    match rng.below(5) {
+        0 => {
+            let t = random_stmt(rng, d);
+            let e = if rng.any_bool() {
+                Some(Box::new(Stmt::Block(vec![random_stmt(rng, d)])))
+            } else {
+                None
+            };
+            Stmt::If(random_expr(rng, 2), Box::new(Stmt::Block(vec![t])), e, sp())
+        }
+        1 => Stmt::While(
+            random_expr(rng, 2),
+            Box::new(Stmt::Block(vec![random_stmt(rng, d)])),
+            sp(),
+        ),
+        2 => Stmt::Atomic(None, Box::new(Stmt::Block(vec![random_stmt(rng, d)])), sp()),
+        3 => {
+            let n = 1 + rng.below(3);
+            Stmt::Reorder((0..n).map(|_| random_stmt(rng, d)).collect(), sp())
+        }
+        _ => {
+            let n = rng.below(4);
+            Stmt::Block((0..n).map(|_| random_stmt(rng, d)).collect())
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    /// print → parse → print is a fixpoint (printing is unambiguous).
-    #[test]
-    fn printer_is_parser_fixpoint(body in prop::collection::vec(stmt_strategy(), 0..4)) {
+/// print → parse → print is a fixpoint (printing is unambiguous).
+#[test]
+fn printer_is_parser_fixpoint() {
+    cases(192, |rng| {
+        let nbody = rng.below(4);
+        let body = (0..nbody).map(|_| random_stmt(rng, 3)).collect();
         let program = Program {
             structs: vec![],
             globals: vec![
-                GlobalDef { ty: Type::Int, name: "x".into(), init: None, span: sp() },
-                GlobalDef { ty: Type::Int, name: "y".into(), init: None, span: sp() },
+                GlobalDef {
+                    ty: Type::Int,
+                    name: "x".into(),
+                    init: None,
+                    span: sp(),
+                },
+                GlobalDef {
+                    ty: Type::Int,
+                    name: "y".into(),
+                    init: None,
+                    span: sp(),
+                },
             ],
             functions: vec![FnDef {
                 name: "f".into(),
@@ -107,6 +127,6 @@ proptest! {
         let reparsed = psketch_lang::parse_program(&p1)
             .unwrap_or_else(|e| panic!("printed program does not parse: {e}\n{p1}"));
         let p2 = print_program(&reparsed);
-        prop_assert_eq!(p1, p2);
-    }
+        assert_eq!(p1, p2);
+    });
 }

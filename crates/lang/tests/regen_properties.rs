@@ -1,50 +1,64 @@
 //! Property tests for regular-expression expression generators.
 
-use proptest::prelude::*;
 use psketch_lang::error::Span;
 use psketch_lang::regen::{parse_regex, Regex};
 use psketch_lang::token::Tok;
+use psketch_testutil::{cases, Rng};
 
 /// Random generator regexes over a small identifier/field alphabet.
-fn regex_strategy() -> impl Strategy<Value = Regex> {
-    let atom = prop_oneof![
-        Just(Regex::Atom(Tok::Ident("a".into()))),
-        Just(Regex::Atom(Tok::Ident("b".into()))),
-        Just(Regex::Atom(Tok::Dot)),
-        Just(Regex::Atom(Tok::Ident("next".into()))),
-        Just(Regex::Atom(Tok::Null)),
-        Just(Regex::Atom(Tok::EqEq)),
-        Just(Regex::Atom(Tok::Bang)),
-    ];
-    atom.prop_recursive(3, 16, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 1..=3).prop_map(Regex::Seq),
-            prop::collection::vec(inner.clone(), 1..=3).prop_map(Regex::Alt),
-            inner.prop_map(|r| Regex::Opt(Box::new(r))),
-        ]
-    })
+fn random_regex(rng: &mut Rng, depth: usize) -> Regex {
+    if depth == 0 || rng.below(3) == 0 {
+        let tok = match rng.below(7) {
+            0 => Tok::Ident("a".into()),
+            1 => Tok::Ident("b".into()),
+            2 => Tok::Dot,
+            3 => Tok::Ident("next".into()),
+            4 => Tok::Null,
+            5 => Tok::EqEq,
+            _ => Tok::Bang,
+        };
+        return Regex::Atom(tok);
+    }
+    let d = depth - 1;
+    match rng.below(3) {
+        0 => {
+            let n = 1 + rng.below(3);
+            Regex::Seq((0..n).map(|_| random_regex(rng, d)).collect())
+        }
+        1 => {
+            let n = 1 + rng.below(3);
+            Regex::Alt((0..n).map(|_| random_regex(rng, d)).collect())
+        }
+        _ => Regex::Opt(Box::new(random_regex(rng, d))),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// `language_size` upper-bounds the deduplicated enumeration.
-    #[test]
-    fn language_size_bounds_enumeration(re in regex_strategy()) {
+/// `language_size` upper-bounds the deduplicated enumeration.
+#[test]
+fn language_size_bounds_enumeration() {
+    cases(256, |rng| {
+        let re = random_regex(rng, 3);
         let size = re.language_size();
-        prop_assume!(size <= 4096);
+        if size > 4096 {
+            return;
+        }
         let strings = re.enumerate(4096).unwrap();
-        prop_assert!(strings.len() as u64 <= size);
-        prop_assert!(!strings.is_empty());
+        assert!(strings.len() as u64 <= size);
+        assert!(!strings.is_empty());
         // Deduplicated: all strings distinct.
         let set: std::collections::HashSet<_> = strings.iter().collect();
-        prop_assert_eq!(set.len(), strings.len());
-    }
+        assert_eq!(set.len(), strings.len());
+    });
+}
 
-    /// Printing a regex and re-parsing it preserves the language.
-    #[test]
-    fn display_preserves_language(re in regex_strategy()) {
-        prop_assume!(re.language_size() <= 1024);
+/// Printing a regex and re-parsing it preserves the language.
+#[test]
+fn display_preserves_language() {
+    cases(256, |rng| {
+        let re = random_regex(rng, 3);
+        if re.language_size() > 1024 {
+            return;
+        }
         let printed = re.to_string();
         let tokens = psketch_lang::lex(&printed)
             .unwrap_or_else(|e| panic!("printed regex does not lex: {e}: {printed}"));
@@ -52,37 +66,44 @@ proptest! {
             .unwrap_or_else(|e| panic!("printed regex does not parse: {e}: {printed}"));
         let a = re.enumerate(4096).unwrap();
         let b = reparsed.enumerate(4096).unwrap();
-        prop_assert_eq!(a, b, "language changed through display: {}", printed);
-    }
+        assert_eq!(a, b, "language changed through display: {printed}");
+    });
+}
 
-    /// Every enumerated string is in the language of an alternation
-    /// with the original regex (sanity via containment of sizes under
-    /// `Alt`).
-    #[test]
-    fn alt_unions_languages(
-        r1 in regex_strategy(),
-        r2 in regex_strategy(),
-    ) {
-        prop_assume!(r1.language_size() + r2.language_size() <= 2048);
+/// Every enumerated string of `r1` and `r2` is in the language of
+/// their alternation.
+#[test]
+fn alt_unions_languages() {
+    cases(256, |rng| {
+        let r1 = random_regex(rng, 3);
+        let r2 = random_regex(rng, 3);
+        if r1.language_size() + r2.language_size() > 2048 {
+            return;
+        }
         let union = Regex::Alt(vec![r1.clone(), r2.clone()]);
         let u = union.enumerate(8192).unwrap();
         for s in r1.enumerate(4096).unwrap() {
-            prop_assert!(u.contains(&s));
+            assert!(u.contains(&s));
         }
         for s in r2.enumerate(4096).unwrap() {
-            prop_assert!(u.contains(&s));
+            assert!(u.contains(&s));
         }
-    }
+    });
+}
 
-    /// `Opt` adds exactly the empty string to the language.
-    #[test]
-    fn opt_adds_epsilon(re in regex_strategy()) {
-        prop_assume!(re.language_size() <= 1024);
+/// `Opt` adds exactly the empty string to the language.
+#[test]
+fn opt_adds_epsilon() {
+    cases(256, |rng| {
+        let re = random_regex(rng, 3);
+        if re.language_size() > 1024 {
+            return;
+        }
         let opt = Regex::Opt(Box::new(re.clone()));
         let with = opt.enumerate(4096).unwrap();
-        prop_assert!(with.contains(&vec![]));
+        assert!(with.contains(&vec![]));
         for s in re.enumerate(4096).unwrap() {
-            prop_assert!(with.contains(&s));
+            assert!(with.contains(&s));
         }
-    }
+    });
 }

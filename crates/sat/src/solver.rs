@@ -34,7 +34,11 @@ impl fmt::Display for SolverStats {
         write!(
             f,
             "decisions={} propagations={} conflicts={} restarts={} learnts={} clauses={}",
-            self.decisions, self.propagations, self.conflicts, self.restarts, self.learnts,
+            self.decisions,
+            self.propagations,
+            self.conflicts,
+            self.restarts,
+            self.learnts,
             self.clauses
         )
     }
@@ -297,11 +301,7 @@ impl Solver {
             clauses.push(vec![]);
         }
         // Top-level assignments are unit clauses.
-        let root_len = self
-            .trail_lim
-            .first()
-            .copied()
-            .unwrap_or(self.trail.len());
+        let root_len = self.trail_lim.first().copied().unwrap_or(self.trail.len());
         for &l in &self.trail[..root_len] {
             let v = (l.var().index() + 1) as i64;
             clauses.push(vec![if l.is_positive() { v } else { -v }]);
@@ -733,8 +733,7 @@ impl Solver {
             .map(|&cr| {
                 let c = &self.clauses[cr.0 as usize];
                 let l0 = c.lits[0];
-                self.vardata[l0.var().index()].reason == cr
-                    && self.lit_value(l0) == LBool::True
+                self.vardata[l0.var().index()].reason == cr && self.lit_value(l0) == LBool::True
             })
             .collect();
         let half = learnts.len() / 2;

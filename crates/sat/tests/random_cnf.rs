@@ -1,13 +1,12 @@
 //! Differential testing: CDCL vs. brute-force enumeration on random
 //! small CNF formulas, plus model validity checks.
 
-use proptest::prelude::*;
 use psketch_sat::{Lit, SolveResult, Solver};
+use psketch_testutil::{cases, Rng};
 
 /// Evaluates a CNF (clauses of signed 1-based lits) under assignment
 /// bits (bit i = variable i+1).
-fn eval_cnf(num_vars: usize, clauses: &[Vec<i64>], assignment: u32) -> bool {
-    let _ = num_vars;
+fn eval_cnf(clauses: &[Vec<i64>], assignment: u32) -> bool {
     clauses.iter().all(|c| {
         c.iter().any(|&l| {
             let bit = (assignment >> (l.unsigned_abs() - 1)) & 1 == 1;
@@ -21,39 +20,47 @@ fn eval_cnf(num_vars: usize, clauses: &[Vec<i64>], assignment: u32) -> bool {
 }
 
 fn brute_force_sat(num_vars: usize, clauses: &[Vec<i64>]) -> bool {
-    (0u32..(1 << num_vars)).any(|a| eval_cnf(num_vars, clauses, a))
+    (0u32..(1 << num_vars)).any(|a| eval_cnf(clauses, a))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(300))]
+/// Random CNF over `num_vars` variables: up to `max_clauses` clauses of
+/// 1..=3 literals each.
+fn random_cnf(rng: &mut Rng, num_vars: usize, max_clauses: usize) -> Vec<Vec<i64>> {
+    let n_clauses = rng.below(max_clauses + 1);
+    (0..n_clauses)
+        .map(|_| {
+            let len = 1 + rng.below(3);
+            (0..len)
+                .map(|_| {
+                    let v = 1 + rng.below(num_vars) as i64;
+                    if rng.any_bool() {
+                        v
+                    } else {
+                        -v
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
 
-    #[test]
-    fn cdcl_agrees_with_brute_force(
-        num_vars in 1usize..=8,
-        seed_clauses in prop::collection::vec(prop::collection::vec(0usize..1, 0..1), 0..1),
-        raw in prop::collection::vec(prop::collection::vec((1i64..=8, prop::bool::ANY), 1..=3), 0..24),
-    ) {
-        let _ = seed_clauses;
-        let clauses: Vec<Vec<i64>> = raw
-            .into_iter()
-            .map(|c| {
-                c.into_iter()
-                    .map(|(v, sign)| {
-                        let v = ((v - 1) % num_vars as i64) + 1;
-                        if sign { v } else { -v }
-                    })
-                    .collect()
-            })
-            .collect();
+#[test]
+fn cdcl_agrees_with_brute_force() {
+    cases(300, |rng| {
+        let num_vars = 1 + rng.below(8);
+        let clauses = random_cnf(rng, num_vars, 24);
 
         let mut s = Solver::new();
         let vars: Vec<_> = (0..num_vars).map(|_| s.new_var()).collect();
         for c in &clauses {
-            s.add_clause(c.iter().map(|&l| Lit::new(vars[(l.unsigned_abs() as usize) - 1], l > 0)));
+            s.add_clause(
+                c.iter()
+                    .map(|&l| Lit::new(vars[(l.unsigned_abs() as usize) - 1], l > 0)),
+            );
         }
         let got = s.solve();
         let want = brute_force_sat(num_vars, &clauses);
-        prop_assert_eq!(got == SolveResult::Sat, want);
+        assert_eq!(got == SolveResult::Sat, want, "clauses: {clauses:?}");
 
         if got == SolveResult::Sat {
             // The returned model must actually satisfy the formula.
@@ -63,30 +70,27 @@ proptest! {
                     assignment |= 1 << i;
                 }
             }
-            prop_assert!(eval_cnf(num_vars, &clauses, assignment));
+            assert!(eval_cnf(&clauses, assignment), "clauses: {clauses:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn assumptions_consistent_with_added_units(
-        num_vars in 2usize..=6,
-        raw in prop::collection::vec(prop::collection::vec((1i64..=6, prop::bool::ANY), 1..=3), 1..16),
-        assume_var in 0usize..6,
-        assume_sign in prop::bool::ANY,
-    ) {
-        let clauses: Vec<Vec<i64>> = raw
-            .into_iter()
-            .map(|c| c.into_iter()
-                .map(|(v, s)| { let v = ((v - 1) % num_vars as i64) + 1; if s { v } else { -v } })
-                .collect())
-            .collect();
-        let assume_var = assume_var % num_vars;
+#[test]
+fn assumptions_consistent_with_added_units() {
+    cases(300, |rng| {
+        let num_vars = 2 + rng.below(5);
+        let clauses = random_cnf(rng, num_vars, 16);
+        let assume_var = rng.below(num_vars);
+        let assume_sign = rng.any_bool();
 
         // Solving under assumption l must match solving with unit clause l.
         let mut s1 = Solver::new();
         let v1: Vec<_> = (0..num_vars).map(|_| s1.new_var()).collect();
         for c in &clauses {
-            s1.add_clause(c.iter().map(|&l| Lit::new(v1[(l.unsigned_abs() as usize) - 1], l > 0)));
+            s1.add_clause(
+                c.iter()
+                    .map(|&l| Lit::new(v1[(l.unsigned_abs() as usize) - 1], l > 0)),
+            );
         }
         let a = Lit::new(v1[assume_var], assume_sign);
         let with_assumption = s1.solve_with(&[a]);
@@ -94,13 +98,16 @@ proptest! {
         let mut s2 = Solver::new();
         let v2: Vec<_> = (0..num_vars).map(|_| s2.new_var()).collect();
         for c in &clauses {
-            s2.add_clause(c.iter().map(|&l| Lit::new(v2[(l.unsigned_abs() as usize) - 1], l > 0)));
+            s2.add_clause(
+                c.iter()
+                    .map(|&l| Lit::new(v2[(l.unsigned_abs() as usize) - 1], l > 0)),
+            );
         }
         s2.add_clause([Lit::new(v2[assume_var], assume_sign)]);
         let with_unit = s2.solve();
 
-        prop_assert_eq!(with_assumption, with_unit);
-    }
+        assert_eq!(with_assumption, with_unit, "clauses: {clauses:?}");
+    });
 }
 
 #[test]

@@ -157,8 +157,7 @@ mod tests {
             BarrierVariant::Solved,
         ] {
             let src = barrier_source(v, 3, 2);
-            psketch_lang::check_program(&src)
-                .unwrap_or_else(|e| panic!("{v:?}: {e}\n{src}"));
+            psketch_lang::check_program(&src).unwrap_or_else(|e| panic!("{v:?}: {e}\n{src}"));
         }
     }
 

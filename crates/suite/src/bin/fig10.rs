@@ -41,8 +41,7 @@ fn main() {
         println!("\nleast-squares fit: itns = {a:.2} * log10|C| + {b:.2}");
         // Correlation coefficient.
         let syy: f64 = points.iter().map(|p| p.1 * p.1).sum();
-        let r = (n * sxy - sx * sy)
-            / ((n * sxx - sx * sx).sqrt() * (n * syy - sy * sy).sqrt());
+        let r = (n * sxy - sx * sy) / ((n * sxx - sx * sx).sqrt() * (n * syy - sy * sy).sqrt());
         println!("correlation r = {r:.2}");
     }
     // ASCII scatter.

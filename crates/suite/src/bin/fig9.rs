@@ -51,7 +51,13 @@ fn main() {
             "{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{:.1}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.2}\t{}\t{:.1}",
             run.benchmark,
             run.test,
-            if out.resolved() { "yes" } else if out.definitely_unresolvable { "NO" } else { "unknown" },
+            if out.resolved() {
+                "yes"
+            } else if out.definitely_unresolvable {
+                "NO"
+            } else {
+                "unknown"
+            },
             if run.expected_resolvable { "yes" } else { "NO" },
             st.iterations,
             run.paper_iterations.unwrap_or(0),

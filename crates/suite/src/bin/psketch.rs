@@ -3,7 +3,8 @@
 //! ```text
 //! psketch <file.psk> [--unroll N] [--pool N] [--hole-width N]
 //!         [--int-width N] [--reorder quad|exp] [--max-iters N]
-//!         [--hybrid N] [--dump-ir] [--explain]
+//!         [--hybrid N] [--threads N] [--portfolio N] [--dump-ir]
+//!         [--explain]
 //! ```
 //!
 //! Reads a sketch, runs CEGIS, prints statistics and — when the sketch
@@ -15,7 +16,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: psketch <file.psk> [--unroll N] [--pool N] [--hole-width N] \
          [--int-width N] [--reorder quad|exp] [--max-iters N] [--hybrid N] \
-         [--dump-ir] [--explain]"
+         [--threads N] [--portfolio N] [--dump-ir] [--explain]"
     );
     std::process::exit(2)
 }
@@ -26,17 +27,17 @@ fn main() {
     let mut config = Config::default();
     let mut max_iterations = 200;
     let mut verifier = VerifierKind::Exhaustive;
+    let mut threads = 1;
+    let mut portfolio = 1;
     let mut dump_ir = false;
     let mut explain = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut num = |what: &str| -> usize {
-            it.next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| {
-                    eprintln!("bad value for {what}");
-                    usage()
-                })
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("bad value for {what}");
+                usage()
+            })
         };
         match a.as_str() {
             "--unroll" => config.unroll = num("--unroll"),
@@ -51,13 +52,17 @@ fn main() {
                     _ => usage(),
                 }
             }
-            "--hybrid" => verifier = VerifierKind::Hybrid { samples: num("--hybrid") },
+            "--hybrid" => {
+                verifier = VerifierKind::Hybrid {
+                    samples: num("--hybrid"),
+                }
+            }
+            "--threads" => threads = num("--threads").max(1),
+            "--portfolio" => portfolio = num("--portfolio").max(1),
             "--dump-ir" => dump_ir = true,
             "--explain" => explain = true,
             "--help" | "-h" => usage(),
-            other if file.is_none() && !other.starts_with('-') => {
-                file = Some(other.to_string())
-            }
+            other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
             _ => usage(),
         }
     }
@@ -73,6 +78,8 @@ fn main() {
         config,
         max_iterations,
         verifier,
+        threads,
+        portfolio,
         ..Options::default()
     };
     let synthesis = match Synthesis::new(&source, opts) {

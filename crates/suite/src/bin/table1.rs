@@ -11,8 +11,8 @@ fn main() {
     );
     println!("{}", "-".repeat(84));
     for entry in table1_entries() {
-        let s = Synthesis::new(&entry.run.source, entry.run.options.clone())
-            .expect("benchmark lowers");
+        let s =
+            Synthesis::new(&entry.run.source, entry.run.options.clone()).expect("benchmark lowers");
         let space = s.candidate_space();
         let rendered = if space < 1000 {
             space.to_string()

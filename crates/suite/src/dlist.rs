@@ -153,8 +153,7 @@ mod tests {
     fn sources_typecheck() {
         for v in [DlistVariant::Sketch, DlistVariant::Solved] {
             let src = dlist_source(v, 2);
-            psketch_lang::check_program(&src)
-                .unwrap_or_else(|e| panic!("{v:?}: {e}\n{src}"));
+            psketch_lang::check_program(&src).unwrap_or_else(|e| panic!("{v:?}: {e}\n{src}"));
         }
     }
 

@@ -283,18 +283,16 @@ mod tests {
     #[test]
     fn all_figure9_sources_compile() {
         for run in figure9_runs() {
-            psketch_lang::check_program(&run.source).unwrap_or_else(|e| {
-                panic!("{} [{}]: {e}", run.benchmark, run.test)
-            });
+            psketch_lang::check_program(&run.source)
+                .unwrap_or_else(|e| panic!("{} [{}]: {e}", run.benchmark, run.test));
         }
     }
 
     #[test]
     fn all_figure9_sources_lower() {
         for run in figure9_runs() {
-            Synthesis::new(&run.source, run.options.clone()).unwrap_or_else(|e| {
-                panic!("{} [{}]: {e}", run.benchmark, run.test)
-            });
+            Synthesis::new(&run.source, run.options.clone())
+                .unwrap_or_else(|e| panic!("{} [{}]: {e}", run.benchmark, run.test));
         }
     }
 
@@ -303,7 +301,7 @@ mod tests {
         // Our sketches are reconstructions; |C| should land within
         // roughly two orders of magnitude of the paper's Table 1.
         let expected: &[(&str, f64)] = &[
-            ("queueE1", 0.6),  // 4
+            ("queueE1", 0.6), // 4
             ("queueE2", 6.0),
             ("queueDE1", 3.0),
             ("queueDE2", 8.0),
@@ -337,8 +335,8 @@ mod tests {
         let benchmarks: std::collections::HashSet<&str> =
             runs.iter().map(|r| r.benchmark).collect();
         for b in [
-            "queueE1", "queueE2", "queueDE1", "queueDE2", "barrier1", "barrier2",
-            "fineset1", "fineset2", "lazyset", "dinphilo",
+            "queueE1", "queueE2", "queueDE1", "queueDE2", "barrier1", "barrier2", "fineset1",
+            "fineset2", "lazyset", "dinphilo",
         ] {
             assert!(benchmarks.contains(b), "missing {b}");
         }

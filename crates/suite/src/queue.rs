@@ -253,11 +253,7 @@ pub fn queue_source(enq: EnqueueVariant, deq: DequeueVariant, w: &Workload) -> S
         .collect();
     let mut gd_vars: Vec<(usize, usize)> = Vec::new();
     for &(ctx, ops) in &contexts {
-        for (j, _) in ops
-            .iter()
-            .filter(|o| **o == OpKind::Delete)
-            .enumerate()
-        {
+        for (j, _) in ops.iter().filter(|o| **o == OpKind::Delete).enumerate() {
             let _ = writeln!(h, "    int gd_{ctx}_{j} = 0 - 1;");
             gd_vars.push((ctx, j));
         }
@@ -321,8 +317,7 @@ pub fn queue_source(enq: EnqueueVariant, deq: DequeueVariant, w: &Workload) -> S
             match op {
                 OpKind::Insert => post_enq += 1,
                 OpKind::Delete => {
-                    let guaranteed = (leftover_after_pre + worker_inserts + post_enq)
-                        as i64
+                    let guaranteed = (leftover_after_pre + worker_inserts + post_enq) as i64
                         - (worker_deletes + post_deq) as i64;
                     if guaranteed > 0 {
                         let _ = writeln!(h, "    assert gd_{epi}_{post_deq} != 0 - 1;");

@@ -475,8 +475,7 @@ mod tests {
             SetVariant::Lazy,
         ] {
             let src = set_source(v, &w);
-            psketch_lang::check_program(&src)
-                .unwrap_or_else(|e| panic!("{v:?}: {e}\n{src}"));
+            psketch_lang::check_program(&src).unwrap_or_else(|e| panic!("{v:?}: {e}\n{src}"));
         }
     }
 

@@ -102,10 +102,7 @@ impl Bv {
             // acc += (b[k] ? a << k : 0)
             let mut shifted = vec![c.constant(false); k];
             shifted.extend(a.0.iter().take(w - k).copied());
-            let gated = Bv(shifted
-                .into_iter()
-                .map(|bit| c.and(bit, b.0[k]))
-                .collect());
+            let gated = Bv(shifted.into_iter().map(|bit| c.and(bit, b.0[k])).collect());
             acc = Bv::add(c, &acc, &gated);
         }
         acc
@@ -114,12 +111,7 @@ impl Bv {
     /// Equality.
     pub fn eq(c: &mut Circuit, a: &Bv, b: &Bv) -> NodeRef {
         assert_eq!(a.width(), b.width());
-        let bits: Vec<NodeRef> = a
-            .0
-            .iter()
-            .zip(&b.0)
-            .map(|(&x, &y)| c.iff(x, y))
-            .collect();
+        let bits: Vec<NodeRef> = a.0.iter().zip(&b.0).map(|(&x, &y)| c.iff(x, y)).collect();
         c.and_all(bits)
     }
 

@@ -63,11 +63,7 @@ impl<'a> SymEval<'a> {
                 vec![zero; s.fields.len() * s.capacity]
             })
             .collect();
-        let allocs = l
-            .structs
-            .iter()
-            .map(|_| Bv::constant(c, 0, w))
-            .collect();
+        let allocs = l.structs.iter().map(|_| Bv::constant(c, 0, w)).collect();
         let locals = (0..l.num_threads())
             .map(|t| {
                 let zero = Bv::constant(c, 0, w);
@@ -270,8 +266,7 @@ impl<'a> SymEval<'a> {
             Rv::GlobalDyn { base, len, ix } => {
                 let i = self.eval_rv(c, tid, ix, demand);
                 self.bounds_fail(c, &i, *len, demand);
-                let cells: Vec<Bv> =
-                    (0..*len).map(|k| self.globals[base + k].clone()).collect();
+                let cells: Vec<Bv> = (0..*len).map(|k| self.globals[base + k].clone()).collect();
                 self.select(c, &i, &cells)
             }
             Rv::LocalDyn { base, len, ix } => {

@@ -22,12 +22,8 @@ use std::collections::HashMap;
 
 /// The merged order of all steps of all threads for one trace.
 pub fn project(l: &Lowered, cex: &CexTrace) -> Vec<(ThreadId, usize)> {
-    let trace_pos: HashMap<(ThreadId, usize), usize> = cex
-        .steps
-        .iter()
-        .enumerate()
-        .map(|(p, &s)| (s, p))
-        .collect();
+    let trace_pos: HashMap<(ThreadId, usize), usize> =
+        cex.steps.iter().enumerate().map(|(p, &s)| (s, p)).collect();
     let deadlocked: Vec<ThreadId> = cex.deadlock.iter().map(|&(t, _)| t).collect();
     let inf = cex.steps.len();
 
@@ -80,8 +76,7 @@ pub fn project(l: &Lowered, cex: &CexTrace) -> Vec<(ThreadId, usize)> {
 /// The merged-order position just past the last traced step: where the
 /// deadlock set (if any) is re-evaluated during symbolic replay.
 pub fn trace_end_position(order: &[(ThreadId, usize)], cex: &CexTrace) -> usize {
-    let traced: std::collections::HashSet<(ThreadId, usize)> =
-        cex.steps.iter().copied().collect();
+    let traced: std::collections::HashSet<(ThreadId, usize)> = cex.steps.iter().copied().collect();
     order
         .iter()
         .rposition(|s| traced.contains(s))
@@ -173,10 +168,7 @@ mod tests {
         );
         // Interleaved trace: w0 s1, w1 s1, w0 s2, w1 s2 (step indices
         // 0-based in each worker; index var init step is 0).
-        let t = fake_trace(
-            vec![(1, 0), (2, 0), (1, 1), (2, 1), (1, 2), (2, 2)],
-            vec![],
-        );
+        let t = fake_trace(vec![(1, 0), (2, 0), (1, 1), (2, 1), (1, 2), (2, 2)], vec![]);
         let order = project(&l, &t);
         let pos = |t_: ThreadId, j: usize| order.iter().position(|&s| s == (t_, j)).unwrap();
         assert!(pos(1, 1) < pos(2, 1));

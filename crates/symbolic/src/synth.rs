@@ -248,6 +248,56 @@ impl<'l> Synthesizer<'l> {
         if r == SolveResult::Unsat {
             return None;
         }
+        Some(self.decode_model())
+    }
+
+    /// Asks for up to `k` pairwise-distinct candidates consistent with
+    /// all observations so far (portfolio CEGIS). Fewer than `k` are
+    /// returned when the space has fewer remaining candidates; an empty
+    /// vector means the sketch cannot be resolved.
+    ///
+    /// Diversification uses assumption-guarded blocking clauses: each
+    /// found assignment is excluded by a clause `¬sel ∨ ¬bit…` and the
+    /// selector `sel` is only assumed within this call, so — unlike
+    /// [`Synthesizer::block`] — the candidate space is not permanently
+    /// shrunk.
+    pub fn next_candidates(&mut self, k: usize) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        if k == 0 {
+            return out;
+        }
+        match self.next_candidate() {
+            Some(a) => out.push(a),
+            None => return out,
+        }
+        if k == 1 {
+            return out;
+        }
+        let sel = psketch_sat::Lit::pos(self.solver.new_var());
+        while out.len() < k {
+            // Exclude everything found in this round, under `sel`.
+            let mut clause = vec![!sel];
+            for (h, vars) in self.hole_vars.iter().enumerate() {
+                let v = out.last().unwrap().value(h as HoleId);
+                for (kx, &var) in vars.iter().enumerate() {
+                    let bit = (v >> kx) & 1 == 1;
+                    clause.push(psketch_sat::Lit::new(var, !bit));
+                }
+            }
+            self.solver.add_clause(clause);
+            let t0 = Instant::now();
+            let r = self.solver.solve_with(&[sel]);
+            self.stats.solve_time += t0.elapsed();
+            if r != SolveResult::Sat {
+                break;
+            }
+            out.push(self.decode_model());
+        }
+        out
+    }
+
+    /// Reads the hole assignment off the solver's current model.
+    fn decode_model(&self) -> Assignment {
         let mut values = Vec::with_capacity(self.hole_vars.len());
         for vars in &self.hole_vars {
             let mut v = 0u64;
@@ -260,7 +310,7 @@ impl<'l> Synthesizer<'l> {
         }
         let a = Assignment::from_values(values);
         debug_assert!(a.validate(&self.l.holes));
-        Some(a)
+        a
     }
 
     /// Excludes a specific assignment from future candidates (used to
@@ -539,6 +589,34 @@ mod tests {
         }
         seen.sort_unstable();
         assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn portfolio_candidates_distinct_and_nonbinding() {
+        let l = lowered("int g; harness void main() { g = ??(3); assert g < 8; }");
+        let mut synth = Synthesizer::new(&l);
+        let batch = synth.next_candidates(4);
+        assert_eq!(batch.len(), 4);
+        let distinct: std::collections::HashSet<u64> = batch.iter().map(|a| a.value(0)).collect();
+        assert_eq!(distinct.len(), 4, "portfolio candidates must differ");
+        // The guarded blocking clauses must not shrink the space:
+        // all 8 values remain enumerable afterwards.
+        let mut seen = Vec::new();
+        while let Some(c) = synth.next_candidate() {
+            seen.push(c.value(0));
+            synth.block(&c);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn portfolio_exhausts_small_spaces() {
+        // Only 2 candidates exist; asking for 5 returns both.
+        let l = lowered("int g; harness void main() { g = ??(1); assert g >= 0; }");
+        let mut synth = Synthesizer::new(&l);
+        let batch = synth.next_candidates(5);
+        assert_eq!(batch.len(), 2);
     }
 
     #[test]

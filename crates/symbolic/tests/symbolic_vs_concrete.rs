@@ -8,15 +8,13 @@
 //! heaps vs array heaps, demand-conditioned vs lazy failures) against
 //! each other over every operation the IR supports.
 
-use proptest::prelude::*;
 use psketch_exec::check;
-use psketch_ir::{
-    desugar::desugar_program, lower::lower_program, Assignment, Config, Lowered,
-};
+use psketch_ir::{desugar::desugar_program, lower::lower_program, Assignment, Config, Lowered};
 use psketch_symbolic::bv::Bv;
 use psketch_symbolic::circuit::Circuit;
 use psketch_symbolic::eval::SymEval;
 use psketch_symbolic::project::sequential_order;
+use psketch_testutil::{cases, Rng};
 use std::collections::{HashMap, HashSet};
 
 fn lowered(src: &str, cfg: &Config) -> Lowered {
@@ -179,18 +177,15 @@ fn agreement_on_atomics() {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Randomized: straight-line int programs with a hole must agree
-    /// for every hole value.
-    #[test]
-    fn randomized_agreement(
-        c1 in -20i64..20,
-        c2 in 1i64..9,
-        c3 in -20i64..20,
-        target in -40i64..40,
-    ) {
+/// Randomized: straight-line int programs with a hole must agree
+/// for every hole value.
+#[test]
+fn randomized_agreement() {
+    cases(64, |rng: &mut Rng| {
+        let c1 = rng.range_i64(-20, 19);
+        let c2 = rng.range_i64(1, 8);
+        let c3 = rng.range_i64(-20, 19);
+        let target = rng.range_i64(-40, 39);
         let src = format!(
             "int g;
              harness void main() {{
@@ -205,7 +200,7 @@ proptest! {
             let a = Assignment::from_values(vec![v]);
             let concrete_ok = check(&l, &a).is_ok();
             let symbolic_ok = !symbolic_fails(&l, &a);
-            prop_assert_eq!(concrete_ok, symbolic_ok, "hole={} src={}", v, src);
+            assert_eq!(concrete_ok, symbolic_ok, "hole={} src={}", v, src);
         }
-    }
+    });
 }

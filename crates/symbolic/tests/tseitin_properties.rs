@@ -3,9 +3,9 @@
 //! over the circuit inputs, and returned models must satisfy the
 //! circuit under concrete evaluation.
 
-use proptest::prelude::*;
 use psketch_sat::{SolveResult, Solver};
 use psketch_symbolic::circuit::{Circuit, NodeRef};
+use psketch_testutil::{cases, Rng};
 use std::collections::HashMap;
 
 /// A recipe for building a random circuit over `n` inputs.
@@ -18,23 +18,27 @@ enum Gate {
     NotOf(usize),
 }
 
-fn gate_strategy(pool: usize) -> impl Strategy<Value = Gate> {
-    prop_oneof![
-        (0..pool, 0..pool, any::<bool>(), any::<bool>())
-            .prop_map(|(a, b, na, nb)| Gate::And(a, b, na, nb)),
-        (0..pool, 0..pool, any::<bool>(), any::<bool>())
-            .prop_map(|(a, b, na, nb)| Gate::Or(a, b, na, nb)),
-        (0..pool, 0..pool).prop_map(|(a, b)| Gate::Xor(a, b)),
-        (0..pool, 0..pool, 0..pool).prop_map(|(c, t, e)| Gate::Ite(c, t, e)),
-        (0..pool).prop_map(Gate::NotOf),
-    ]
+fn random_gate(rng: &mut Rng, pool: usize) -> Gate {
+    match rng.below(5) {
+        0 => Gate::And(
+            rng.below(pool),
+            rng.below(pool),
+            rng.any_bool(),
+            rng.any_bool(),
+        ),
+        1 => Gate::Or(
+            rng.below(pool),
+            rng.below(pool),
+            rng.any_bool(),
+            rng.any_bool(),
+        ),
+        2 => Gate::Xor(rng.below(pool), rng.below(pool)),
+        3 => Gate::Ite(rng.below(pool), rng.below(pool), rng.below(pool)),
+        _ => Gate::NotOf(rng.below(pool)),
+    }
 }
 
-fn build(
-    c: &mut Circuit,
-    n_inputs: usize,
-    gates: &[Gate],
-) -> (Vec<NodeRef>, NodeRef) {
+fn build(c: &mut Circuit, n_inputs: usize, gates: &[Gate]) -> (Vec<NodeRef>, NodeRef) {
     let inputs: Vec<NodeRef> = (0..n_inputs).map(|_| c.input()).collect();
     let mut pool = inputs.clone();
     for g in gates {
@@ -89,27 +93,22 @@ fn brute_force_satisfiable(c: &Circuit, inputs: &[NodeRef], out: NodeRef) -> boo
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn tseitin_matches_brute_force(
-        n_inputs in 1usize..=6,
-        gates in prop::collection::vec(gate_strategy(32), 1..24),
-    ) {
+#[test]
+fn tseitin_matches_brute_force() {
+    cases(128, |rng| {
+        let n_inputs = 1 + rng.below(6);
+        let n_gates = 1 + rng.below(23);
+        let gates: Vec<Gate> = (0..n_gates).map(|_| random_gate(rng, 32)).collect();
         let mut c = Circuit::new();
         let (inputs, out) = build(&mut c, n_inputs, &gates);
         let expected = brute_force_satisfiable(&c, &inputs, out);
 
         let mut solver = Solver::new();
         // Force input variables into the solver so models cover them.
-        let input_lits: Vec<_> = inputs
-            .iter()
-            .map(|&i| c.lit(i, &mut solver))
-            .collect();
+        let input_lits: Vec<_> = inputs.iter().map(|&i| c.lit(i, &mut solver)).collect();
         c.assert_true(out, &mut solver);
         let got = solver.solve() == SolveResult::Sat;
-        prop_assert_eq!(got, expected, "circuit with {} gates", gates.len());
+        assert_eq!(got, expected, "circuit with {} gates", gates.len());
 
         if got {
             // The model must satisfy the circuit concretely.
@@ -120,22 +119,24 @@ proptest! {
                     solver.lit_model_value(lit).unwrap_or(false),
                 );
             }
-            prop_assert!(c.eval(out, &env), "model does not satisfy the circuit");
+            assert!(c.eval(out, &env), "model does not satisfy the circuit");
         }
-    }
+    });
+}
 
-    /// Asserting a node AND its negation is always UNSAT — exercises
-    /// polarity handling through shared Tseitin variables.
-    #[test]
-    fn node_and_negation_unsat(
-        n_inputs in 1usize..=5,
-        gates in prop::collection::vec(gate_strategy(16), 1..16),
-    ) {
+/// Asserting a node AND its negation is always UNSAT — exercises
+/// polarity handling through shared Tseitin variables.
+#[test]
+fn node_and_negation_unsat() {
+    cases(128, |rng| {
+        let n_inputs = 1 + rng.below(5);
+        let n_gates = 1 + rng.below(15);
+        let gates: Vec<Gate> = (0..n_gates).map(|_| random_gate(rng, 16)).collect();
         let mut c = Circuit::new();
         let (_, out) = build(&mut c, n_inputs, &gates);
         let mut solver = Solver::new();
         c.assert_true(out, &mut solver);
         c.assert_true(out.not(), &mut solver);
-        prop_assert_eq!(solver.solve(), SolveResult::Unsat);
-    }
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+    });
 }

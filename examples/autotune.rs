@@ -66,9 +66,7 @@ fn main() {
 
     println!("found {} correct orderings:\n", solutions.len());
     for (rank, r) in solutions.iter().enumerate() {
-        let body = synthesis
-            .resolve_function("work", &r.assignment)
-            .unwrap();
+        let body = synthesis.resolve_function("work", &r.assignment).unwrap();
         println!(
             "--- rank {} (critical section: {} lines) ---",
             rank + 1,

@@ -16,11 +16,7 @@ use psketch_suite::workload::Workload;
 
 fn main() {
     let workload = Workload::parse("ed(ed|ed)").expect("valid descriptor");
-    let source = queue_source(
-        EnqueueVariant::Full,
-        DequeueVariant::SketchSoup,
-        &workload,
-    );
+    let source = queue_source(EnqueueVariant::Full, DequeueVariant::SketchSoup, &workload);
     let options = Options {
         config: Config {
             unroll: workload.total_inserts() + 2,

@@ -66,9 +66,7 @@ fn main() {
     );
     println!("synthesizing against the executable spec (all 8-bit inputs)...\n");
     let outcome = synthesis.run();
-    let resolution = outcome
-        .resolution
-        .expect("a shufps transpose exists");
+    let resolution = outcome.resolution.expect("a shufps transpose exists");
     println!(
         "resolved in {} iterations, {:.2}s (the paper's laptop took 33 minutes)\n",
         outcome.stats.iterations,

@@ -122,9 +122,7 @@ fn cross_validate(src: &str) {
 fn cross_validation_constants() {
     cross_validate("int g; harness void main() { g = ??(3); assert g == 6; }");
     cross_validate("int g; harness void main() { g = ??(2); assert g == 9; }"); // NO
-    cross_validate(
-        "int g; harness void main() { g = ??(2) + ??(2); assert g == 5 && g > 4; }",
-    );
+    cross_validate("int g; harness void main() { g = ??(2) + ??(2); assert g == 5 && g > 4; }");
 }
 
 #[test]

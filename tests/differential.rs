@@ -8,8 +8,8 @@
 //! * random two-thread read-modify-write programs: the model checker's
 //!   verdict must match a brute-force interleaving enumerator.
 
-use proptest::prelude::*;
 use psketch_repro::core::{Config, Options, Synthesis};
+use psketch_testutil::{cases, Rng};
 
 // ---------------------------------------------------------------
 // Part 1: expression semantics.
@@ -83,34 +83,41 @@ impl E {
     }
 }
 
-fn expr_strategy() -> impl Strategy<Value = E> {
-    let leaf = any::<i8>().prop_map(E::Const);
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), prop_oneof![1i8..=13, -13i8..=-1])
-                .prop_map(|(a, c)| E::DivC(Box::new(a), c)),
-            (inner.clone(), (1i8..=13)).prop_map(|(a, c)| E::ModC(Box::new(a), c)),
-            inner.clone().prop_map(|a| E::Neg(Box::new(a))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Eq(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
-            inner.prop_map(|a| E::Not(Box::new(a))),
-        ]
-    })
+/// Random expression tree, recursion bounded by `depth`.
+fn random_expr(rng: &mut Rng, depth: usize) -> E {
+    if depth == 0 || rng.below(3) == 0 {
+        return E::Const(rng.any_i8());
+    }
+    let d = depth - 1;
+    match rng.below(11) {
+        0 => E::Add(Box::new(random_expr(rng, d)), Box::new(random_expr(rng, d))),
+        1 => E::Sub(Box::new(random_expr(rng, d)), Box::new(random_expr(rng, d))),
+        2 => E::Mul(Box::new(random_expr(rng, d)), Box::new(random_expr(rng, d))),
+        3 => {
+            let mag = rng.range_i64(1, 13) as i8;
+            let c = if rng.any_bool() { mag } else { -mag };
+            E::DivC(Box::new(random_expr(rng, d)), c)
+        }
+        4 => {
+            let c = rng.range_i64(1, 13) as i8;
+            E::ModC(Box::new(random_expr(rng, d)), c)
+        }
+        5 => E::Neg(Box::new(random_expr(rng, d))),
+        6 => E::Lt(Box::new(random_expr(rng, d)), Box::new(random_expr(rng, d))),
+        7 => E::Eq(Box::new(random_expr(rng, d)), Box::new(random_expr(rng, d))),
+        8 => E::And(Box::new(random_expr(rng, d)), Box::new(random_expr(rng, d))),
+        9 => E::Or(Box::new(random_expr(rng, d)), Box::new(random_expr(rng, d))),
+        _ => E::Not(Box::new(random_expr(rng, d))),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The synthesizer must fill `??(8)` with exactly the reference
-    /// value of a random expression — concrete and symbolic semantics
-    /// agree with the Rust oracle bit for bit.
-    #[test]
-    fn expression_semantics_match_reference(e in expr_strategy()) {
+/// The synthesizer must fill `??(8)` with exactly the reference
+/// value of a random expression — concrete and symbolic semantics
+/// agree with the Rust oracle bit for bit.
+#[test]
+fn expression_semantics_match_reference() {
+    cases(48, |rng| {
+        let e = random_expr(rng, 4);
         let expected = wrap8(e.eval());
         let src = format!(
             "int g;
@@ -123,9 +130,11 @@ proptest! {
         let out = Synthesis::new(&src, Options::default())
             .unwrap_or_else(|err| panic!("{err}\n{src}"))
             .run();
-        let r = out.resolution.unwrap_or_else(|| panic!("unresolvable: {src}"));
+        let r = out
+            .resolution
+            .unwrap_or_else(|| panic!("unresolvable: {src}"));
         // hole - 128 == expected  =>  hole = expected + 128 (0..=255).
-        prop_assert_eq!(
+        assert_eq!(
             r.assignment.value(0) as i64,
             expected + 128,
             "expr {} evaluated {} (source {})",
@@ -133,7 +142,7 @@ proptest! {
             expected,
             src
         );
-    }
+    });
 }
 
 // ---------------------------------------------------------------
@@ -218,33 +227,40 @@ fn thread_source(ops: &[OpA], tid: usize) -> String {
     out
 }
 
-fn op_strategy() -> impl Strategy<Value = OpA> {
-    prop_oneof![
-        (-3i8..=3).prop_map(OpA::Atomic),
-        (-3i8..=3).prop_map(OpA::Racy),
-    ]
+fn random_op(rng: &mut Rng) -> OpA {
+    let c = rng.range_i64(-3, 3) as i8;
+    if rng.any_bool() {
+        OpA::Atomic(c)
+    } else {
+        OpA::Racy(c)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn random_ops(rng: &mut Rng) -> Vec<OpA> {
+    let n = 1 + rng.below(2);
+    (0..n).map(|_| random_op(rng)).collect()
+}
 
-    /// The model checker accepts `assert g == V` exactly when the
-    /// brute-force interleaving oracle says V is the *only* possible
-    /// final value.
-    #[test]
-    fn checker_verdict_matches_interleaving_oracle(
-        t0 in prop::collection::vec(op_strategy(), 1..=2),
-        t1 in prop::collection::vec(op_strategy(), 1..=2),
-    ) {
+/// The model checker accepts `assert g == V` exactly when the
+/// brute-force interleaving oracle says V is the *only* possible
+/// final value.
+#[test]
+fn checker_verdict_matches_interleaving_oracle() {
+    cases(24, |rng| {
+        let t0 = random_ops(rng);
+        let t1 = random_ops(rng);
         let threads = vec![t0.clone(), t1.clone()];
         let possible = possible_finals(&threads);
         // The serial (t0 then t1) value is always possible.
         let serial: i64 = wrap8(
-            t0.iter().chain(&t1).map(|op| match op {
-                OpA::Atomic(c) | OpA::Racy(c) => *c as i64,
-            }).sum(),
+            t0.iter()
+                .chain(&t1)
+                .map(|op| match op {
+                    OpA::Atomic(c) | OpA::Racy(c) => *c as i64,
+                })
+                .sum(),
         );
-        prop_assert!(possible.contains(&serial));
+        assert!(possible.contains(&serial));
 
         let src = format!(
             "int g;
@@ -259,12 +275,11 @@ proptest! {
             thread_source(&t0, 0),
             thread_source(&t1, 1),
         );
-        let s = Synthesis::new(&src, Options::default())
-            .unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let s = Synthesis::new(&src, Options::default()).unwrap_or_else(|e| panic!("{e}\n{src}"));
         let a = s.lowered().holes.identity_assignment();
         let cex = s.verify_candidate(&a);
         let deterministic = possible.len() == 1;
-        prop_assert_eq!(
+        assert_eq!(
             cex.is_none(),
             deterministic,
             "possible finals {:?}, asserted {}, checker cex: {:?}\n{}",
@@ -273,7 +288,7 @@ proptest! {
             cex.map(|c| c.failure.kind),
             src
         );
-    }
+    });
 }
 
 // ---------------------------------------------------------------
@@ -292,8 +307,7 @@ fn deeply_nested_expressions_parse() {
             for _ in 0..200 {
                 e = format!("({e} + 1)");
             }
-            let src =
-                format!("harness void main() {{ int x = {e}; assert x > 0 || x < 1; }}");
+            let src = format!("harness void main() {{ int x = {e}; assert x > 0 || x < 1; }}");
             psketch_repro::lang::check_program(&src).expect("deep nesting parses");
         })
         .unwrap()

@@ -29,7 +29,10 @@ fn doubly_linked_list_synthesis() {
         "{ins}"
     );
     // Backward consistency established too (epilogue enforces it).
-    assert!(ins.contains("q.prev = n") || ins.contains("n.prev = p"), "{ins}");
+    assert!(
+        ins.contains("q.prev = n") || ins.contains("n.prev = p"),
+        "{ins}"
+    );
 }
 
 #[test]
@@ -73,8 +76,7 @@ fn enumerate_collects_reorder_freedom() {
     .unwrap();
     let all = s.enumerate(100);
     assert_eq!(all.len(), 6);
-    let unique: std::collections::HashSet<String> =
-        all.iter().map(|r| r.source.clone()).collect();
+    let unique: std::collections::HashSet<String> = all.iter().map(|r| r.source.clone()).collect();
     assert_eq!(unique.len(), 6, "resolutions must be distinct programs");
 }
 
@@ -170,7 +172,9 @@ fn random_runs_are_real_executions() {
     let found = (0..64).any(|seed| random_run(&l, &a, seed).is_some());
     assert!(found, "64 random schedules should hit the race");
     assert!(
-        psketch_repro::exec::check(&l, &a).counterexample().is_some(),
+        psketch_repro::exec::check(&l, &a)
+            .counterexample()
+            .is_some(),
         "exhaustive agrees"
     );
 }

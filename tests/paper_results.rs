@@ -32,7 +32,9 @@ fn figure2_enqueue_synthesis() {
     let out = s.run();
     let r = out.resolution.expect("queueE1 resolves");
     let enq = s.resolve_function("Enqueue", &r.assignment).unwrap();
-    let swap = enq.find("AtomicSwap(tail, newEntry)").expect("uses the swap");
+    let swap = enq
+        .find("AtomicSwap(tail, newEntry)")
+        .expect("uses the swap");
     let link = enq.find("tmp.next = newEntry").expect("links the node");
     assert!(swap < link, "Figure 2 order:\n{enq}");
 }

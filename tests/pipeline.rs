@@ -68,7 +68,11 @@ fn resolution_source_reparses_and_verifies() {
     assert_eq!(holes2.num_holes(), 0, "resolution left holes behind");
     let l2 = lower_program(&sk2, holes2, &cfg).unwrap();
     let out2 = check(&l2, &Assignment::from_values(vec![]));
-    assert!(out2.is_ok(), "resolved program fails: {:?}", out2.counterexample());
+    assert!(
+        out2.is_ok(),
+        "resolved program fails: {:?}",
+        out2.counterexample()
+    );
 }
 
 #[test]
@@ -132,7 +136,9 @@ fn every_failure_kind_is_reachable() {
         let (sk, holes) = desugar_program(&p, &cfg).unwrap();
         let l = lower_program(&sk, holes, &cfg).unwrap();
         let out = check(&l, &l.holes.identity_assignment());
-        let cex = out.counterexample().unwrap_or_else(|| panic!("{src} passed"));
+        let cex = out
+            .counterexample()
+            .unwrap_or_else(|| panic!("{src} passed"));
         assert_eq!(cex.failure.kind, *want, "{src}");
     }
 }
