@@ -66,10 +66,38 @@ fn main() {
                 ("secs_median", JsonValue::Num(m.median.as_secs_f64())),
                 ("secs_min", JsonValue::Num(m.min.as_secs_f64())),
                 ("states", JsonValue::Int(out.stats.states as i64)),
+                ("transitions", JsonValue::Int(out.stats.transitions as i64)),
+                (
+                    "terminal_states",
+                    JsonValue::Int(out.stats.terminal_states as i64),
+                ),
                 ("iterations", JsonValue::Int(out.stats.iterations as i64)),
                 (
                     "portfolio_width",
                     JsonValue::Int(out.stats.portfolio_width as i64),
+                ),
+                (
+                    "sat_decisions",
+                    JsonValue::Int(out.stats.sat_decisions as i64),
+                ),
+                (
+                    "sat_conflicts",
+                    JsonValue::Int(out.stats.sat_conflicts as i64),
+                ),
+                (
+                    "s_solve_secs",
+                    JsonValue::Num(out.stats.s_solve.as_secs_f64()),
+                ),
+                (
+                    "v_solve_secs",
+                    JsonValue::Num(out.stats.v_solve.as_secs_f64()),
+                ),
+                (
+                    "peak_memory_bytes",
+                    match out.stats.peak_memory {
+                        Some(b) => JsonValue::Int(b as i64),
+                        None => JsonValue::Str("n/a".into()),
+                    },
                 ),
                 ("resolved", JsonValue::Bool(out.resolved())),
             ]);

@@ -1,11 +1,17 @@
 //! The CEGIS driver.
 
 use crate::mem;
-use psketch_exec::{check_parallel, check_with_limit, random_run, CexTrace, Verdict};
+use crate::telemetry::{BudgetKind, BudgetTrip, IterationRecord, RunReport};
+use psketch_exec::{
+    check_parallel_limits, check_with_limits, random_run, CexTrace, Interrupt, SearchLimits,
+    Verdict,
+};
 use psketch_ir::{desugar, lower, resolve, Assignment, Config, Lowered};
 use psketch_lang::ast::Program;
 use psketch_lang::{SourceError, SourceResult};
-use psketch_symbolic::{verify_sequential, Synthesizer};
+use psketch_symbolic::{verify_sequential_limits, CandidateBatch, SeqVerify, Synthesizer};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How a sketch is specified (paper §4.3).
@@ -59,6 +65,21 @@ pub struct Options {
     /// iteration (portfolio width). Every refuted candidate's trace is
     /// fed back in one batch. `1` (the default) is classic CEGIS.
     pub portfolio: usize,
+    /// Wall-clock budget for the whole run. When it expires, the run
+    /// stops cooperatively — the SAT solver, the sequential DFS, the
+    /// parallel workers and the schedule sampler all poll the deadline
+    /// — and returns unknown with a [`BudgetTrip`] naming the wall
+    /// budget. `None` (the default) never times out.
+    pub wall_timeout: Option<Duration>,
+    /// Cumulative state budget across *all* verification calls of the
+    /// run ([`Options::max_states`] bounds each single call). When the
+    /// total reaches it, the run returns unknown with a [`BudgetTrip`].
+    pub state_budget: Option<usize>,
+    /// Resident-set budget in bytes, polled by a watchdog thread via
+    /// `/proc/self/status`. Exceeding it cancels the run cooperatively
+    /// (unknown + [`BudgetTrip`]). Ignored where `/proc` is
+    /// unavailable.
+    pub memory_budget: Option<u64>,
 }
 
 impl Default for Options {
@@ -71,6 +92,9 @@ impl Default for Options {
             verifier: VerifierKind::Exhaustive,
             threads: 1,
             portfolio: 1,
+            wall_timeout: None,
+            state_budget: None,
+            memory_budget: None,
         }
     }
 }
@@ -98,8 +122,22 @@ pub struct CegisStats {
     pub log10_space: f64,
     /// States explored by the model checker (cumulative).
     pub states: usize,
-    /// Peak RSS observed at the end of the run, bytes.
-    pub peak_memory: u64,
+    /// Transitions fired by the model checker (cumulative).
+    pub transitions: usize,
+    /// Terminal states the model checker reached (cumulative).
+    pub terminal_states: usize,
+    /// Peak RSS observed at the end of the run, bytes; `None` when the
+    /// platform exposes no `/proc/self/status` (report it as "n/a",
+    /// not as zero).
+    pub peak_memory: Option<u64>,
+    /// Synthesizer SAT decisions (cumulative).
+    pub sat_decisions: u64,
+    /// Synthesizer SAT unit propagations (cumulative).
+    pub sat_propagations: u64,
+    /// Synthesizer SAT conflicts (cumulative).
+    pub sat_conflicts: u64,
+    /// Synthesizer SAT restarts (cumulative).
+    pub sat_restarts: u64,
     /// Circuit nodes in the synthesizer at the end.
     pub synth_nodes: usize,
     /// Candidates refuted by a sampled schedule before any exhaustive
@@ -131,6 +169,10 @@ pub struct Outcome {
     /// `true` when `None` is a definite "cannot be resolved" rather
     /// than an iteration/state budget exhaustion.
     pub definitely_unresolvable: bool,
+    /// Which resource budget stopped the run, when the outcome is
+    /// unknown because a budget tripped. `None` on resolve, on
+    /// definite unresolvability and on plain iteration exhaustion.
+    pub budget_trip: Option<BudgetTrip>,
     /// Statistics.
     pub stats: CegisStats,
 }
@@ -225,6 +267,23 @@ impl Synthesis {
 
     /// Runs the CEGIS loop to completion.
     pub fn run(&self) -> Outcome {
+        self.run_report().0
+    }
+
+    /// Runs the CEGIS loop to completion and also returns the
+    /// machine-readable [`RunReport`]: one [`IterationRecord`] per
+    /// candidate tried plus run-level totals, serialisable with
+    /// [`RunReport::to_json`].
+    ///
+    /// Resource budgets ([`Options::wall_timeout`],
+    /// [`Options::state_budget`], [`Options::memory_budget`]) are
+    /// enforced here: the deadline and a shared cancellation flag are
+    /// threaded into the SAT solver and every checker search, and a
+    /// watchdog thread polls wall/RSS so even a phase that makes no
+    /// progress is cancelled. An over-budget run always terminates
+    /// with an unknown [`Outcome`] whose `budget_trip` names the
+    /// budget and the phase; partial statistics stay intact.
+    pub fn run_report(&self) -> (Outcome, RunReport) {
         let t0 = Instant::now();
         let mut stats = CegisStats {
             v_model: self.v_model,
@@ -232,65 +291,283 @@ impl Synthesis {
             log10_space: self.lowered.holes.log10_candidate_space(),
             ..CegisStats::default()
         };
+        let mut records: Vec<IterationRecord> = Vec::new();
         let mut synth = Synthesizer::new(&self.lowered);
         let mut resolution = None;
         let mut definitely_unresolvable = false;
         let width = self.options.portfolio.max(1);
 
-        'cegis: while stats.iterations < self.options.max_iterations {
-            let k = width.min(self.options.max_iterations - stats.iterations);
-            let candidates = synth.next_candidates(k);
-            if candidates.is_empty() {
-                definitely_unresolvable = true;
-                break;
-            }
-            let base = stats.iterations;
-            stats.iterations += candidates.len();
-            stats.portfolio_width = stats.portfolio_width.max(candidates.len());
-            let tv = Instant::now();
-            let results = self.verify_batch(&candidates, base);
-            stats.v_solve += tv.elapsed();
-            for (_, effort) in &results {
-                stats.merge_effort(effort);
-            }
-            // A correct candidate wins; otherwise every trace feeds
-            // back as one observation batch.
-            let mut unknown = false;
-            for (candidate, (result, _)) in candidates.into_iter().zip(results) {
-                match result {
-                    VerifyResult::Correct => {
-                        let resolved = resolve::resolve_program(&self.sketch, &candidate);
-                        resolution = Some(Resolution {
-                            assignment: candidate,
-                            source: psketch_lang::pretty::print_program(&resolved),
-                        });
-                        break 'cegis;
+        let deadline = self.options.wall_timeout.map(|d| t0 + d);
+        let cancel = Arc::new(AtomicBool::new(false));
+        let trip: Mutex<Option<BudgetTrip>> = Mutex::new(None);
+        let done = AtomicBool::new(false);
+        synth.set_limits(deadline, Some(cancel.clone()));
+
+        std::thread::scope(|scope| {
+            if deadline.is_some() || self.options.memory_budget.is_some() {
+                let cancel = &cancel;
+                let trip = &trip;
+                let done = &done;
+                let memory_budget = self.options.memory_budget;
+                scope.spawn(move || {
+                    while !done.load(Ordering::Relaxed) {
+                        if let Some(d) = deadline {
+                            if Instant::now() >= d {
+                                set_trip(
+                                    trip,
+                                    BudgetTrip::new(
+                                        BudgetKind::Wall,
+                                        "watchdog",
+                                        "wall timeout expired",
+                                    ),
+                                );
+                                cancel.store(true, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                        if let Some(budget) = memory_budget {
+                            if mem::current_rss_bytes().is_some_and(|rss| rss > budget) {
+                                set_trip(
+                                    trip,
+                                    BudgetTrip::new(
+                                        BudgetKind::Memory,
+                                        "watchdog",
+                                        format!("resident set exceeded {budget} bytes"),
+                                    ),
+                                );
+                                cancel.store(true, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
                     }
-                    VerifyResult::Trace(cex) => synth.add_trace(&cex),
-                    VerifyResult::Input(x) => synth.add_input(&x),
-                    VerifyResult::Unknown => unknown = true,
+                });
+            }
+
+            let mut batch_no = 0usize;
+            'cegis: while stats.iterations < self.options.max_iterations {
+                if cancel.load(Ordering::Relaxed) {
+                    break;
+                }
+                // Each call's state limit is the per-call max, shrunk
+                // to whatever remains of the cumulative budget.
+                let remaining = self
+                    .options
+                    .state_budget
+                    .map(|b| b.saturating_sub(stats.states));
+                if remaining == Some(0) {
+                    set_trip(
+                        &trip,
+                        BudgetTrip::new(
+                            BudgetKind::States,
+                            "verify",
+                            format!(
+                                "state budget {} exhausted",
+                                self.options.state_budget.unwrap_or(0)
+                            ),
+                        ),
+                    );
+                    break;
+                }
+                let limits = SearchLimits {
+                    max_states: remaining
+                        .map_or(self.options.max_states, |r| r.min(self.options.max_states)),
+                    deadline,
+                    cancel: Some(cancel.clone()),
+                };
+                let k = width.min(self.options.max_iterations - stats.iterations);
+                let candidates = match synth.next_candidates(k) {
+                    CandidateBatch::Found(v) => v,
+                    CandidateBatch::Exhausted => {
+                        definitely_unresolvable = true;
+                        break;
+                    }
+                    CandidateBatch::Interrupted => {
+                        set_trip(
+                            &trip,
+                            BudgetTrip::new(
+                                BudgetKind::Wall,
+                                "synthesize",
+                                "SAT solve interrupted",
+                            ),
+                        );
+                        break;
+                    }
+                };
+                let base = stats.iterations;
+                batch_no += 1;
+                let batch_width = candidates.len();
+                stats.iterations += batch_width;
+                stats.portfolio_width = stats.portfolio_width.max(batch_width);
+                let trace_set = synth.stats.observations;
+                let tv = Instant::now();
+                let results = self.verify_batch(&candidates, base, &limits);
+                stats.v_solve += tv.elapsed();
+                for (_, effort) in &results {
+                    stats.merge_effort(effort);
+                }
+                // A correct candidate wins; otherwise every trace
+                // feeds back as one observation batch.
+                let mut unknown: Option<Interrupt> = None;
+                for (ix, (candidate, (result, effort))) in
+                    candidates.into_iter().zip(results).enumerate()
+                {
+                    records.push(IterationRecord {
+                        iteration: base + ix + 1,
+                        batch: batch_no,
+                        batch_width,
+                        candidate: candidate.values().to_vec(),
+                        verdict: match &result {
+                            VerifyResult::Correct => "correct".to_string(),
+                            VerifyResult::Trace(_) => "trace".to_string(),
+                            VerifyResult::Input(_) => "input".to_string(),
+                            VerifyResult::Unknown(why) => format!("unknown:{}", why.label()),
+                        },
+                        trace_set,
+                        v_solve_secs: effort.duration.as_secs_f64(),
+                        states: effort.states,
+                        transitions: effort.transitions,
+                        terminal_states: effort.terminal_states,
+                        sampled_refutation: effort.sampled_refutation,
+                        per_thread_states: effort.per_thread_states,
+                    });
+                    match result {
+                        VerifyResult::Correct => {
+                            let resolved = resolve::resolve_program(&self.sketch, &candidate);
+                            resolution = Some(Resolution {
+                                assignment: candidate,
+                                source: psketch_lang::pretty::print_program(&resolved),
+                            });
+                            break 'cegis;
+                        }
+                        VerifyResult::Trace(cex) => synth.add_trace(&cex),
+                        VerifyResult::Input(x) => synth.add_input(&x),
+                        VerifyResult::Unknown(why) => unknown = Some(why),
+                    }
+                }
+                if let Some(why) = unknown {
+                    set_trip(&trip, self.interrupt_trip(why, &limits));
+                    break;
+                }
+                if let Some(budget) = self.options.state_budget {
+                    if stats.states >= budget {
+                        set_trip(
+                            &trip,
+                            BudgetTrip::new(
+                                BudgetKind::States,
+                                "verify",
+                                format!("state budget {budget} exhausted"),
+                            ),
+                        );
+                        break;
+                    }
                 }
             }
-            if unknown {
-                break;
-            }
-        }
+            done.store(true, Ordering::Relaxed);
+        });
+
         stats.s_solve = synth.stats.solve_time;
         stats.s_model = synth.stats.encode_time;
         stats.synth_nodes = synth.stats.nodes;
+        let sat = synth.solver_stats();
+        stats.sat_decisions = sat.decisions;
+        stats.sat_propagations = sat.propagations;
+        stats.sat_conflicts = sat.conflicts;
+        stats.sat_restarts = sat.restarts;
         stats.total = t0.elapsed();
-        stats.peak_memory = mem::peak_rss_bytes().unwrap_or(0);
-        Outcome {
+        stats.peak_memory = mem::peak_rss_bytes();
+        // A budget that tripped while the run nonetheless concluded
+        // (resolved, or proved unresolvable) did not stop anything:
+        // the trip is only reported on unknown outcomes.
+        let budget_trip = if resolution.is_some() || definitely_unresolvable {
+            None
+        } else {
+            trip.into_inner().unwrap()
+        };
+        let outcome = Outcome {
             resolution,
             definitely_unresolvable,
+            budget_trip,
             stats,
+        };
+        let report = self.build_report(&outcome, records);
+        (outcome, report)
+    }
+
+    /// Maps a checker interrupt to the budget that caused it.
+    fn interrupt_trip(&self, why: Interrupt, limits: &SearchLimits) -> BudgetTrip {
+        match why {
+            Interrupt::StateLimit => {
+                let detail = if limits.max_states < self.options.max_states {
+                    format!(
+                        "state budget {} exhausted mid-search",
+                        self.options.state_budget.unwrap_or(0)
+                    )
+                } else {
+                    format!("per-call max_states limit {} hit", self.options.max_states)
+                };
+                BudgetTrip::new(BudgetKind::States, "verify", detail)
+            }
+            Interrupt::Deadline => {
+                BudgetTrip::new(BudgetKind::Wall, "verify", "wall deadline passed in search")
+            }
+            // Cancellation originates in the watchdog, whose own trip
+            // (wall or memory) was recorded first and wins.
+            Interrupt::Cancelled => BudgetTrip::new(BudgetKind::Wall, "verify", "search cancelled"),
         }
+    }
+
+    fn build_report(&self, outcome: &Outcome, records: Vec<IterationRecord>) -> RunReport {
+        let st = &outcome.stats;
+        RunReport {
+            schema: RunReport::SCHEMA,
+            resolvable: if outcome.resolved() {
+                "yes"
+            } else if outcome.definitely_unresolvable {
+                "NO"
+            } else {
+                "unknown"
+            }
+            .to_string(),
+            resolution: outcome
+                .resolution
+                .as_ref()
+                .map(|r| r.assignment.values().to_vec()),
+            budget_trip: outcome.budget_trip.clone(),
+            iterations: st.iterations,
+            total_secs: st.total.as_secs_f64(),
+            s_solve_secs: st.s_solve.as_secs_f64(),
+            s_model_secs: st.s_model.as_secs_f64(),
+            v_solve_secs: st.v_solve.as_secs_f64(),
+            v_model_secs: st.v_model.as_secs_f64(),
+            candidate_space: st.candidate_space.to_string(),
+            log10_space: st.log10_space,
+            states: st.states,
+            transitions: st.transitions,
+            terminal_states: st.terminal_states,
+            peak_memory: st.peak_memory,
+            synth_nodes: st.synth_nodes,
+            sampled_refutations: st.sampled_refutations,
+            portfolio_width: st.portfolio_width,
+            per_thread_states: st.per_thread_states.clone(),
+            sat_decisions: st.sat_decisions,
+            sat_propagations: st.sat_propagations,
+            sat_conflicts: st.sat_conflicts,
+            sat_restarts: st.sat_restarts,
+            records,
+        }
+    }
+
+    /// Limits for verification calls made outside [`Synthesis::run`]
+    /// (no wall deadline, no cancellation — just the per-call cap).
+    fn base_limits(&self) -> SearchLimits {
+        SearchLimits::states(self.options.max_states)
     }
 
     /// Verifies one candidate, returning its counterexample if any.
     /// Exposed for tests and tooling.
     pub fn verify_candidate(&self, candidate: &Assignment) -> Option<CexTrace> {
-        match self.verify_once(candidate, 0).0 {
+        match self.verify_once(candidate, 0, &self.base_limits()).0 {
             VerifyResult::Trace(t) => Some(t),
             _ => None,
         }
@@ -303,14 +580,15 @@ impl Synthesis {
         &self,
         candidates: &[Assignment],
         base: usize,
+        limits: &SearchLimits,
     ) -> Vec<(VerifyResult, VerifyEffort)> {
         match candidates {
-            [one] => vec![self.verify_once(one, base + 1)],
+            [one] => vec![self.verify_once(one, base + 1, limits)],
             many => std::thread::scope(|scope| {
                 let handles: Vec<_> = many
                     .iter()
                     .enumerate()
-                    .map(|(ix, c)| scope.spawn(move || self.verify_once(c, base + ix + 1)))
+                    .map(|(ix, c)| scope.spawn(move || self.verify_once(c, base + ix + 1, limits)))
                     .collect();
                 handles.into_iter().map(|h| h.join().unwrap()).collect()
             }),
@@ -321,36 +599,61 @@ impl Synthesis {
         &self,
         candidate: &Assignment,
         iteration: usize,
+        limits: &SearchLimits,
     ) -> (VerifyResult, VerifyEffort) {
+        let t0 = Instant::now();
         let mut effort = VerifyEffort::default();
         let threads = self.options.threads.max(1);
         let result = match &self.mode {
             Mode::Harness => {
                 if let VerifierKind::Hybrid { samples } = self.options.verifier {
-                    if let Some(cex) = self.sample_schedules(candidate, iteration, samples, threads)
+                    if let Some(cex) =
+                        self.sample_schedules(candidate, iteration, samples, threads, limits)
                     {
                         effort.sampled_refutation = true;
+                        effort.duration = t0.elapsed();
                         return (VerifyResult::Trace(cex), effort);
                     }
                 }
                 let out = if threads > 1 {
-                    check_parallel(&self.lowered, candidate, self.options.max_states, threads)
+                    check_parallel_limits(&self.lowered, candidate, limits, threads)
                 } else {
-                    check_with_limit(&self.lowered, candidate, self.options.max_states)
+                    check_with_limits(&self.lowered, candidate, limits)
                 };
                 effort.states = out.stats.states;
+                effort.transitions = out.stats.transitions;
+                effort.terminal_states = out.stats.terminal_states;
                 effort.per_thread_states = out.per_thread_states;
                 match out.verdict {
                     Verdict::Pass => VerifyResult::Correct,
                     Verdict::Fail(cex) => VerifyResult::Trace(cex),
-                    Verdict::Unknown => VerifyResult::Unknown,
+                    Verdict::Unknown(why) => VerifyResult::Unknown(why),
                 }
             }
-            Mode::Equivalence(_) => match verify_sequential(&self.lowered, candidate) {
-                None => VerifyResult::Correct,
-                Some(x) => VerifyResult::Input(x),
-            },
+            Mode::Equivalence(_) => {
+                match verify_sequential_limits(
+                    &self.lowered,
+                    candidate,
+                    limits.deadline,
+                    limits.cancel.clone(),
+                ) {
+                    SeqVerify::Equivalent => VerifyResult::Correct,
+                    SeqVerify::Counterexample(x) => VerifyResult::Input(x),
+                    SeqVerify::Interrupted => {
+                        let cancelled = limits
+                            .cancel
+                            .as_ref()
+                            .is_some_and(|c| c.load(Ordering::Relaxed));
+                        VerifyResult::Unknown(if cancelled {
+                            Interrupt::Cancelled
+                        } else {
+                            Interrupt::Deadline
+                        })
+                    }
+                }
+            }
         };
+        effort.duration = t0.elapsed();
         (result, effort)
     }
 
@@ -365,22 +668,40 @@ impl Synthesis {
         iteration: usize,
         samples: usize,
         threads: usize,
+        limits: &SearchLimits,
     ) -> Option<CexTrace> {
         let seed = |k: usize| (iteration as u64) << 16 | k as u64;
+        // Over-budget sampling gives up (returning "no refutation");
+        // the exhaustive pass that follows trips immediately and
+        // reports the interrupt.
+        let tripped = |k: usize| {
+            limits
+                .cancel
+                .as_ref()
+                .is_some_and(|c| c.load(Ordering::Relaxed))
+                || (k & 7 == 0 && limits.deadline.is_some_and(|d| Instant::now() >= d))
+        };
         if threads <= 1 || samples <= 1 {
-            return (0..samples).find_map(|k| random_run(&self.lowered, candidate, seed(k)));
+            for k in 0..samples {
+                if tripped(k) {
+                    return None;
+                }
+                if let Some(cex) = random_run(&self.lowered, candidate, seed(k)) {
+                    return Some(cex);
+                }
+            }
+            return None;
         }
-        use std::sync::atomic::{AtomicBool, Ordering};
-        use std::sync::Mutex;
         let stop = AtomicBool::new(false);
         let found: Mutex<Option<CexTrace>> = Mutex::new(None);
         std::thread::scope(|scope| {
             for t in 0..threads.min(samples) {
                 let stop = &stop;
                 let found = &found;
+                let tripped = &tripped;
                 scope.spawn(move || {
                     for k in (t..samples).step_by(threads) {
-                        if stop.load(Ordering::Relaxed) {
+                        if stop.load(Ordering::Relaxed) || tripped(k) {
                             return;
                         }
                         if let Some(cex) = random_run(&self.lowered, candidate, seed(k)) {
@@ -414,7 +735,10 @@ impl Synthesis {
             let Some(candidate) = synth.next_candidate() else {
                 break;
             };
-            match self.verify_once(&candidate, iterations).0 {
+            match self
+                .verify_once(&candidate, iterations, &self.base_limits())
+                .0
+            {
                 VerifyResult::Correct => {
                     let resolved = resolve::resolve_program(&self.sketch, &candidate);
                     synth.block(&candidate);
@@ -425,7 +749,7 @@ impl Synthesis {
                 }
                 VerifyResult::Trace(cex) => synth.add_trace(&cex),
                 VerifyResult::Input(x) => synth.add_input(&x),
-                VerifyResult::Unknown => break,
+                VerifyResult::Unknown(_) => break,
             }
         }
         found
@@ -446,20 +770,33 @@ enum VerifyResult {
     Correct,
     Trace(CexTrace),
     Input(Vec<i64>),
-    Unknown,
+    Unknown(Interrupt),
 }
 
 /// Search effort of one verification call.
 #[derive(Default)]
 struct VerifyEffort {
     states: usize,
+    transitions: usize,
+    terminal_states: usize,
+    duration: Duration,
     per_thread_states: Vec<usize>,
     sampled_refutation: bool,
+}
+
+/// Records the first budget trip; later trips lose.
+fn set_trip(slot: &Mutex<Option<BudgetTrip>>, t: BudgetTrip) {
+    let mut s = slot.lock().unwrap();
+    if s.is_none() {
+        *s = Some(t);
+    }
 }
 
 impl CegisStats {
     fn merge_effort(&mut self, effort: &VerifyEffort) {
         self.states += effort.states;
+        self.transitions += effort.transitions;
+        self.terminal_states += effort.terminal_states;
         if effort.sampled_refutation {
             self.sampled_refutations += 1;
         }
@@ -567,8 +904,121 @@ mod tests {
         assert!(st.candidate_space == 4);
         assert!(st.log10_space > 0.0);
         if cfg!(target_os = "linux") {
-            assert!(st.peak_memory > 0);
+            assert!(st.peak_memory.unwrap_or(0) > 0);
         }
+        assert!(st.transitions > 0, "checker must fire transitions");
+        assert!(st.sat_propagations > 0, "solver counters must flow through");
+    }
+
+    #[test]
+    fn run_report_records_every_iteration() {
+        let s = Synthesis::new(
+            "int g; harness void main() { g = ??(3); assert g == 5; }",
+            Options::default(),
+        )
+        .unwrap();
+        let (out, report) = s.run_report();
+        assert!(out.resolved());
+        assert!(out.budget_trip.is_none());
+        assert_eq!(report.schema, crate::telemetry::RunReport::SCHEMA);
+        assert_eq!(report.resolvable, "yes");
+        assert_eq!(report.resolution, Some(vec![5]));
+        assert_eq!(report.records.len(), out.stats.iterations);
+        let last = report.records.last().unwrap();
+        assert_eq!(last.verdict, "correct");
+        assert_eq!(last.candidate, vec![5]);
+        // Observation sets only grow along the run.
+        let sets: Vec<usize> = report.records.iter().map(|r| r.trace_set).collect();
+        assert!(sets.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn wall_timeout_returns_unknown_with_trip() {
+        let opts = Options {
+            wall_timeout: Some(Duration::ZERO),
+            ..Options::default()
+        };
+        let out = Synthesis::new(
+            "int g;
+             harness void main() {
+                 fork (i; 3) { int t = g; g = t + 1; }
+                 assert g == ??(2);
+             }",
+            opts,
+        )
+        .unwrap()
+        .run();
+        assert!(!out.resolved());
+        assert!(!out.definitely_unresolvable);
+        let trip = out.budget_trip.expect("wall budget must trip");
+        assert_eq!(trip.budget, BudgetKind::Wall);
+    }
+
+    #[test]
+    fn state_budget_returns_unknown_with_trip() {
+        let opts = Options {
+            state_budget: Some(2),
+            ..Options::default()
+        };
+        // 3 racing unsynchronised increments: far more than 2 states.
+        let out = Synthesis::new(
+            "int g;
+             harness void main() {
+                 fork (i; 3) { int t = g; g = t + 1; }
+                 assert g >= ??(1);
+             }",
+            opts,
+        )
+        .unwrap()
+        .run();
+        assert!(!out.resolved());
+        let trip = out.budget_trip.expect("state budget must trip");
+        assert_eq!(trip.budget, BudgetKind::States);
+        assert_eq!(trip.phase, "verify");
+        assert!(out.stats.states <= 2, "partial stats respect the budget");
+    }
+
+    #[test]
+    fn memory_budget_returns_unknown_with_trip() {
+        if mem::current_rss_bytes().is_none() {
+            return; // No /proc: the memory budget is inert.
+        }
+        let opts = Options {
+            memory_budget: Some(1), // Any process exceeds one byte.
+            ..Options::default()
+        };
+        let out = Synthesis::new(
+            "int g;
+             harness void main() {
+                 fork (i; 3) { int t = g; g = t + 1; }
+                 assert g == ??(2);
+             }",
+            opts,
+        )
+        .unwrap()
+        .run();
+        assert!(!out.resolved());
+        let trip = out.budget_trip.expect("memory budget must trip");
+        assert_eq!(trip.budget, BudgetKind::Memory);
+        assert_eq!(trip.phase, "watchdog");
+    }
+
+    #[test]
+    fn budget_trip_absent_on_conclusive_runs() {
+        // Generous budgets must not alter conclusive outcomes.
+        let opts = Options {
+            wall_timeout: Some(Duration::from_secs(600)),
+            state_budget: Some(10_000_000),
+            ..Options::default()
+        };
+        let out = Synthesis::new(
+            "int g; harness void main() { g = ??(2); assert g == 9; }",
+            opts,
+        )
+        .unwrap()
+        .run();
+        assert!(out.definitely_unresolvable);
+        assert!(out.budget_trip.is_none());
     }
 
     #[test]

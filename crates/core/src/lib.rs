@@ -43,9 +43,11 @@
 mod cegis;
 pub mod mem;
 mod report;
+pub mod telemetry;
 
 pub use cegis::{CegisStats, Mode, Options, Outcome, Resolution, Synthesis, VerifierKind};
 pub use report::{render_stats, render_tsv_row};
+pub use telemetry::{BudgetKind, BudgetTrip, IterationRecord, Json, RunReport};
 
 pub use psketch_exec::FailureKind;
 pub use psketch_ir::{Assignment, Config, ReorderEncoding};

@@ -3,6 +3,15 @@
 use crate::cegis::{CegisStats, Outcome};
 use std::fmt::Write as _;
 
+/// Peak memory as MiB text, or `"n/a"` when the platform gave no
+/// reading (`/proc` unavailable) — never a silent `0.0`.
+fn mem_mib(peak_memory: Option<u64>) -> String {
+    match peak_memory {
+        Some(bytes) => format!("{:.1}", bytes as f64 / (1024.0 * 1024.0)),
+        None => "n/a".to_string(),
+    }
+}
+
 /// Renders an outcome as one Figure-9-style row block.
 pub fn render_stats(name: &str, test: &str, outcome: &Outcome) -> String {
     let st = &outcome.stats;
@@ -30,11 +39,39 @@ pub fn render_stats(name: &str, test: &str, outcome: &Outcome) -> String {
     );
     let _ = writeln!(
         out,
-        "  |C| = {:.3e}  states = {}  peak mem = {:.1} MiB",
+        "  |C| = {:.3e}  states = {}  peak mem = {} MiB",
         st.candidate_space as f64,
         st.states,
-        st.peak_memory as f64 / (1024.0 * 1024.0)
+        mem_mib(st.peak_memory)
     );
+    let _ = writeln!(
+        out,
+        "  checker: transitions = {}  terminal = {}  sampled refutations = {}",
+        st.transitions, st.terminal_states, st.sampled_refutations
+    );
+    let _ = writeln!(
+        out,
+        "  sat: decisions = {}  propagations = {}  conflicts = {}  restarts = {}",
+        st.sat_decisions, st.sat_propagations, st.sat_conflicts, st.sat_restarts
+    );
+    if !st.per_thread_states.is_empty() {
+        let per: Vec<String> = st.per_thread_states.iter().map(usize::to_string).collect();
+        let _ = writeln!(
+            out,
+            "  threads: per-thread states = [{}]  portfolio width = {}",
+            per.join(", "),
+            st.portfolio_width
+        );
+    }
+    if let Some(trip) = &outcome.budget_trip {
+        let _ = writeln!(
+            out,
+            "  budget: {} tripped in {} ({})",
+            trip.budget.label(),
+            trip.phase,
+            trip.detail
+        );
+    }
     out
 }
 
@@ -43,7 +80,7 @@ pub fn render_stats(name: &str, test: &str, outcome: &Outcome) -> String {
 pub fn render_tsv_row(name: &str, test: &str, outcome: &Outcome) -> String {
     let st: &CegisStats = &outcome.stats;
     format!(
-        "{name}\t{test}\t{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.2}\t{}\t{:.1}",
+        "{name}\t{test}\t{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.2}\t{}\t{}",
         if outcome.resolved() {
             "yes"
         } else if outcome.definitely_unresolvable {
@@ -59,7 +96,7 @@ pub fn render_tsv_row(name: &str, test: &str, outcome: &Outcome) -> String {
         st.v_model.as_secs_f64(),
         st.log10_space,
         st.states,
-        st.peak_memory as f64 / (1024.0 * 1024.0),
+        mem_mib(st.peak_memory),
     )
 }
 

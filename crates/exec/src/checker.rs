@@ -8,6 +8,93 @@
 use crate::fingerprint::FpSet;
 use crate::store::{eval_rv, exec_op, CexTrace, Failure, FailureKind, Store};
 use psketch_ir::{Assignment, Lowered, Lv, Op, Rv, Thread, ThreadId};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a search stopped without an answer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Interrupt {
+    /// The distinct-state limit was reached: the search tried to claim
+    /// state number `max_states + 1`.
+    StateLimit,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The external cancellation flag was raised (e.g. by a memory
+    /// watchdog).
+    Cancelled,
+}
+
+impl Interrupt {
+    /// A short stable label (used in reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Interrupt::StateLimit => "state-limit",
+            Interrupt::Deadline => "deadline",
+            Interrupt::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Cooperative resource limits for one search.
+///
+/// `max_states` is claim-based: every *fresh* insertion into the
+/// visited set claims one slot, and the search stops with
+/// [`Interrupt::StateLimit`] exactly when slot `max_states + 1` is
+/// claimed. Both the sequential and the parallel checker use the same
+/// rule, so the pass/unknown boundary is deterministic and
+/// thread-count independent: a state space of at most `max_states`
+/// distinct states always passes (absent a failure), one of
+/// `max_states + 1` or more never does.
+#[derive(Clone, Debug)]
+pub struct SearchLimits {
+    /// Maximum distinct states to explore.
+    pub max_states: usize,
+    /// Give up (verdict [`Interrupt::Deadline`]) past this instant.
+    pub deadline: Option<Instant>,
+    /// Give up (verdict [`Interrupt::Cancelled`]) when this flag is
+    /// raised by another thread.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl Default for SearchLimits {
+    fn default() -> SearchLimits {
+        SearchLimits {
+            max_states: usize::MAX,
+            deadline: None,
+            cancel: None,
+        }
+    }
+}
+
+impl SearchLimits {
+    /// Limits with only a state bound.
+    pub fn states(max_states: usize) -> SearchLimits {
+        SearchLimits {
+            max_states,
+            ..SearchLimits::default()
+        }
+    }
+
+    /// Which non-state limit has tripped, if any. The deadline is only
+    /// consulted when `tick` is a multiple of 64 (callers bump `tick`
+    /// once per search step; `Instant::now` is not free).
+    pub(crate) fn tripped(&self, tick: usize) -> Option<Interrupt> {
+        if let Some(c) = &self.cancel {
+            if c.load(Ordering::Relaxed) {
+                return Some(Interrupt::Cancelled);
+            }
+        }
+        if let Some(d) = self.deadline {
+            // `& 63 == 1` so the very first step already polls: a
+            // search started past its deadline must not run at all.
+            if tick & 63 == 1 && Instant::now() >= d {
+                return Some(Interrupt::Deadline);
+            }
+        }
+        None
+    }
+}
 
 /// The checker's verdict.
 #[derive(Clone, Debug)]
@@ -16,8 +103,9 @@ pub enum Verdict {
     Pass,
     /// Some interleaving fails; here is the observation.
     Fail(CexTrace),
-    /// The state limit was exceeded before exhausting the space.
-    Unknown,
+    /// A resource limit stopped the search before it exhausted the
+    /// space; the payload says which one.
+    Unknown(Interrupt),
 }
 
 /// Search-effort counters.
@@ -66,7 +154,31 @@ pub fn check(l: &Lowered, candidate: &Assignment) -> CheckOutcome {
 
 /// As [`check`], bounding the number of distinct states explored.
 pub fn check_with_limit(l: &Lowered, candidate: &Assignment, max_states: usize) -> CheckOutcome {
-    Checker::new(l, candidate).run(max_states)
+    check_with_limits(l, candidate, &SearchLimits::states(max_states))
+}
+
+/// As [`check`], under full cooperative [`SearchLimits`] (state bound,
+/// wall deadline, external cancellation). Partial statistics are
+/// reported on every exit path.
+pub fn check_with_limits(
+    l: &Lowered,
+    candidate: &Assignment,
+    limits: &SearchLimits,
+) -> CheckOutcome {
+    Checker::new(l, candidate).run(limits)
+}
+
+/// Stats for a run that failed before the interleaving search began
+/// (in the prologue or the initial local-step absorption). The work
+/// was real, so it is reported: the one execution context examined
+/// counts as a state and every executed trace step as a transition.
+/// Both checkers use this, so their early-failure stats agree exactly.
+pub(crate) fn early_failure_stats(steps: &[(ThreadId, usize)]) -> CheckStats {
+    CheckStats {
+        states: 1,
+        transitions: steps.len(),
+        terminal_states: 0,
+    }
 }
 
 /// Replays a specific schedule: after the prologue, fires workers in
@@ -585,12 +697,13 @@ impl<'a> Checker<'a> {
         v
     }
 
-    fn run(&mut self, max_states: usize) -> CheckOutcome {
+    fn run(&mut self, limits: &SearchLimits) -> CheckOutcome {
         let mut stats = CheckStats::default();
         let mut store = Store::initial(self.l);
         let prologue_steps = match self.run_seq(0, &self.l.prologue, &mut store) {
             Ok((_, steps)) => steps,
             Err((steps, failure)) => {
+                let stats = early_failure_stats(&steps);
                 return CheckOutcome {
                     verdict: Verdict::Fail(CexTrace {
                         steps,
@@ -599,7 +712,7 @@ impl<'a> Checker<'a> {
                     }),
                     stats,
                     per_thread_states: vec![stats.states],
-                }
+                };
             }
         };
         let mut init = self.initial_workers(store);
@@ -608,11 +721,12 @@ impl<'a> Checker<'a> {
                 // Initial invisible steps become part of every trace.
                 let mut pre = prologue_steps.clone();
                 pre.extend(steps);
-                self.dfs(init, pre, max_states, &mut stats)
+                self.dfs(init, pre, limits, &mut stats)
             }
             Err((steps, failure)) => {
                 let mut all = prologue_steps;
                 all.extend(steps);
+                let stats = early_failure_stats(&all);
                 CheckOutcome {
                     verdict: Verdict::Fail(CexTrace {
                         steps: all,
@@ -630,7 +744,7 @@ impl<'a> Checker<'a> {
         &mut self,
         init: ExecState,
         prefix: Vec<(ThreadId, usize)>,
-        max_states: usize,
+        limits: &SearchLimits,
         stats: &mut CheckStats,
     ) -> CheckOutcome {
         struct Frame {
@@ -638,6 +752,17 @@ impl<'a> Checker<'a> {
             executed: Vec<(ThreadId, usize)>,
             next_choice: usize,
         }
+        let unknown = |why: Interrupt, stats: &mut CheckStats| {
+            // Clamp: an over-limit search consumed exactly its budget.
+            if why == Interrupt::StateLimit {
+                stats.states = stats.states.min(limits.max_states);
+            }
+            CheckOutcome {
+                verdict: Verdict::Unknown(why),
+                stats: *stats,
+                per_thread_states: vec![stats.states],
+            }
+        };
         let mut visited = FpSet::new();
         let mut stack = vec![Frame {
             state: init,
@@ -645,6 +770,10 @@ impl<'a> Checker<'a> {
             next_choice: 0,
         }];
         visited.insert(&self.canonical(&stack[0].state));
+        stats.states = visited.len();
+        if visited.len() > limits.max_states {
+            return unknown(Interrupt::StateLimit, stats);
+        }
 
         let build_trace =
             |stack: &[Frame], extra: Vec<(ThreadId, usize)>| -> Vec<(ThreadId, usize)> {
@@ -656,13 +785,11 @@ impl<'a> Checker<'a> {
                 t
             };
 
+        let mut tick = 0usize;
         while let Some(top_ix) = stack.len().checked_sub(1) {
-            if visited.len() > max_states {
-                return CheckOutcome {
-                    verdict: Verdict::Unknown,
-                    stats: *stats,
-                    per_thread_states: vec![stats.states],
-                };
+            tick += 1;
+            if let Some(why) = limits.tripped(tick) {
+                return unknown(why, stats);
             }
             let nworkers = stack[top_ix].state.workers.len();
             // First time at this frame with choice 0: handle terminal
@@ -722,6 +849,12 @@ impl<'a> Checker<'a> {
                     Ok(executed) => {
                         if visited.insert(&self.canonical(&next)) {
                             stats.states = visited.len();
+                            // Claim-based bound, checked at insert
+                            // time: claiming slot max_states + 1 stops
+                            // the search (see [`SearchLimits`]).
+                            if visited.len() > limits.max_states {
+                                return unknown(Interrupt::StateLimit, stats);
+                            }
                             stack.push(Frame {
                                 state: next,
                                 executed,
@@ -1061,7 +1194,76 @@ mod tests {
         );
         let a = l.holes.identity_assignment();
         let out = check_with_limit(&l, &a, 2);
-        assert!(matches!(out.verdict, Verdict::Unknown));
+        assert!(matches!(
+            out.verdict,
+            Verdict::Unknown(Interrupt::StateLimit)
+        ));
+        // Over-limit stats are clamped to the budget actually granted.
+        assert_eq!(out.stats.states, 2);
+    }
+
+    #[test]
+    fn state_limit_boundary_is_exact() {
+        // Claim-based semantics: a space of exactly N distinct states
+        // passes at max_states = N and is unknown at N - 1.
+        let l = lowered(
+            "int g;
+             harness void main() {
+                 fork (i; 2) { g = g + 1; }
+             }",
+        );
+        let a = l.holes.identity_assignment();
+        let n = check(&l, &a).stats.states;
+        assert!(check_with_limit(&l, &a, n).is_ok());
+        let under = check_with_limit(&l, &a, n - 1);
+        assert!(matches!(
+            under.verdict,
+            Verdict::Unknown(Interrupt::StateLimit)
+        ));
+    }
+
+    #[test]
+    fn deadline_and_cancel_interrupt_search() {
+        let l = lowered(
+            "int g;
+             harness void main() {
+                 fork (i; 3) { g = g + 1; g = g + 1; }
+             }",
+        );
+        let a = l.holes.identity_assignment();
+        let past = SearchLimits {
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            ..SearchLimits::default()
+        };
+        let out = check_with_limits(&l, &a, &past);
+        assert!(matches!(out.verdict, Verdict::Unknown(Interrupt::Deadline)));
+        let cancelled = SearchLimits {
+            cancel: Some(Arc::new(AtomicBool::new(true))),
+            ..SearchLimits::default()
+        };
+        let out = check_with_limits(&l, &a, &cancelled);
+        assert!(matches!(
+            out.verdict,
+            Verdict::Unknown(Interrupt::Cancelled)
+        ));
+    }
+
+    #[test]
+    fn early_failure_reports_real_counts() {
+        // Prologue failure: the assert fails before any fork.
+        let out = run("int g; harness void main() { g = 3; assert g == 4; }");
+        assert!(matches!(out.verdict, Verdict::Fail(_)));
+        assert_eq!(out.stats.states, 1);
+        assert!(out.stats.transitions > 0);
+        // Initial-advance failure: a local-only assert inside the fork
+        // body fails while absorbing the initial invisible steps.
+        let out = run("int g;
+             harness void main() {
+                 fork (i; 1) { int t = 1; assert t == 2; }
+             }");
+        assert!(matches!(out.verdict, Verdict::Fail(_)));
+        assert_eq!(out.stats.states, 1);
+        assert!(out.stats.transitions > 0);
     }
 
     #[test]

@@ -122,20 +122,38 @@ impl ShardedFpSet {
     /// shard lock: two threads inserting the same state race to one
     /// winner.
     pub fn insert(&self, state: &[i64]) -> bool {
+        self.insert_claim(state).is_some()
+    }
+
+    /// Inserts `state`; on a fresh insertion returns its 1-based claim
+    /// number (the atomic counter is bumped exactly once per distinct
+    /// state, so claim numbers are unique and dense). Callers enforcing
+    /// a state budget compare the claim against the bound: the thread
+    /// that claims slot `max + 1` trips the limit, deterministically,
+    /// regardless of thread count.
+    pub fn insert_claim(&self, state: &[i64]) -> Option<usize> {
         let fp = fingerprint(state);
         // Shard on the high bits; the table buckets use the low bits.
         let ix = (fp >> 48) as usize & (self.shards.len() - 1);
         let fresh = self.shards[ix].lock().unwrap().insert(fp);
-        if fresh {
-            self.count.fetch_add(1, Ordering::Relaxed);
-        }
         #[cfg(feature = "exact-visited")]
         check_collision(&mut self.exact[ix].lock().unwrap(), fp, state, fresh);
-        fresh
+        if fresh {
+            Some(self.count.fetch_add(1, Ordering::Relaxed) + 1)
+        } else {
+            None
+        }
     }
 
     /// Number of distinct states inserted (monotone; may lag a racing
     /// insert by a moment).
+    ///
+    /// When a search halts on a limit, `len()` can *overshoot* the
+    /// limit: workers keep inserting between the tripping claim and
+    /// the stop-flag propagation, bounded by one `expand` call per
+    /// worker — at most `threads × branching-factor` extra states.
+    /// Reported [`crate::CheckStats`] are clamped to the limit; this
+    /// raw count is not.
     pub fn len(&self) -> usize {
         self.count.load(Ordering::Relaxed)
     }

@@ -41,7 +41,10 @@ mod parallel;
 mod store;
 pub mod trace_fmt;
 
-pub use checker::{check, check_with_limit, random_run, replay, CheckOutcome, CheckStats, Verdict};
-pub use parallel::check_parallel;
+pub use checker::{
+    check, check_with_limit, check_with_limits, random_run, replay, CheckOutcome, CheckStats,
+    Interrupt, SearchLimits, Verdict,
+};
+pub use parallel::{check_parallel, check_parallel_limits};
 pub use store::{CexTrace, Failure, FailureKind, Store};
 pub use trace_fmt::{format_lowered, format_trace};

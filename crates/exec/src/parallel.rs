@@ -18,8 +18,21 @@
 //! Which counterexample is returned when several interleavings fail is
 //! a race, so callers must only rely on pass/fail, not on the specific
 //! trace.
+//!
+//! The state limit is *claim-based* (see [`SearchLimits`]): a state
+//! counts against the budget at the moment it is freshly inserted, and
+//! the insert that claims slot `max_states + 1` trips the limit. That
+//! makes the pass/unknown boundary exact and independent of the thread
+//! count, matching the sequential checker. After the trip, racing
+//! workers may still insert a few states before they observe the stop
+//! flag (at most one `expand` per worker, i.e. `threads ×
+//! branching-factor` states); reported stats are clamped to the limit,
+//! and [`ShardedFpSet::len`] documents the raw overshoot bound.
 
-use crate::checker::{CheckOutcome, CheckStats, Checker, ExecState, Verdict};
+use crate::checker::{
+    early_failure_stats, CheckOutcome, CheckStats, Checker, ExecState, Interrupt, SearchLimits,
+    Verdict,
+};
 use crate::fingerprint::ShardedFpSet;
 use crate::store::{CexTrace, Failure, Store};
 use psketch_ir::{Assignment, Lowered, ThreadId};
@@ -43,15 +56,16 @@ struct QueueState {
 /// Shared search state: work queue, visited set, result slots.
 struct Shared<'a> {
     ck: Checker<'a>,
+    limits: &'a SearchLimits,
     queue: Mutex<QueueState>,
     available: Condvar,
     visited: ShardedFpSet,
     stop: AtomicBool,
-    over_limit: AtomicBool,
+    /// First limit that tripped (`None` while the search runs clean).
+    interrupt: Mutex<Option<Interrupt>>,
     failure: Mutex<Option<CexTrace>>,
     transitions: AtomicUsize,
     terminal_states: AtomicUsize,
-    max_states: usize,
     thread_count: usize,
 }
 
@@ -70,6 +84,16 @@ impl<'a> Shared<'a> {
                 failure,
                 deadlock,
             });
+        }
+        drop(slot);
+        self.halt();
+    }
+
+    /// Records the first tripped limit and halts the search.
+    fn interrupt(&self, why: Interrupt) {
+        let mut slot = self.interrupt.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(why);
         }
         drop(slot);
         self.halt();
@@ -101,27 +125,42 @@ pub fn check_parallel(
     max_states: usize,
     threads: usize,
 ) -> CheckOutcome {
+    check_parallel_limits(l, candidate, &SearchLimits::states(max_states), threads)
+}
+
+/// As [`check_parallel`], under full cooperative [`SearchLimits`]:
+/// every worker polls the cancellation flag on each node and the wall
+/// deadline every 64 nodes, so an over-budget search halts promptly
+/// with [`Verdict::Unknown`] and partial stats instead of running on.
+pub fn check_parallel_limits(
+    l: &Lowered,
+    candidate: &Assignment,
+    limits: &SearchLimits,
+    threads: usize,
+) -> CheckOutcome {
     if threads <= 1 {
-        return crate::check_with_limit(l, candidate, max_states);
+        return crate::check_with_limits(l, candidate, limits);
     }
     let ck = Checker::new(l, candidate);
 
     // Prologue and initial local-step absorption run once, up front,
-    // exactly as in the sequential checker.
+    // exactly as in the sequential checker. Failures here report the
+    // executed work (see `early_failure_stats`), not zeroed counters.
     let mut store = Store::initial(l);
     let mut prefix: Vec<(ThreadId, usize)> = Vec::new();
     match ck.run_seq(0, &l.prologue, &mut store) {
         Ok((_, steps)) => prefix.extend(steps),
         Err((steps, failure)) => {
+            let stats = early_failure_stats(&steps);
             return CheckOutcome {
                 verdict: Verdict::Fail(CexTrace {
                     steps,
                     failure,
                     deadlock: vec![],
                 }),
-                stats: CheckStats::default(),
+                stats,
                 per_thread_states: vec![0; threads],
-            }
+            };
         }
     }
     let mut init = ck.initial_workers(store);
@@ -129,22 +168,24 @@ pub fn check_parallel(
         Ok(steps) => prefix.extend(steps),
         Err((steps, failure)) => {
             prefix.extend(steps);
+            let stats = early_failure_stats(&prefix);
             return CheckOutcome {
                 verdict: Verdict::Fail(CexTrace {
                     steps: prefix,
                     failure,
                     deadlock: vec![],
                 }),
-                stats: CheckStats::default(),
+                stats,
                 per_thread_states: vec![0; threads],
             };
         }
     }
 
     let visited = ShardedFpSet::new(threads * 16);
-    visited.insert(&ck.canonical(&init));
+    let initial_claim = visited.insert_claim(&ck.canonical(&init)).unwrap_or(0);
     let shared = Shared {
         ck,
+        limits,
         queue: Mutex::new(QueueState {
             jobs: vec![Job {
                 state: init,
@@ -156,13 +197,15 @@ pub fn check_parallel(
         available: Condvar::new(),
         visited,
         stop: AtomicBool::new(false),
-        over_limit: AtomicBool::new(false),
+        interrupt: Mutex::new(None),
         failure: Mutex::new(None),
         transitions: AtomicUsize::new(0),
         terminal_states: AtomicUsize::new(0),
-        max_states,
         thread_count: threads,
     };
+    if initial_claim > limits.max_states {
+        shared.interrupt(Interrupt::StateLimit);
+    }
 
     let per_thread_states: Vec<usize> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -171,16 +214,23 @@ pub fn check_parallel(
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
 
-    let stats = CheckStats {
+    let interrupt = *shared.interrupt.lock().unwrap();
+    let mut stats = CheckStats {
         states: shared.visited.len(),
         transitions: shared.transitions.load(Ordering::Relaxed),
         terminal_states: shared.terminal_states.load(Ordering::Relaxed),
     };
+    if interrupt == Some(Interrupt::StateLimit) {
+        // Clamp the post-halt insert overshoot (see module docs).
+        stats.states = stats.states.min(limits.max_states);
+    }
     let failure = shared.failure.into_inner().unwrap();
     let verdict = match failure {
         Some(cex) => Verdict::Fail(cex),
-        None if shared.over_limit.load(Ordering::Relaxed) => Verdict::Unknown,
-        None => Verdict::Pass,
+        None => match interrupt {
+            Some(why) => Verdict::Unknown(why),
+            None => Verdict::Pass,
+        },
     };
     CheckOutcome {
         verdict,
@@ -194,6 +244,7 @@ pub fn check_parallel(
 /// this thread discovered first.
 fn worker(shared: &Shared<'_>) -> usize {
     let mut discovered = 0usize;
+    let mut tick = 0usize;
     'steal: loop {
         let job = {
             let mut q = shared.queue.lock().unwrap();
@@ -222,9 +273,9 @@ fn worker(shared: &Shared<'_>) -> usize {
             if shared.stopped() {
                 return discovered;
             }
-            if shared.visited.len() > shared.max_states {
-                shared.over_limit.store(true, Ordering::SeqCst);
-                shared.halt();
+            tick += 1;
+            if let Some(why) = shared.limits.tripped(tick) {
+                shared.interrupt(why);
                 return discovered;
             }
             match expand(shared, current, &mut discovered) {
@@ -270,8 +321,15 @@ fn expand(shared: &Shared<'_>, current: Job, discovered: &mut usize) -> Option<J
         shared.transitions.fetch_add(1, Ordering::Relaxed);
         match ck.fire(&mut next, w) {
             Ok(executed) => {
-                if !shared.visited.insert(&ck.canonical(&next)) {
+                let Some(claim) = shared.visited.insert_claim(&ck.canonical(&next)) else {
                     continue;
+                };
+                // Claim-based state bound, checked at insert time: the
+                // thread that claims slot max_states + 1 trips the
+                // limit, so the boundary cannot flip with thread count.
+                if claim > shared.limits.max_states {
+                    shared.interrupt(Interrupt::StateLimit);
+                    return None;
                 }
                 *discovered += 1;
                 let mut trace = current.trace.clone();

@@ -2,6 +2,9 @@
 
 use crate::lit::{LBool, Lit, Var};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Result of a [`Solver::solve`] call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -10,6 +13,11 @@ pub enum SolveResult {
     Sat,
     /// The formula (under the given assumptions) is unsatisfiable.
     Unsat,
+    /// The search was stopped by [`Solver::set_limits`] (deadline
+    /// passed or cancellation flag raised) before an answer was found.
+    /// The solver state stays valid: clauses and learnts are kept, and
+    /// a later `solve` call resumes from them.
+    Interrupted,
 }
 
 /// Counters describing the work a solver has performed.
@@ -109,6 +117,11 @@ pub struct Solver {
 
     stats: SolverStats,
     max_learnts: f64,
+
+    // Cooperative resource limits (see `set_limits`).
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+    interrupted: bool,
 }
 
 impl Default for Solver {
@@ -144,7 +157,43 @@ impl Solver {
             conflict_assumptions: Vec::new(),
             stats: SolverStats::default(),
             max_learnts: 0.0,
+            deadline: None,
+            cancel: None,
+            interrupted: false,
         }
+    }
+
+    /// Installs cooperative resource limits: a wall-clock `deadline`
+    /// and/or an externally raised `cancel` flag. The limits are
+    /// checked in the propagate loop (every 1024 propagations) and at
+    /// every conflict/decision boundary; when either trips, the
+    /// in-flight `solve` returns [`SolveResult::Interrupted`] instead
+    /// of blocking. Pass `None`s to clear.
+    pub fn set_limits(&mut self, deadline: Option<Instant>, cancel: Option<Arc<AtomicBool>>) {
+        self.deadline = deadline;
+        self.cancel = cancel;
+    }
+
+    /// True when an installed limit has tripped. Cheap when no limit is
+    /// set; the deadline is only consulted every 1024 propagations.
+    #[inline]
+    fn limits_tripped(&mut self) -> bool {
+        if self.interrupted {
+            return true;
+        }
+        if let Some(c) = &self.cancel {
+            if c.load(Ordering::Relaxed) {
+                self.interrupted = true;
+                return true;
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.interrupted = true;
+                return true;
+            }
+        }
+        false
     }
 
     /// Number of variables created so far.
@@ -242,6 +291,7 @@ impl Solver {
     pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.model.clear();
         self.conflict_assumptions.clear();
+        self.interrupted = false;
         if !self.ok {
             return SolveResult::Unsat;
         }
@@ -258,6 +308,10 @@ impl Solver {
                 Some(SolveResult::Unsat) => {
                     self.cancel_until(0);
                     return SolveResult::Unsat;
+                }
+                Some(SolveResult::Interrupted) => {
+                    self.cancel_until(0);
+                    return SolveResult::Interrupted;
                 }
                 None => {
                     restarts += 1;
@@ -423,6 +477,15 @@ impl Solver {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
+            // Periodic limit poll inside the hot loop: a long
+            // propagation chain must not outlive the deadline. The
+            // flag is consumed by `search`; the current unit is still
+            // propagated so the trail stays coherent.
+            if self.stats.propagations & 0x3FF == 0
+                && (self.deadline.is_some() || self.cancel.is_some())
+            {
+                self.limits_tripped();
+            }
             let mut ws = std::mem::take(&mut self.watches[p.index()]);
             let mut keep = 0;
             let mut i = 0;
@@ -756,6 +819,9 @@ impl Solver {
     fn search(&mut self, conflict_budget: u64, assumptions: &[Lit]) -> Option<SolveResult> {
         let mut conflicts = 0u64;
         loop {
+            if self.limits_tripped() {
+                return Some(SolveResult::Interrupted);
+            }
             if let Some(confl) = self.propagate() {
                 conflicts += 1;
                 self.stats.conflicts += 1;
@@ -892,6 +958,34 @@ mod tests {
 
     fn lits(s: &mut Solver, n: usize) -> Vec<Lit> {
         (0..n).map(|_| Lit::pos(s.new_var())).collect()
+    }
+
+    #[test]
+    fn past_deadline_interrupts_then_resumes() {
+        let mut s = Solver::new();
+        let xs = lits(&mut s, 3);
+        s.add_clause([xs[0], xs[1]]);
+        s.add_clause([!xs[0], xs[2]]);
+        s.set_limits(
+            Some(Instant::now() - std::time::Duration::from_millis(1)),
+            None,
+        );
+        assert_eq!(s.solve(), SolveResult::Interrupted);
+        // Clearing the limit resumes from the same solver state.
+        s.set_limits(None, None);
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn cancel_flag_interrupts() {
+        let mut s = Solver::new();
+        let xs = lits(&mut s, 2);
+        s.add_clause([xs[0], xs[1]]);
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_limits(None, Some(flag.clone()));
+        assert_eq!(s.solve(), SolveResult::Interrupted);
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(s.solve(), SolveResult::Sat);
     }
 
     #[test]

@@ -3,12 +3,22 @@
 //!
 //! Prints the (x, y) series plus a least-squares fit and a crude ASCII
 //! scatter plot; the paper observes an approximately linear
-//! correlation.
+//! correlation. `--json PATH` additionally writes the series as a JSON
+//! array of `{test, log10_space, iterations}` objects.
 
-use psketch_core::Synthesis;
+use psketch_core::{Json, Synthesis};
 use psketch_suite::figure9_runs;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match &args[..] {
+        [] => None,
+        [flag, path] if flag == "--json" => Some(path.clone()),
+        _ => {
+            eprintln!("usage: fig10 [--json PATH]");
+            std::process::exit(2);
+        }
+    };
     let mut points: Vec<(f64, f64, String)> = Vec::new();
     for run in figure9_runs() {
         let Ok(s) = Synthesis::new(&run.source, run.options.clone()) else {
@@ -23,6 +33,24 @@ fn main() {
             out.stats.iterations as f64,
             format!("{} [{}]", run.benchmark, run.test),
         ));
+    }
+    if let Some(path) = &json_path {
+        let series = Json::Arr(
+            points
+                .iter()
+                .map(|(x, y, name)| {
+                    Json::Obj(vec![
+                        ("test".to_string(), Json::Str(name.clone())),
+                        ("log10_space".to_string(), Json::Num(*x)),
+                        ("iterations".to_string(), Json::Num(*y)),
+                    ])
+                })
+                .collect(),
+        );
+        if let Err(e) = std::fs::write(path, series.render()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
     }
     println!("{:<28} {:>10} {:>6}", "test", "log10|C|", "itns");
     for (x, y, name) in &points {

@@ -5,14 +5,37 @@
 //! reports (Resolvable, Itns, Total, Ssolve, Smodel, Vsolve, Vmodel,
 //! memory) plus a trailing machine-readable TSV table.
 //!
-//! Usage: `cargo run --release -p psketch-suite --bin fig9 [filter]`
-//! where `filter` restricts to benchmarks whose name contains it.
+//! Usage: `cargo run --release -p psketch-suite --bin fig9 [filter]
+//! [--report-json DIR]` where `filter` restricts to benchmarks whose
+//! name contains it and `--report-json` writes one machine-readable
+//! run report per row into `DIR` as `<benchmark>_<test>.json`.
 
 use psketch_core::{render_stats, Synthesis};
 use psketch_suite::figure9_runs;
 
 fn main() {
-    let filter = std::env::args().nth(1).unwrap_or_default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut filter = String::new();
+    let mut report_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--report-json" => match it.next() {
+                Some(dir) => report_dir = Some(dir.clone()),
+                None => {
+                    eprintln!("--report-json needs a directory");
+                    std::process::exit(2);
+                }
+            },
+            other => filter = other.to_string(),
+        }
+    }
+    if let Some(dir) = &report_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
     let mut tsv = vec![
         "benchmark\ttest\tresolvable\texpected\titns\tpaper_itns\ttotal_s\tpaper_total_s\tssolve_s\tsmodel_s\tvsolve_s\tvmodel_s\tlog10_C\tstates\tmem_mib".to_string(),
     ];
@@ -28,7 +51,13 @@ fn main() {
                 continue;
             }
         };
-        let out = s.run();
+        let (out, report) = s.run_report();
+        if let Some(dir) = &report_dir {
+            let path = format!("{dir}/{}_{}.json", run.benchmark, run.test);
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                eprintln!("cannot write {path}: {e}");
+            }
+        }
         print!("{}", render_stats(run.benchmark, &run.test, &out));
         let agreed = out.resolved() == run.expected_resolvable;
         if !agreed {
@@ -48,7 +77,7 @@ fn main() {
         println!();
         let st = &out.stats;
         tsv.push(format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{:.1}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.2}\t{}\t{:.1}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{:.1}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.2}\t{}\t{}",
             run.benchmark,
             run.test,
             if out.resolved() {
@@ -69,7 +98,10 @@ fn main() {
             st.v_model.as_secs_f64(),
             st.log10_space,
             st.states,
-            st.peak_memory as f64 / (1024.0 * 1024.0),
+            st.peak_memory.map_or_else(
+                || "n/a".to_string(),
+                |b| format!("{:.1}", b as f64 / (1024.0 * 1024.0))
+            ),
         ));
     }
     println!("==== TSV ====");

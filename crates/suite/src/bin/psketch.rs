@@ -3,20 +3,26 @@
 //! ```text
 //! psketch <file.psk> [--unroll N] [--pool N] [--hole-width N]
 //!         [--int-width N] [--reorder quad|exp] [--max-iters N]
-//!         [--hybrid N] [--threads N] [--portfolio N] [--dump-ir]
-//!         [--explain]
+//!         [--hybrid N] [--threads N] [--portfolio N]
+//!         [--timeout SECS] [--state-budget N] [--memory-budget MIB]
+//!         [--report-json PATH] [--dump-ir] [--explain]
 //! ```
 //!
 //! Reads a sketch, runs CEGIS, prints statistics and — when the sketch
-//! resolves — the synthesized program.
+//! resolves — the synthesized program. `--report-json` additionally
+//! writes the machine-readable run report (schema-stable JSON, one
+//! record per CEGIS iteration). The budget flags bound the run: an
+//! over-budget run exits 4 ("unknown") and names the tripped budget.
 
 use psketch_core::{render_stats, Config, Options, ReorderEncoding, Synthesis, VerifierKind};
+use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: psketch <file.psk> [--unroll N] [--pool N] [--hole-width N] \
          [--int-width N] [--reorder quad|exp] [--max-iters N] [--hybrid N] \
-         [--threads N] [--portfolio N] [--dump-ir] [--explain]"
+         [--threads N] [--portfolio N] [--timeout SECS] [--state-budget N] \
+         [--memory-budget MIB] [--report-json PATH] [--dump-ir] [--explain]"
     );
     std::process::exit(2)
 }
@@ -29,6 +35,10 @@ fn main() {
     let mut verifier = VerifierKind::Exhaustive;
     let mut threads = 1;
     let mut portfolio = 1;
+    let mut wall_timeout = None;
+    let mut state_budget = None;
+    let mut memory_budget = None;
+    let mut report_json: Option<String> = None;
     let mut dump_ir = false;
     let mut explain = false;
     let mut it = args.iter();
@@ -59,6 +69,13 @@ fn main() {
             }
             "--threads" => threads = num("--threads").max(1),
             "--portfolio" => portfolio = num("--portfolio").max(1),
+            "--timeout" => wall_timeout = Some(Duration::from_secs(num("--timeout") as u64)),
+            "--state-budget" => state_budget = Some(num("--state-budget")),
+            "--memory-budget" => memory_budget = Some(num("--memory-budget") as u64 * 1024 * 1024),
+            "--report-json" => match it.next() {
+                Some(path) => report_json = Some(path.clone()),
+                None => usage(),
+            },
             "--dump-ir" => dump_ir = true,
             "--explain" => explain = true,
             "--help" | "-h" => usage(),
@@ -80,6 +97,9 @@ fn main() {
         verifier,
         threads,
         portfolio,
+        wall_timeout,
+        state_budget,
+        memory_budget,
         ..Options::default()
     };
     let synthesis = match Synthesis::new(&source, opts) {
@@ -97,7 +117,13 @@ fn main() {
     if dump_ir {
         eprintln!("{}", psketch_exec::format_lowered(synthesis.lowered()));
     }
-    let out = synthesis.run();
+    let (out, report) = synthesis.run_report();
+    if let Some(path) = &report_json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
     eprint!("{}", render_stats(&file, synthesis_mode(&synthesis), &out));
     match out.resolution {
         Some(r) => {
@@ -118,7 +144,15 @@ fn main() {
             std::process::exit(3);
         }
         None => {
-            println!("unknown: budget exhausted before convergence.");
+            match &out.budget_trip {
+                Some(trip) => println!(
+                    "unknown: {} budget tripped in {} ({}).",
+                    trip.budget.label(),
+                    trip.phase,
+                    trip.detail
+                ),
+                None => println!("unknown: budget exhausted before convergence."),
+            }
             std::process::exit(4);
         }
     }

@@ -1,10 +1,33 @@
 //! Regenerates the paper's Table 1: benchmark summary with
 //! candidate-space sizes |C|.
+//!
+//! `table1 --dump <benchmark>` instead prints that benchmark's sketch
+//! source to stdout (so scripts and CI can feed a Table-1 workload to
+//! the `psketch` CLI without duplicating the source).
 
 use psketch_core::Synthesis;
 use psketch_suite::table1_entries;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let [flag, name] = &args[..] {
+        if flag == "--dump" {
+            match table1_entries()
+                .iter()
+                .find(|e| e.benchmark == name.as_str())
+            {
+                Some(entry) => {
+                    println!("{}", entry.run.source);
+                    return;
+                }
+                None => {
+                    let known: Vec<&str> = table1_entries().iter().map(|e| e.benchmark).collect();
+                    eprintln!("unknown benchmark '{name}'; known: {}", known.join(", "));
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
     println!(
         "{:<10} {:<48} {:>12} {:>10}",
         "Sketch", "Description", "|C| (ours)", "|C| paper"

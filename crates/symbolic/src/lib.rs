@@ -23,4 +23,7 @@ pub mod synth;
 
 pub use circuit::{Circuit, NodeRef};
 pub use project::{project, sequential_order};
-pub use synth::{trace_reproduces, verify_sequential, SynthStats, Synthesizer};
+pub use synth::{
+    trace_reproduces, verify_sequential, verify_sequential_limits, CandidateBatch, SeqVerify,
+    SynthStats, Synthesizer,
+};

@@ -15,9 +15,29 @@ use crate::project::{project, sequential_order, trace_end_position};
 use psketch_exec::CexTrace;
 use psketch_ir::{Assignment, HoleId, Lowered};
 use psketch_lang::ast::{BinOp, Expr, UnOp};
-use psketch_sat::{SolveResult, Solver, Var};
+use psketch_sat::{SolveResult, Solver, SolverStats, Var};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Result of asking for a batch of candidates
+/// ([`Synthesizer::next_candidates`]).
+#[derive(Clone, Debug)]
+pub enum CandidateBatch {
+    /// Candidates consistent with every observation so far (possibly
+    /// fewer than requested when the space is nearly exhausted or a
+    /// limit tripped mid-batch).
+    Found(Vec<Assignment>),
+    /// The candidate space is exhausted: the sketch cannot be resolved
+    /// under the current observations (and therefore at all, since
+    /// observations only shrink the space).
+    Exhausted,
+    /// A solver limit installed via [`Synthesizer::set_limits`]
+    /// tripped before the first candidate was found. Says nothing
+    /// about resolvability.
+    Interrupted,
+}
 
 /// Work counters for one synthesis session.
 #[derive(Clone, Copy, Debug, Default)]
@@ -107,6 +127,20 @@ impl<'l> Synthesizer<'l> {
     /// The lowered program under synthesis.
     pub fn lowered(&self) -> &Lowered {
         self.l
+    }
+
+    /// Installs cooperative limits on the underlying SAT solver: solve
+    /// calls past `deadline` or with `cancel` raised return promptly
+    /// and [`Synthesizer::next_candidates`] reports
+    /// [`CandidateBatch::Interrupted`].
+    pub fn set_limits(&mut self, deadline: Option<Instant>, cancel: Option<Arc<AtomicBool>>) {
+        self.solver.set_limits(deadline, cancel);
+    }
+
+    /// Work counters of the underlying SAT solver (cumulative for this
+    /// synthesis session).
+    pub fn solver_stats(&self) -> SolverStats {
+        self.solver.stats()
     }
 
     fn bind_hole_bits(&mut self) {
@@ -240,12 +274,14 @@ impl<'l> Synthesizer<'l> {
     /// Asks for hole values consistent with all observations. `None`
     /// means the sketch cannot be resolved (for these observations —
     /// and since observations only ever shrink the space, for the
-    /// whole problem).
+    /// whole problem) — or, when limits are installed via
+    /// [`Synthesizer::set_limits`], that a limit tripped; use
+    /// [`Synthesizer::next_candidates`] to tell the two apart.
     pub fn next_candidate(&mut self) -> Option<Assignment> {
         let t0 = Instant::now();
         let r = self.solver.solve();
         self.stats.solve_time += t0.elapsed();
-        if r == SolveResult::Unsat {
+        if r != SolveResult::Sat {
             return None;
         }
         Some(self.decode_model())
@@ -253,25 +289,24 @@ impl<'l> Synthesizer<'l> {
 
     /// Asks for up to `k` pairwise-distinct candidates consistent with
     /// all observations so far (portfolio CEGIS). Fewer than `k` are
-    /// returned when the space has fewer remaining candidates; an empty
-    /// vector means the sketch cannot be resolved.
+    /// returned when the space has fewer remaining candidates.
     ///
     /// Diversification uses assumption-guarded blocking clauses: each
     /// found assignment is excluded by a clause `¬sel ∨ ¬bit…` and the
     /// selector `sel` is only assumed within this call, so — unlike
     /// [`Synthesizer::block`] — the candidate space is not permanently
     /// shrunk.
-    pub fn next_candidates(&mut self, k: usize) -> Vec<Assignment> {
-        let mut out = Vec::new();
-        if k == 0 {
-            return out;
-        }
-        match self.next_candidate() {
-            Some(a) => out.push(a),
-            None => return out,
-        }
-        if k == 1 {
-            return out;
+    pub fn next_candidates(&mut self, k: usize) -> CandidateBatch {
+        let t0 = Instant::now();
+        let r = self.solver.solve();
+        self.stats.solve_time += t0.elapsed();
+        let mut out = match r {
+            SolveResult::Unsat => return CandidateBatch::Exhausted,
+            SolveResult::Interrupted => return CandidateBatch::Interrupted,
+            SolveResult::Sat => vec![self.decode_model()],
+        };
+        if k <= 1 {
+            return CandidateBatch::Found(out);
         }
         let sel = psketch_sat::Lit::pos(self.solver.new_var());
         while out.len() < k {
@@ -289,11 +324,15 @@ impl<'l> Synthesizer<'l> {
             let r = self.solver.solve_with(&[sel]);
             self.stats.solve_time += t0.elapsed();
             if r != SolveResult::Sat {
+                // Unsat: space exhausted below k — the partial batch
+                // still carries candidates. Interrupted: return the
+                // partial batch too; the caller's budget check runs
+                // before the next one.
                 break;
             }
             out.push(self.decode_model());
         }
-        out
+        CandidateBatch::Found(out)
     }
 
     /// Reads the hole assignment off the solver's current model.
@@ -351,14 +390,42 @@ pub fn trace_reproduces(l: &Lowered, cex: &CexTrace, candidate: &Assignment) -> 
     }
 }
 
+/// Result of an interruptible sequential verification
+/// ([`verify_sequential_limits`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SeqVerify {
+    /// The candidate matches its specification on every bounded input.
+    Equivalent,
+    /// An input on which candidate and specification disagree.
+    Counterexample(Vec<i64>),
+    /// A limit tripped before the SAT query finished.
+    Interrupted,
+}
+
 /// Sequential verification by SAT (paper §5): given a candidate, finds
 /// an input on which the sketched function disagrees with its
 /// specification, or `None` when none exists (the candidate is
 /// correct for the modelled bit width).
 pub fn verify_sequential(l: &Lowered, candidate: &Assignment) -> Option<Vec<i64>> {
+    match verify_sequential_limits(l, candidate, None, None) {
+        SeqVerify::Counterexample(x) => Some(x),
+        // Without limits installed the solver cannot be interrupted.
+        SeqVerify::Equivalent | SeqVerify::Interrupted => None,
+    }
+}
+
+/// As [`verify_sequential`], under a cooperative wall deadline and
+/// cancellation flag threaded into the underlying CDCL solver.
+pub fn verify_sequential_limits(
+    l: &Lowered,
+    candidate: &Assignment,
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+) -> SeqVerify {
     let w = l.config.int_width as usize;
     let mut circuit = Circuit::new();
     let mut solver = Solver::new();
+    solver.set_limits(deadline, cancel);
     let holes: Vec<Bv> = (0..l.holes.num_holes())
         .map(|h| Bv::constant(&mut circuit, candidate.value(h as HoleId) as i64, w))
         .collect();
@@ -374,8 +441,10 @@ pub fn verify_sequential(l: &Lowered, candidate: &Assignment) -> Option<Vec<i64>
     let ev = SymEval::new(&mut circuit, l, &holes, &inputs);
     let fail = ev.run(&mut circuit, &order, &HashSet::new(), order.len());
     circuit.assert_true(fail, &mut solver);
-    if solver.solve() == SolveResult::Unsat {
-        return None;
+    match solver.solve() {
+        SolveResult::Unsat => return SeqVerify::Equivalent,
+        SolveResult::Interrupted => return SeqVerify::Interrupted,
+        SolveResult::Sat => {}
     }
     let mut out = Vec::with_capacity(input_slots.len());
     for ix in input_slots {
@@ -392,7 +461,7 @@ pub fn verify_sequential(l: &Lowered, candidate: &Assignment) -> Option<Vec<i64>
         }
         out.push(v);
     }
-    Some(out)
+    SeqVerify::Counterexample(out)
 }
 
 #[cfg(test)]
@@ -595,7 +664,9 @@ mod tests {
     fn portfolio_candidates_distinct_and_nonbinding() {
         let l = lowered("int g; harness void main() { g = ??(3); assert g < 8; }");
         let mut synth = Synthesizer::new(&l);
-        let batch = synth.next_candidates(4);
+        let CandidateBatch::Found(batch) = synth.next_candidates(4) else {
+            panic!("expected candidates");
+        };
         assert_eq!(batch.len(), 4);
         let distinct: std::collections::HashSet<u64> = batch.iter().map(|a| a.value(0)).collect();
         assert_eq!(distinct.len(), 4, "portfolio candidates must differ");
@@ -615,7 +686,9 @@ mod tests {
         // Only 2 candidates exist; asking for 5 returns both.
         let l = lowered("int g; harness void main() { g = ??(1); assert g >= 0; }");
         let mut synth = Synthesizer::new(&l);
-        let batch = synth.next_candidates(5);
+        let CandidateBatch::Found(batch) = synth.next_candidates(5) else {
+            panic!("expected candidates");
+        };
         assert_eq!(batch.len(), 2);
     }
 

@@ -9,7 +9,7 @@
 //! we assert that the parallel trace actually refutes the candidate
 //! (symbolic replay reproduces the failure).
 
-use psketch_repro::exec::{check_parallel, check_with_limit, Verdict};
+use psketch_repro::exec::{check_parallel, check_with_limit, Interrupt, Verdict};
 use psketch_repro::ir::{desugar, lower, Assignment, Lowered};
 use psketch_repro::suite::figure9_runs;
 use psketch_repro::symbolic::trace_reproduces;
@@ -43,15 +43,38 @@ fn compare(l: &Lowered, a: &Assignment, label: &str) {
     for threads in [2usize, 4, 8] {
         let par = check_parallel(l, a, MAX_STATES, threads);
         match (&seq.verdict, &par.verdict) {
-            (Verdict::Unknown, _) => {
+            (Verdict::Unknown(why), _) => {
+                assert_eq!(
+                    *why,
+                    Interrupt::StateLimit,
+                    "{label}: no deadline/cancel installed"
+                );
                 // Sequential hit the state limit; exploration order
                 // differs, so the parallel verdict may legitimately be
                 // a (valid) failure found before the limit.
-                if let Verdict::Fail(cex) = &par.verdict {
-                    assert!(
-                        trace_reproduces(l, cex, a),
-                        "{label}: parallel cex does not refute candidate"
-                    );
+                match &par.verdict {
+                    Verdict::Fail(cex) => {
+                        assert!(
+                            trace_reproduces(l, cex, a),
+                            "{label}: parallel cex does not refute candidate"
+                        );
+                    }
+                    Verdict::Unknown(par_why) => {
+                        assert_eq!(*par_why, Interrupt::StateLimit, "{label}");
+                        // Both clamped to the limit: reported stats
+                        // must agree despite the parallel overshoot.
+                        assert_eq!(
+                            seq.stats.states, par.stats.states,
+                            "{label} threads={threads}: clamped unknown stats must agree"
+                        );
+                    }
+                    Verdict::Pass => {
+                        panic!(
+                            "{label} threads={threads}: sequential hit the state limit; \
+                             a passing parallel run would mean the checkers disagree \
+                             on the reachable state count"
+                        );
+                    }
                 }
             }
             (Verdict::Pass, v) => {
@@ -158,4 +181,94 @@ fn threads_one_is_the_sequential_path() {
     };
     assert_eq!(a_cex.steps, b_cex.steps);
     assert_eq!(a_cex.failure.kind, b_cex.failure.kind);
+}
+
+/// The pass/unknown boundary is claim-based and must sit at exactly
+/// the reachable state count for every thread count: a limit of N
+/// (the exact count) passes, N-1 is unknown — no thread-count-
+/// dependent flip.
+#[test]
+fn state_limit_boundary_is_thread_count_independent() {
+    let cfg = psketch_repro::ir::Config::default();
+    let l = lowered(
+        "int g;
+         harness void main() {
+             fork (i; 3) { int old = AtomicReadAndIncr(g); }
+             assert g == 3;
+         }",
+        &cfg,
+    );
+    let a = l.holes.identity_assignment();
+    // Establish the exact reachable count with an unbounded
+    // sequential search.
+    let full = check_with_limit(&l, &a, usize::MAX);
+    assert!(full.is_ok(), "baseline must pass");
+    let n = full.stats.states;
+    assert!(n > 2, "sketch must have a nontrivial state space");
+    for threads in [1usize, 2, 4] {
+        let exact = check_parallel(&l, &a, n, threads);
+        assert!(
+            matches!(exact.verdict, Verdict::Pass),
+            "threads={threads}: limit == reachable count must pass"
+        );
+        assert_eq!(exact.stats.states, n, "threads={threads}");
+        let under = check_parallel(&l, &a, n - 1, threads);
+        assert!(
+            matches!(under.verdict, Verdict::Unknown(Interrupt::StateLimit)),
+            "threads={threads}: limit == count-1 must be unknown, got {:?}",
+            under.verdict
+        );
+        // Reported stats are clamped to the limit even when racing
+        // workers overshot the visited set.
+        assert!(
+            under.stats.states < n,
+            "threads={threads}: clamped stats must respect the limit"
+        );
+    }
+}
+
+/// Failures before the interleaving search starts (prologue assertion,
+/// first local-step absorption) must report the work actually done —
+/// one examined state and the executed trace steps — identically in
+/// both checkers, not zeroed counters.
+#[test]
+fn early_failures_report_real_counts() {
+    let cfg = psketch_repro::ir::Config::default();
+    // Prologue failure: the assert runs before any fork.
+    let prologue = lowered(
+        "int g;
+         harness void main() {
+             g = 3;
+             assert g == 4;
+             fork (i; 2) { g = g + 1; }
+         }",
+        &cfg,
+    );
+    // Initial-advance failure: each thread's first local burst trips.
+    let advance = lowered(
+        "int g;
+         harness void main() {
+             fork (i; 1) { int t = 1; assert t == 2; }
+         }",
+        &cfg,
+    );
+    for (name, l) in [("prologue", &prologue), ("advance", &advance)] {
+        let a = l.holes.identity_assignment();
+        let seq = check_with_limit(l, &a, MAX_STATES);
+        assert!(matches!(seq.verdict, Verdict::Fail(_)), "{name}");
+        assert_eq!(seq.stats.states, 1, "{name}: one context was examined");
+        assert!(seq.stats.transitions > 0, "{name}: steps were executed");
+        for threads in [2usize, 4] {
+            let par = check_parallel(l, &a, MAX_STATES, threads);
+            assert!(matches!(par.verdict, Verdict::Fail(_)), "{name}");
+            assert_eq!(
+                par.stats.states, seq.stats.states,
+                "{name} threads={threads}: early-failure states must match sequential"
+            );
+            assert_eq!(
+                par.stats.transitions, seq.stats.transitions,
+                "{name} threads={threads}: early-failure transitions must match sequential"
+            );
+        }
+    }
 }
