@@ -1,0 +1,180 @@
+//! Engine-level checker benchmark → `BENCH_checker.json`.
+//!
+//! Measures raw model-checking throughput (states explored per second)
+//! and peak RSS on Table 1 workloads, comparing the zero-clone
+//! undo-log engine ([`psketch_exec::check`]) against the reference
+//! clone-per-transition engine ([`psketch_exec::reference::check_ref`])
+//! on the *same* resolved candidate, so both explore the identical
+//! state space end to end.
+//!
+//! Each workload is first synthesised to completion; the winning
+//! candidate's exhaustive verification — the hot path of every CEGIS
+//! run, since a correct candidate's search cannot stop early — is then
+//! timed for each engine.
+//!
+//! Usage: `cargo run --release -p psketch-bench --bin bench_checker
+//! [--smoke] [output.json]` (default `BENCH_checker.json` in the
+//! current directory). `--smoke` takes one sample per cell instead of
+//! five: CI uses it to validate that the harness runs and the report
+//! parses, not to take publishable numbers.
+
+use psketch_bench::{Harness, JsonValue, JsonWriter};
+use psketch_core::{mem, Options, Synthesis};
+use psketch_exec::{check_with_limit, reference::check_ref_with_limit, CheckOutcome, Verdict};
+use psketch_ir::{Assignment, Config};
+use psketch_suite::barrier::{barrier_source, BarrierVariant};
+use psketch_suite::figure9_runs;
+use std::cell::RefCell;
+use std::hint::black_box;
+
+/// The Figure 9 `(benchmark, test)` rows measured. Both resolve, so
+/// the timed search is a full Pass-verdict state-space sweep.
+const SKETCHES: &[(&str, &str)] = &[
+    ("barrier2", "N=2,B=3"),
+    ("fineset2", "ar(ar|ar)"),
+    ("dinphilo", "N=5,T=3"),
+];
+
+const MAX_STATES: usize = 50_000_000;
+
+/// A checker workload: a Table 1 sketch plus its lowering bounds.
+struct Load {
+    name: String,
+    source: String,
+    options: Options,
+}
+
+/// The measured workloads: two Figure 9 rows plus a wider barrier
+/// (four workers) where per-transition work is small and the state is
+/// large — the regime that exposes per-transition copying cost.
+fn workloads() -> Vec<Load> {
+    let runs = figure9_runs();
+    let mut out: Vec<Load> = SKETCHES
+        .iter()
+        .map(|(benchmark, test)| {
+            let run = runs
+                .iter()
+                .find(|r| r.benchmark == *benchmark && r.test == *test)
+                .expect("sketch is a Figure 9 row");
+            Load {
+                name: format!("{benchmark}/{test}"),
+                source: run.source.clone(),
+                options: run.options.clone(),
+            }
+        })
+        .collect();
+    out.push(Load {
+        name: "barrier1/N=4,B=2".into(),
+        source: barrier_source(BarrierVariant::Restricted, 4, 2),
+        options: Options {
+            config: Config {
+                hole_width: 2,
+                unroll: 4,
+                pool: 2,
+                ..Config::default()
+            },
+            ..Options::default()
+        },
+    });
+    out
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_checker.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let h = Harness::unfiltered(if smoke { 1 } else { 5 });
+    let mut w = JsonWriter::new();
+
+    for load in workloads() {
+        let synthesis =
+            Synthesis::new(&load.source, load.options.clone()).expect("workload lowers");
+        let outcome = synthesis.run();
+        let candidate = outcome
+            .resolution
+            .expect("Table 1 workload resolves")
+            .assignment;
+        let lowered = synthesis.lowered();
+
+        type Engine = (
+            &'static str,
+            fn(&psketch_ir::Lowered, &Assignment) -> CheckOutcome,
+        );
+        let engines: [Engine; 2] = [
+            ("undo", |l, a| check_with_limit(l, a, MAX_STATES)),
+            ("clone", |l, a| check_ref_with_limit(l, a, MAX_STATES)),
+        ];
+        for (engine, check) in engines {
+            let id = format!("checker/{}/{engine}", load.name);
+            let last = RefCell::new(None);
+            let m = h
+                .bench(&id, || {
+                    let out = check(black_box(lowered), black_box(&candidate));
+                    assert!(
+                        matches!(out.verdict, Verdict::Pass),
+                        "{id}: the resolved candidate must pass"
+                    );
+                    *last.borrow_mut() = Some(out);
+                })
+                .expect("no filter in use");
+            let out = last.into_inner().expect("ran at least once");
+            let states_per_sec = out.stats.states as f64 / m.median.as_secs_f64();
+            w.record(&[
+                ("sketch", JsonValue::Str(load.name.clone())),
+                ("engine", JsonValue::Str(engine.into())),
+                ("secs_median", JsonValue::Num(m.median.as_secs_f64())),
+                ("secs_min", JsonValue::Num(m.min.as_secs_f64())),
+                ("states", JsonValue::Int(out.stats.states as i64)),
+                ("transitions", JsonValue::Int(out.stats.transitions as i64)),
+                (
+                    "terminal_states",
+                    JsonValue::Int(out.stats.terminal_states as i64),
+                ),
+                ("states_per_sec", JsonValue::Num(states_per_sec)),
+                (
+                    "journal_writes",
+                    JsonValue::Int(out.stats.journal_writes as i64),
+                ),
+                (
+                    "state_clones",
+                    JsonValue::Int(out.stats.state_clones as i64),
+                ),
+                (
+                    "peak_memory_bytes",
+                    match mem::peak_rss_bytes() {
+                        Some(b) => JsonValue::Int(b as i64),
+                        None => JsonValue::Str("n/a".into()),
+                    },
+                ),
+            ]);
+        }
+    }
+
+    let doc = w.render(&[
+        ("schema", JsonValue::Int(1)),
+        ("suite", JsonValue::Str("checker_engine_throughput".into())),
+        ("cores", JsonValue::Int(cores as i64)),
+        ("samples", JsonValue::Int(h.samples as i64)),
+        ("smoke", JsonValue::Bool(smoke)),
+        (
+            "note",
+            JsonValue::Str(
+                "both engines sweep the identical state space of the \
+                 resolved candidate; peak_memory_bytes is process-wide \
+                 and monotonic, so later rows inherit earlier peaks"
+                    .into(),
+            ),
+        ),
+    ]);
+    std::fs::write(&out_path, doc).expect("write BENCH_checker.json");
+    println!("wrote {out_path}");
+}

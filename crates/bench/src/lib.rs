@@ -58,6 +58,15 @@ impl Harness {
         }
     }
 
+    /// With a specific sample count and no argv filter — for binaries
+    /// whose positional arguments are not measurement names.
+    pub fn unfiltered(samples: usize) -> Harness {
+        Harness {
+            samples,
+            filter: None,
+        }
+    }
+
     /// Times `f` `self.samples` times and prints a summary line.
     /// Returns `None` when the name does not match the CLI filter.
     pub fn bench(&self, name: &str, mut f: impl FnMut()) -> Option<Measurement> {

@@ -149,6 +149,15 @@ pub struct CegisStats {
     /// Widest batch of candidates verified concurrently in one
     /// iteration (1 for classic CEGIS).
     pub portfolio_width: usize,
+    /// Undo-journal cell writes recorded by the checker (cumulative).
+    /// The zero-clone engine's analogue of "bytes copied".
+    pub journal_writes: u64,
+    /// Whole-state copies the checker made (cumulative): one per
+    /// stolen work item in parallel searches, zero sequentially.
+    pub state_clones: usize,
+    /// States explored per second of verifier search time
+    /// (`states / v_solve`); `0.0` when no search ran.
+    pub states_per_sec: f64,
 }
 
 /// A successful resolution.
@@ -430,6 +439,8 @@ impl Synthesis {
                         terminal_states: effort.terminal_states,
                         sampled_refutation: effort.sampled_refutation,
                         per_thread_states: effort.per_thread_states,
+                        journal_writes: effort.journal_writes,
+                        state_clones: effort.state_clones,
                     });
                     match result {
                         VerifyResult::Correct => {
@@ -476,6 +487,12 @@ impl Synthesis {
         stats.sat_restarts = sat.restarts;
         stats.total = t0.elapsed();
         stats.peak_memory = mem::peak_rss_bytes();
+        let v_secs = stats.v_solve.as_secs_f64();
+        stats.states_per_sec = if v_secs > 0.0 {
+            stats.states as f64 / v_secs
+        } else {
+            0.0
+        };
         // A budget that tripped while the run nonetheless concluded
         // (resolved, or proved unresolvable) did not stop anything:
         // the trip is only reported on unknown outcomes.
@@ -550,6 +567,9 @@ impl Synthesis {
             sampled_refutations: st.sampled_refutations,
             portfolio_width: st.portfolio_width,
             per_thread_states: st.per_thread_states.clone(),
+            journal_writes: st.journal_writes,
+            state_clones: st.state_clones,
+            states_per_sec: st.states_per_sec,
             sat_decisions: st.sat_decisions,
             sat_propagations: st.sat_propagations,
             sat_conflicts: st.sat_conflicts,
@@ -623,6 +643,8 @@ impl Synthesis {
                 effort.states = out.stats.states;
                 effort.transitions = out.stats.transitions;
                 effort.terminal_states = out.stats.terminal_states;
+                effort.journal_writes = out.stats.journal_writes;
+                effort.state_clones = out.stats.state_clones;
                 effort.per_thread_states = out.per_thread_states;
                 match out.verdict {
                     Verdict::Pass => VerifyResult::Correct,
@@ -782,6 +804,8 @@ struct VerifyEffort {
     duration: Duration,
     per_thread_states: Vec<usize>,
     sampled_refutation: bool,
+    journal_writes: u64,
+    state_clones: usize,
 }
 
 /// Records the first budget trip; later trips lose.
@@ -797,6 +821,8 @@ impl CegisStats {
         self.states += effort.states;
         self.transitions += effort.transitions;
         self.terminal_states += effort.terminal_states;
+        self.journal_writes += effort.journal_writes;
+        self.state_clones += effort.state_clones;
         if effort.sampled_refutation {
             self.sampled_refutations += 1;
         }
@@ -908,6 +934,9 @@ mod tests {
         }
         assert!(st.transitions > 0, "checker must fire transitions");
         assert!(st.sat_propagations > 0, "solver counters must flow through");
+        assert!(st.journal_writes > 0, "undo engine must record writes");
+        assert_eq!(st.state_clones, 0, "sequential search never clones");
+        assert!(st.states_per_sec > 0.0, "throughput must be derived");
     }
 
     #[test]

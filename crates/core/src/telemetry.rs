@@ -93,6 +93,12 @@ pub struct IterationRecord {
     pub sampled_refutation: bool,
     /// States first discovered per checker thread.
     pub per_thread_states: Vec<usize>,
+    /// Undo-journal cell writes the checker recorded for this
+    /// candidate (the zero-clone engine's "bytes copied" analogue).
+    pub journal_writes: u64,
+    /// Whole-state copies the checker made for this candidate (one
+    /// per stolen work item; zero in sequential searches).
+    pub state_clones: usize,
 }
 
 /// The machine-readable run report: run-level summary plus one
@@ -139,6 +145,13 @@ pub struct RunReport {
     pub portfolio_width: usize,
     /// States first discovered per checker thread, summed over calls.
     pub per_thread_states: Vec<usize>,
+    /// Undo-journal cell writes, cumulative over all checker searches.
+    pub journal_writes: u64,
+    /// Whole-state copies the checker made, cumulative (clone-on-steal
+    /// in parallel searches; zero for sequential runs).
+    pub state_clones: usize,
+    /// States explored per second of verifier search time.
+    pub states_per_sec: f64,
     /// Synthesizer SAT decisions.
     pub sat_decisions: u64,
     /// Synthesizer SAT unit propagations.
@@ -209,6 +222,9 @@ impl RunReport {
             "per_thread_states",
             Json::usize_array(&self.per_thread_states),
         );
+        o.field("journal_writes", Json::from(self.journal_writes as i64));
+        o.field("state_clones", Json::from(self.state_clones as i64));
+        o.field("states_per_sec", Json::Num(self.states_per_sec));
         o.field("sat_decisions", Json::from(self.sat_decisions as i64));
         o.field("sat_propagations", Json::from(self.sat_propagations as i64));
         o.field("sat_conflicts", Json::from(self.sat_conflicts as i64));
@@ -237,6 +253,8 @@ impl IterationRecord {
             "per_thread_states",
             Json::usize_array(&self.per_thread_states),
         );
+        o.field("journal_writes", Json::from(self.journal_writes as i64));
+        o.field("state_clones", Json::from(self.state_clones as i64));
         o.finish()
     }
 }
@@ -726,6 +744,9 @@ mod tests {
             sampled_refutations: 1,
             portfolio_width: 2,
             per_thread_states: vec![60, 40],
+            journal_writes: 512,
+            state_clones: 4,
+            states_per_sec: 25.0,
             sat_decisions: 9,
             sat_propagations: 101,
             sat_conflicts: 3,
@@ -743,6 +764,8 @@ mod tests {
                 terminal_states: 4,
                 sampled_refutation: true,
                 per_thread_states: vec![40, 20],
+                journal_writes: 300,
+                state_clones: 2,
             }],
         };
         let text = report.to_json();
@@ -759,11 +782,16 @@ mod tests {
         );
         assert_eq!(v.get("peak_memory").unwrap().as_f64(), Some(1048576.0));
         assert_eq!(v.get("total_secs").unwrap().as_f64(), Some(5.25));
+        assert_eq!(v.get("journal_writes").unwrap().as_f64(), Some(512.0));
+        assert_eq!(v.get("state_clones").unwrap().as_f64(), Some(4.0));
+        assert_eq!(v.get("states_per_sec").unwrap().as_f64(), Some(25.0));
         let recs = v.get("records").unwrap().as_arr().unwrap();
         assert_eq!(recs.len(), 1);
         let r = &recs[0];
         assert_eq!(r.get("verdict").unwrap().as_str(), Some("trace"));
         assert_eq!(r.get("sampled_refutation").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("journal_writes").unwrap().as_f64(), Some(300.0));
+        assert_eq!(r.get("state_clones").unwrap().as_f64(), Some(2.0));
         let per = r.get("per_thread_states").unwrap().as_arr().unwrap();
         assert_eq!(per.iter().filter_map(Json::as_f64).sum::<f64>(), 60.0);
     }

@@ -4,9 +4,21 @@
 //! shared-state steps, with state hashing (dead thread-locals are
 //! masked out of the canonical state to merge equivalent paths) and
 //! exact counterexample-trace extraction.
+//!
+//! The search is **zero-clone**: one live [`StateBuf`] is mutated in
+//! place as transitions fire, every write is recorded in an
+//! [`UndoJournal`], and backtracking reverts the journal to the frame's
+//! mark instead of restoring a per-frame snapshot. Visited states are
+//! reduced to streaming 64-bit fingerprints hashed directly off the
+//! flat buffer ([`Checker::fingerprint_state`]), so steady-state
+//! exploration allocates nothing per state. The previous
+//! clone-per-transition engine survives as [`crate::reference`] for
+//! differential testing and benchmarking.
 
-use crate::fingerprint::FpSet;
-use crate::store::{eval_rv, exec_op, CexTrace, Failure, FailureKind, Store};
+use crate::fingerprint::{cell_hash, combine_fp, FpSet};
+use crate::store::{
+    eval_rv, exec_op, CexTrace, Failure, FailureKind, StateBuf, StateLayout, UndoJournal,
+};
 use psketch_ir::{Assignment, Lowered, Lv, Op, Rv, Thread, ThreadId};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -117,6 +129,13 @@ pub struct CheckStats {
     pub transitions: usize,
     /// Completed executions (all threads finished + epilogue run).
     pub terminal_states: usize,
+    /// Writes recorded in the undo journal — the undo engine's unit of
+    /// per-transition work (the reference clone engine reports 0).
+    pub journal_writes: u64,
+    /// Full state snapshots paid. The undo engine clones only where a
+    /// state must outlive the search path (work stealing, epilogue in
+    /// the reference engine); the clone engine pays one per transition.
+    pub state_clones: usize,
 }
 
 /// Result of [`check`].
@@ -177,7 +196,7 @@ pub(crate) fn early_failure_stats(steps: &[(ThreadId, usize)]) -> CheckStats {
     CheckStats {
         states: 1,
         transitions: steps.len(),
-        terminal_states: 0,
+        ..CheckStats::default()
     }
 }
 
@@ -189,65 +208,63 @@ pub(crate) fn early_failure_stats(steps: &[(ThreadId, usize)]) -> CheckStats {
 /// Intended for tests and for double-checking counterexamples.
 pub fn replay(l: &Lowered, candidate: &Assignment, schedule: &[usize]) -> Option<CexTrace> {
     let ck = Checker::new(l, candidate);
+    let mut buf = ck.initial_buf();
+    let mut j = UndoJournal::new();
     let mut trace: Vec<(ThreadId, usize)> = Vec::new();
-    match ck.run_seq(0, &l.prologue, &mut Store::initial(l)) {
-        Ok((store, steps)) => {
+    match ck.run_seq(0, &l.prologue, &mut buf, &mut j) {
+        Ok(steps) => trace.extend(steps),
+        Err((steps, failure)) => {
             trace.extend(steps);
-            let mut state = ck.initial_workers(store);
-            if let Err((steps, failure)) = ck.advance_all(&mut state) {
-                trace.extend(steps);
-                return Some(CexTrace {
-                    steps: trace,
-                    failure,
-                    deadlock: vec![],
-                });
-            }
-            let mut queue: Vec<usize> = schedule.to_vec();
-            loop {
-                let pick = queue
-                    .iter()
-                    .position(|&t| ck.enabled(&state, t))
-                    .map(|ix| queue.remove(ix))
-                    .or_else(|| (0..state.workers.len()).find(|&t| ck.enabled(&state, t)));
-                match pick {
-                    Some(t) => match ck.fire(&mut state, t) {
-                        Ok(steps) => trace.extend(steps),
-                        Err((steps, failure)) => {
-                            trace.extend(steps);
-                            return Some(CexTrace {
-                                steps: trace,
-                                failure,
-                                deadlock: vec![],
-                            });
-                        }
-                    },
-                    None => break,
-                }
-            }
-            if !ck.all_finished(&state) {
-                let deadlock = ck.blocked_positions(&state);
-                let failure = ck.deadlock_failure(&state);
-                return Some(CexTrace {
-                    steps: trace,
-                    failure,
-                    deadlock,
-                });
-            }
-            let mut store = state.store;
-            match ck.run_seq(l.epilogue_tid(), &l.epilogue, &mut store) {
-                Ok((_, steps)) => {
-                    trace.extend(steps);
-                    None
-                }
+            return Some(CexTrace {
+                steps: trace,
+                failure,
+                deadlock: vec![],
+            });
+        }
+    }
+    if let Err((steps, failure)) = ck.advance_all(&mut buf, &mut j) {
+        trace.extend(steps);
+        return Some(CexTrace {
+            steps: trace,
+            failure,
+            deadlock: vec![],
+        });
+    }
+    let mut queue: Vec<usize> = schedule.to_vec();
+    loop {
+        let pick = queue
+            .iter()
+            .position(|&t| ck.enabled(&buf, t))
+            .map(|ix| queue.remove(ix))
+            .or_else(|| (0..ck.nworkers()).find(|&t| ck.enabled(&buf, t)));
+        match pick {
+            Some(t) => match ck.fire(&mut buf, &mut j, t) {
+                Ok(steps) => trace.extend(steps),
                 Err((steps, failure)) => {
                     trace.extend(steps);
-                    Some(CexTrace {
+                    return Some(CexTrace {
                         steps: trace,
                         failure,
                         deadlock: vec![],
-                    })
+                    });
                 }
-            }
+            },
+            None => break,
+        }
+    }
+    if !ck.all_finished(&buf) {
+        let deadlock = ck.blocked_positions(&buf);
+        let failure = ck.deadlock_failure(&buf);
+        return Some(CexTrace {
+            steps: trace,
+            failure,
+            deadlock,
+        });
+    }
+    match ck.run_seq(l.epilogue_tid(), &l.epilogue, &mut buf, &mut j) {
+        Ok(steps) => {
+            trace.extend(steps);
+            None
         }
         Err((steps, failure)) => {
             trace.extend(steps);
@@ -277,9 +294,10 @@ pub fn random_run(l: &Lowered, candidate: &Assignment, seed: u64) -> Option<CexT
         rng
     };
     let mut trace: Vec<(ThreadId, usize)> = Vec::new();
-    let mut store = Store::initial(l);
-    match ck.run_seq(0, &l.prologue, &mut store) {
-        Ok((_, steps)) => trace.extend(steps),
+    let mut buf = ck.initial_buf();
+    let mut j = UndoJournal::new();
+    match ck.run_seq(0, &l.prologue, &mut buf, &mut j) {
+        Ok(steps) => trace.extend(steps),
         Err((steps, failure)) => {
             trace.extend(steps);
             return Some(CexTrace {
@@ -289,8 +307,7 @@ pub fn random_run(l: &Lowered, candidate: &Assignment, seed: u64) -> Option<CexT
             });
         }
     }
-    let mut state = ck.initial_workers(store);
-    match ck.advance_all(&mut state) {
+    match ck.advance_all(&mut buf, &mut j) {
         Ok(steps) => trace.extend(steps),
         Err((steps, failure)) => {
             trace.extend(steps);
@@ -302,14 +319,14 @@ pub fn random_run(l: &Lowered, candidate: &Assignment, seed: u64) -> Option<CexT
         }
     }
     loop {
-        let enabled: Vec<usize> = (0..state.workers.len())
-            .filter(|&w| ck.enabled(&state, w))
+        let enabled: Vec<usize> = (0..ck.nworkers())
+            .filter(|&w| ck.enabled(&buf, w))
             .collect();
         if enabled.is_empty() {
             break;
         }
         let w = enabled[(next() as usize) % enabled.len()];
-        match ck.fire(&mut state, w) {
+        match ck.fire(&mut buf, &mut j, w) {
             Ok(steps) => trace.extend(steps),
             Err((steps, failure)) => {
                 trace.extend(steps);
@@ -321,17 +338,16 @@ pub fn random_run(l: &Lowered, candidate: &Assignment, seed: u64) -> Option<CexT
             }
         }
     }
-    if !ck.all_finished(&state) {
-        let deadlock = ck.blocked_positions(&state);
-        let failure = ck.deadlock_failure(&state);
+    if !ck.all_finished(&buf) {
+        let deadlock = ck.blocked_positions(&buf);
+        let failure = ck.deadlock_failure(&buf);
         return Some(CexTrace {
             steps: trace,
             failure,
             deadlock,
         });
     }
-    let mut store = state.store;
-    match ck.run_seq(l.epilogue_tid(), &l.epilogue, &mut store) {
+    match ck.run_seq(l.epilogue_tid(), &l.epilogue, &mut buf, &mut j) {
         Ok(_) => None,
         Err((steps, failure)) => {
             trace.extend(steps);
@@ -344,21 +360,14 @@ pub fn random_run(l: &Lowered, candidate: &Assignment, seed: u64) -> Option<CexT
     }
 }
 
-#[derive(Clone)]
-pub(crate) struct WorkerState {
-    pub(crate) pc: usize,
-    pub(crate) locals: Vec<i64>,
-}
-
-#[derive(Clone)]
-pub(crate) struct ExecState {
-    pub(crate) store: Store,
-    pub(crate) workers: Vec<WorkerState>,
-}
-
 pub(crate) struct Checker<'a> {
     pub(crate) l: &'a Lowered,
     holes: &'a Assignment,
+    /// Segment table of the flat state.
+    pub(crate) lay: StateLayout,
+    /// Words before the first worker record (globals + heap + allocs):
+    /// hashed as one contiguous slice.
+    shared_len: usize,
     /// `match_end[w][pc]` = index of the AtomicEnd matching an
     /// AtomicBegin at `pc`.
     match_end: Vec<Vec<usize>>,
@@ -370,51 +379,77 @@ pub(crate) type FireResult = Result<Vec<(ThreadId, usize)>, (Vec<(ThreadId, usiz
 
 impl<'a> Checker<'a> {
     pub(crate) fn new(l: &'a Lowered, holes: &'a Assignment) -> Checker<'a> {
+        let lay = StateLayout::new(l);
+        let shared_len = lay.worker_off.first().copied().unwrap_or(lay.state_len());
         let match_end = l.workers.iter().map(compute_match_end).collect();
         let live = l.workers.iter().map(compute_liveness).collect();
         Checker {
             l,
             holes,
+            lay,
+            shared_len,
             match_end,
             live,
         }
     }
 
-    pub(crate) fn initial_workers(&self, store: Store) -> ExecState {
-        ExecState {
-            store,
-            workers: self
-                .l
-                .workers
-                .iter()
-                .map(|w| WorkerState {
-                    pc: 0,
-                    locals: vec![0; w.locals.len()],
-                })
-                .collect(),
-        }
+    /// The initial flat state (workers at pc 0, locals zeroed).
+    pub(crate) fn initial_buf(&self) -> StateBuf {
+        StateBuf::initial(&self.lay, self.l)
+    }
+
+    pub(crate) fn nworkers(&self) -> usize {
+        self.l.workers.len()
+    }
+
+    #[inline]
+    fn pc(&self, buf: &StateBuf, w: usize) -> usize {
+        buf.get(self.lay.worker_pc(w)) as usize
+    }
+
+    #[inline]
+    fn set_pc(&self, buf: &mut StateBuf, w: usize, pc: usize, j: &mut UndoJournal) {
+        buf.set(self.lay.worker_pc(w), pc as i64, j);
     }
 
     fn trace_tid(&self, worker: usize) -> ThreadId {
         worker + 1
     }
 
-    /// Runs a sequential phase (prologue/epilogue) to completion.
+    /// Runs a sequential phase (prologue/epilogue) to completion. The
+    /// phase's locals live in scratch space pushed onto `buf` for the
+    /// duration of the call; shared-state writes are journaled, so the
+    /// caller can undo the phase (the terminal-state epilogue) or keep
+    /// it (the prologue).
     #[allow(clippy::type_complexity)]
     pub(crate) fn run_seq(
         &self,
         tid: ThreadId,
         thread: &Thread,
-        store: &mut Store,
-    ) -> Result<(Store, Vec<(ThreadId, usize)>), (Vec<(ThreadId, usize)>, Failure)> {
-        let mut locals = vec![0i64; thread.locals.len()];
+        buf: &mut StateBuf,
+        j: &mut UndoJournal,
+    ) -> Result<Vec<(ThreadId, usize)>, (Vec<(ThreadId, usize)>, Failure)> {
+        let lb = buf.push_scratch(thread.locals.len());
+        let r = self.run_seq_at(tid, thread, buf, j, lb);
+        buf.pop_scratch(lb);
+        r
+    }
+
+    fn run_seq_at(
+        &self,
+        tid: ThreadId,
+        thread: &Thread,
+        buf: &mut StateBuf,
+        j: &mut UndoJournal,
+        lb: usize,
+    ) -> FireResult {
         let mut steps = Vec::new();
         for (ix, step) in thread.steps.iter().enumerate() {
             // On failure the failing step itself is appended to the
             // trace: the projection must replay the witness statement
             // at its observed position so that `fail(Sk_t[c])` fires
             // for the candidate that produced the trace.
-            let g = match eval_rv(&step.guard, store, &locals, self.holes, self.l) {
+            let g = match eval_rv(&step.guard, buf, &self.lay, lb, self.holes, self.l) {
                 Ok(v) => v != 0,
                 Err(kind) => {
                     steps.push((tid, ix));
@@ -433,7 +468,7 @@ impl<'a> Checker<'a> {
                 continue;
             }
             if let Op::AtomicBegin(Some(cond)) = &step.op {
-                let c = match eval_rv(cond, store, &locals, self.holes, self.l) {
+                let c = match eval_rv(cond, buf, &self.lay, lb, self.holes, self.l) {
                     Ok(v) => v != 0,
                     Err(kind) => {
                         steps.push((tid, ix));
@@ -461,7 +496,7 @@ impl<'a> Checker<'a> {
                     ));
                 }
             }
-            if let Err(kind) = exec_op(&step.op, store, &mut locals, self.holes, self.l) {
+            if let Err(kind) = exec_op(&step.op, buf, &self.lay, lb, j, self.holes, self.l) {
                 steps.push((tid, ix));
                 return Err((
                     steps,
@@ -475,54 +510,42 @@ impl<'a> Checker<'a> {
             }
             steps.push((tid, ix));
         }
-        Ok((store.clone(), steps))
+        Ok(steps)
     }
 
     /// Advances worker `w` past disabled and invisible steps.
-    fn advance(&self, state: &mut ExecState, w: usize) -> FireResult {
+    fn advance(&self, buf: &mut StateBuf, j: &mut UndoJournal, w: usize) -> FireResult {
         let thread = &self.l.workers[w];
         let tid = self.trace_tid(w);
+        let lb = self.lay.worker_locals(w);
         let mut executed = Vec::new();
         loop {
-            let pc = state.workers[w].pc;
+            let pc = self.pc(buf, w);
             let Some(step) = thread.steps.get(pc) else {
                 return Ok(executed);
             };
-            let g = eval_rv(
-                &step.guard,
-                &state.store,
-                &state.workers[w].locals,
-                self.holes,
-                self.l,
-            )
-            .map_err(|kind| {
-                let mut with_witness = executed.clone();
-                with_witness.push((tid, pc));
-                (
-                    with_witness,
-                    Failure {
-                        kind,
-                        tid,
-                        step: pc,
-                        span: step.span,
-                    },
-                )
-            })?;
+            let g =
+                eval_rv(&step.guard, buf, &self.lay, lb, self.holes, self.l).map_err(|kind| {
+                    let mut with_witness = executed.clone();
+                    with_witness.push((tid, pc));
+                    (
+                        with_witness,
+                        Failure {
+                            kind,
+                            tid,
+                            step: pc,
+                            span: step.span,
+                        },
+                    )
+                })?;
             if g == 0 {
-                state.workers[w].pc += 1;
+                self.set_pc(buf, w, pc + 1, j);
                 continue;
             }
             if step.shared || !self.l.config.reduce_local_steps {
                 return Ok(executed);
             }
-            exec_op(
-                &step.op,
-                &mut state.store,
-                &mut state.workers[w].locals,
-                self.holes,
-                self.l,
-            )
-            .map_err(|kind| {
+            exec_op(&step.op, buf, &self.lay, lb, j, self.holes, self.l).map_err(|kind| {
                 let mut with_witness = executed.clone();
                 with_witness.push((tid, pc));
                 (
@@ -536,40 +559,41 @@ impl<'a> Checker<'a> {
                 )
             })?;
             executed.push((tid, pc));
-            state.workers[w].pc += 1;
+            self.set_pc(buf, w, pc + 1, j);
         }
     }
 
-    pub(crate) fn advance_all(&self, state: &mut ExecState) -> FireResult {
+    pub(crate) fn advance_all(&self, buf: &mut StateBuf, j: &mut UndoJournal) -> FireResult {
         let mut all = Vec::new();
-        for w in 0..state.workers.len() {
-            all.extend(self.advance(state, w)?);
+        for w in 0..self.nworkers() {
+            all.extend(self.advance(buf, j, w)?);
         }
         Ok(all)
     }
 
-    fn finished(&self, state: &ExecState, w: usize) -> bool {
-        state.workers[w].pc >= self.l.workers[w].steps.len()
+    fn finished(&self, buf: &StateBuf, w: usize) -> bool {
+        self.pc(buf, w) >= self.l.workers[w].steps.len()
     }
 
-    pub(crate) fn all_finished(&self, state: &ExecState) -> bool {
-        (0..state.workers.len()).all(|w| self.finished(state, w))
+    pub(crate) fn all_finished(&self, buf: &StateBuf) -> bool {
+        (0..self.nworkers()).all(|w| self.finished(buf, w))
     }
 
     /// Is worker `w` able to take a transition? Its pc rests on a
     /// visible, guard-true step (advance invariant); a conditional
     /// atomic additionally needs its condition to hold *now*.
-    pub(crate) fn enabled(&self, state: &ExecState, w: usize) -> bool {
-        if self.finished(state, w) {
+    pub(crate) fn enabled(&self, buf: &StateBuf, w: usize) -> bool {
+        if self.finished(buf, w) {
             return false;
         }
-        let step = &self.l.workers[w].steps[state.workers[w].pc];
+        let step = &self.l.workers[w].steps[self.pc(buf, w)];
         match &step.op {
             Op::AtomicBegin(Some(cond)) => matches!(
                 eval_rv(
                     cond,
-                    &state.store,
-                    &state.workers[w].locals,
+                    buf,
+                    &self.lay,
+                    self.lay.worker_locals(w),
                     self.holes,
                     self.l
                 ),
@@ -581,11 +605,14 @@ impl<'a> Checker<'a> {
 
     /// Fires one transition of worker `w`: the visible step at its pc
     /// (a whole atomic section if it is an AtomicBegin), then advances.
-    pub(crate) fn fire(&self, state: &mut ExecState, w: usize) -> FireResult {
+    /// All writes — including pc bumps — go through the journal, so the
+    /// caller can revert the whole transition with one `undo_to`.
+    pub(crate) fn fire(&self, buf: &mut StateBuf, j: &mut UndoJournal, w: usize) -> FireResult {
         let thread = &self.l.workers[w];
         let tid = self.trace_tid(w);
+        let lb = self.lay.worker_locals(w);
         let mut executed = Vec::new();
-        let pc = state.workers[w].pc;
+        let pc = self.pc(buf, w);
         let step = &thread.steps[pc];
         let fail = |mut executed: Vec<(ThreadId, usize)>, kind, ix: usize| {
             executed.push((tid, ix));
@@ -605,44 +632,26 @@ impl<'a> Checker<'a> {
                 let end = self.match_end[w][pc];
                 for ix in pc + 1..end {
                     let s = &thread.steps[ix];
-                    let g = eval_rv(
-                        &s.guard,
-                        &state.store,
-                        &state.workers[w].locals,
-                        self.holes,
-                        self.l,
-                    )
-                    .map_err(|k| fail(executed.clone(), k, ix))?;
+                    let g = eval_rv(&s.guard, buf, &self.lay, lb, self.holes, self.l)
+                        .map_err(|k| fail(executed.clone(), k, ix))?;
                     if g == 0 {
                         continue;
                     }
-                    exec_op(
-                        &s.op,
-                        &mut state.store,
-                        &mut state.workers[w].locals,
-                        self.holes,
-                        self.l,
-                    )
-                    .map_err(|k| fail(executed.clone(), k, ix))?;
+                    exec_op(&s.op, buf, &self.lay, lb, j, self.holes, self.l)
+                        .map_err(|k| fail(executed.clone(), k, ix))?;
                     executed.push((tid, ix));
                 }
                 executed.push((tid, end));
-                state.workers[w].pc = end + 1;
+                self.set_pc(buf, w, end + 1, j);
             }
             _ => {
-                exec_op(
-                    &step.op,
-                    &mut state.store,
-                    &mut state.workers[w].locals,
-                    self.holes,
-                    self.l,
-                )
-                .map_err(|k| fail(executed.clone(), k, pc))?;
+                exec_op(&step.op, buf, &self.lay, lb, j, self.holes, self.l)
+                    .map_err(|k| fail(executed.clone(), k, pc))?;
                 executed.push((tid, pc));
-                state.workers[w].pc = pc + 1;
+                self.set_pc(buf, w, pc + 1, j);
             }
         }
-        executed.extend(self.advance(state, w).map_err(|(mut sofar, f)| {
+        executed.extend(self.advance(buf, j, w).map_err(|(mut sofar, f)| {
             let mut all = executed.clone();
             all.append(&mut sofar);
             (all, f)
@@ -650,15 +659,18 @@ impl<'a> Checker<'a> {
         Ok(executed)
     }
 
-    pub(crate) fn blocked_positions(&self, state: &ExecState) -> Vec<(ThreadId, usize)> {
-        (0..state.workers.len())
-            .filter(|&w| !self.finished(state, w))
-            .map(|w| (self.trace_tid(w), state.workers[w].pc))
+    pub(crate) fn blocked_positions(&self, buf: &StateBuf) -> Vec<(ThreadId, usize)> {
+        (0..self.nworkers())
+            .filter(|&w| !self.finished(buf, w))
+            .map(|w| (self.trace_tid(w), self.pc(buf, w)))
             .collect()
     }
 
-    pub(crate) fn deadlock_failure(&self, state: &ExecState) -> Failure {
-        let (tid, step) = self.blocked_positions(state)[0];
+    pub(crate) fn deadlock_failure(&self, buf: &StateBuf) -> Failure {
+        let (tid, step) = *self
+            .blocked_positions(buf)
+            .first()
+            .expect("deadlock_failure requires at least one blocked worker");
         let span = self.l.workers[tid - 1].steps[step].span;
         Failure {
             kind: FailureKind::Deadlock,
@@ -668,26 +680,68 @@ impl<'a> Checker<'a> {
         }
     }
 
-    /// Canonical state encoding with dead locals masked out.
-    pub(crate) fn canonical(&self, state: &ExecState) -> Vec<i64> {
-        let mut v = Vec::with_capacity(
-            state.workers.len()
-                + state.store.globals.len()
-                + state.store.allocs.len()
-                + state.workers.iter().map(|w| w.locals.len()).sum::<usize>(),
-        );
-        for w in &state.workers {
-            v.push(w.pc as i64);
+    /// XOR accumulator of the shared segment (globals + heap +
+    /// allocs): each cell contributes `cell_hash(offset, value)`.
+    pub(crate) fn shared_acc(&self, buf: &StateBuf) -> u64 {
+        let mut acc = 0u64;
+        for (off, &v) in buf.slice(0, self.shared_len).iter().enumerate() {
+            acc ^= cell_hash(off as u64, v);
         }
-        v.extend_from_slice(&state.store.globals);
-        for h in &state.store.heap {
-            v.extend_from_slice(h);
+        acc
+    }
+
+    /// Worker `w`'s fingerprint contribution: its pc (keyed past the
+    /// end of the state so it collides with no real cell) XORed with
+    /// its locals, dead slots hashed as 0 — exactly the values
+    /// [`Checker::materialize_canonical`] writes for this worker.
+    pub(crate) fn worker_contrib(&self, buf: &StateBuf, w: usize) -> u64 {
+        let pc = self.pc(buf, w);
+        let mut acc = cell_hash((self.lay.state_len() + w) as u64, pc as i64);
+        let live = &self.live[w];
+        let mask = live.get(pc).or_else(|| live.last());
+        let lb = self.lay.worker_locals(w);
+        let locals = buf.slice(lb, self.l.workers[w].locals.len());
+        for (i, &val) in locals.iter().enumerate() {
+            let alive = mask
+                .map(|m| m[i / 64] & (1u64 << (i % 64)) != 0)
+                .unwrap_or(false);
+            acc ^= cell_hash((lb + i) as u64, if alive { val } else { 0 });
         }
-        v.extend(state.store.allocs.iter().map(|&a| a as i64));
-        for (wix, w) in state.workers.iter().enumerate() {
-            let live = &self.live[wix];
-            let mask = live.get(w.pc).or_else(|| live.last());
-            for (i, &val) in w.locals.iter().enumerate() {
+        acc
+    }
+
+    /// Zobrist-style fingerprint of the live state: the XOR of
+    /// position-keyed cell hashes over the shared segment plus every
+    /// worker's contribution, avalanched by [`combine_fp`]. Dead locals
+    /// are masked to 0 during hashing; no canonical vector is ever
+    /// materialized. Being a XOR of per-cell terms, the sequential DFS
+    /// maintains it *incrementally* from the undo journal — O(writes)
+    /// per transition instead of O(state).
+    ///
+    /// Must stay in sync with [`Checker::materialize_canonical`]: two
+    /// states with equal canonical vectors must fingerprint equally
+    /// (the `exact-visited` collision check compares those vectors).
+    pub(crate) fn fingerprint_state(&self, buf: &StateBuf) -> u64 {
+        let mut acc = self.shared_acc(buf);
+        for w in 0..self.nworkers() {
+            acc ^= self.worker_contrib(buf, w);
+        }
+        combine_fp(acc, self.lay.state_len() as u64)
+    }
+
+    /// The canonical vector behind [`Checker::fingerprint_state`] —
+    /// only built under `exact-visited` (via the visited sets' state
+    /// closures) and in tests.
+    pub(crate) fn materialize_canonical(&self, buf: &StateBuf) -> Vec<i64> {
+        let mut v = Vec::with_capacity(self.lay.state_len());
+        v.extend_from_slice(buf.slice(0, self.shared_len));
+        for (w, thread) in self.l.workers.iter().enumerate() {
+            let pc = self.pc(buf, w);
+            v.push(pc as i64);
+            let live = &self.live[w];
+            let mask = live.get(pc).or_else(|| live.last());
+            let locals = buf.slice(self.lay.worker_locals(w), thread.locals.len());
+            for (i, &val) in locals.iter().enumerate() {
                 let alive = mask
                     .map(|m| m[i / 64] & (1u64 << (i % 64)) != 0)
                     .unwrap_or(false);
@@ -697,13 +751,15 @@ impl<'a> Checker<'a> {
         v
     }
 
-    fn run(&mut self, limits: &SearchLimits) -> CheckOutcome {
+    fn run(&self, limits: &SearchLimits) -> CheckOutcome {
         let mut stats = CheckStats::default();
-        let mut store = Store::initial(self.l);
-        let prologue_steps = match self.run_seq(0, &self.l.prologue, &mut store) {
-            Ok((_, steps)) => steps,
+        let mut buf = self.initial_buf();
+        let mut j = UndoJournal::new();
+        let prologue_steps = match self.run_seq(0, &self.l.prologue, &mut buf, &mut j) {
+            Ok(steps) => steps,
             Err((steps, failure)) => {
-                let stats = early_failure_stats(&steps);
+                let mut stats = early_failure_stats(&steps);
+                stats.journal_writes = j.total_writes();
                 return CheckOutcome {
                     verdict: Verdict::Fail(CexTrace {
                         steps,
@@ -715,18 +771,22 @@ impl<'a> Checker<'a> {
                 };
             }
         };
-        let mut init = self.initial_workers(store);
-        match self.advance_all(&mut init) {
+        match self.advance_all(&mut buf, &mut j) {
             Ok(steps) => {
                 // Initial invisible steps become part of every trace.
-                let mut pre = prologue_steps.clone();
+                let mut pre = prologue_steps;
                 pre.extend(steps);
-                self.dfs(init, pre, limits, &mut stats)
+                // The root state is permanent: nothing undoes past it.
+                j.reset();
+                let mut out = self.dfs(buf, &mut j, pre, limits, &mut stats);
+                out.stats.journal_writes = j.total_writes();
+                out
             }
             Err((steps, failure)) => {
                 let mut all = prologue_steps;
                 all.extend(steps);
-                let stats = early_failure_stats(&all);
+                let mut stats = early_failure_stats(&all);
+                stats.journal_writes = j.total_writes();
                 CheckOutcome {
                     verdict: Verdict::Fail(CexTrace {
                         steps: all,
@@ -740,17 +800,36 @@ impl<'a> Checker<'a> {
         }
     }
 
+    /// Fire/undo DFS. Invariant: `buf` always holds exactly the state
+    /// of the top stack frame; a frame's `mark` is the journal position
+    /// *before* the transition that created it, so `undo_to(mark)`
+    /// reverts `buf` to the parent frame's state. One live state, zero
+    /// clones.
     fn dfs(
-        &mut self,
-        init: ExecState,
+        &self,
+        mut buf: StateBuf,
+        j: &mut UndoJournal,
         prefix: Vec<(ThreadId, usize)>,
         limits: &SearchLimits,
         stats: &mut CheckStats,
     ) -> CheckOutcome {
         struct Frame {
-            state: ExecState,
+            mark: usize,
             executed: Vec<(ThreadId, usize)>,
             next_choice: usize,
+            /// Bit `w` = worker `w` was enabled when the frame was
+            /// entered. Valid for the whole frame: choices are only
+            /// tried with `buf` holding the frame's state, so
+            /// enabledness cannot drift. Workers past 64 (never seen
+            /// in practice) fall back to re-evaluating.
+            enabled: u64,
+            /// Fingerprint accumulator of the *parent* state, restored
+            /// on pop (the incremental fingerprinting state).
+            prev_acc: u64,
+            /// The worker whose contribution the creating transition
+            /// replaced, and that contribution's previous value.
+            fired: usize,
+            prev_contrib: u64,
         }
         let unknown = |why: Interrupt, stats: &mut CheckStats| {
             // Clamp: an over-limit search consumed exactly its budget.
@@ -765,11 +844,25 @@ impl<'a> Checker<'a> {
         };
         let mut visited = FpSet::new();
         let mut stack = vec![Frame {
-            state: init,
+            mark: j.mark(),
             executed: Vec::new(),
             next_choice: 0,
+            enabled: 0,
+            prev_acc: 0,
+            fired: 0,
+            prev_contrib: 0,
         }];
-        visited.insert(&self.canonical(&stack[0].state));
+        // Incremental fingerprinting state: `acc` is the XOR of cell
+        // hashes of the current `buf` (see `fingerprint_state`), and
+        // `worker_acc[w]` caches worker `w`'s contribution so one
+        // transition only re-hashes the fired worker plus the shared
+        // cells its journal entries name.
+        let mut worker_acc: Vec<u64> = (0..self.nworkers())
+            .map(|w| self.worker_contrib(&buf, w))
+            .collect();
+        let mut acc = self.shared_acc(&buf) ^ worker_acc.iter().fold(0, |a, &c| a ^ c);
+        let fp_len = self.lay.state_len() as u64;
+        visited.insert_fp_with(combine_fp(acc, fp_len), || self.materialize_canonical(&buf));
         stats.states = visited.len();
         if visited.len() > limits.max_states {
             return unknown(Interrupt::StateLimit, stats);
@@ -785,25 +878,39 @@ impl<'a> Checker<'a> {
                 t
             };
 
+        let nworkers = self.nworkers();
         let mut tick = 0usize;
         while let Some(top_ix) = stack.len().checked_sub(1) {
             tick += 1;
             if let Some(why) = limits.tripped(tick) {
                 return unknown(why, stats);
             }
-            let nworkers = stack[top_ix].state.workers.len();
-            // First time at this frame with choice 0: handle terminal
-            // states.
+            // First time at this frame with choice 0: compute the
+            // enabled set once (it is re-used by the choice loop) and
+            // handle terminal states.
             if stack[top_ix].next_choice == 0 {
-                let state = &stack[top_ix].state;
-                let any_enabled = (0..nworkers).any(|w| self.enabled(state, w));
+                let mut mask = 0u64;
+                for w in 0..nworkers.min(64) {
+                    if self.enabled(&buf, w) {
+                        mask |= 1 << w;
+                    }
+                }
+                stack[top_ix].enabled = mask;
+                let any_enabled =
+                    mask != 0 || (nworkers > 64 && (64..nworkers).any(|w| self.enabled(&buf, w)));
                 if !any_enabled {
-                    if self.all_finished(state) {
+                    if self.all_finished(&buf) {
                         stats.terminal_states += 1;
-                        let mut store = state.store.clone();
-                        match self.run_seq(self.l.epilogue_tid(), &self.l.epilogue, &mut store) {
+                        let emark = j.mark();
+                        match self.run_seq(self.l.epilogue_tid(), &self.l.epilogue, &mut buf, j) {
                             Ok(_) => {
-                                stack.pop();
+                                j.undo_to(emark, &mut buf);
+                                let f = stack.pop().expect("top frame exists");
+                                j.undo_to(f.mark, &mut buf);
+                                acc = f.prev_acc;
+                                if let Some(c) = worker_acc.get_mut(f.fired) {
+                                    *c = f.prev_contrib;
+                                }
                                 continue;
                             }
                             Err((esteps, failure)) => {
@@ -820,8 +927,8 @@ impl<'a> Checker<'a> {
                             }
                         }
                     } else {
-                        let failure = self.deadlock_failure(state);
-                        let deadlock = self.blocked_positions(state);
+                        let failure = self.deadlock_failure(&buf);
+                        let deadlock = self.blocked_positions(&buf);
                         let steps = build_trace(&stack, vec![]);
                         return CheckOutcome {
                             verdict: Verdict::Fail(CexTrace {
@@ -835,19 +942,52 @@ impl<'a> Checker<'a> {
                     }
                 }
             }
-            // Try the next enabled worker.
+            // Try the next enabled worker: fire in place, keep the
+            // child if fresh, otherwise undo straight back.
             let mut fired = false;
             while stack[top_ix].next_choice < nworkers {
                 let w = stack[top_ix].next_choice;
                 stack[top_ix].next_choice += 1;
-                if !self.enabled(&stack[top_ix].state, w) {
+                let en = if w < 64 {
+                    stack[top_ix].enabled & (1 << w) != 0
+                } else {
+                    self.enabled(&buf, w)
+                };
+                if !en {
                     continue;
                 }
-                let mut next = stack[top_ix].state.clone();
+                let mark = j.mark();
                 stats.transitions += 1;
-                match self.fire(&mut next, w) {
+                match self.fire(&mut buf, j, w) {
                     Ok(executed) => {
-                        if visited.insert(&self.canonical(&next)) {
+                        // Incremental fingerprint: fire(w) only writes
+                        // shared cells (named by its journal entries)
+                        // and worker w's own pc/locals, so update those
+                        // terms and keep every other worker's cached
+                        // contribution. Repeat writes to one cell
+                        // telescope — only the first journal entry per
+                        // offset (its pre-transition value) pairs with
+                        // the cell's current value.
+                        let entries = j.entries_since(mark);
+                        let mut delta = 0u64;
+                        'entries: for (i, &(off, old)) in entries.iter().enumerate() {
+                            let o = off as usize;
+                            if o >= self.shared_len {
+                                continue; // worker-region write: re-hashed below
+                            }
+                            for &(p, _) in &entries[..i] {
+                                if p == off {
+                                    continue 'entries;
+                                }
+                            }
+                            delta ^= cell_hash(off as u64, old) ^ cell_hash(off as u64, buf.get(o));
+                        }
+                        let new_contrib = self.worker_contrib(&buf, w);
+                        let child_acc = acc ^ delta ^ worker_acc[w] ^ new_contrib;
+                        let fresh = visited.insert_fp_with(combine_fp(child_acc, fp_len), || {
+                            self.materialize_canonical(&buf)
+                        });
+                        if fresh {
                             stats.states = visited.len();
                             // Claim-based bound, checked at insert
                             // time: claiming slot max_states + 1 stops
@@ -856,13 +996,20 @@ impl<'a> Checker<'a> {
                                 return unknown(Interrupt::StateLimit, stats);
                             }
                             stack.push(Frame {
-                                state: next,
+                                mark,
                                 executed,
                                 next_choice: 0,
+                                enabled: 0,
+                                prev_acc: acc,
+                                fired: w,
+                                prev_contrib: worker_acc[w],
                             });
+                            acc = child_acc;
+                            worker_acc[w] = new_contrib;
                             fired = true;
                             break;
                         }
+                        j.undo_to(mark, &mut buf);
                     }
                     Err((executed, failure)) => {
                         let steps = build_trace(&stack, executed);
@@ -879,7 +1026,12 @@ impl<'a> Checker<'a> {
                 }
             }
             if !fired {
-                stack.pop();
+                let f = stack.pop().expect("top frame exists");
+                j.undo_to(f.mark, &mut buf);
+                acc = f.prev_acc;
+                if let Some(c) = worker_acc.get_mut(f.fired) {
+                    *c = f.prev_contrib;
+                }
             }
         }
         stats.states = visited.len();
@@ -893,7 +1045,7 @@ impl<'a> Checker<'a> {
 
 /// Statically pairs AtomicBegin with its AtomicEnd (atomics do not
 /// nest).
-fn compute_match_end(thread: &Thread) -> Vec<usize> {
+pub(crate) fn compute_match_end(thread: &Thread) -> Vec<usize> {
     let mut out = vec![usize::MAX; thread.steps.len()];
     for (ix, s) in thread.steps.iter().enumerate() {
         if matches!(s.op, Op::AtomicBegin(_)) {
@@ -909,7 +1061,7 @@ fn compute_match_end(thread: &Thread) -> Vec<usize> {
 }
 
 /// `live[pc]` = bitmask of locals read by any step at index >= pc.
-fn compute_liveness(thread: &Thread) -> Vec<Vec<u64>> {
+pub(crate) fn compute_liveness(thread: &Thread) -> Vec<Vec<u64>> {
     let words = thread.locals.len().div_ceil(64);
     let mut live = vec![vec![0u64; words]; thread.steps.len() + 1];
     for ix in (0..thread.steps.len()).rev() {
@@ -1081,6 +1233,22 @@ mod tests {
     }
 
     #[test]
+    fn deadlock_with_every_worker_blocked() {
+        // All workers blocked from their first visible step: the
+        // deadlock failure must report the first blocked worker (tid 1)
+        // and list every worker in the deadlock set — exercising the
+        // `deadlock_failure` expect on a maximally-blocked state.
+        let out = run("int a;
+             harness void main() {
+                 fork (i; 2) { atomic (a == 1) { } }
+             }");
+        let cex = out.counterexample().expect("all-blocked deadlock");
+        assert_eq!(cex.failure.kind, FailureKind::Deadlock);
+        assert_eq!(cex.failure.tid, 1, "first blocked worker is reported");
+        assert_eq!(cex.deadlock.len(), 2, "every worker is in the set");
+    }
+
+    #[test]
     fn lock_prelude_works() {
         // Locks via conditional atomics (paper Figure 7).
         assert!(run("struct Lock { int owner = -1; }
@@ -1182,6 +1350,71 @@ mod tests {
         assert!(out.is_ok());
         assert!(out.stats.states > 1);
         assert!(out.stats.transitions >= out.stats.states - 1);
+    }
+
+    #[test]
+    fn undo_engine_journals_instead_of_cloning() {
+        let l = lowered(
+            "int g;
+             harness void main() {
+                 fork (i; 2) { g = g + 1; }
+                 assert g == 2;
+             }",
+        );
+        let a = l.holes.identity_assignment();
+        let out = check(&l, &a);
+        assert!(out.is_ok());
+        assert!(
+            out.stats.journal_writes > 0,
+            "every transition journals its writes"
+        );
+        assert_eq!(out.stats.state_clones, 0, "the undo engine never clones");
+    }
+
+    #[test]
+    fn matches_reference_engine() {
+        // In-crate differential sanity check (the suite-wide version
+        // lives in tests/engine_differential.rs): same verdict, state
+        // count, transition count and trace as the clone engine.
+        for src in [
+            "int g;
+             harness void main() {
+                 fork (i; 2) { int t = g; g = t + 1; }
+                 assert g == 2;
+             }",
+            "int g;
+             harness void main() {
+                 fork (i; 2) { atomic { int t = g; g = t + 1; } }
+                 assert g == 2;
+             }",
+            "int a; int b;
+             harness void main() {
+                 fork (i; 2) {
+                     if (i == 0) { atomic (a == 1) { } b = 1; }
+                     else { atomic (b == 1) { } a = 1; }
+                 }
+             }",
+        ] {
+            let l = lowered(src);
+            let a = l.holes.identity_assignment();
+            let new = check(&l, &a);
+            let old = crate::reference::check_ref(&l, &a);
+            assert_eq!(new.is_ok(), old.is_ok(), "verdict differs on {src}");
+            assert_eq!(new.stats.states, old.stats.states, "states differ");
+            assert_eq!(
+                new.stats.transitions, old.stats.transitions,
+                "transitions differ"
+            );
+            match (new.counterexample(), old.counterexample()) {
+                (Some(n), Some(o)) => {
+                    assert_eq!(n.steps, o.steps, "traces differ on {src}");
+                    assert_eq!(n.failure.kind, o.failure.kind);
+                    assert_eq!(n.deadlock, o.deadlock);
+                }
+                (None, None) => {}
+                _ => unreachable!("verdicts already compared"),
+            }
+        }
     }
 
     #[test]

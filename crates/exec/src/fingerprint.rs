@@ -1,13 +1,31 @@
 //! 64-bit state fingerprints and the visited sets built on them.
 //!
-//! The checker's canonical state is a `Vec<i64>`; storing every vector
-//! verbatim makes the visited set the dominant memory and hashing cost
-//! of the search. Instead we reduce each state to a 64-bit fingerprint
-//! (a splitmix64-style mix over the words) and store only that. With
+//! The checker reduces every canonical state to a 64-bit fingerprint
+//! (a splitmix64-style mix over the words) and stores only that. With
 //! a 64-bit fingerprint the collision probability over `n` states is
 //! about `n^2 / 2^65` — negligible at the state counts this checker
 //! reaches — and the `exact-visited` feature keeps the full states
 //! around to assert that no collision actually happened.
+//!
+//! Two hashing paths exist:
+//!
+//! * [`fingerprint`] hashes a materialized `&[i64]` canonical vector
+//!   (used by the reference clone engine and by tests);
+//! * [`cell_hash`] / [`combine_fp`] implement the undo engine's
+//!   Zobrist-style scheme: each `(position, value)` cell hashes
+//!   independently and the state fingerprint is a final avalanche over
+//!   the XOR of all cell hashes. XOR composition makes the fingerprint
+//!   *incrementally maintainable* — after a fired transition only the
+//!   journaled shared cells and the fired worker's pc/locals are
+//!   re-hashed, O(writes) instead of O(state) — and dead-local masking
+//!   happens during hashing, so no per-state `Vec` is ever allocated.
+//!   The visited sets accept pre-computed fingerprints via
+//!   [`FpSet::insert_fp_with`] / [`ShardedFpSet::insert_claim_fp_with`];
+//!   the state closure is only invoked under `exact-visited`, which is
+//!   the one mode that still materializes full states.
+//!
+//! [`FpHasher`] (a sequential streaming hasher) remains as a utility
+//! for one-pass hashing of data that is already in canonical order.
 
 use std::collections::HashSet;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -21,12 +39,92 @@ use std::collections::HashMap;
 pub fn fingerprint(state: &[i64]) -> u64 {
     let mut h: u64 = 0x243f_6a88_85a3_08d3 ^ (state.len() as u64);
     for &x in state {
-        let mut z = h ^ (x as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        h = z ^ (z >> 31);
+        h = mix(h, x);
     }
     h
+}
+
+/// One splitmix64-style round folding `x` into `h`.
+#[inline]
+fn mix(h: u64, x: i64) -> u64 {
+    let mut z = h ^ (x as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Position-keyed cell hash for XOR-composable (Zobrist-style) state
+/// fingerprints: `cell_hash(pos, val)` is a full splitmix64 avalanche
+/// of the `(pos, val)` pair, so the XOR of cell hashes over a state is
+/// order-independent, well-mixed, and — crucially — *incrementally
+/// maintainable*: overwriting cell `pos` from `old` to `new` updates
+/// the accumulator with `^= cell_hash(pos, old) ^ cell_hash(pos, new)`
+/// in O(1), which is how the undo engine refreshes fingerprints from
+/// its journal instead of re-hashing the whole buffer per transition.
+#[inline]
+pub fn cell_hash(pos: u64, val: i64) -> u64 {
+    let mut z = (pos ^ 0x243f_6a88_85a3_08d3)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((val as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Final avalanche over a XOR accumulator of [`cell_hash`] values,
+/// salted with the state length so trivially related accumulators of
+/// different layouts never collide trivially.
+#[inline]
+pub fn combine_fp(acc: u64, len: u64) -> u64 {
+    mix(acc, len as i64)
+}
+
+/// Streaming state fingerprinter: hashes words as they are fed in, so
+/// a flat state buffer can be fingerprinted segment by segment without
+/// materializing a canonical vector. The word count is folded in at
+/// [`FpHasher::finish`], so prefixes of different lengths never
+/// collide trivially (`[0]` vs `[0, 0]`).
+#[derive(Clone, Copy, Debug)]
+pub struct FpHasher {
+    h: u64,
+    n: u64,
+}
+
+impl Default for FpHasher {
+    fn default() -> FpHasher {
+        FpHasher::new()
+    }
+}
+
+impl FpHasher {
+    /// A fresh hasher.
+    pub fn new() -> FpHasher {
+        FpHasher {
+            h: 0x243f_6a88_85a3_08d3,
+            n: 0,
+        }
+    }
+
+    /// Feeds one word.
+    #[inline]
+    pub fn write(&mut self, x: i64) {
+        self.h = mix(self.h, x);
+        self.n += 1;
+    }
+
+    /// Feeds a contiguous segment.
+    #[inline]
+    pub fn write_slice(&mut self, xs: &[i64]) {
+        for &x in xs {
+            self.h = mix(self.h, x);
+        }
+        self.n += xs.len() as u64;
+    }
+
+    /// The fingerprint of everything written so far.
+    pub fn finish(&self) -> u64 {
+        mix(self.h, self.n as i64)
+    }
 }
 
 /// Pass-through hasher for keys that are already fingerprints.
@@ -50,13 +148,13 @@ impl Hasher for IdentityHasher {
 type FpHashSet = HashSet<u64, BuildHasherDefault<IdentityHasher>>;
 
 #[cfg(feature = "exact-visited")]
-fn check_collision(exact: &mut HashMap<u64, Vec<i64>>, fp: u64, state: &[i64], fresh: bool) {
+fn check_collision(exact: &mut HashMap<u64, Vec<i64>>, fp: u64, state: Vec<i64>, fresh: bool) {
     if fresh {
-        exact.insert(fp, state.to_vec());
+        exact.insert(fp, state);
     } else if let Some(prev) = exact.get(&fp) {
         assert_eq!(
             prev.as_slice(),
-            state,
+            state.as_slice(),
             "fingerprint collision on {fp:#018x}"
         );
     }
@@ -78,10 +176,20 @@ impl FpSet {
 
     /// Inserts `state`; true when it was not present.
     pub fn insert(&mut self, state: &[i64]) -> bool {
-        let fp = fingerprint(state);
+        self.insert_fp_with(fingerprint(state), || state.to_vec())
+    }
+
+    /// Inserts a pre-computed fingerprint; true when it was not
+    /// present. `state` materializes the canonical vector behind the
+    /// fingerprint and is only invoked under `exact-visited` (the mode
+    /// that cross-checks fingerprints against full states); every
+    /// other build never allocates here.
+    pub fn insert_fp_with<F: FnOnce() -> Vec<i64>>(&mut self, fp: u64, state: F) -> bool {
         let fresh = self.set.insert(fp);
         #[cfg(feature = "exact-visited")]
-        check_collision(&mut self.exact, fp, state, fresh);
+        check_collision(&mut self.exact, fp, state(), fresh);
+        #[cfg(not(feature = "exact-visited"))]
+        let _ = state;
         fresh
     }
 
@@ -132,12 +240,24 @@ impl ShardedFpSet {
     /// that claims slot `max + 1` trips the limit, deterministically,
     /// regardless of thread count.
     pub fn insert_claim(&self, state: &[i64]) -> Option<usize> {
-        let fp = fingerprint(state);
+        self.insert_claim_fp_with(fingerprint(state), || state.to_vec())
+    }
+
+    /// As [`ShardedFpSet::insert_claim`], for a pre-computed
+    /// fingerprint. The `state` closure materializes the canonical
+    /// vector and is only invoked under `exact-visited`.
+    pub fn insert_claim_fp_with<F: FnOnce() -> Vec<i64>>(
+        &self,
+        fp: u64,
+        state: F,
+    ) -> Option<usize> {
         // Shard on the high bits; the table buckets use the low bits.
         let ix = (fp >> 48) as usize & (self.shards.len() - 1);
         let fresh = self.shards[ix].lock().unwrap().insert(fp);
         #[cfg(feature = "exact-visited")]
-        check_collision(&mut self.exact[ix].lock().unwrap(), fp, state, fresh);
+        check_collision(&mut self.exact[ix].lock().unwrap(), fp, state(), fresh);
+        #[cfg(not(feature = "exact-visited"))]
+        let _ = state;
         if fresh {
             Some(self.count.fetch_add(1, Ordering::Relaxed) + 1)
         } else {
@@ -176,12 +296,54 @@ mod tests {
     }
 
     #[test]
+    fn streaming_hasher_is_segment_invariant() {
+        // Feeding word-by-word, slice-at-once, or split across
+        // segments must produce the same fingerprint: the checker
+        // hashes its buffer segment by segment.
+        let words = [3i64, -7, 0, 42, i64::MIN, i64::MAX];
+        let mut a = FpHasher::new();
+        for &w in &words {
+            a.write(w);
+        }
+        let mut b = FpHasher::new();
+        b.write_slice(&words);
+        let mut c = FpHasher::new();
+        c.write_slice(&words[..2]);
+        c.write_slice(&words[2..]);
+        assert_eq!(a.finish(), b.finish());
+        assert_eq!(b.finish(), c.finish());
+    }
+
+    #[test]
+    fn streaming_hasher_differs_on_order_and_length() {
+        let fp = |xs: &[i64]| {
+            let mut h = FpHasher::new();
+            h.write_slice(xs);
+            h.finish()
+        };
+        assert_ne!(fp(&[1, 2]), fp(&[2, 1]));
+        assert_ne!(fp(&[0]), fp(&[0, 0]));
+        assert_ne!(fp(&[]), fp(&[0]));
+        assert_eq!(fp(&[7, -3]), fp(&[7, -3]));
+    }
+
+    #[test]
     fn fpset_deduplicates() {
         let mut s = FpSet::new();
         assert!(s.insert(&[1, 2, 3]));
         assert!(!s.insert(&[1, 2, 3]));
         assert!(s.insert(&[3, 2, 1]));
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn fpset_accepts_precomputed_fingerprints() {
+        let mut s = FpSet::new();
+        let fp = fingerprint(&[9, 9]);
+        assert!(s.insert_fp_with(fp, || vec![9, 9]));
+        assert!(!s.insert(&[9, 9]));
+        assert!(!s.insert_fp_with(fp, || vec![9, 9]));
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

@@ -38,6 +38,7 @@
 mod checker;
 pub mod fingerprint;
 mod parallel;
+pub mod reference;
 mod store;
 pub mod trace_fmt;
 
@@ -46,5 +47,5 @@ pub use checker::{
     Interrupt, SearchLimits, Verdict,
 };
 pub use parallel::{check_parallel, check_parallel_limits};
-pub use store::{CexTrace, Failure, FailureKind, Store};
+pub use store::{CexTrace, Failure, FailureKind, StateBuf, StateLayout, UndoJournal};
 pub use trace_fmt::{format_lowered, format_trace};

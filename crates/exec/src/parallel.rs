@@ -2,12 +2,21 @@
 //!
 //! Splits the interleaving exploration of [`crate::check`] across
 //! worker threads. The search space is a DAG of canonical states; each
-//! worker repeatedly takes a frontier node (an [`ExecState`] plus the
-//! schedule prefix that reached it), fires every enabled transition,
+//! worker repeatedly takes a frontier node, fires every enabled
+//! transition through the undo engine (fire, fingerprint, revert),
 //! claims the newly discovered successors through a sharded
 //! fingerprint set, keeps one successor to continue depth-first and
 //! publishes the rest to a shared work queue for other threads to
 //! steal.
+//!
+//! A frontier node is a **compact schedule prefix** — the worker-index
+//! sequence that reaches it from the initial state — not a state
+//! snapshot. A stealing worker clones the initial [`StateBuf`] (one
+//! flat memcpy, the only clone in the engine) and replays the prefix
+//! through the deterministic `fire`; everything else runs on its one
+//! live buffer with journal marks and undo, exactly like the
+//! sequential checker. This trades a bounded replay on steal for
+//! zero per-transition clones on the hot expansion path.
 //!
 //! The exploration order differs from the sequential checker, but the
 //! verdict cannot: both explore exactly the reachable canonical states,
@@ -30,23 +39,20 @@
 //! and [`ShardedFpSet::len`] documents the raw overshoot bound.
 
 use crate::checker::{
-    early_failure_stats, CheckOutcome, CheckStats, Checker, ExecState, Interrupt, SearchLimits,
-    Verdict,
+    early_failure_stats, CheckOutcome, CheckStats, Checker, Interrupt, SearchLimits, Verdict,
 };
 use crate::fingerprint::ShardedFpSet;
-use crate::store::{CexTrace, Failure, Store};
+use crate::store::{CexTrace, Failure, StateBuf, UndoJournal};
 use psketch_ir::{Assignment, Lowered, ThreadId};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
-/// A frontier node: a state plus the schedule that reached it.
-struct Job {
-    state: ExecState,
-    trace: Vec<(ThreadId, usize)>,
-}
+/// A frontier node: the worker-index schedule that reaches it from the
+/// initial state.
+type Sched = Vec<u32>;
 
 struct QueueState {
-    jobs: Vec<Job>,
+    jobs: Vec<Sched>,
     /// Workers currently blocked waiting for a job.
     idle: usize,
     /// Set when the search is over (drained, failed, or over limit).
@@ -57,6 +63,10 @@ struct QueueState {
 struct Shared<'a> {
     ck: Checker<'a>,
     limits: &'a SearchLimits,
+    /// The post-prologue root state every steal re-clones.
+    init: StateBuf,
+    /// Trace prefix of the root (prologue + initial invisible steps).
+    prefix: Vec<(ThreadId, usize)>,
     queue: Mutex<QueueState>,
     available: Condvar,
     visited: ShardedFpSet,
@@ -146,12 +156,14 @@ pub fn check_parallel_limits(
     // Prologue and initial local-step absorption run once, up front,
     // exactly as in the sequential checker. Failures here report the
     // executed work (see `early_failure_stats`), not zeroed counters.
-    let mut store = Store::initial(l);
+    let mut buf = ck.initial_buf();
+    let mut j = UndoJournal::new();
     let mut prefix: Vec<(ThreadId, usize)> = Vec::new();
-    match ck.run_seq(0, &l.prologue, &mut store) {
-        Ok((_, steps)) => prefix.extend(steps),
+    match ck.run_seq(0, &l.prologue, &mut buf, &mut j) {
+        Ok(steps) => prefix.extend(steps),
         Err((steps, failure)) => {
-            let stats = early_failure_stats(&steps);
+            let mut stats = early_failure_stats(&steps);
+            stats.journal_writes = j.total_writes();
             return CheckOutcome {
                 verdict: Verdict::Fail(CexTrace {
                     steps,
@@ -163,12 +175,12 @@ pub fn check_parallel_limits(
             };
         }
     }
-    let mut init = ck.initial_workers(store);
-    match ck.advance_all(&mut init) {
+    match ck.advance_all(&mut buf, &mut j) {
         Ok(steps) => prefix.extend(steps),
         Err((steps, failure)) => {
             prefix.extend(steps);
-            let stats = early_failure_stats(&prefix);
+            let mut stats = early_failure_stats(&prefix);
+            stats.journal_writes = j.total_writes();
             return CheckOutcome {
                 verdict: Verdict::Fail(CexTrace {
                     steps: prefix,
@@ -180,17 +192,21 @@ pub fn check_parallel_limits(
             };
         }
     }
+    let root_journal_writes = j.total_writes();
 
     let visited = ShardedFpSet::new(threads * 16);
-    let initial_claim = visited.insert_claim(&ck.canonical(&init)).unwrap_or(0);
+    let initial_claim = visited
+        .insert_claim_fp_with(ck.fingerprint_state(&buf), || {
+            ck.materialize_canonical(&buf)
+        })
+        .unwrap_or(0);
     let shared = Shared {
         ck,
         limits,
+        init: buf,
+        prefix,
         queue: Mutex::new(QueueState {
-            jobs: vec![Job {
-                state: init,
-                trace: prefix,
-            }],
+            jobs: vec![Sched::new()],
             idle: 0,
             done: false,
         }),
@@ -207,7 +223,7 @@ pub fn check_parallel_limits(
         shared.interrupt(Interrupt::StateLimit);
     }
 
-    let per_thread_states: Vec<usize> = std::thread::scope(|scope| {
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| scope.spawn(|| worker(&shared)))
             .collect();
@@ -219,11 +235,14 @@ pub fn check_parallel_limits(
         states: shared.visited.len(),
         transitions: shared.transitions.load(Ordering::Relaxed),
         terminal_states: shared.terminal_states.load(Ordering::Relaxed),
+        journal_writes: root_journal_writes + tallies.iter().map(|t| t.journal_writes).sum::<u64>(),
+        state_clones: tallies.iter().map(|t| t.clones).sum(),
     };
     if interrupt == Some(Interrupt::StateLimit) {
         // Clamp the post-halt insert overshoot (see module docs).
         stats.states = stats.states.min(limits.max_states);
     }
+    let per_thread_states = tallies.iter().map(|t| t.discovered).collect();
     let failure = shared.failure.into_inner().unwrap();
     let verdict = match failure {
         Some(cex) => Verdict::Fail(cex),
@@ -239,89 +258,150 @@ pub fn check_parallel_limits(
     }
 }
 
+/// Per-thread effort counters returned by [`worker`].
+#[derive(Default)]
+struct Tally {
+    /// States this thread discovered first.
+    discovered: usize,
+    /// Writes journaled by this thread (replays included).
+    journal_writes: u64,
+    /// Initial-state clones paid on steals.
+    clones: usize,
+}
+
+/// What [`expand`] did with the current node.
+enum Step {
+    /// Descended into a fresh child; keep expanding in place.
+    Descend,
+    /// Terminal / nothing new: go steal another job.
+    Exhausted,
+    /// The search is over (failure or limit): stop this worker.
+    Halt,
+}
+
 /// One search thread: drains the frontier until the space is exhausted
-/// or another thread halts the search. Returns the number of states
-/// this thread discovered first.
-fn worker(shared: &Shared<'_>) -> usize {
-    let mut discovered = 0usize;
+/// or another thread halts the search.
+fn worker(shared: &Shared<'_>) -> Tally {
+    let mut tally = Tally::default();
+    let mut j = UndoJournal::new();
+    worker_loop(shared, &mut j, &mut tally);
+    tally.journal_writes = j.total_writes();
+    tally
+}
+
+fn worker_loop(shared: &Shared<'_>, j: &mut UndoJournal, tally: &mut Tally) {
+    let ck = &shared.ck;
     let mut tick = 0usize;
     'steal: loop {
-        let job = {
+        let mut sched = {
             let mut q = shared.queue.lock().unwrap();
             loop {
                 if q.done {
-                    return discovered;
+                    return;
                 }
-                if let Some(j) = q.jobs.pop() {
-                    break j;
+                if let Some(s) = q.jobs.pop() {
+                    break s;
                 }
                 q.idle += 1;
                 // Queue empty and everyone idle: the space is drained.
                 if q.idle == shared.thread_count {
                     q.done = true;
                     shared.available.notify_all();
-                    return discovered;
+                    return;
                 }
                 q = shared.available.wait(q).unwrap();
                 q.idle -= 1;
             }
         };
+        // Clone-on-steal: the engine's only state copy. Rebuild the
+        // stolen node by replaying its schedule prefix from the root.
+        let mut buf = shared.init.clone();
+        tally.clones += 1;
+        j.reset();
+        let mut trace = shared.prefix.clone();
+        for &w in &sched {
+            match ck.fire(&mut buf, j, w as usize) {
+                Ok(executed) => trace.extend(executed),
+                Err((executed, failure)) => {
+                    // Unreachable: the publisher fired this exact
+                    // prefix without failure and fire is deterministic.
+                    // Report rather than panic in a worker thread.
+                    trace.extend(executed);
+                    shared.fail(trace, failure, vec![]);
+                    return;
+                }
+            }
+        }
         // Work-first descent: expand the node; keep one fresh child
-        // locally, publish the others.
-        let mut current = job;
+        // locally, publish the others as schedule prefixes.
         loop {
             if shared.stopped() {
-                return discovered;
+                return;
             }
             tick += 1;
             if let Some(why) = shared.limits.tripped(tick) {
                 shared.interrupt(why);
-                return discovered;
+                return;
             }
-            match expand(shared, current, &mut discovered) {
-                Some(next) => current = next,
-                None => continue 'steal,
+            match expand(shared, &mut buf, j, &mut sched, &mut trace, tally) {
+                Step::Descend => {}
+                Step::Exhausted => continue 'steal,
+                Step::Halt => return,
             }
         }
     }
 }
 
-/// Expands one frontier node. Returns the child to continue with
-/// depth-first, or `None` when the node is terminal / yields nothing
-/// new / fails.
-fn expand(shared: &Shared<'_>, current: Job, discovered: &mut usize) -> Option<Job> {
+/// Expands the worker's live node: fires every enabled transition,
+/// reverts each through the journal after fingerprinting, then
+/// descends into the first fresh child by re-firing it (the double
+/// fire is the price of never cloning).
+fn expand(
+    shared: &Shared<'_>,
+    buf: &mut StateBuf,
+    j: &mut UndoJournal,
+    sched: &mut Sched,
+    trace: &mut Vec<(ThreadId, usize)>,
+    tally: &mut Tally,
+) -> Step {
     let ck = &shared.ck;
-    let state = &current.state;
-    let nworkers = state.workers.len();
-    let any_enabled = (0..nworkers).any(|w| ck.enabled(state, w));
+    let nworkers = ck.nworkers();
+    let any_enabled = (0..nworkers).any(|w| ck.enabled(buf, w));
     if !any_enabled {
-        if ck.all_finished(state) {
+        if ck.all_finished(buf) {
             shared.terminal_states.fetch_add(1, Ordering::Relaxed);
-            let mut store = state.store.clone();
-            if let Err((esteps, failure)) =
-                ck.run_seq(ck.l.epilogue_tid(), &ck.l.epilogue, &mut store)
+            // The epilogue mutates buf, but the node is abandoned
+            // afterwards (the worker re-clones on its next steal), so
+            // no undo is needed.
+            if let Err((esteps, failure)) = ck.run_seq(ck.l.epilogue_tid(), &ck.l.epilogue, buf, j)
             {
-                let mut steps = current.trace;
+                let mut steps = std::mem::take(trace);
                 steps.extend(esteps);
                 shared.fail(steps, failure, vec![]);
             }
         } else {
-            let failure = ck.deadlock_failure(state);
-            let deadlock = ck.blocked_positions(state);
-            shared.fail(current.trace, failure, deadlock);
+            let failure = ck.deadlock_failure(buf);
+            let deadlock = ck.blocked_positions(buf);
+            shared.fail(std::mem::take(trace), failure, deadlock);
         }
-        return None;
+        return Step::Exhausted;
     }
-    let mut keep: Option<Job> = None;
+    let mut keep: Option<u32> = None;
     for w in 0..nworkers {
-        if !ck.enabled(state, w) {
+        if !ck.enabled(buf, w) {
             continue;
         }
-        let mut next = state.clone();
+        let mark = j.mark();
         shared.transitions.fetch_add(1, Ordering::Relaxed);
-        match ck.fire(&mut next, w) {
-            Ok(executed) => {
-                let Some(claim) = shared.visited.insert_claim(&ck.canonical(&next)) else {
+        match ck.fire(buf, j, w) {
+            Ok(_) => {
+                let claim = shared
+                    .visited
+                    .insert_claim_fp_with(ck.fingerprint_state(buf), || {
+                        ck.materialize_canonical(buf)
+                    });
+                j.undo_to(mark, buf);
+                let Some(claim) = claim else {
                     continue;
                 };
                 // Claim-based state bound, checked at insert time: the
@@ -329,15 +409,14 @@ fn expand(shared: &Shared<'_>, current: Job, discovered: &mut usize) -> Option<J
                 // limit, so the boundary cannot flip with thread count.
                 if claim > shared.limits.max_states {
                     shared.interrupt(Interrupt::StateLimit);
-                    return None;
+                    return Step::Halt;
                 }
-                *discovered += 1;
-                let mut trace = current.trace.clone();
-                trace.extend(executed);
-                let child = Job { state: next, trace };
+                tally.discovered += 1;
                 match keep {
-                    None => keep = Some(child),
+                    None => keep = Some(w as u32),
                     Some(_) => {
+                        let mut child = sched.clone();
+                        child.push(w as u32);
                         let mut q = shared.queue.lock().unwrap();
                         q.jobs.push(child);
                         shared.available.notify_one();
@@ -345,12 +424,30 @@ fn expand(shared: &Shared<'_>, current: Job, discovered: &mut usize) -> Option<J
                 }
             }
             Err((executed, failure)) => {
-                let mut steps = current.trace;
+                let mut steps = std::mem::take(trace);
                 steps.extend(executed);
                 shared.fail(steps, failure, vec![]);
-                return None;
+                return Step::Halt;
             }
         }
     }
-    keep
+    let Some(w) = keep else {
+        return Step::Exhausted;
+    };
+    // Descend: re-fire the kept child in place. Deterministic, and the
+    // discovery fire above succeeded, so this cannot fail; handle the
+    // error arm defensively all the same.
+    match ck.fire(buf, j, w as usize) {
+        Ok(executed) => {
+            trace.extend(executed);
+            sched.push(w);
+            Step::Descend
+        }
+        Err((executed, failure)) => {
+            let mut steps = std::mem::take(trace);
+            steps.extend(executed);
+            shared.fail(steps, failure, vec![]);
+            Step::Halt
+        }
+    }
 }

@@ -1,4 +1,21 @@
-//! Concrete stores and expression/step evaluation.
+//! Flat state buffers, the undo journal, and expression/step
+//! evaluation.
+//!
+//! The execution state of a candidate lives in a single contiguous
+//! [`StateBuf`] (`Vec<i64>`) described by a [`StateLayout`] segment
+//! table: globals first, then every struct pool's heap cells, then the
+//! per-pool allocation counters, then one record per worker thread
+//! (`pc` followed by its locals). Sequential phases (prologue /
+//! epilogue) borrow *scratch* space past the live state for their
+//! locals; scratch is popped when the phase ends and is never part of
+//! a canonical state.
+//!
+//! Every mutation goes through [`StateBuf::set`], which records the
+//! old value in an [`UndoJournal`]. Reverting a fired transition is
+//! then O(writes) — pop journal entries back to a mark — instead of
+//! the O(state) clone the previous engine paid per transition. Scratch
+//! writes are not journaled: scratch is discarded wholesale, so there
+//! is nothing to restore.
 
 use psketch_ir::{Assignment, Lowered, Lv, Op, Rv, ThreadId};
 use psketch_lang::ast::{BinOp, UnOp};
@@ -77,74 +94,260 @@ impl fmt::Display for CexTrace {
     }
 }
 
-/// The shared part of an execution state.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct Store {
-    /// Global slot values.
-    pub globals: Vec<i64>,
-    /// Heap cells: `heap[sid][obj * nfields + fid]`.
-    pub heap: Vec<Vec<i64>>,
-    /// Allocation counts per struct pool.
-    pub allocs: Vec<usize>,
+/// Segment table of the flat execution state: where each logical
+/// region (globals, per-pool heap cells, allocation counters,
+/// per-worker records) lives inside the single `Vec<i64>` of a
+/// [`StateBuf`].
+#[derive(Clone, Debug)]
+pub struct StateLayout {
+    /// Start of each struct pool's heap segment
+    /// (`heap_off[sid] .. heap_off[sid] + fields × capacity`).
+    pub(crate) heap_off: Vec<usize>,
+    /// Start of the allocation-counter segment (one slot per pool).
+    pub(crate) allocs_off: usize,
+    /// Start of each worker's record: `pc` at `worker_off[w]`, its
+    /// locals directly after.
+    pub(crate) worker_off: Vec<usize>,
+    /// Total live length — everything past this is scratch.
+    pub(crate) state_len: usize,
 }
 
-impl Store {
-    /// The initial store of a lowered program.
-    pub fn initial(l: &Lowered) -> Store {
-        Store {
-            globals: l.globals.iter().map(|g| g.init).collect(),
-            heap: l
-                .structs
-                .iter()
-                .map(|s| vec![0; s.fields.len() * s.capacity])
-                .collect(),
-            allocs: vec![0; l.structs.len()],
+impl StateLayout {
+    /// Computes the segment table of a lowered program. Globals occupy
+    /// `[0, l.globals.len())`.
+    pub fn new(l: &Lowered) -> StateLayout {
+        let mut off = l.globals.len();
+        let heap_off: Vec<usize> = l
+            .structs
+            .iter()
+            .map(|s| {
+                let o = off;
+                off += s.fields.len() * s.capacity;
+                o
+            })
+            .collect();
+        let allocs_off = off;
+        off += l.structs.len();
+        let worker_off: Vec<usize> = l
+            .workers
+            .iter()
+            .map(|w| {
+                let o = off;
+                off += 1 + w.locals.len();
+                o
+            })
+            .collect();
+        StateLayout {
+            heap_off,
+            allocs_off,
+            worker_off,
+            state_len: off,
         }
+    }
+
+    /// Flat offset of heap cell `cell` of pool `sid`.
+    #[inline]
+    pub(crate) fn heap_cell(&self, sid: usize, cell: usize) -> usize {
+        self.heap_off[sid] + cell
+    }
+
+    /// Flat offset of pool `sid`'s allocation counter.
+    #[inline]
+    pub(crate) fn alloc_slot(&self, sid: usize) -> usize {
+        self.allocs_off + sid
+    }
+
+    /// Flat offset of worker `w`'s program counter.
+    #[inline]
+    pub(crate) fn worker_pc(&self, w: usize) -> usize {
+        self.worker_off[w]
+    }
+
+    /// Flat offset of worker `w`'s first local.
+    #[inline]
+    pub(crate) fn worker_locals(&self, w: usize) -> usize {
+        self.worker_off[w] + 1
+    }
+
+    /// Words in the live (canonical) state.
+    pub fn state_len(&self) -> usize {
+        self.state_len
+    }
+}
+
+/// The flat execution state: one contiguous word vector addressed
+/// through a [`StateLayout`]. Cloning is a single memcpy — the engine
+/// only does it where a state must genuinely outlive the search path
+/// (work stealing in the parallel checker).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StateBuf {
+    data: Vec<i64>,
+    /// Words `[0, live_len)` are canonical state; the rest is scratch
+    /// for a sequential phase's locals. Writes past `live_len` are not
+    /// journaled.
+    live_len: usize,
+}
+
+impl StateBuf {
+    /// The initial state of a lowered program: globals at their
+    /// declared init values, heap zeroed, nothing allocated, every
+    /// worker at pc 0 with zeroed locals.
+    pub fn initial(lay: &StateLayout, l: &Lowered) -> StateBuf {
+        let mut data = vec![0i64; lay.state_len];
+        for (g, slot) in l.globals.iter().enumerate() {
+            data[g] = slot.init;
+        }
+        StateBuf {
+            data,
+            live_len: lay.state_len,
+        }
+    }
+
+    /// Reads the word at `off`.
+    #[inline]
+    pub(crate) fn get(&self, off: usize) -> i64 {
+        self.data[off]
+    }
+
+    /// Writes `v` at `off`, journaling the old value when `off` is in
+    /// the live state (scratch writes need no undo).
+    #[inline]
+    pub(crate) fn set(&mut self, off: usize, v: i64, j: &mut UndoJournal) {
+        if off < self.live_len {
+            j.record(off, self.data[off]);
+        }
+        self.data[off] = v;
+    }
+
+    /// A contiguous live segment, for streaming fingerprints.
+    #[inline]
+    pub(crate) fn slice(&self, start: usize, len: usize) -> &[i64] {
+        &self.data[start..start + len]
+    }
+
+    /// Appends `n` zeroed scratch words (a sequential phase's locals);
+    /// returns their base offset. Pop with [`StateBuf::pop_scratch`].
+    pub(crate) fn push_scratch(&mut self, n: usize) -> usize {
+        let base = self.data.len();
+        self.data.resize(base + n, 0);
+        base
+    }
+
+    /// Discards scratch down to `base` (as returned by
+    /// [`StateBuf::push_scratch`]).
+    pub(crate) fn pop_scratch(&mut self, base: usize) {
+        debug_assert!(base >= self.live_len);
+        self.data.truncate(base);
+    }
+}
+
+/// The undo log: `(offset, old value)` pairs recorded by
+/// [`StateBuf::set`]. Reverting to a [`UndoJournal::mark`] replays the
+/// log backwards, restoring the exact prior state in O(writes since
+/// the mark).
+#[derive(Default)]
+pub struct UndoJournal {
+    entries: Vec<(u32, i64)>,
+    /// Total writes ever journaled (telemetry; never reset by undo).
+    total: u64,
+}
+
+impl UndoJournal {
+    /// An empty journal.
+    pub fn new() -> UndoJournal {
+        UndoJournal::default()
+    }
+
+    /// The current log position, to revert to later.
+    #[inline]
+    pub(crate) fn mark(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Appends one old value.
+    #[inline]
+    fn record(&mut self, off: usize, old: i64) {
+        self.entries.push((off as u32, old));
+        self.total += 1;
+    }
+
+    /// Reverts `buf` to its state at `mark`: pops entries in reverse
+    /// write order, restoring each cell's old value. Live-state offsets
+    /// only — scratch is never journaled — so this is safe after any
+    /// scratch pop.
+    pub(crate) fn undo_to(&mut self, mark: usize, buf: &mut StateBuf) {
+        while self.entries.len() > mark {
+            let (off, old) = self.entries.pop().expect("len checked");
+            buf.data[off as usize] = old;
+        }
+    }
+
+    /// The entries recorded since `mark`, in write order: each is the
+    /// written offset and the value it held *before* that write. The
+    /// incremental fingerprinter walks these to update only the cells a
+    /// transition touched.
+    #[inline]
+    pub(crate) fn entries_since(&self, mark: usize) -> &[(u32, i64)] {
+        &self.entries[mark..]
+    }
+
+    /// Drops all entries without reverting (forward-only runs that
+    /// will never undo).
+    pub(crate) fn reset(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Total writes journaled over the journal's lifetime (undo does
+    /// not subtract): the checker's write-volume telemetry.
+    pub fn total_writes(&self) -> u64 {
+        self.total
     }
 }
 
 /// Evaluation error (failure kind only; position added by the caller).
 pub(crate) type EvalResult = Result<i64, FailureKind>;
 
-/// Evaluates a pure r-value.
+/// Evaluates a pure r-value. `lb` is the flat offset of the active
+/// thread's locals (a worker record's locals, or scratch).
 ///
 /// `&&`/`||` and `Ite` are lazy, so memory failures in undemanded
 /// subexpressions do not fire — matching the symbolic evaluator's
 /// demand-conditioned failures.
 pub(crate) fn eval_rv(
     rv: &Rv,
-    store: &Store,
-    locals: &[i64],
+    buf: &StateBuf,
+    lay: &StateLayout,
+    lb: usize,
     holes: &Assignment,
     l: &Lowered,
 ) -> EvalResult {
     let wrap = |v: i64| l.config.wrap(v);
     Ok(match rv {
         Rv::Const(c) => *c,
-        Rv::Global(g) => store.globals[*g],
-        Rv::Local(x) => locals[*x],
+        Rv::Global(g) => buf.get(*g),
+        Rv::Local(x) => buf.get(lb + *x),
         Rv::Hole(h) => holes.value(*h) as i64,
         Rv::GlobalDyn { base, len, ix } => {
-            let i = eval_rv(ix, store, locals, holes, l)?;
+            let i = eval_rv(ix, buf, lay, lb, holes, l)?;
             if i < 0 || i as usize >= *len {
                 return Err(FailureKind::OutOfBounds);
             }
-            store.globals[base + i as usize]
+            buf.get(base + i as usize)
         }
         Rv::LocalDyn { base, len, ix } => {
-            let i = eval_rv(ix, store, locals, holes, l)?;
+            let i = eval_rv(ix, buf, lay, lb, holes, l)?;
             if i < 0 || i as usize >= *len {
                 return Err(FailureKind::OutOfBounds);
             }
-            locals[base + i as usize]
+            buf.get(lb + base + i as usize)
         }
         Rv::Field { sid, fid, obj } => {
-            let o = eval_rv(obj, store, locals, holes, l)?;
+            let o = eval_rv(obj, buf, lay, lb, holes, l)?;
             let cell = field_cell(*sid, *fid, o, l)?;
-            store.heap[*sid][cell]
+            buf.get(lay.heap_cell(*sid, cell))
         }
         Rv::Unary(op, a) => {
-            let v = eval_rv(a, store, locals, holes, l)?;
+            let v = eval_rv(a, buf, lay, lb, holes, l)?;
             match op {
                 UnOp::Not => i64::from(v == 0),
                 UnOp::Neg => wrap(-v),
@@ -152,22 +355,22 @@ pub(crate) fn eval_rv(
             }
         }
         Rv::Binary(BinOp::And, a, b) => {
-            if eval_rv(a, store, locals, holes, l)? == 0 {
+            if eval_rv(a, buf, lay, lb, holes, l)? == 0 {
                 0
             } else {
-                i64::from(eval_rv(b, store, locals, holes, l)? != 0)
+                i64::from(eval_rv(b, buf, lay, lb, holes, l)? != 0)
             }
         }
         Rv::Binary(BinOp::Or, a, b) => {
-            if eval_rv(a, store, locals, holes, l)? != 0 {
+            if eval_rv(a, buf, lay, lb, holes, l)? != 0 {
                 1
             } else {
-                i64::from(eval_rv(b, store, locals, holes, l)? != 0)
+                i64::from(eval_rv(b, buf, lay, lb, holes, l)? != 0)
             }
         }
         Rv::Binary(op, a, b) => {
-            let x = eval_rv(a, store, locals, holes, l)?;
-            let y = eval_rv(b, store, locals, holes, l)?;
+            let x = eval_rv(a, buf, lay, lb, holes, l)?;
+            let y = eval_rv(b, buf, lay, lb, holes, l)?;
             match op {
                 BinOp::Add => wrap(x + y),
                 BinOp::Sub => wrap(x - y),
@@ -190,16 +393,17 @@ pub(crate) fn eval_rv(
             }
         }
         Rv::Ite(c, a, b) => {
-            if eval_rv(c, store, locals, holes, l)? != 0 {
-                eval_rv(a, store, locals, holes, l)?
+            if eval_rv(c, buf, lay, lb, holes, l)? != 0 {
+                eval_rv(a, buf, lay, lb, holes, l)?
             } else {
-                eval_rv(b, store, locals, holes, l)?
+                eval_rv(b, buf, lay, lb, holes, l)?
             }
         }
     })
 }
 
-/// Heap cell index for `obj.field`; fails on null.
+/// Heap cell index for `obj.field` (relative to the pool's segment);
+/// fails on null.
 fn field_cell(sid: usize, fid: usize, obj: i64, l: &Lowered) -> Result<usize, FailureKind> {
     if obj == 0 {
         return Err(FailureKind::NullDeref);
@@ -212,130 +416,110 @@ fn field_cell(sid: usize, fid: usize, obj: i64, l: &Lowered) -> Result<usize, Fa
     Ok(ix * layout.fields.len() + fid)
 }
 
-/// A write destination resolved to a concrete cell.
-pub(crate) enum Cell {
-    Global(usize),
-    Local(usize),
-    Heap { sid: usize, cell: usize },
-}
-
+/// Resolves a write destination to its flat buffer offset.
 pub(crate) fn resolve_lv(
     lv: &Lv,
-    store: &Store,
-    locals: &[i64],
+    buf: &StateBuf,
+    lay: &StateLayout,
+    lb: usize,
     holes: &Assignment,
     l: &Lowered,
-) -> Result<Cell, FailureKind> {
+) -> Result<usize, FailureKind> {
     Ok(match lv {
-        Lv::Global(g) => Cell::Global(*g),
-        Lv::Local(x) => Cell::Local(*x),
+        Lv::Global(g) => *g,
+        Lv::Local(x) => lb + *x,
         Lv::GlobalDyn { base, len, ix } => {
-            let i = eval_rv(ix, store, locals, holes, l)?;
+            let i = eval_rv(ix, buf, lay, lb, holes, l)?;
             if i < 0 || i as usize >= *len {
                 return Err(FailureKind::OutOfBounds);
             }
-            Cell::Global(base + i as usize)
+            base + i as usize
         }
         Lv::LocalDyn { base, len, ix } => {
-            let i = eval_rv(ix, store, locals, holes, l)?;
+            let i = eval_rv(ix, buf, lay, lb, holes, l)?;
             if i < 0 || i as usize >= *len {
                 return Err(FailureKind::OutOfBounds);
             }
-            Cell::Local(base + i as usize)
+            lb + base + i as usize
         }
         Lv::Field { sid, fid, obj } => {
-            let o = eval_rv(obj, store, locals, holes, l)?;
-            Cell::Heap {
-                sid: *sid,
-                cell: field_cell(*sid, *fid, o, l)?,
-            }
+            let o = eval_rv(obj, buf, lay, lb, holes, l)?;
+            lay.heap_cell(*sid, field_cell(*sid, *fid, o, l)?)
         }
     })
 }
 
-pub(crate) fn write_cell(cell: Cell, v: i64, store: &mut Store, locals: &mut [i64]) {
-    match cell {
-        Cell::Global(g) => store.globals[g] = v,
-        Cell::Local(x) => locals[x] = v,
-        Cell::Heap { sid, cell } => store.heap[sid][cell] = v,
-    }
-}
-
-pub(crate) fn read_cell(cell: &Cell, store: &Store, locals: &[i64]) -> i64 {
-    match cell {
-        Cell::Global(g) => store.globals[*g],
-        Cell::Local(x) => locals[*x],
-        Cell::Heap { sid, cell } => store.heap[*sid][*cell],
-    }
-}
-
-/// Executes one step's operation (guard already known true).
-/// `AtomicBegin`/`AtomicEnd` are no-ops here; the checker interprets
-/// them for scheduling.
+/// Executes one step's operation (guard already known true), recording
+/// every write in the journal. `AtomicBegin`/`AtomicEnd` are no-ops
+/// here; the checker interprets them for scheduling.
 pub(crate) fn exec_op(
     op: &Op,
-    store: &mut Store,
-    locals: &mut [i64],
+    buf: &mut StateBuf,
+    lay: &StateLayout,
+    lb: usize,
+    j: &mut UndoJournal,
     holes: &Assignment,
     l: &Lowered,
 ) -> Result<(), FailureKind> {
     match op {
         Op::Assign(lv, rv) => {
-            let v = eval_rv(rv, store, locals, holes, l)?;
-            let cell = resolve_lv(lv, store, locals, holes, l)?;
-            write_cell(cell, v, store, locals);
+            let v = eval_rv(rv, buf, lay, lb, holes, l)?;
+            let off = resolve_lv(lv, buf, lay, lb, holes, l)?;
+            buf.set(off, v, j);
         }
         Op::Swap { dst, loc, val } => {
-            let v = eval_rv(val, store, locals, holes, l)?;
-            let loc_cell = resolve_lv(loc, store, locals, holes, l)?;
-            let old = read_cell(&loc_cell, store, locals);
-            write_cell(loc_cell, v, store, locals);
-            let dst_cell = resolve_lv(dst, store, locals, holes, l)?;
-            write_cell(dst_cell, old, store, locals);
+            let v = eval_rv(val, buf, lay, lb, holes, l)?;
+            let loc_off = resolve_lv(loc, buf, lay, lb, holes, l)?;
+            let old = buf.get(loc_off);
+            buf.set(loc_off, v, j);
+            let dst_off = resolve_lv(dst, buf, lay, lb, holes, l)?;
+            buf.set(dst_off, old, j);
         }
         Op::Cas { dst, loc, old, new } => {
-            let ov = eval_rv(old, store, locals, holes, l)?;
-            let nv = eval_rv(new, store, locals, holes, l)?;
-            let loc_cell = resolve_lv(loc, store, locals, holes, l)?;
-            let cur = read_cell(&loc_cell, store, locals);
+            let ov = eval_rv(old, buf, lay, lb, holes, l)?;
+            let nv = eval_rv(new, buf, lay, lb, holes, l)?;
+            let loc_off = resolve_lv(loc, buf, lay, lb, holes, l)?;
+            let cur = buf.get(loc_off);
             let ok = cur == ov;
             if ok {
-                write_cell(loc_cell, nv, store, locals);
+                buf.set(loc_off, nv, j);
             }
-            let dst_cell = resolve_lv(dst, store, locals, holes, l)?;
-            write_cell(dst_cell, i64::from(ok), store, locals);
+            let dst_off = resolve_lv(dst, buf, lay, lb, holes, l)?;
+            buf.set(dst_off, i64::from(ok), j);
         }
         Op::FetchAdd { dst, loc, delta } => {
-            let loc_cell = resolve_lv(loc, store, locals, holes, l)?;
-            let old = read_cell(&loc_cell, store, locals);
-            write_cell(loc_cell, l.config.wrap(old + delta), store, locals);
-            let dst_cell = resolve_lv(dst, store, locals, holes, l)?;
-            write_cell(dst_cell, old, store, locals);
+            let loc_off = resolve_lv(loc, buf, lay, lb, holes, l)?;
+            let old = buf.get(loc_off);
+            buf.set(loc_off, l.config.wrap(old + delta), j);
+            let dst_off = resolve_lv(dst, buf, lay, lb, holes, l)?;
+            buf.set(dst_off, old, j);
         }
         Op::Alloc { dst, sid, inits } => {
             let layout = &l.structs[*sid];
-            if store.allocs[*sid] >= layout.capacity {
+            let slot = lay.alloc_slot(*sid);
+            let obj = buf.get(slot);
+            if obj as usize >= layout.capacity {
                 return Err(FailureKind::PoolExhausted);
             }
-            let obj = store.allocs[*sid];
-            store.allocs[*sid] += 1;
+            buf.set(slot, obj + 1, j);
             let nf = layout.fields.len();
+            let base = lay.heap_cell(*sid, obj as usize * nf);
             for (fid, (_, _, default)) in layout.fields.iter().enumerate() {
-                store.heap[*sid][obj * nf + fid] = *default;
+                buf.set(base + fid, *default, j);
             }
             // Evaluate overrides before publishing the reference.
             let mut vals = Vec::with_capacity(inits.len());
             for (fid, rv) in inits {
-                vals.push((*fid, eval_rv(rv, store, locals, holes, l)?));
+                vals.push((*fid, eval_rv(rv, buf, lay, lb, holes, l)?));
             }
             for (fid, v) in vals {
-                store.heap[*sid][obj * nf + fid] = v;
+                buf.set(base + fid, v, j);
             }
-            let dst_cell = resolve_lv(dst, store, locals, holes, l)?;
-            write_cell(dst_cell, (obj + 1) as i64, store, locals);
+            let dst_off = resolve_lv(dst, buf, lay, lb, holes, l)?;
+            buf.set(dst_off, obj + 1, j);
         }
         Op::Assert(c) => {
-            if eval_rv(c, store, locals, holes, l)? == 0 {
+            if eval_rv(c, buf, lay, lb, holes, l)? == 0 {
                 return Err(FailureKind::AssertFailed);
             }
         }
@@ -356,23 +540,34 @@ mod tests {
         lower_program(&sk, holes, &cfg).unwrap()
     }
 
+    /// A buffer with `n` scratch locals pushed, plus the pieces every
+    /// test needs.
+    fn scratch_state(l: &Lowered, nlocals: usize) -> (StateLayout, StateBuf, usize) {
+        let lay = StateLayout::new(l);
+        let mut buf = StateBuf::initial(&lay, l);
+        let lb = buf.push_scratch(nlocals);
+        (lay, buf, lb)
+    }
+
     #[test]
-    fn initial_store_shape() {
+    fn initial_buf_shape() {
         let l = lowered(
             "struct N { int v; N next; } N g; int x = 7;
              harness void main() { }",
         );
-        let s = Store::initial(&l);
-        assert_eq!(s.globals, vec![0, 7]);
-        assert_eq!(s.heap.len(), 1);
-        assert_eq!(s.heap[0].len(), 2 * l.config.pool);
-        assert_eq!(s.allocs, vec![0]);
+        let lay = StateLayout::new(&l);
+        let buf = StateBuf::initial(&lay, &l);
+        assert_eq!(buf.slice(0, l.globals.len()), &[0, 7]);
+        assert_eq!(lay.heap_off, vec![2]);
+        assert_eq!(lay.allocs_off, 2 + 2 * l.config.pool);
+        assert_eq!(buf.get(lay.alloc_slot(0)), 0);
+        assert_eq!(lay.state_len, lay.allocs_off + 1, "no workers");
     }
 
     #[test]
     fn lazy_and_suppresses_null_deref() {
         let l = lowered("struct N { int v; } harness void main() { }");
-        let store = Store::initial(&l);
+        let (lay, buf, lb) = scratch_state(&l, 0);
         let holes = l.holes.identity_assignment();
         // null.v demanded: fails.
         let bad = Rv::Field {
@@ -381,30 +576,30 @@ mod tests {
             obj: Box::new(Rv::Const(0)),
         };
         assert_eq!(
-            eval_rv(&bad, &store, &[], &holes, &l),
+            eval_rv(&bad, &buf, &lay, lb, &holes, &l),
             Err(FailureKind::NullDeref)
         );
         // false && null.v: lazy, ok.
         let guarded = Rv::Binary(BinOp::And, Box::new(Rv::Const(0)), Box::new(bad.clone()));
-        assert_eq!(eval_rv(&guarded, &store, &[], &holes, &l), Ok(0));
+        assert_eq!(eval_rv(&guarded, &buf, &lay, lb, &holes, &l), Ok(0));
         // true || null.v: lazy, ok.
         let guarded_or = Rv::Binary(BinOp::Or, Box::new(Rv::Const(1)), Box::new(bad));
-        assert_eq!(eval_rv(&guarded_or, &store, &[], &holes, &l), Ok(1));
+        assert_eq!(eval_rv(&guarded_or, &buf, &lay, lb, &holes, &l), Ok(1));
     }
 
     #[test]
     fn arithmetic_wraps_at_width() {
         let l = lowered("harness void main() { }");
-        let store = Store::initial(&l);
+        let (lay, buf, lb) = scratch_state(&l, 0);
         let holes = l.holes.identity_assignment();
         let add = Rv::Binary(BinOp::Add, Box::new(Rv::Const(127)), Box::new(Rv::Const(1)));
-        assert_eq!(eval_rv(&add, &store, &[], &holes, &l), Ok(-128));
+        assert_eq!(eval_rv(&add, &buf, &lay, lb, &holes, &l), Ok(-128));
     }
 
     #[test]
     fn out_of_bounds_detected() {
         let l = lowered("int[4] a; harness void main() { }");
-        let store = Store::initial(&l);
+        let (lay, buf, lb) = scratch_state(&l, 0);
         let holes = l.holes.identity_assignment();
         let read = Rv::GlobalDyn {
             base: 0,
@@ -412,7 +607,7 @@ mod tests {
             ix: Box::new(Rv::Const(4)),
         };
         assert_eq!(
-            eval_rv(&read, &store, &[], &holes, &l),
+            eval_rv(&read, &buf, &lay, lb, &holes, &l),
             Err(FailureKind::OutOfBounds)
         );
         let neg = Rv::GlobalDyn {
@@ -421,7 +616,7 @@ mod tests {
             ix: Box::new(Rv::Const(-1)),
         };
         assert_eq!(
-            eval_rv(&neg, &store, &[], &holes, &l),
+            eval_rv(&neg, &buf, &lay, lb, &holes, &l),
             Err(FailureKind::OutOfBounds)
         );
     }
@@ -429,8 +624,8 @@ mod tests {
     #[test]
     fn alloc_initializes_and_exhausts() {
         let l = lowered("struct N { int v = 9; N next; } harness void main() { }");
-        let mut store = Store::initial(&l);
-        let mut locals = vec![0i64];
+        let (lay, mut buf, lb) = scratch_state(&l, 1);
+        let mut j = UndoJournal::new();
         let holes = l.holes.identity_assignment();
         let op = Op::Alloc {
             dst: Lv::Local(0),
@@ -438,14 +633,14 @@ mod tests {
             inits: vec![(0, Rv::Const(5))],
         };
         for k in 0..l.config.pool {
-            exec_op(&op, &mut store, &mut locals, &holes, &l).unwrap();
-            assert_eq!(locals[0], (k + 1) as i64);
+            exec_op(&op, &mut buf, &lay, lb, &mut j, &holes, &l).unwrap();
+            assert_eq!(buf.get(lb), (k + 1) as i64);
         }
         // v overridden to 5, default for next is 0.
-        assert_eq!(store.heap[0][0], 5);
-        assert_eq!(store.heap[0][1], 0);
+        assert_eq!(buf.get(lay.heap_cell(0, 0)), 5);
+        assert_eq!(buf.get(lay.heap_cell(0, 1)), 0);
         assert_eq!(
-            exec_op(&op, &mut store, &mut locals, &holes, &l),
+            exec_op(&op, &mut buf, &lay, lb, &mut j, &holes, &l),
             Err(FailureKind::PoolExhausted)
         );
     }
@@ -453,65 +648,112 @@ mod tests {
     #[test]
     fn swap_cas_fetchadd_semantics() {
         let l = lowered("int g = 3; harness void main() { }");
-        let mut store = Store::initial(&l);
-        let mut locals = vec![0i64];
+        let (lay, mut buf, lb) = scratch_state(&l, 1);
+        let mut j = UndoJournal::new();
         let holes = l.holes.identity_assignment();
+        macro_rules! run {
+            ($op:expr) => {
+                exec_op(&$op, &mut buf, &lay, lb, &mut j, &holes, &l).unwrap()
+            };
+        }
+        run!(Op::Swap {
+            dst: Lv::Local(0),
+            loc: Lv::Global(0),
+            val: Rv::Const(10),
+        });
+        assert_eq!((buf.get(lb), buf.get(0)), (3, 10));
+
+        run!(Op::Cas {
+            dst: Lv::Local(0),
+            loc: Lv::Global(0),
+            old: Rv::Const(10),
+            new: Rv::Const(11),
+        });
+        assert_eq!((buf.get(lb), buf.get(0)), (1, 11));
+
+        run!(Op::Cas {
+            dst: Lv::Local(0),
+            loc: Lv::Global(0),
+            old: Rv::Const(10),
+            new: Rv::Const(12),
+        });
+        assert_eq!((buf.get(lb), buf.get(0)), (0, 11));
+
+        run!(Op::FetchAdd {
+            dst: Lv::Local(0),
+            loc: Lv::Global(0),
+            delta: -1,
+        });
+        assert_eq!((buf.get(lb), buf.get(0)), (11, 10));
+    }
+
+    #[test]
+    fn undo_restores_exact_prior_state() {
+        let l = lowered("int g = 3; int h; harness void main() { }");
+        let lay = StateLayout::new(&l);
+        let mut buf = StateBuf::initial(&lay, &l);
+        let mut j = UndoJournal::new();
+        let before = buf.clone();
+        let mark = j.mark();
+        let holes = l.holes.identity_assignment();
+        // A swap writes two cells; a second op overwrites one again.
+        let lb = buf.push_scratch(1);
         exec_op(
             &Op::Swap {
-                dst: Lv::Local(0),
+                dst: Lv::Global(1),
                 loc: Lv::Global(0),
                 val: Rv::Const(10),
             },
-            &mut store,
-            &mut locals,
+            &mut buf,
+            &lay,
+            lb,
+            &mut j,
             &holes,
             &l,
         )
         .unwrap();
-        assert_eq!((locals[0], store.globals[0]), (3, 10));
-
         exec_op(
-            &Op::Cas {
-                dst: Lv::Local(0),
-                loc: Lv::Global(0),
-                old: Rv::Const(10),
-                new: Rv::Const(11),
-            },
-            &mut store,
-            &mut locals,
+            &Op::Assign(Lv::Global(0), Rv::Const(99)),
+            &mut buf,
+            &lay,
+            lb,
+            &mut j,
             &holes,
             &l,
         )
         .unwrap();
-        assert_eq!((locals[0], store.globals[0]), (1, 11));
+        buf.pop_scratch(lb);
+        assert_ne!(buf, before);
+        j.undo_to(mark, &mut buf);
+        assert_eq!(buf, before, "undo must restore the exact prior state");
+        assert_eq!(j.total_writes(), 3, "all live writes were journaled");
+    }
 
+    #[test]
+    fn scratch_writes_are_not_journaled() {
+        let l = lowered("int g; harness void main() { }");
+        let lay = StateLayout::new(&l);
+        let mut buf = StateBuf::initial(&lay, &l);
+        let mut j = UndoJournal::new();
+        let holes = l.holes.identity_assignment();
+        let lb = buf.push_scratch(2);
+        let mark = j.mark();
         exec_op(
-            &Op::Cas {
-                dst: Lv::Local(0),
-                loc: Lv::Global(0),
-                old: Rv::Const(10),
-                new: Rv::Const(12),
-            },
-            &mut store,
-            &mut locals,
+            &Op::Assign(Lv::Local(0), Rv::Const(7)),
+            &mut buf,
+            &lay,
+            lb,
+            &mut j,
             &holes,
             &l,
         )
         .unwrap();
-        assert_eq!((locals[0], store.globals[0]), (0, 11));
-
-        exec_op(
-            &Op::FetchAdd {
-                dst: Lv::Local(0),
-                loc: Lv::Global(0),
-                delta: -1,
-            },
-            &mut store,
-            &mut locals,
-            &holes,
-            &l,
-        )
-        .unwrap();
-        assert_eq!((locals[0], store.globals[0]), (11, 10));
+        assert_eq!(j.mark(), mark, "scratch write journaled nothing");
+        assert_eq!(j.total_writes(), 0);
+        buf.pop_scratch(lb);
+        // Undoing past the scratch phase is a no-op and must not touch
+        // out-of-range offsets.
+        j.undo_to(mark, &mut buf);
+        assert_eq!(buf.get(0), 0);
     }
 }

@@ -1,0 +1,221 @@
+//! Differential testing of the zero-clone undo engine against the
+//! clone-per-transition reference engine, across the example suite.
+//!
+//! For every suite sketch and a handful of candidates (the identity
+//! assignment plus seeded random hole values), the reference engine
+//! (`psketch_exec::reference`) and the undo engine must agree. At one
+//! thread both engines are deterministic depth-first searches over the
+//! same canonical state set, so the comparison is exact: identical
+//! verdicts, state and transition counts, and counterexample traces.
+//! At 2 and 4 threads the parallel undo engine may find a *different*
+//! interleaving of a failure, so the trace assertion weakens to
+//! "the counterexample actually refutes the candidate" (symbolic
+//! replay reproduces the failure) while verdicts and passing state
+//! counts stay exact.
+
+use psketch_repro::exec::reference::check_ref_with_limit;
+use psketch_repro::exec::{check_parallel, check_with_limit, Interrupt, Verdict};
+use psketch_repro::ir::{desugar, lower, Assignment, Lowered};
+use psketch_repro::suite::figure9_runs;
+use psketch_repro::symbolic::trace_reproduces;
+use psketch_testutil::Rng;
+
+/// Bounds each exploration so the whole suite stays test-sized. Both
+/// engines dedup by canonical state identity, so they reach the limit
+/// (or finish under it) on exactly the same searches.
+const MAX_STATES: usize = 10_000;
+
+fn lowered(source: &str, config: &psketch_repro::ir::Config) -> Lowered {
+    let p = psketch_repro::lang::check_program(source).unwrap();
+    let (sk, holes) = desugar::desugar_program(&p, config).unwrap();
+    lower::lower_program(&sk, holes, config).unwrap()
+}
+
+/// The identity assignment plus `extra` random ones.
+fn candidates(l: &Lowered, extra: usize, rng: &mut Rng) -> Vec<Assignment> {
+    let mut out = vec![l.holes.identity_assignment()];
+    for _ in 0..extra {
+        let values = (0..l.holes.num_holes())
+            .map(|h| rng.below(l.holes.domain(h as u32) as usize) as u64)
+            .collect();
+        out.push(Assignment::from_values(values));
+    }
+    out
+}
+
+fn compare(l: &Lowered, a: &Assignment, label: &str) {
+    let old = check_ref_with_limit(l, a, MAX_STATES);
+
+    // One thread: both engines are deterministic DFS over the same
+    // canonical state set in the same worker order, so everything —
+    // verdict, counts, counterexample — must match exactly.
+    let new = check_with_limit(l, a, MAX_STATES);
+    assert_eq!(
+        old.stats.states, new.stats.states,
+        "{label}: engines disagree on the state count"
+    );
+    assert_eq!(
+        old.stats.transitions, new.stats.transitions,
+        "{label}: engines disagree on the transition count"
+    );
+    match (&old.verdict, &new.verdict) {
+        (Verdict::Pass, Verdict::Pass) => {
+            assert_eq!(
+                old.stats.terminal_states, new.stats.terminal_states,
+                "{label}"
+            );
+        }
+        (Verdict::Fail(oc), Verdict::Fail(nc)) => {
+            assert_eq!(oc.steps, nc.steps, "{label}: counterexample traces differ");
+            assert_eq!(
+                oc.failure.kind, nc.failure.kind,
+                "{label}: failure kinds differ"
+            );
+        }
+        (Verdict::Unknown(ow), Verdict::Unknown(nw)) => {
+            assert_eq!(*ow, Interrupt::StateLimit, "{label}: no deadline installed");
+            assert_eq!(ow, nw, "{label}");
+        }
+        (o, n) => panic!("{label}: reference verdict {o:?}, undo engine verdict {n:?}"),
+    }
+
+    // 2 and 4 threads: the parallel undo engine against the reference
+    // verdict. Failure interleavings may differ; validity may not.
+    for threads in [2usize, 4] {
+        let par = check_parallel(l, a, MAX_STATES, threads);
+        match (&old.verdict, &par.verdict) {
+            (Verdict::Pass, v) => {
+                assert!(
+                    matches!(v, Verdict::Pass),
+                    "{label} threads={threads}: reference passes, parallel {v:?}"
+                );
+                assert_eq!(
+                    old.stats.states, par.stats.states,
+                    "{label} threads={threads}: passing searches must agree on the state count"
+                );
+            }
+            (Verdict::Fail(_), v) => {
+                let Verdict::Fail(cex) = v else {
+                    panic!("{label} threads={threads}: reference fails, parallel {v:?}");
+                };
+                assert!(
+                    trace_reproduces(l, cex, a),
+                    "{label} threads={threads}: parallel cex does not refute candidate"
+                );
+            }
+            (Verdict::Unknown(why), v) => {
+                assert_eq!(*why, Interrupt::StateLimit, "{label}");
+                // The parallel search explores in a different order, so
+                // before hitting the shared limit it may legitimately
+                // stumble on a (valid) failure — but never a pass.
+                match v {
+                    Verdict::Fail(cex) => assert!(
+                        trace_reproduces(l, cex, a),
+                        "{label} threads={threads}: parallel cex does not refute candidate"
+                    ),
+                    Verdict::Unknown(pw) => {
+                        assert_eq!(*pw, Interrupt::StateLimit, "{label}")
+                    }
+                    Verdict::Pass => panic!(
+                        "{label} threads={threads}: reference hit the state limit; a \
+                         passing parallel run would mean the engines disagree on \
+                         the reachable state count"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_suite_sketches() {
+    // One run per distinct benchmark keeps the test tractable; the
+    // generated sources differ only in workload within a benchmark.
+    let mut seen = std::collections::HashSet::new();
+    let mut rng = Rng::new(13);
+    for run in figure9_runs() {
+        if !seen.insert(run.benchmark) {
+            continue;
+        }
+        let l = lowered(&run.source, &run.options.config);
+        for (ix, a) in candidates(&l, 2, &mut rng).iter().enumerate() {
+            compare(&l, a, &format!("{} candidate {ix}", run.benchmark));
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_small_programs() {
+    let programs = [
+        // Deterministic pass.
+        "int g;
+         harness void main() {
+             fork (i; 2) { int old = AtomicReadAndIncr(g); }
+             assert g == 2;
+         }",
+        // Lost-update race: fails.
+        "int g;
+         harness void main() {
+             fork (i; 2) { int t = g; g = t + 1; }
+             assert g == 2;
+         }",
+        // Deadlock.
+        "int a; int b;
+         harness void main() {
+             fork (i; 2) {
+                 if (i == 0) { atomic (a == 1) { } b = 1; }
+                 else { atomic (b == 1) { } a = 1; }
+             }
+         }",
+        // Sequential-only program: no fork, prologue does everything.
+        "int g;
+         harness void main() {
+             g = g + 1;
+             assert g == 1;
+         }",
+        // Three threads, bigger interleaving space.
+        "int g;
+         harness void main() {
+             fork (i; 3) { g = g + 1; g = g + 1; }
+             assert g >= 2;
+         }",
+    ];
+    let cfg = psketch_repro::ir::Config::default();
+    let mut rng = Rng::new(17);
+    for (px, src) in programs.iter().enumerate() {
+        let l = lowered(src, &cfg);
+        for (ix, a) in candidates(&l, 3, &mut rng).iter().enumerate() {
+            compare(&l, a, &format!("program {px} candidate {ix}"));
+        }
+    }
+}
+
+/// The undo engine's accounting must reflect its zero-clone design:
+/// a sequential search journals writes and never clones, while the
+/// reference engine clones per transition and journals nothing.
+#[test]
+fn accounting_reflects_engine_design() {
+    let cfg = psketch_repro::ir::Config::default();
+    let l = lowered(
+        "int g;
+         harness void main() {
+             fork (i; 2) { int old = AtomicReadAndIncr(g); }
+             assert g == 2;
+         }",
+        &cfg,
+    );
+    let a = l.holes.identity_assignment();
+    let new = check_with_limit(&l, &a, MAX_STATES);
+    assert!(new.is_ok());
+    assert!(new.stats.journal_writes > 0, "undo engine records writes");
+    assert_eq!(
+        new.stats.state_clones, 0,
+        "sequential undo search never clones"
+    );
+    let old = check_ref_with_limit(&l, &a, MAX_STATES);
+    assert!(old.is_ok());
+    assert!(
+        old.stats.state_clones >= old.stats.transitions as usize,
+        "reference engine clones at least once per transition"
+    );
+}
