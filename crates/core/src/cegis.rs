@@ -80,6 +80,10 @@ pub struct Options {
     /// (unknown + [`BudgetTrip`]). Ignored where `/proc` is
     /// unavailable.
     pub memory_budget: Option<u64>,
+    /// Ample-set partial-order reduction inside the exhaustive checker
+    /// (on by default). Sound for every verdict the checker reports;
+    /// turn off to force full interleaving expansion (`--no-por`).
+    pub por: bool,
 }
 
 impl Default for Options {
@@ -95,6 +99,7 @@ impl Default for Options {
             wall_timeout: None,
             state_budget: None,
             memory_budget: None,
+            por: true,
         }
     }
 }
@@ -155,6 +160,15 @@ pub struct CegisStats {
     /// Whole-state copies the checker made (cumulative): one per
     /// stolen work item in parallel searches, zero sequentially.
     pub state_clones: usize,
+    /// States whose successor expansion used a proper ample subset of
+    /// the enabled workers (partial-order reduction, cumulative).
+    pub por_ample_hits: u64,
+    /// States where the ample-set construction failed and the checker
+    /// fell back to full expansion (cumulative).
+    pub por_fallbacks: u64,
+    /// Worker expansions skipped at ample states — successors the
+    /// reduction proved redundant without visiting (cumulative).
+    pub states_pruned: u64,
     /// States explored per second of verifier search time
     /// (`states / v_solve`); `0.0` when no search ran.
     pub states_per_sec: f64,
@@ -383,6 +397,7 @@ impl Synthesis {
                         .map_or(self.options.max_states, |r| r.min(self.options.max_states)),
                     deadline,
                     cancel: Some(cancel.clone()),
+                    por: self.options.por,
                 };
                 let k = width.min(self.options.max_iterations - stats.iterations);
                 let candidates = match synth.next_candidates(k) {
@@ -441,6 +456,9 @@ impl Synthesis {
                         per_thread_states: effort.per_thread_states,
                         journal_writes: effort.journal_writes,
                         state_clones: effort.state_clones,
+                        por_ample_hits: effort.por_ample_hits,
+                        por_fallbacks: effort.por_fallbacks,
+                        states_pruned: effort.states_pruned,
                     });
                     match result {
                         VerifyResult::Correct => {
@@ -569,6 +587,9 @@ impl Synthesis {
             per_thread_states: st.per_thread_states.clone(),
             journal_writes: st.journal_writes,
             state_clones: st.state_clones,
+            por_ample_hits: st.por_ample_hits,
+            por_fallbacks: st.por_fallbacks,
+            states_pruned: st.states_pruned,
             states_per_sec: st.states_per_sec,
             sat_decisions: st.sat_decisions,
             sat_propagations: st.sat_propagations,
@@ -581,7 +602,10 @@ impl Synthesis {
     /// Limits for verification calls made outside [`Synthesis::run`]
     /// (no wall deadline, no cancellation — just the per-call cap).
     fn base_limits(&self) -> SearchLimits {
-        SearchLimits::states(self.options.max_states)
+        SearchLimits {
+            por: self.options.por,
+            ..SearchLimits::states(self.options.max_states)
+        }
     }
 
     /// Verifies one candidate, returning its counterexample if any.
@@ -645,6 +669,9 @@ impl Synthesis {
                 effort.terminal_states = out.stats.terminal_states;
                 effort.journal_writes = out.stats.journal_writes;
                 effort.state_clones = out.stats.state_clones;
+                effort.por_ample_hits = out.stats.por_ample_hits;
+                effort.por_fallbacks = out.stats.por_fallbacks;
+                effort.states_pruned = out.stats.states_pruned;
                 effort.per_thread_states = out.per_thread_states;
                 match out.verdict {
                     Verdict::Pass => VerifyResult::Correct,
@@ -806,6 +833,9 @@ struct VerifyEffort {
     sampled_refutation: bool,
     journal_writes: u64,
     state_clones: usize,
+    por_ample_hits: u64,
+    por_fallbacks: u64,
+    states_pruned: u64,
 }
 
 /// Records the first budget trip; later trips lose.
@@ -823,6 +853,9 @@ impl CegisStats {
         self.terminal_states += effort.terminal_states;
         self.journal_writes += effort.journal_writes;
         self.state_clones += effort.state_clones;
+        self.por_ample_hits += effort.por_ample_hits;
+        self.por_fallbacks += effort.por_fallbacks;
+        self.states_pruned += effort.states_pruned;
         if effort.sampled_refutation {
             self.sampled_refutations += 1;
         }
@@ -1014,6 +1047,9 @@ mod tests {
         }
         let opts = Options {
             memory_budget: Some(1), // Any process exceeds one byte.
+            // Full expansion keeps the search running long enough for
+            // the 5ms-polling watchdog to observe and cancel it.
+            por: false,
             ..Options::default()
         };
         let out = Synthesis::new(

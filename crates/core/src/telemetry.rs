@@ -99,6 +99,14 @@ pub struct IterationRecord {
     /// Whole-state copies the checker made for this candidate (one
     /// per stolen work item; zero in sequential searches).
     pub state_clones: usize,
+    /// States expanded with a proper ample subset of the enabled
+    /// workers (partial-order reduction).
+    pub por_ample_hits: u64,
+    /// States where the ample-set construction failed and the checker
+    /// expanded every enabled worker.
+    pub por_fallbacks: u64,
+    /// Worker expansions the reduction skipped at ample states.
+    pub states_pruned: u64,
 }
 
 /// The machine-readable run report: run-level summary plus one
@@ -150,6 +158,15 @@ pub struct RunReport {
     /// Whole-state copies the checker made, cumulative (clone-on-steal
     /// in parallel searches; zero for sequential runs).
     pub state_clones: usize,
+    /// States expanded with a proper ample subset of the enabled
+    /// workers, cumulative (partial-order reduction).
+    pub por_ample_hits: u64,
+    /// States where the ample-set construction failed and the checker
+    /// fell back to full expansion, cumulative.
+    pub por_fallbacks: u64,
+    /// Worker expansions the reduction skipped at ample states,
+    /// cumulative.
+    pub states_pruned: u64,
     /// States explored per second of verifier search time.
     pub states_per_sec: f64,
     /// Synthesizer SAT decisions.
@@ -224,6 +241,9 @@ impl RunReport {
         );
         o.field("journal_writes", Json::from(self.journal_writes as i64));
         o.field("state_clones", Json::from(self.state_clones as i64));
+        o.field("por_ample_hits", Json::from(self.por_ample_hits as i64));
+        o.field("por_fallbacks", Json::from(self.por_fallbacks as i64));
+        o.field("states_pruned", Json::from(self.states_pruned as i64));
         o.field("states_per_sec", Json::Num(self.states_per_sec));
         o.field("sat_decisions", Json::from(self.sat_decisions as i64));
         o.field("sat_propagations", Json::from(self.sat_propagations as i64));
@@ -255,6 +275,9 @@ impl IterationRecord {
         );
         o.field("journal_writes", Json::from(self.journal_writes as i64));
         o.field("state_clones", Json::from(self.state_clones as i64));
+        o.field("por_ample_hits", Json::from(self.por_ample_hits as i64));
+        o.field("por_fallbacks", Json::from(self.por_fallbacks as i64));
+        o.field("states_pruned", Json::from(self.states_pruned as i64));
         o.finish()
     }
 }
@@ -746,6 +769,9 @@ mod tests {
             per_thread_states: vec![60, 40],
             journal_writes: 512,
             state_clones: 4,
+            por_ample_hits: 12,
+            por_fallbacks: 3,
+            states_pruned: 20,
             states_per_sec: 25.0,
             sat_decisions: 9,
             sat_propagations: 101,
@@ -766,6 +792,9 @@ mod tests {
                 per_thread_states: vec![40, 20],
                 journal_writes: 300,
                 state_clones: 2,
+                por_ample_hits: 8,
+                por_fallbacks: 1,
+                states_pruned: 13,
             }],
         };
         let text = report.to_json();
@@ -784,6 +813,9 @@ mod tests {
         assert_eq!(v.get("total_secs").unwrap().as_f64(), Some(5.25));
         assert_eq!(v.get("journal_writes").unwrap().as_f64(), Some(512.0));
         assert_eq!(v.get("state_clones").unwrap().as_f64(), Some(4.0));
+        assert_eq!(v.get("por_ample_hits").unwrap().as_f64(), Some(12.0));
+        assert_eq!(v.get("por_fallbacks").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("states_pruned").unwrap().as_f64(), Some(20.0));
         assert_eq!(v.get("states_per_sec").unwrap().as_f64(), Some(25.0));
         let recs = v.get("records").unwrap().as_arr().unwrap();
         assert_eq!(recs.len(), 1);
@@ -792,6 +824,8 @@ mod tests {
         assert_eq!(r.get("sampled_refutation").unwrap().as_bool(), Some(true));
         assert_eq!(r.get("journal_writes").unwrap().as_f64(), Some(300.0));
         assert_eq!(r.get("state_clones").unwrap().as_f64(), Some(2.0));
+        assert_eq!(r.get("por_ample_hits").unwrap().as_f64(), Some(8.0));
+        assert_eq!(r.get("states_pruned").unwrap().as_f64(), Some(13.0));
         let per = r.get("per_thread_states").unwrap().as_arr().unwrap();
         assert_eq!(per.iter().filter_map(Json::as_f64).sum::<f64>(), 60.0);
     }

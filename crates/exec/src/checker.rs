@@ -16,6 +16,7 @@
 //! differential testing and benchmarking.
 
 use crate::fingerprint::{cell_hash, combine_fp, FpSet};
+use crate::por::PorTable;
 use crate::store::{
     eval_rv, exec_op, CexTrace, Failure, FailureKind, StateBuf, StateLayout, UndoJournal,
 };
@@ -67,6 +68,12 @@ pub struct SearchLimits {
     /// Give up (verdict [`Interrupt::Cancelled`]) when this flag is
     /// raised by another thread.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Ample-set partial-order reduction (on by default): expand only
+    /// a provably sufficient subset of the enabled workers per state
+    /// (see [`crate::por`]). Verdict-preserving — pass/fail/deadlock
+    /// cannot change — but a failing run may report a different
+    /// (equally real) counterexample, and fewer states are explored.
+    pub por: bool,
 }
 
 impl Default for SearchLimits {
@@ -75,6 +82,7 @@ impl Default for SearchLimits {
             max_states: usize::MAX,
             deadline: None,
             cancel: None,
+            por: true,
         }
     }
 }
@@ -136,6 +144,15 @@ pub struct CheckStats {
     /// state must outlive the search path (work stealing, epilogue in
     /// the reference engine); the clone engine pays one per transition.
     pub state_clones: usize,
+    /// States at which partial-order reduction found a proper ample
+    /// subset of the enabled workers.
+    pub por_ample_hits: u64,
+    /// States with two or more enabled workers at which no ample
+    /// subset existed and the checker fell back to full expansion.
+    pub por_fallbacks: u64,
+    /// Enabled transitions skipped by partial-order reduction (summed
+    /// over ample hits) — successors never fired at all.
+    pub states_pruned: u64,
 }
 
 /// Result of [`check`].
@@ -407,6 +424,11 @@ impl<'a> Checker<'a> {
         buf.get(self.lay.worker_pc(w)) as usize
     }
 
+    /// Worker `w`'s current pc (for the walker and the POR tables).
+    pub(crate) fn worker_pc(&self, buf: &StateBuf, w: usize) -> usize {
+        self.pc(buf, w)
+    }
+
     #[inline]
     fn set_pc(&self, buf: &mut StateBuf, w: usize, pc: usize, j: &mut UndoJournal) {
         buf.set(self.lay.worker_pc(w), pc as i64, j);
@@ -577,6 +599,31 @@ impl<'a> Checker<'a> {
 
     pub(crate) fn all_finished(&self, buf: &StateBuf) -> bool {
         (0..self.nworkers()).all(|w| self.finished(buf, w))
+    }
+
+    /// Applies partial-order reduction at the current state: the
+    /// ample subset of `enabled` to expand, or `None` when no proper
+    /// ample set exists (full expansion). The caller guarantees at
+    /// most 64 workers and at least two enabled bits. Deterministic in
+    /// the state, so every engine reduces to the same state graph.
+    pub(crate) fn ample(&self, buf: &StateBuf, enabled: u64, por: &PorTable) -> Option<u64> {
+        let n = self.nworkers();
+        let mut pcs = [0usize; 64];
+        let mut active = 0u64;
+        for (w, pc) in pcs.iter_mut().enumerate().take(n) {
+            *pc = self.pc(buf, w);
+            if *pc < self.l.workers[w].steps.len() {
+                active |= 1 << w;
+            }
+        }
+        por.ample(&pcs[..n], enabled, active)
+    }
+
+    /// Should this search build a [`PorTable`]? Reduction needs at
+    /// least two workers to ever trim anything, and the enabled
+    /// bitmask representation caps it at 64.
+    pub(crate) fn wants_por(&self, limits: &SearchLimits) -> bool {
+        limits.por && (2..=64).contains(&self.nworkers())
     }
 
     /// Is worker `w` able to take a transition? Its pc rests on a
@@ -778,7 +825,8 @@ impl<'a> Checker<'a> {
                 pre.extend(steps);
                 // The root state is permanent: nothing undoes past it.
                 j.reset();
-                let mut out = self.dfs(buf, &mut j, pre, limits, &mut stats);
+                let por = self.wants_por(limits).then(|| PorTable::new(self.l));
+                let mut out = self.dfs(buf, &mut j, pre, limits, por.as_ref(), &mut stats);
                 out.stats.journal_writes = j.total_writes();
                 out
             }
@@ -811,6 +859,7 @@ impl<'a> Checker<'a> {
         j: &mut UndoJournal,
         prefix: Vec<(ThreadId, usize)>,
         limits: &SearchLimits,
+        por: Option<&PorTable>,
         stats: &mut CheckStats,
     ) -> CheckOutcome {
         struct Frame {
@@ -895,9 +944,26 @@ impl<'a> Checker<'a> {
                         mask |= 1 << w;
                     }
                 }
-                stack[top_ix].enabled = mask;
                 let any_enabled =
                     mask != 0 || (nworkers > 64 && (64..nworkers).any(|w| self.enabled(&buf, w)));
+                // Partial-order reduction: replace the full enabled
+                // set with an ample subset where one exists. Terminal
+                // and deadlock detection (`any_enabled`, computed
+                // above) always sees the *full* set.
+                if let Some(por) = por {
+                    if mask.count_ones() >= 2 {
+                        match self.ample(&buf, mask, por) {
+                            Some(a) => {
+                                stats.por_ample_hits += 1;
+                                stats.states_pruned +=
+                                    u64::from(mask.count_ones() - a.count_ones());
+                                mask = a;
+                            }
+                            None => stats.por_fallbacks += 1,
+                        }
+                    }
+                }
+                stack[top_ix].enabled = mask;
                 if !any_enabled {
                     if self.all_finished(&buf) {
                         stats.terminal_states += 1;

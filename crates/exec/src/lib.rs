@@ -38,9 +38,11 @@
 mod checker;
 pub mod fingerprint;
 mod parallel;
+mod por;
 pub mod reference;
 mod store;
 pub mod trace_fmt;
+pub mod walker;
 
 pub use checker::{
     check, check_with_limit, check_with_limits, random_run, replay, CheckOutcome, CheckStats,

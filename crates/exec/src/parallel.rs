@@ -42,6 +42,7 @@ use crate::checker::{
     early_failure_stats, CheckOutcome, CheckStats, Checker, Interrupt, SearchLimits, Verdict,
 };
 use crate::fingerprint::ShardedFpSet;
+use crate::por::PorTable;
 use crate::store::{CexTrace, Failure, StateBuf, UndoJournal};
 use psketch_ir::{Assignment, Lowered, ThreadId};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -63,6 +64,11 @@ struct QueueState {
 struct Shared<'a> {
     ck: Checker<'a>,
     limits: &'a SearchLimits,
+    /// Partial-order reduction tables (`None` = full expansion).
+    /// Ample sets are a deterministic function of the state, so every
+    /// thread — and every thread *count* — reduces to the same state
+    /// graph, keeping the claim-based limit semantics exact.
+    por: Option<PorTable>,
     /// The post-prologue root state every steal re-clones.
     init: StateBuf,
     /// Trace prefix of the root (prologue + initial invisible steps).
@@ -200,9 +206,11 @@ pub fn check_parallel_limits(
             ck.materialize_canonical(&buf)
         })
         .unwrap_or(0);
+    let por = ck.wants_por(limits).then(|| PorTable::new(l));
     let shared = Shared {
         ck,
         limits,
+        por,
         init: buf,
         prefix,
         queue: Mutex::new(QueueState {
@@ -237,6 +245,9 @@ pub fn check_parallel_limits(
         terminal_states: shared.terminal_states.load(Ordering::Relaxed),
         journal_writes: root_journal_writes + tallies.iter().map(|t| t.journal_writes).sum::<u64>(),
         state_clones: tallies.iter().map(|t| t.clones).sum(),
+        por_ample_hits: tallies.iter().map(|t| t.por_ample_hits).sum(),
+        por_fallbacks: tallies.iter().map(|t| t.por_fallbacks).sum(),
+        states_pruned: tallies.iter().map(|t| t.states_pruned).sum(),
     };
     if interrupt == Some(Interrupt::StateLimit) {
         // Clamp the post-halt insert overshoot (see module docs).
@@ -267,6 +278,13 @@ struct Tally {
     journal_writes: u64,
     /// Initial-state clones paid on steals.
     clones: usize,
+    /// States where an ample subset replaced full expansion.
+    por_ample_hits: u64,
+    /// Multi-enabled states where reduction fell back to full
+    /// expansion.
+    por_fallbacks: u64,
+    /// Enabled transitions never fired thanks to reduction.
+    states_pruned: u64,
 }
 
 /// What [`expand`] did with the current node.
@@ -366,7 +384,24 @@ fn expand(
 ) -> Step {
     let ck = &shared.ck;
     let nworkers = ck.nworkers();
-    let any_enabled = (0..nworkers).any(|w| ck.enabled(buf, w));
+    // With at most 64 workers the enabled set is collected as a
+    // bitmask so partial-order reduction can trim it; beyond that
+    // (never seen in practice) reduction is off and enabledness is
+    // re-evaluated per worker below.
+    let small = nworkers <= 64;
+    let mut enabled_mask = 0u64;
+    if small {
+        for w in 0..nworkers {
+            if ck.enabled(buf, w) {
+                enabled_mask |= 1 << w;
+            }
+        }
+    }
+    let any_enabled = if small {
+        enabled_mask != 0
+    } else {
+        (0..nworkers).any(|w| ck.enabled(buf, w))
+    };
     if !any_enabled {
         if ck.all_finished(buf) {
             shared.terminal_states.fetch_add(1, Ordering::Relaxed);
@@ -386,9 +421,31 @@ fn expand(
         }
         return Step::Exhausted;
     }
+    // The expansion set: ample subset where reduction applies, the
+    // full enabled set otherwise. The state was claimed by exactly one
+    // thread and the ample set is a deterministic function of the
+    // state, so the reduced graph does not depend on scheduling.
+    let mut expand_mask = enabled_mask;
+    if let Some(por) = &shared.por {
+        if enabled_mask.count_ones() >= 2 {
+            match ck.ample(buf, enabled_mask, por) {
+                Some(a) => {
+                    tally.por_ample_hits += 1;
+                    tally.states_pruned += u64::from(enabled_mask.count_ones() - a.count_ones());
+                    expand_mask = a;
+                }
+                None => tally.por_fallbacks += 1,
+            }
+        }
+    }
     let mut keep: Option<u32> = None;
     for w in 0..nworkers {
-        if !ck.enabled(buf, w) {
+        let en = if small {
+            expand_mask & (1 << w) != 0
+        } else {
+            ck.enabled(buf, w)
+        };
+        if !en {
             continue;
         }
         let mark = j.mark();

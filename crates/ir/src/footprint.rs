@@ -1,0 +1,668 @@
+//! Static effect footprints over shared state.
+//!
+//! Every [`Op`]/[`Rv`]/[`Lv`] yields a [`Footprint`]: the set of shared
+//! locations it may read and may write, plus synchronization effects.
+//! Footprints are the single definition of "this step interacts with
+//! other threads" — [`Step::new`] derives its `shared` flag from
+//! [`Footprint::is_shared`], and the model checker's partial-order
+//! reduction derives its independence relation from
+//! [`Footprint::may_conflict`].
+//!
+//! Locations are *abstract*: a dynamic array access whose index cannot
+//! be resolved statically widens to the whole region, a heap field
+//! access widens to the field's column across the entire pool
+//! (object identity is dynamic), and an allocation conflicts with the
+//! pool counter and every field column of its struct. Widening is
+//! always conservative: if two concrete executions can touch the same
+//! cell, their footprints overlap.
+//!
+//! [`FootprintTable`] sharpens the per-step footprints with a forward
+//! constant propagation over each thread's locals. This is what makes
+//! the relation useful on lowered programs: fork instantiation turns
+//! the fork variable into a constant-initialized local
+//! (`l<i> = Const(t)`), so per-thread array accesses like `senses[th]`
+//! only resolve to distinct cells once that constant is propagated
+//! into the index expression. Hole values are never propagated — a
+//! footprint must hold for every candidate.
+
+use crate::config::Config;
+use crate::lower::{fold_binop, fold_unop};
+use crate::step::{FieldId, GlobalId, Lowered, Lv, Op, Rv, Step, StructId, Thread, ThreadId};
+
+/// An abstract shared location.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Loc {
+    /// One global cell (named slot, or a statically resolved array
+    /// cell).
+    Global(GlobalId),
+    /// A global array region whose accessed cell is not statically
+    /// known.
+    GlobalRegion {
+        /// First slot of the region.
+        base: GlobalId,
+        /// Region length.
+        len: usize,
+    },
+    /// A heap field column: field `fid` of every object in pool `sid`.
+    Field {
+        /// Struct pool.
+        sid: StructId,
+        /// Field index.
+        fid: FieldId,
+    },
+    /// The allocation state of pool `sid` (the bump counter plus the
+    /// fresh object's field initialization — overlaps every
+    /// [`Loc::Field`] of the same pool).
+    Alloc(StructId),
+}
+
+impl Loc {
+    /// Can the two abstract locations name a common concrete cell?
+    pub fn overlaps(&self, other: &Loc) -> bool {
+        match (*self, *other) {
+            (Loc::Global(a), Loc::Global(b)) => a == b,
+            (Loc::Global(a), Loc::GlobalRegion { base, len })
+            | (Loc::GlobalRegion { base, len }, Loc::Global(a)) => base <= a && a < base + len,
+            (Loc::GlobalRegion { base: a, len: al }, Loc::GlobalRegion { base: b, len: bl }) => {
+                a < b + bl && b < a + al
+            }
+            (Loc::Field { sid: a, fid: af }, Loc::Field { sid: b, fid: bf }) => a == b && af == bf,
+            (Loc::Alloc(a), Loc::Alloc(b)) => a == b,
+            (Loc::Alloc(a), Loc::Field { sid, .. }) | (Loc::Field { sid, .. }, Loc::Alloc(a)) => {
+                a == sid
+            }
+            _ => false,
+        }
+    }
+}
+
+/// The static effect footprint of a step, operation or expression.
+#[derive(Clone, Debug, Default)]
+pub struct Footprint {
+    /// Shared locations that may be read (including every cell whose
+    /// value determines whether the step fails: asserted conditions,
+    /// array indices, dereferenced objects, the pool counter).
+    pub reads: Vec<Loc>,
+    /// Shared locations that may be written.
+    pub writes: Vec<Loc>,
+    /// Atomic-section bracket (`AtomicBegin`/`AtomicEnd`): a
+    /// scheduling point even when the body touches nothing.
+    pub sync: bool,
+    /// Conditional atomic: enabledness depends on the condition in
+    /// `reads`.
+    pub blocking: bool,
+}
+
+impl Footprint {
+    /// The empty footprint.
+    pub fn empty() -> Footprint {
+        Footprint::default()
+    }
+
+    /// Footprint of evaluating an r-value (reads only).
+    pub fn of_rv(rv: &Rv) -> Footprint {
+        let mut fp = Footprint::empty();
+        Collector::plain().reads_of(rv, &mut fp);
+        fp
+    }
+
+    /// Footprint of an operation (guard excluded).
+    pub fn of_op(op: &Op) -> Footprint {
+        let mut fp = Footprint::empty();
+        Collector::plain().op_of(op, &mut fp);
+        fp
+    }
+
+    /// Footprint of a guarded step: the guard's reads plus the
+    /// operation's effects.
+    pub fn of_step(step: &Step) -> Footprint {
+        Footprint::of_parts(&step.guard, &step.op)
+    }
+
+    /// As [`Footprint::of_step`], before the step is assembled.
+    pub fn of_parts(guard: &Rv, op: &Op) -> Footprint {
+        let mut fp = Footprint::empty();
+        let c = Collector::plain();
+        c.reads_of(guard, &mut fp);
+        c.op_of(op, &mut fp);
+        fp
+    }
+
+    /// Does the step interact with other threads? True when it reads
+    /// or writes any shared location, or synchronizes. Non-shared
+    /// steps commute with everything and are not scheduling points.
+    pub fn is_shared(&self) -> bool {
+        !self.reads.is_empty() || !self.writes.is_empty() || self.sync
+    }
+
+    /// Conservative dependence: true when the two footprints may touch
+    /// a common location with at least one write. Two steps of
+    /// *different* threads with `!a.may_conflict(b)` commute: either
+    /// execution order yields the same state, the same failures and
+    /// the same enabledness (locals are thread-private and guards are
+    /// pure over locals and holes, so only shared locations carry
+    /// cross-thread effects).
+    pub fn may_conflict(&self, other: &Footprint) -> bool {
+        overlaps_any(&self.writes, &other.writes)
+            || overlaps_any(&self.writes, &other.reads)
+            || overlaps_any(&other.writes, &self.reads)
+    }
+
+    /// Unions `other` into `self`.
+    pub fn absorb(&mut self, other: &Footprint) {
+        for l in &other.reads {
+            add_loc(&mut self.reads, *l);
+        }
+        for l in &other.writes {
+            add_loc(&mut self.writes, *l);
+        }
+        self.sync |= other.sync;
+        self.blocking |= other.blocking;
+    }
+
+    fn read(&mut self, l: Loc) {
+        add_loc(&mut self.reads, l);
+    }
+
+    fn write(&mut self, l: Loc) {
+        add_loc(&mut self.writes, l);
+    }
+}
+
+fn add_loc(v: &mut Vec<Loc>, l: Loc) {
+    if !v.contains(&l) {
+        v.push(l);
+    }
+}
+
+fn overlaps_any(a: &[Loc], b: &[Loc]) -> bool {
+    a.iter().any(|x| b.iter().any(|y| x.overlaps(y)))
+}
+
+/// Best-effort static evaluation of a pure expression under a
+/// per-local constant environment. `Some(v)` guarantees every runtime
+/// evaluation (any schedule, any candidate) yields `v` without
+/// failing; holes and shared reads never fold. Folding of operators
+/// requires a [`Config`] (for integer wrapping) and reuses the
+/// lowering-time folder, so compile-time and footprint-time folding
+/// share one semantics.
+fn eval_static(rv: &Rv, env: &[Option<i64>], config: Option<&Config>) -> Option<i64> {
+    match rv {
+        Rv::Const(c) => Some(*c),
+        Rv::Local(l) => env.get(*l).copied().flatten(),
+        Rv::Unary(op, a) => {
+            let cfg = config?;
+            let v = eval_static(a, env, config)?;
+            match fold_unop(*op, Rv::Const(v), cfg) {
+                Rv::Const(c) => Some(c),
+                _ => None,
+            }
+        }
+        Rv::Binary(op, a, b) => {
+            let cfg = config?;
+            let av = eval_static(a, env, config);
+            // Short-circuit (mirrors the evaluator: the right operand
+            // is only demanded when reached).
+            match (op, av) {
+                (psketch_lang::ast::BinOp::And, Some(0)) => return Some(0),
+                (psketch_lang::ast::BinOp::Or, Some(v)) if v != 0 => return Some(1),
+                _ => {}
+            }
+            let bv = eval_static(b, env, config)?;
+            match fold_binop(*op, Rv::Const(av?), Rv::Const(bv), cfg) {
+                Rv::Const(c) => Some(c),
+                _ => None,
+            }
+        }
+        Rv::Ite(c, a, b) => {
+            if eval_static(c, env, config)? != 0 {
+                eval_static(a, env, config)
+            } else {
+                eval_static(b, env, config)
+            }
+        }
+        Rv::Global(_)
+        | Rv::GlobalDyn { .. }
+        | Rv::LocalDyn { .. }
+        | Rv::Field { .. }
+        | Rv::Hole(_) => None,
+    }
+}
+
+/// Walks expressions and operations, adding locations to a footprint.
+/// Carries the constant environment used to resolve dynamic indices to
+/// exact cells.
+struct Collector<'a> {
+    env: &'a [Option<i64>],
+    config: Option<&'a Config>,
+}
+
+impl<'a> Collector<'a> {
+    /// No environment: indices only resolve when literally constant.
+    fn plain() -> Collector<'static> {
+        Collector {
+            env: &[],
+            config: None,
+        }
+    }
+
+    fn index(&self, ix: &Rv, len: usize) -> Option<usize> {
+        match eval_static(ix, self.env, self.config) {
+            Some(c) if 0 <= c && (c as usize) < len => Some(c as usize),
+            _ => None,
+        }
+    }
+
+    fn reads_of(&self, rv: &Rv, fp: &mut Footprint) {
+        match rv {
+            Rv::Const(_) | Rv::Local(_) | Rv::Hole(_) => {}
+            Rv::Global(g) => fp.read(Loc::Global(*g)),
+            Rv::GlobalDyn { base, len, ix } => match self.index(ix, *len) {
+                Some(c) => fp.read(Loc::Global(base + c)),
+                None => {
+                    fp.read(Loc::GlobalRegion {
+                        base: *base,
+                        len: *len,
+                    });
+                    self.reads_of(ix, fp);
+                }
+            },
+            Rv::LocalDyn { ix, .. } => self.reads_of(ix, fp),
+            Rv::Field { sid, fid, obj } => {
+                fp.read(Loc::Field {
+                    sid: *sid,
+                    fid: *fid,
+                });
+                self.reads_of(obj, fp);
+            }
+            Rv::Unary(_, a) => self.reads_of(a, fp),
+            Rv::Binary(_, a, b) => {
+                self.reads_of(a, fp);
+                self.reads_of(b, fp);
+            }
+            Rv::Ite(c, a, b) => {
+                self.reads_of(c, fp);
+                self.reads_of(a, fp);
+                self.reads_of(b, fp);
+            }
+        }
+    }
+
+    /// The written location, plus any shared reads the address
+    /// resolution performs.
+    fn write_of(&self, lv: &Lv, fp: &mut Footprint) {
+        match lv {
+            Lv::Local(_) => {}
+            Lv::Global(g) => fp.write(Loc::Global(*g)),
+            Lv::GlobalDyn { base, len, ix } => match self.index(ix, *len) {
+                Some(c) => fp.write(Loc::Global(base + c)),
+                None => {
+                    fp.write(Loc::GlobalRegion {
+                        base: *base,
+                        len: *len,
+                    });
+                    self.reads_of(ix, fp);
+                }
+            },
+            Lv::LocalDyn { ix, .. } => self.reads_of(ix, fp),
+            Lv::Field { sid, fid, obj } => {
+                fp.write(Loc::Field {
+                    sid: *sid,
+                    fid: *fid,
+                });
+                self.reads_of(obj, fp);
+            }
+        }
+    }
+
+    /// A location both read and written (the atomics' `loc` operand).
+    fn rw_of(&self, lv: &Lv, fp: &mut Footprint) {
+        match lv {
+            Lv::Local(_) => {}
+            Lv::Global(g) => {
+                fp.read(Loc::Global(*g));
+                fp.write(Loc::Global(*g));
+            }
+            Lv::GlobalDyn { base, len, ix } => match self.index(ix, *len) {
+                Some(c) => {
+                    fp.read(Loc::Global(base + c));
+                    fp.write(Loc::Global(base + c));
+                }
+                None => {
+                    let region = Loc::GlobalRegion {
+                        base: *base,
+                        len: *len,
+                    };
+                    fp.read(region);
+                    fp.write(region);
+                    self.reads_of(ix, fp);
+                }
+            },
+            Lv::LocalDyn { ix, .. } => self.reads_of(ix, fp),
+            Lv::Field { sid, fid, obj } => {
+                let col = Loc::Field {
+                    sid: *sid,
+                    fid: *fid,
+                };
+                fp.read(col);
+                fp.write(col);
+                self.reads_of(obj, fp);
+            }
+        }
+    }
+
+    fn op_of(&self, op: &Op, fp: &mut Footprint) {
+        match op {
+            Op::Assign(lv, rv) => {
+                self.write_of(lv, fp);
+                self.reads_of(rv, fp);
+            }
+            Op::Swap { dst, loc, val } => {
+                self.write_of(dst, fp);
+                self.rw_of(loc, fp);
+                self.reads_of(val, fp);
+            }
+            Op::Cas { dst, loc, old, new } => {
+                self.write_of(dst, fp);
+                self.rw_of(loc, fp);
+                self.reads_of(old, fp);
+                self.reads_of(new, fp);
+            }
+            Op::FetchAdd { dst, loc, .. } => {
+                self.write_of(dst, fp);
+                self.rw_of(loc, fp);
+            }
+            Op::Alloc { dst, sid, inits } => {
+                // The bump counter is read (exhaustion check, object
+                // identity) and written; `Loc::Alloc` also overlaps
+                // every field column of the pool, covering the fresh
+                // object's field initialization.
+                fp.read(Loc::Alloc(*sid));
+                fp.write(Loc::Alloc(*sid));
+                self.write_of(dst, fp);
+                for (_, rv) in inits {
+                    self.reads_of(rv, fp);
+                }
+            }
+            Op::Assert(c) => self.reads_of(c, fp),
+            Op::AtomicBegin(None) => fp.sync = true,
+            Op::AtomicBegin(Some(c)) => {
+                fp.sync = true;
+                fp.blocking = true;
+                self.reads_of(c, fp);
+            }
+            Op::AtomicEnd => fp.sync = true,
+        }
+    }
+}
+
+/// Per-thread, per-step footprints for a whole lowered program,
+/// sharpened by forward constant propagation over each thread's
+/// locals. Computed once per [`Lowered`]; candidate-independent (hole
+/// values never propagate).
+#[derive(Clone, Debug)]
+pub struct FootprintTable {
+    per_thread: Vec<Vec<Footprint>>,
+}
+
+impl FootprintTable {
+    /// Computes the table for every thread (prologue, workers,
+    /// epilogue).
+    pub fn new(l: &Lowered) -> FootprintTable {
+        let per_thread = (0..l.num_threads())
+            .map(|tid| thread_footprints(l.thread(tid), &l.config))
+            .collect();
+        FootprintTable { per_thread }
+    }
+
+    /// Footprint of step `ix` of thread `tid`.
+    pub fn step(&self, tid: ThreadId, ix: usize) -> &Footprint {
+        &self.per_thread[tid][ix]
+    }
+
+    /// All step footprints of one thread, in program order.
+    pub fn thread(&self, tid: ThreadId) -> &[Footprint] {
+        &self.per_thread[tid]
+    }
+}
+
+/// The constant environment holds, for each local slot, a value the
+/// slot is guaranteed to contain whenever control reaches the current
+/// step — under every schedule and every candidate. Assignments under
+/// non-constant guards merge (keep only an agreeing value); any write
+/// whose value or destination cannot be resolved kills the affected
+/// slots.
+fn thread_footprints(thread: &Thread, config: &Config) -> Vec<Footprint> {
+    let mut env: Vec<Option<i64>> = vec![None; thread.locals.len()];
+    let mut out = Vec::with_capacity(thread.steps.len());
+    for step in &thread.steps {
+        let guard = eval_static(&step.guard, &env, Some(config));
+        if guard == Some(0) {
+            // Statically dead: the step never executes, contributes no
+            // effects and changes no locals.
+            out.push(Footprint::empty());
+            continue;
+        }
+        let c = Collector {
+            env: &env,
+            config: Some(config),
+        };
+        let mut fp = Footprint::empty();
+        c.reads_of(&step.guard, &mut fp);
+        c.op_of(&step.op, &mut fp);
+        out.push(fp);
+        update_env(&mut env, step, guard.is_some(), config);
+    }
+    out
+}
+
+fn update_env(env: &mut [Option<i64>], step: &Step, definite: bool, config: &Config) {
+    // A local receives a tracked constant only from a plain Assign of
+    // a statically evaluable value; every other write kills it.
+    let assign = |env: &mut [Option<i64>], slot: usize, v: Option<i64>| {
+        if definite {
+            env[slot] = v;
+        } else if env[slot] != v {
+            env[slot] = None;
+        }
+    };
+    let kill_lv = |env: &mut [Option<i64>], lv: &Lv| match lv {
+        Lv::Local(l) => env[*l] = None,
+        Lv::LocalDyn { base, len, ix } => match eval_static(ix, env, Some(config)) {
+            Some(c) if 0 <= c && (c as usize) < *len => env[base + c as usize] = None,
+            _ => {
+                for slot in &mut env[*base..*base + *len] {
+                    *slot = None;
+                }
+            }
+        },
+        Lv::Global(_) | Lv::GlobalDyn { .. } | Lv::Field { .. } => {}
+    };
+    match &step.op {
+        Op::Assign(Lv::Local(l), rv) => {
+            let v = eval_static(rv, env, Some(config));
+            assign(env, *l, v);
+        }
+        Op::Assign(Lv::LocalDyn { base, len, ix }, rv) => {
+            match eval_static(ix, env, Some(config)) {
+                Some(c) if 0 <= c && (c as usize) < *len => {
+                    let v = eval_static(rv, env, Some(config));
+                    assign(env, base + c as usize, v);
+                }
+                _ => {
+                    for slot in &mut env[*base..*base + *len] {
+                        *slot = None;
+                    }
+                }
+            }
+        }
+        Op::Assign(_, _) => {}
+        Op::Swap { dst, loc, .. } | Op::Cas { dst, loc, .. } | Op::FetchAdd { dst, loc, .. } => {
+            kill_lv(env, dst);
+            kill_lv(env, loc);
+        }
+        Op::Alloc { dst, .. } => kill_lv(env, dst),
+        Op::Assert(_) | Op::AtomicBegin(_) | Op::AtomicEnd => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_lang::error::Span;
+
+    fn gdyn_read(base: usize, len: usize, ix: Rv) -> Rv {
+        Rv::GlobalDyn {
+            base,
+            len,
+            ix: Box::new(ix),
+        }
+    }
+
+    #[test]
+    fn loc_overlap_rules() {
+        let g2 = Loc::Global(2);
+        let r = Loc::GlobalRegion { base: 1, len: 3 };
+        assert!(g2.overlaps(&g2));
+        assert!(!g2.overlaps(&Loc::Global(3)));
+        assert!(g2.overlaps(&r) && r.overlaps(&g2));
+        assert!(!Loc::Global(4).overlaps(&r));
+        assert!(r.overlaps(&Loc::GlobalRegion { base: 3, len: 2 }));
+        assert!(!r.overlaps(&Loc::GlobalRegion { base: 4, len: 2 }));
+        let f00 = Loc::Field { sid: 0, fid: 0 };
+        let f01 = Loc::Field { sid: 0, fid: 1 };
+        assert!(f00.overlaps(&f00) && !f00.overlaps(&f01));
+        assert!(Loc::Alloc(0).overlaps(&f01));
+        assert!(!Loc::Alloc(1).overlaps(&f01));
+        assert!(!f00.overlaps(&g2));
+    }
+
+    #[test]
+    fn conflict_needs_a_write() {
+        let mut a = Footprint::empty();
+        a.read(Loc::Global(0));
+        let mut b = Footprint::empty();
+        b.read(Loc::Global(0));
+        assert!(!a.may_conflict(&b), "read/read never conflicts");
+        b.write(Loc::Global(0));
+        assert!(a.may_conflict(&b) && b.may_conflict(&a));
+        let mut c = Footprint::empty();
+        c.write(Loc::Global(1));
+        assert!(!a.may_conflict(&c));
+    }
+
+    #[test]
+    fn step_footprints_match_shared_flag() {
+        let cases = [
+            Step::new(
+                Rv::Const(1),
+                Op::Assign(Lv::Local(0), Rv::Local(1)),
+                Span::default(),
+            ),
+            Step::new(
+                Rv::Const(1),
+                Op::Assign(Lv::Local(0), Rv::Global(0)),
+                Span::default(),
+            ),
+            Step::new(Rv::Const(1), Op::Assert(Rv::Local(0)), Span::default()),
+            Step::new(Rv::Const(1), Op::AtomicEnd, Span::default()),
+            Step::new(
+                Rv::Const(1),
+                Op::Alloc {
+                    dst: Lv::Local(0),
+                    sid: 0,
+                    inits: vec![],
+                },
+                Span::default(),
+            ),
+        ];
+        for s in &cases {
+            assert_eq!(
+                Footprint::of_step(s).is_shared(),
+                s.shared,
+                "footprint and shared flag disagree on {:?}",
+                s.op
+            );
+        }
+    }
+
+    #[test]
+    fn const_prop_resolves_dynamic_index_to_cell() {
+        // l0 = 2; x = g[l0]  — the read resolves to cell base+2.
+        let thread = Thread {
+            name: "t".into(),
+            steps: vec![
+                Step::new(
+                    Rv::Const(1),
+                    Op::Assign(Lv::Local(0), Rv::Const(2)),
+                    Span::default(),
+                ),
+                Step::new(
+                    Rv::Const(1),
+                    Op::Assign(Lv::Local(1), gdyn_read(0, 4, Rv::Local(0))),
+                    Span::default(),
+                ),
+            ],
+            locals: vec![
+                crate::step::LocalSlot {
+                    name: "l0".into(),
+                    kind: crate::step::ScalarKind::Int,
+                },
+                crate::step::LocalSlot {
+                    name: "l1".into(),
+                    kind: crate::step::ScalarKind::Int,
+                },
+            ],
+        };
+        let fps = thread_footprints(&thread, &Config::default());
+        assert_eq!(fps[1].reads, vec![Loc::Global(2)]);
+        // Without the environment, the same read widens to the region.
+        let wide = Footprint::of_step(&thread.steps[1]);
+        assert_eq!(wide.reads, vec![Loc::GlobalRegion { base: 0, len: 4 }]);
+    }
+
+    #[test]
+    fn conditional_assign_merges_conservatively() {
+        // Under a non-constant guard, l0 = 2 must not be trusted.
+        let thread = Thread {
+            name: "t".into(),
+            steps: vec![
+                Step::new(
+                    Rv::Hole(0),
+                    Op::Assign(Lv::Local(0), Rv::Const(2)),
+                    Span::default(),
+                ),
+                Step::new(
+                    Rv::Const(1),
+                    Op::Assign(Lv::Local(1), gdyn_read(0, 4, Rv::Local(0))),
+                    Span::default(),
+                ),
+            ],
+            locals: vec![
+                crate::step::LocalSlot {
+                    name: "l0".into(),
+                    kind: crate::step::ScalarKind::Int,
+                },
+                crate::step::LocalSlot {
+                    name: "l1".into(),
+                    kind: crate::step::ScalarKind::Int,
+                },
+            ],
+        };
+        let fps = thread_footprints(&thread, &Config::default());
+        assert_eq!(fps[1].reads, vec![Loc::GlobalRegion { base: 0, len: 4 }]);
+    }
+
+    #[test]
+    fn blocking_atomic_reads_its_condition() {
+        let s = Step::new(
+            Rv::Const(1),
+            Op::AtomicBegin(Some(Rv::eq(Rv::Global(3), Rv::Const(1)))),
+            Span::default(),
+        );
+        let fp = Footprint::of_step(&s);
+        assert!(fp.sync && fp.blocking);
+        assert_eq!(fp.reads, vec![Loc::Global(3)]);
+        assert!(fp.writes.is_empty());
+    }
+}

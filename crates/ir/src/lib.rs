@@ -41,11 +41,13 @@
 
 pub mod config;
 pub mod desugar;
+pub mod footprint;
 pub mod hole;
 pub mod lower;
 pub mod resolve;
 pub mod step;
 
 pub use config::{Config, ReorderEncoding};
+pub use footprint::{Footprint, FootprintTable, Loc};
 pub use hole::{Assignment, HoleId, HoleTable, SiteId, SiteKind};
 pub use step::{GlobalSlot, Lowered, Lv, Op, Rv, ScalarKind, Step, StructLayout, Thread, ThreadId};

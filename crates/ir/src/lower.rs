@@ -1483,7 +1483,7 @@ pub(crate) fn fold_binop(op: BinOp, a: Rv, b: Rv, config: &Config) -> Rv {
     }
 }
 
-fn fold_unop(op: UnOp, a: Rv, config: &Config) -> Rv {
+pub(crate) fn fold_unop(op: UnOp, a: Rv, config: &Config) -> Rv {
     if let Rv::Const(c) = a {
         return match op {
             UnOp::Not => Rv::Const(i64::from(c == 0)),
@@ -1567,7 +1567,11 @@ mod tests {
         assert!(matches!(steps[1].guard, Rv::Local(_)));
         // Guards only read locals.
         for s in steps {
-            assert!(!s.guard.reads_shared(), "guard reads shared: {:?}", s.guard);
+            assert!(
+                !crate::footprint::Footprint::of_rv(&s.guard).is_shared(),
+                "guard reads shared: {:?}",
+                s.guard
+            );
         }
     }
 
@@ -1655,7 +1659,9 @@ mod tests {
             .filter(|s| matches!(s.op, Op::Swap { .. }))
             .collect();
         assert_eq!(swaps.len(), 2); // tail | tail.next
-        assert!(swaps.iter().all(|s| !s.guard.reads_shared()));
+        assert!(swaps
+            .iter()
+            .all(|s| !crate::footprint::Footprint::of_rv(&s.guard).is_shared()));
     }
 
     #[test]

@@ -144,19 +144,6 @@ impl Rv {
             other => Rv::Unary(UnOp::Not, Box::new(other)),
         }
     }
-
-    /// Does evaluating this expression read shared state (globals or
-    /// the heap)?
-    pub fn reads_shared(&self) -> bool {
-        match self {
-            Rv::Const(_) | Rv::Local(_) | Rv::Hole(_) => false,
-            Rv::Global(_) | Rv::GlobalDyn { .. } | Rv::Field { .. } => true,
-            Rv::LocalDyn { ix, .. } => ix.reads_shared(),
-            Rv::Unary(_, a) => a.reads_shared(),
-            Rv::Binary(_, a, b) => a.reads_shared() || b.reads_shared(),
-            Rv::Ite(c, a, b) => c.reads_shared() || a.reads_shared() || b.reads_shared(),
-        }
-    }
 }
 
 /// L-values (store destinations).
@@ -193,26 +180,6 @@ pub enum Lv {
         /// Object reference.
         obj: Rv,
     },
-}
-
-impl Lv {
-    /// Does writing through this l-value touch shared state?
-    pub fn touches_shared(&self) -> bool {
-        match self {
-            Lv::Global(_) | Lv::GlobalDyn { .. } | Lv::Field { .. } => true,
-            Lv::Local(_) => false,
-            Lv::LocalDyn { ix, .. } => ix.reads_shared(),
-        }
-    }
-
-    /// Does evaluating the *address* or the write read shared state?
-    pub fn reads_shared(&self) -> bool {
-        match self {
-            Lv::Global(_) | Lv::Local(_) => false,
-            Lv::GlobalDyn { ix, .. } | Lv::LocalDyn { ix, .. } => ix.reads_shared(),
-            Lv::Field { obj, .. } => obj.reads_shared(),
-        }
-    }
 }
 
 /// Step operations. `Swap`, `Cas` and `FetchAdd` model the hardware
@@ -288,36 +255,12 @@ pub struct Step {
 }
 
 impl Step {
-    /// Builds a step, computing the `shared` flag.
+    /// Builds a step, computing the `shared` flag from the step's
+    /// effect footprint (see [`crate::footprint::Footprint`]): a step
+    /// is shared exactly when its footprint names a shared location or
+    /// synchronizes.
     pub fn new(guard: Rv, op: Op, span: Span) -> Step {
-        let shared = match &op {
-            Op::Assign(lv, rv) => lv.touches_shared() || lv.reads_shared() || rv.reads_shared(),
-            Op::Swap { dst, loc, val } => {
-                dst.touches_shared()
-                    || dst.reads_shared()
-                    || loc.touches_shared()
-                    || loc.reads_shared()
-                    || val.reads_shared()
-            }
-            Op::Cas { dst, loc, old, new } => {
-                dst.touches_shared()
-                    || dst.reads_shared()
-                    || loc.touches_shared()
-                    || loc.reads_shared()
-                    || old.reads_shared()
-                    || new.reads_shared()
-            }
-            Op::FetchAdd { dst, loc, .. } => {
-                dst.touches_shared()
-                    || dst.reads_shared()
-                    || loc.touches_shared()
-                    || loc.reads_shared()
-            }
-            // Allocation always touches the (shared) pool counter.
-            Op::Alloc { .. } => true,
-            Op::Assert(c) => c.reads_shared(),
-            Op::AtomicBegin(_) | Op::AtomicEnd => true,
-        };
+        let shared = crate::footprint::Footprint::of_parts(&guard, &op).is_shared();
         Step {
             guard,
             op,

@@ -215,7 +215,7 @@ fn guards_never_read_shared_state() {
     for tid in 0..l.num_threads() {
         for (ix, step) in l.thread(tid).steps.iter().enumerate() {
             assert!(
-                !step.guard.reads_shared(),
+                !psketch_ir::Footprint::of_rv(&step.guard).is_shared(),
                 "thread {tid} step {ix} guard reads shared: {}",
                 step.guard
             );

@@ -4,24 +4,38 @@
 //! Prints the (x, y) series plus a least-squares fit and a crude ASCII
 //! scatter plot; the paper observes an approximately linear
 //! correlation. `--json PATH` additionally writes the series as a JSON
-//! array of `{test, log10_space, iterations}` objects.
+//! array of `{test, log10_space, iterations}` objects; `--no-por`
+//! disables the checker's partial-order reduction.
 
 use psketch_core::{Json, Synthesis};
 use psketch_suite::figure9_runs;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json_path = match &args[..] {
-        [] => None,
-        [flag, path] if flag == "--json" => Some(path.clone()),
-        _ => {
-            eprintln!("usage: fig10 [--json PATH]");
-            std::process::exit(2);
+    let mut json_path: Option<String> = None;
+    let mut por = true;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(path) => json_path = Some(path.clone()),
+                None => {
+                    eprintln!("usage: fig10 [--json PATH] [--no-por]");
+                    std::process::exit(2);
+                }
+            },
+            "--no-por" => por = false,
+            _ => {
+                eprintln!("usage: fig10 [--json PATH] [--no-por]");
+                std::process::exit(2);
+            }
         }
-    };
+    }
     let mut points: Vec<(f64, f64, String)> = Vec::new();
     for run in figure9_runs() {
-        let Ok(s) = Synthesis::new(&run.source, run.options.clone()) else {
+        let mut options = run.options.clone();
+        options.por = por;
+        let Ok(s) = Synthesis::new(&run.source, options) else {
             continue;
         };
         let out = s.run();

@@ -6,9 +6,11 @@
 //! memory) plus a trailing machine-readable TSV table.
 //!
 //! Usage: `cargo run --release -p psketch-suite --bin fig9 [filter]
-//! [--report-json DIR]` where `filter` restricts to benchmarks whose
-//! name contains it and `--report-json` writes one machine-readable
-//! run report per row into `DIR` as `<benchmark>_<test>.json`.
+//! [--report-json DIR] [--no-por]` where `filter` restricts to
+//! benchmarks whose name contains it, `--report-json` writes one
+//! machine-readable run report per row into `DIR` as
+//! `<benchmark>_<test>.json`, and `--no-por` disables the checker's
+//! partial-order reduction (full interleaving expansion).
 
 use psketch_core::{render_stats, Synthesis};
 use psketch_suite::figure9_runs;
@@ -17,6 +19,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut filter = String::new();
     let mut report_dir: Option<String> = None;
+    let mut por = true;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -27,6 +30,7 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--no-por" => por = false,
             other => filter = other.to_string(),
         }
     }
@@ -37,14 +41,16 @@ fn main() {
         }
     }
     let mut tsv = vec![
-        "benchmark\ttest\tresolvable\texpected\titns\tpaper_itns\ttotal_s\tpaper_total_s\tssolve_s\tsmodel_s\tvsolve_s\tvmodel_s\tlog10_C\tstates\tmem_mib".to_string(),
+        "benchmark\ttest\tresolvable\texpected\titns\tpaper_itns\ttotal_s\tpaper_total_s\tssolve_s\tsmodel_s\tvsolve_s\tvmodel_s\tlog10_C\tstates\tpruned\tmem_mib".to_string(),
     ];
     let mut mismatches = 0;
     for run in figure9_runs() {
         if !run.benchmark.contains(&filter) {
             continue;
         }
-        let s = match Synthesis::new(&run.source, run.options.clone()) {
+        let mut options = run.options.clone();
+        options.por = por;
+        let s = match Synthesis::new(&run.source, options) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("{} [{}]: {e}", run.benchmark, run.test);
@@ -77,7 +83,7 @@ fn main() {
         println!();
         let st = &out.stats;
         tsv.push(format!(
-            "{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{:.1}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.2}\t{}\t{}",
+            "{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{:.1}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.2}\t{}\t{}\t{}",
             run.benchmark,
             run.test,
             if out.resolved() {
@@ -98,6 +104,7 @@ fn main() {
             st.v_model.as_secs_f64(),
             st.log10_space,
             st.states,
+            st.states_pruned,
             st.peak_memory.map_or_else(
                 || "n/a".to_string(),
                 |b| format!("{:.1}", b as f64 / (1024.0 * 1024.0))

@@ -3,7 +3,7 @@
 //! ```text
 //! psketch <file.psk> [--unroll N] [--pool N] [--hole-width N]
 //!         [--int-width N] [--reorder quad|exp] [--max-iters N]
-//!         [--hybrid N] [--threads N] [--portfolio N]
+//!         [--hybrid N] [--threads N] [--portfolio N] [--no-por]
 //!         [--timeout SECS] [--state-budget N] [--memory-budget MIB]
 //!         [--report-json PATH] [--dump-ir] [--explain]
 //! ```
@@ -21,8 +21,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: psketch <file.psk> [--unroll N] [--pool N] [--hole-width N] \
          [--int-width N] [--reorder quad|exp] [--max-iters N] [--hybrid N] \
-         [--threads N] [--portfolio N] [--timeout SECS] [--state-budget N] \
-         [--memory-budget MIB] [--report-json PATH] [--dump-ir] [--explain]"
+         [--threads N] [--portfolio N] [--no-por] [--timeout SECS] \
+         [--state-budget N] [--memory-budget MIB] [--report-json PATH] \
+         [--dump-ir] [--explain]"
     );
     std::process::exit(2)
 }
@@ -41,6 +42,7 @@ fn main() {
     let mut report_json: Option<String> = None;
     let mut dump_ir = false;
     let mut explain = false;
+    let mut por = true;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut num = |what: &str| -> usize {
@@ -78,6 +80,7 @@ fn main() {
             },
             "--dump-ir" => dump_ir = true,
             "--explain" => explain = true,
+            "--no-por" => por = false,
             "--help" | "-h" => usage(),
             other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
             _ => usage(),
@@ -100,6 +103,7 @@ fn main() {
         wall_timeout,
         state_budget,
         memory_budget,
+        por,
         ..Options::default()
     };
     let synthesis = match Synthesis::new(&source, opts) {

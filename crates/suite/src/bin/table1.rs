@@ -3,13 +3,18 @@
 //!
 //! `table1 --dump <benchmark>` instead prints that benchmark's sketch
 //! source to stdout (so scripts and CI can feed a Table-1 workload to
-//! the `psketch` CLI without duplicating the source).
+//! the `psketch` CLI without duplicating the source). `--no-por`
+//! disables the checker's partial-order reduction in the benchmark
+//! options (space sizing itself never runs the checker, so the flag
+//! only matters to tooling that reuses these options).
 
 use psketch_core::Synthesis;
 use psketch_suite::table1_entries;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let por = !args.iter().any(|a| a == "--no-por");
+    args.retain(|a| a != "--no-por");
     if let [flag, name] = &args[..] {
         if flag == "--dump" {
             match table1_entries()
@@ -34,8 +39,9 @@ fn main() {
     );
     println!("{}", "-".repeat(84));
     for entry in table1_entries() {
-        let s =
-            Synthesis::new(&entry.run.source, entry.run.options.clone()).expect("benchmark lowers");
+        let mut options = entry.run.options.clone();
+        options.por = por;
+        let s = Synthesis::new(&entry.run.source, options).expect("benchmark lowers");
         let space = s.candidate_space();
         let rendered = if space < 1000 {
             space.to_string()

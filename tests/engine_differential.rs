@@ -4,26 +4,42 @@
 //! For every suite sketch and a handful of candidates (the identity
 //! assignment plus seeded random hole values), the reference engine
 //! (`psketch_exec::reference`) and the undo engine must agree. At one
-//! thread both engines are deterministic depth-first searches over the
-//! same canonical state set, so the comparison is exact: identical
-//! verdicts, state and transition counts, and counterexample traces.
-//! At 2 and 4 threads the parallel undo engine may find a *different*
-//! interleaving of a failure, so the trace assertion weakens to
-//! "the counterexample actually refutes the candidate" (symbolic
-//! replay reproduces the failure) while verdicts and passing state
-//! counts stay exact.
+//! thread with partial-order reduction off, both engines are
+//! deterministic depth-first searches over the same canonical state
+//! set, so the comparison is exact: identical verdicts, state and
+//! transition counts, and counterexample traces. At 2 and 4 threads
+//! the parallel undo engine may find a *different* interleaving of a
+//! failure, so the trace assertion weakens to "the counterexample
+//! actually refutes the candidate" (symbolic replay reproduces the
+//! failure) while verdicts and passing state counts stay exact.
+//!
+//! With reduction **on**, the undo engine explores a provably
+//! sufficient subset of each state's enabled workers, so the contract
+//! weakens to verdict equivalence: identical pass/fail classification
+//! at 1, 2 and 4 threads, every counterexample still refutes the
+//! candidate, and — whenever the full search completed — the reduced
+//! search never visits more states than full expansion did.
 
 use psketch_repro::exec::reference::check_ref_with_limit;
-use psketch_repro::exec::{check_parallel, check_with_limit, Interrupt, Verdict};
+use psketch_repro::exec::{
+    check_parallel_limits, check_with_limits, CheckOutcome, Interrupt, SearchLimits, Verdict,
+};
 use psketch_repro::ir::{desugar, lower, Assignment, Lowered};
 use psketch_repro::suite::figure9_runs;
 use psketch_repro::symbolic::trace_reproduces;
 use psketch_testutil::Rng;
 
 /// Bounds each exploration so the whole suite stays test-sized. Both
-/// engines dedup by canonical state identity, so they reach the limit
-/// (or finish under it) on exactly the same searches.
+/// engines dedup by canonical state identity, so (reduction off) they
+/// reach the limit or finish under it on exactly the same searches.
 const MAX_STATES: usize = 10_000;
+
+fn limits(por: bool) -> SearchLimits {
+    SearchLimits {
+        por,
+        ..SearchLimits::states(MAX_STATES)
+    }
+}
 
 fn lowered(source: &str, config: &psketch_repro::ir::Config) -> Lowered {
     let p = psketch_repro::lang::check_program(source).unwrap();
@@ -46,10 +62,11 @@ fn candidates(l: &Lowered, extra: usize, rng: &mut Rng) -> Vec<Assignment> {
 fn compare(l: &Lowered, a: &Assignment, label: &str) {
     let old = check_ref_with_limit(l, a, MAX_STATES);
 
-    // One thread: both engines are deterministic DFS over the same
-    // canonical state set in the same worker order, so everything —
-    // verdict, counts, counterexample — must match exactly.
-    let new = check_with_limit(l, a, MAX_STATES);
+    // One thread, reduction off: both engines are deterministic DFS
+    // over the same canonical state set in the same worker order, so
+    // everything — verdict, counts, counterexample — must match
+    // exactly.
+    let new = check_with_limits(l, a, &limits(false));
     assert_eq!(
         old.stats.states, new.stats.states,
         "{label}: engines disagree on the state count"
@@ -78,50 +95,118 @@ fn compare(l: &Lowered, a: &Assignment, label: &str) {
         }
         (o, n) => panic!("{label}: reference verdict {o:?}, undo engine verdict {n:?}"),
     }
+    // A full-expansion run must never report reduction activity.
+    assert_eq!(new.stats.por_ample_hits, 0, "{label}: por off yet active");
+    assert_eq!(new.stats.states_pruned, 0, "{label}: por off yet pruning");
 
-    // 2 and 4 threads: the parallel undo engine against the reference
-    // verdict. Failure interleavings may differ; validity may not.
+    // 2 and 4 threads, reduction off: the parallel undo engine against
+    // the reference verdict. Failure interleavings may differ;
+    // validity may not.
     for threads in [2usize, 4] {
-        let par = check_parallel(l, a, MAX_STATES, threads);
-        match (&old.verdict, &par.verdict) {
-            (Verdict::Pass, v) => {
-                assert!(
-                    matches!(v, Verdict::Pass),
-                    "{label} threads={threads}: reference passes, parallel {v:?}"
-                );
+        let par = check_parallel_limits(l, a, &limits(false), threads);
+        check_against(l, a, &old.verdict, Some(old.stats.states), &par, {
+            &format!("{label} threads={threads} por=off")
+        });
+    }
+
+    // Reduction on, 1 thread: verdict equivalence against the full
+    // search, plus the cost contract — when the full search completed,
+    // the reduced one never visits more states.
+    let por_seq = check_with_limits(l, a, &limits(true));
+    match (&old.verdict, &por_seq.verdict) {
+        (Verdict::Pass, Verdict::Pass) => {
+            assert!(
+                por_seq.stats.states <= old.stats.states,
+                "{label}: reduction explored more states ({} > {})",
+                por_seq.stats.states,
+                old.stats.states
+            );
+        }
+        (Verdict::Pass, v) => panic!("{label}: full search passes, reduced search {v:?}"),
+        (Verdict::Fail(_), Verdict::Fail(cex)) => {
+            assert!(
+                trace_reproduces(l, cex, a),
+                "{label}: reduced-search cex does not refute candidate"
+            );
+        }
+        (Verdict::Fail(_), v) => panic!("{label}: full search fails, reduced search {v:?}"),
+        // Full search hit the state limit: the reduced search visits a
+        // subset of the reachable states, so it may legitimately
+        // finish (either way) or hit the limit itself.
+        (Verdict::Unknown(_), Verdict::Fail(cex)) => {
+            assert!(trace_reproduces(l, cex, a), "{label}: invalid reduced cex");
+        }
+        (Verdict::Unknown(_), Verdict::Unknown(w)) => {
+            assert_eq!(*w, Interrupt::StateLimit, "{label}");
+        }
+        (Verdict::Unknown(_), Verdict::Pass) => {}
+    }
+    if por_seq.stats.states_pruned > 0 {
+        assert!(
+            por_seq.stats.por_ample_hits > 0,
+            "{label}: pruning without ample hits"
+        );
+    }
+
+    // Reduction on, 2 and 4 threads: the ample set is a deterministic
+    // function of the state, so the parallel reduced search explores
+    // the same reduced graph as the sequential one — passing state
+    // counts must match it exactly.
+    for threads in [2usize, 4] {
+        let par = check_parallel_limits(l, a, &limits(true), threads);
+        check_against(l, a, &por_seq.verdict, Some(por_seq.stats.states), &par, {
+            &format!("{label} threads={threads} por=on")
+        });
+    }
+}
+
+/// Parallel-vs-sequential rules shared by the reduced and full
+/// configurations: verdicts agree, passing state counts match the
+/// sequential baseline, counterexamples replay, and a search that hit
+/// the state limit is never contradicted by a pass.
+fn check_against(
+    l: &Lowered,
+    a: &Assignment,
+    base: &Verdict,
+    base_states: Option<usize>,
+    par: &CheckOutcome,
+    label: &str,
+) {
+    match (base, &par.verdict) {
+        (Verdict::Pass, Verdict::Pass) => {
+            if let Some(states) = base_states {
                 assert_eq!(
-                    old.stats.states, par.stats.states,
-                    "{label} threads={threads}: passing searches must agree on the state count"
+                    states, par.stats.states,
+                    "{label}: passing searches must agree on the state count"
                 );
             }
-            (Verdict::Fail(_), v) => {
-                let Verdict::Fail(cex) = v else {
-                    panic!("{label} threads={threads}: reference fails, parallel {v:?}");
-                };
-                assert!(
+        }
+        (Verdict::Pass, v) => panic!("{label}: baseline passes, parallel {v:?}"),
+        (Verdict::Fail(_), Verdict::Fail(cex)) => {
+            assert!(
+                trace_reproduces(l, cex, a),
+                "{label}: parallel cex does not refute candidate"
+            );
+        }
+        (Verdict::Fail(_), v) => panic!("{label}: baseline fails, parallel {v:?}"),
+        (Verdict::Unknown(why), v) => {
+            assert_eq!(*why, Interrupt::StateLimit, "{label}");
+            // The parallel search explores in a different order, so
+            // before hitting the shared limit it may legitimately
+            // stumble on a (valid) failure — but never a pass.
+            match v {
+                Verdict::Fail(cex) => assert!(
                     trace_reproduces(l, cex, a),
-                    "{label} threads={threads}: parallel cex does not refute candidate"
-                );
-            }
-            (Verdict::Unknown(why), v) => {
-                assert_eq!(*why, Interrupt::StateLimit, "{label}");
-                // The parallel search explores in a different order, so
-                // before hitting the shared limit it may legitimately
-                // stumble on a (valid) failure — but never a pass.
-                match v {
-                    Verdict::Fail(cex) => assert!(
-                        trace_reproduces(l, cex, a),
-                        "{label} threads={threads}: parallel cex does not refute candidate"
-                    ),
-                    Verdict::Unknown(pw) => {
-                        assert_eq!(*pw, Interrupt::StateLimit, "{label}")
-                    }
-                    Verdict::Pass => panic!(
-                        "{label} threads={threads}: reference hit the state limit; a \
-                         passing parallel run would mean the engines disagree on \
-                         the reachable state count"
-                    ),
+                    "{label}: parallel cex does not refute candidate"
+                ),
+                Verdict::Unknown(pw) => {
+                    assert_eq!(*pw, Interrupt::StateLimit, "{label}")
                 }
+                Verdict::Pass => panic!(
+                    "{label}: baseline hit the state limit; a passing parallel \
+                     run would mean the engines disagree on the reachable \
+                     state count"
+                ),
             }
         }
     }
@@ -179,6 +264,16 @@ fn engines_agree_on_small_programs() {
              fork (i; 3) { g = g + 1; g = g + 1; }
              assert g >= 2;
          }",
+        // Disjoint per-thread cells: maximal independence, the
+        // reduction's best case.
+        "int a; int b;
+         harness void main() {
+             fork (i; 2) {
+                 if (i == 0) { a = a + 1; a = a + 1; }
+                 else { b = b + 1; b = b + 1; }
+             }
+             assert a == 2 && b == 2;
+         }",
     ];
     let cfg = psketch_repro::ir::Config::default();
     let mut rng = Rng::new(17);
@@ -188,6 +283,39 @@ fn engines_agree_on_small_programs() {
             compare(&l, a, &format!("program {px} candidate {ix}"));
         }
     }
+}
+
+/// On a workload with real independence the reduction must actually
+/// fire: fewer states than full expansion, ample hits and pruned
+/// expansions reported, same verdict.
+#[test]
+fn reduction_prunes_disjoint_updates() {
+    let cfg = psketch_repro::ir::Config::default();
+    let l = lowered(
+        "int a; int b; int c;
+         harness void main() {
+             fork (i; 3) {
+                 if (i == 0) { a = a + 1; a = a + 1; }
+                 else { if (i == 1) { b = b + 1; b = b + 1; }
+                        else { c = c + 1; c = c + 1; } }
+             }
+             assert a == 2 && b == 2 && c == 2;
+         }",
+        &cfg,
+    );
+    let a = l.holes.identity_assignment();
+    let full = check_with_limits(&l, &a, &limits(false));
+    let red = check_with_limits(&l, &a, &limits(true));
+    assert!(full.is_ok() && red.is_ok());
+    assert!(
+        red.stats.states < full.stats.states,
+        "reduction did not prune: {} vs {}",
+        red.stats.states,
+        full.stats.states
+    );
+    assert!(red.stats.por_ample_hits > 0);
+    assert!(red.stats.states_pruned > 0);
+    assert_eq!(full.stats.por_ample_hits, 0);
 }
 
 /// The undo engine's accounting must reflect its zero-clone design:
@@ -205,7 +333,7 @@ fn accounting_reflects_engine_design() {
         &cfg,
     );
     let a = l.holes.identity_assignment();
-    let new = check_with_limit(&l, &a, MAX_STATES);
+    let new = check_with_limits(&l, &a, &limits(false));
     assert!(new.is_ok());
     assert!(new.stats.journal_writes > 0, "undo engine records writes");
     assert_eq!(
