@@ -7,9 +7,18 @@
 //! the host's available cores — the `cores` field in the meta block
 //! records how many were present when the numbers were taken.
 //!
+//! Every cell also carries a `prescreen` column: the sequential and
+//! portfolio baselines are measured twice, once with the schedule-bank
+//! prescreen (the default) and once with `prescreen: false`, so the
+//! report doubles as the prescreen ablation. `prescreen_hits` /
+//! `checker_calls_avoided` count the full checker invocations the bank
+//! turned into O(trace) replays.
+//!
 //! Usage: `cargo run --release -p psketch-bench --bin bench_cegis
-//! [output.json]` (default `BENCH_cegis.json` in the current
-//! directory).
+//! [--smoke] [output.json]` (default `BENCH_cegis.json` in the current
+//! directory). `--smoke` takes one sample per cell instead of three:
+//! CI uses it to validate that the harness runs and the report parses,
+//! not to take publishable numbers.
 
 use psketch_bench::{Harness, JsonValue, JsonWriter};
 use psketch_core::{Options, Synthesis};
@@ -25,14 +34,33 @@ const SKETCHES: &[(&str, &str)] = &[
     ("fineset2", "ar(ar|ar)"),
 ];
 
+/// `(threads, portfolio, prescreen)` cells. The prescreen-off rows
+/// mirror the two baselines so on/off pairs share a configuration.
+const CONFIGS: &[(usize, usize, bool)] = &[
+    (1, 1, true),
+    (1, 1, false),
+    (2, 1, true),
+    (4, 1, true),
+    (8, 1, true),
+    (1, 3, true),
+    (1, 3, false),
+    (4, 3, true),
+];
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_cegis.json".to_string());
+    let mut smoke = false;
+    let mut out_path = "BENCH_cegis.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let h = Harness::with_samples(3);
+    let h = Harness::unfiltered(if smoke { 1 } else { 3 });
     let mut w = JsonWriter::new();
 
     let runs = figure9_runs();
@@ -41,13 +69,15 @@ fn main() {
             .iter()
             .find(|r| r.benchmark == *benchmark && r.test == *test)
             .expect("sketch is a Figure 9 row");
-        for (threads, portfolio) in [(1, 1), (2, 1), (4, 1), (8, 1), (1, 3), (4, 3)] {
+        for &(threads, portfolio, prescreen) in CONFIGS {
             let options = Options {
                 threads,
                 portfolio,
+                prescreen,
                 ..run.options.clone()
             };
-            let id = format!("cegis/{benchmark}/{test}/t{threads}p{portfolio}");
+            let tag = if prescreen { "" } else { "-nopre" };
+            let id = format!("cegis/{benchmark}/{test}/t{threads}p{portfolio}{tag}");
             let last = RefCell::new(None);
             let m = h
                 .bench(&id, || {
@@ -63,6 +93,7 @@ fn main() {
                 ("sketch", JsonValue::Str(format!("{benchmark}/{test}"))),
                 ("threads", JsonValue::Int(threads as i64)),
                 ("portfolio", JsonValue::Int(portfolio as i64)),
+                ("prescreen", JsonValue::Bool(prescreen)),
                 ("secs_median", JsonValue::Num(m.median.as_secs_f64())),
                 ("secs_min", JsonValue::Num(m.min.as_secs_f64())),
                 ("states", JsonValue::Int(out.stats.states as i64)),
@@ -76,6 +107,19 @@ fn main() {
                     "portfolio_width",
                     JsonValue::Int(out.stats.portfolio_width as i64),
                 ),
+                (
+                    "prescreen_hits",
+                    JsonValue::Int(out.stats.prescreen_hits as i64),
+                ),
+                (
+                    "prescreen_replays",
+                    JsonValue::Int(out.stats.prescreen_replays as i64),
+                ),
+                (
+                    "checker_calls_avoided",
+                    JsonValue::Int(out.stats.checker_calls_avoided as i64),
+                ),
+                ("bank_size", JsonValue::Int(out.stats.bank_size as i64)),
                 (
                     "sat_decisions",
                     JsonValue::Int(out.stats.sat_decisions as i64),
@@ -105,15 +149,18 @@ fn main() {
     }
 
     let doc = w.render(&[
-        ("schema", JsonValue::Int(1)),
+        ("schema", JsonValue::Int(2)),
         ("suite", JsonValue::Str("cegis_thread_scaling".into())),
         ("cores", JsonValue::Int(cores as i64)),
         ("samples", JsonValue::Int(h.samples as i64)),
+        ("smoke", JsonValue::Bool(smoke)),
         (
             "note",
             JsonValue::Str(
-                "speedup from threads > cores is not expected; \
-                 compare against the cores field"
+                "speedup from threads > cores is not expected; compare \
+                 against the cores field. prescreen=false rows are the \
+                 schedule-bank ablation: compare them against the \
+                 prescreen=true row with the same threads/portfolio"
                     .into(),
             ),
         ),

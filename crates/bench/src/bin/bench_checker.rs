@@ -131,6 +131,12 @@ fn main() {
         for (engine, check) in engines {
             let id = format!("checker/{}/{engine}", load.name);
             let last = RefCell::new(None);
+            // Peak RSS is process-wide and monotonic, so it can't
+            // attribute memory to a single cell. Instead sample the
+            // current RSS around the run and report the growth this
+            // engine caused (clamped at zero: the allocator may also
+            // return pages between runs).
+            let rss_before = mem::current_rss_bytes();
             let m = h
                 .bench(&id, || {
                     let out = check(black_box(lowered), black_box(&candidate));
@@ -141,6 +147,9 @@ fn main() {
                     *last.borrow_mut() = Some(out);
                 })
                 .expect("no filter in use");
+            let rss_delta = mem::current_rss_bytes()
+                .zip(rss_before)
+                .map(|(after, before)| after.saturating_sub(before));
             let out = last.into_inner().expect("ran at least once");
             let states_per_sec = out.stats.states as f64 / m.median.as_secs_f64();
             w.record(&[
@@ -176,8 +185,8 @@ fn main() {
                     JsonValue::Int(out.stats.states_pruned as i64),
                 ),
                 (
-                    "peak_memory_bytes",
-                    match mem::peak_rss_bytes() {
+                    "rss_delta_bytes",
+                    match rss_delta {
                         Some(b) => JsonValue::Int(b as i64),
                         None => JsonValue::Str("n/a".into()),
                     },
@@ -187,7 +196,7 @@ fn main() {
     }
 
     let doc = w.render(&[
-        ("schema", JsonValue::Int(1)),
+        ("schema", JsonValue::Int(2)),
         ("suite", JsonValue::Str("checker_engine_throughput".into())),
         ("cores", JsonValue::Int(cores as i64)),
         ("samples", JsonValue::Int(h.samples as i64)),
@@ -197,9 +206,11 @@ fn main() {
             JsonValue::Str(
                 "undo and clone sweep the identical state space of the \
                  resolved candidate; undo-por explores a sound subset \
-                 via ample-set reduction; peak_memory_bytes is \
-                 process-wide and monotonic, so later rows inherit \
-                 earlier peaks"
+                 via ample-set reduction; rss_delta_bytes is the \
+                 resident-set growth sampled around each cell's runs \
+                 (0 when the allocator reused earlier capacity), \
+                 replacing the old process-wide monotonic peak that \
+                 later rows inherited"
                     .into(),
             ),
         ),

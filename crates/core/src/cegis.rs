@@ -3,8 +3,8 @@
 use crate::mem;
 use crate::telemetry::{BudgetKind, BudgetTrip, IterationRecord, RunReport};
 use psketch_exec::{
-    check_parallel_limits, check_with_limits, random_run, CexTrace, Interrupt, SearchLimits,
-    Verdict,
+    check_parallel_limits, check_with_limits, random_run, CexTrace, FailureKind, Interrupt,
+    ScheduleBank, SearchLimits, Verdict,
 };
 use psketch_ir::{desugar, lower, resolve, Assignment, Config, Lowered};
 use psketch_lang::ast::Program;
@@ -84,6 +84,15 @@ pub struct Options {
     /// (on by default). Sound for every verdict the checker reports;
     /// turn off to force full interleaving expansion (`--no-por`).
     pub por: bool,
+    /// Schedule-bank prescreening (on by default): before any sampling
+    /// or exhaustive search, each candidate is replayed against the
+    /// interleavings that killed earlier candidates ([`ScheduleBank`]).
+    /// A hit refutes in O(trace) time; prescreening never accepts, so
+    /// turning it off (`--no-prescreen`) changes cost, not verdicts.
+    pub prescreen: bool,
+    /// Maximum schedules the bank retains before evicting the entry
+    /// with the fewest kills (`--bank-cap`).
+    pub bank_capacity: usize,
 }
 
 impl Default for Options {
@@ -100,6 +109,8 @@ impl Default for Options {
             state_budget: None,
             memory_budget: None,
             por: true,
+            prescreen: true,
+            bank_capacity: 64,
         }
     }
 }
@@ -172,6 +183,17 @@ pub struct CegisStats {
     /// States explored per second of verifier search time
     /// (`states / v_solve`); `0.0` when no search ran.
     pub states_per_sec: f64,
+    /// Candidates refuted by a banked schedule before any sampling or
+    /// exhaustive search (prescreen hits, cumulative).
+    pub prescreen_hits: u64,
+    /// Banked schedules replayed by the prescreen pass (cumulative).
+    pub prescreen_replays: u64,
+    /// Full checker invocations the prescreen made unnecessary —
+    /// exactly the hit count; kept as its own column so the ablation
+    /// reads directly off the report.
+    pub checker_calls_avoided: u64,
+    /// Schedule-bank occupancy after the last verification call.
+    pub bank_size: u64,
 }
 
 /// A successful resolution.
@@ -320,6 +342,11 @@ impl Synthesis {
         let mut definitely_unresolvable = false;
         let width = self.options.portfolio.max(1);
 
+        // One bank for the whole run: schedules found in any iteration
+        // (by any portfolio worker) prescreen every later candidate.
+        let bank = (self.options.prescreen && self.mode == Mode::Harness)
+            .then(|| ScheduleBank::new(self.options.bank_capacity));
+
         let deadline = self.options.wall_timeout.map(|d| t0 + d);
         let cancel = Arc::new(AtomicBool::new(false));
         let trip: Mutex<Option<BudgetTrip>> = Mutex::new(None);
@@ -425,14 +452,18 @@ impl Synthesis {
                 stats.portfolio_width = stats.portfolio_width.max(batch_width);
                 let trace_set = synth.stats.observations;
                 let tv = Instant::now();
-                let results = self.verify_batch(&candidates, base, &limits);
+                let results = self.verify_batch(&candidates, base, &limits, bank.as_ref());
                 stats.v_solve += tv.elapsed();
                 for (_, effort) in &results {
                     stats.merge_effort(effort);
                 }
                 // A correct candidate wins; otherwise every trace
-                // feeds back as one observation batch.
+                // feeds back as one observation batch. Portfolio
+                // siblings often die on the same interleaving, and the
+                // trace projection is candidate-independent, so
+                // identical traces within the batch are encoded once.
                 let mut unknown: Option<Interrupt> = None;
+                let mut fed: std::collections::HashSet<TraceKey> = std::collections::HashSet::new();
                 for (ix, (candidate, (result, effort))) in
                     candidates.into_iter().zip(results).enumerate()
                 {
@@ -459,6 +490,9 @@ impl Synthesis {
                         por_ample_hits: effort.por_ample_hits,
                         por_fallbacks: effort.por_fallbacks,
                         states_pruned: effort.states_pruned,
+                        prescreen_hit: effort.prescreen_hit,
+                        prescreen_replays: effort.prescreen_replays,
+                        bank_size: effort.bank_size,
                     });
                     match result {
                         VerifyResult::Correct => {
@@ -469,7 +503,11 @@ impl Synthesis {
                             });
                             break 'cegis;
                         }
-                        VerifyResult::Trace(cex) => synth.add_trace(&cex),
+                        VerifyResult::Trace(cex) => {
+                            if fed.insert(trace_key(&cex)) {
+                                synth.add_trace(&cex);
+                            }
+                        }
                         VerifyResult::Input(x) => synth.add_input(&x),
                         VerifyResult::Unknown(why) => unknown = Some(why),
                     }
@@ -591,6 +629,10 @@ impl Synthesis {
             por_fallbacks: st.por_fallbacks,
             states_pruned: st.states_pruned,
             states_per_sec: st.states_per_sec,
+            prescreen_hits: st.prescreen_hits,
+            prescreen_replays: st.prescreen_replays,
+            checker_calls_avoided: st.checker_calls_avoided,
+            bank_size: st.bank_size,
             sat_decisions: st.sat_decisions,
             sat_propagations: st.sat_propagations,
             sat_conflicts: st.sat_conflicts,
@@ -611,7 +653,7 @@ impl Synthesis {
     /// Verifies one candidate, returning its counterexample if any.
     /// Exposed for tests and tooling.
     pub fn verify_candidate(&self, candidate: &Assignment) -> Option<CexTrace> {
-        match self.verify_once(candidate, 0, &self.base_limits()).0 {
+        match self.verify_once(candidate, 0, &self.base_limits(), None).0 {
             VerifyResult::Trace(t) => Some(t),
             _ => None,
         }
@@ -625,16 +667,22 @@ impl Synthesis {
         candidates: &[Assignment],
         base: usize,
         limits: &SearchLimits,
+        bank: Option<&ScheduleBank>,
     ) -> Vec<(VerifyResult, VerifyEffort)> {
         match candidates {
-            [one] => vec![self.verify_once(one, base + 1, limits)],
+            [one] => vec![self.verify_once(one, base + 1, limits, bank)],
             many => std::thread::scope(|scope| {
                 let handles: Vec<_> = many
                     .iter()
                     .enumerate()
-                    .map(|(ix, c)| scope.spawn(move || self.verify_once(c, base + ix + 1, limits)))
+                    .map(|(ix, c)| {
+                        scope.spawn(move || self.verify_once(c, base + ix + 1, limits, bank))
+                    })
                     .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("portfolio verifier thread panicked"))
+                    .collect()
             }),
         }
     }
@@ -644,18 +692,37 @@ impl Synthesis {
         candidate: &Assignment,
         iteration: usize,
         limits: &SearchLimits,
+        bank: Option<&ScheduleBank>,
     ) -> (VerifyResult, VerifyEffort) {
         let t0 = Instant::now();
         let mut effort = VerifyEffort::default();
         let threads = self.options.threads.max(1);
         let result = match &self.mode {
             Mode::Harness => {
+                // Prescreen: replay the schedules that killed earlier
+                // candidates before paying for any search. A hit is a
+                // real execution of *this* candidate, so returning its
+                // trace is sound; a miss just falls through.
+                if let Some(bank) = bank {
+                    let (hit, bs) = bank.prescreen(&self.lowered, candidate);
+                    effort.prescreen_replays = bs.replays;
+                    effort.bank_size = bs.size;
+                    if let Some(cex) = hit {
+                        effort.prescreen_hit = true;
+                        effort.duration = t0.elapsed();
+                        return (VerifyResult::Trace(cex), effort);
+                    }
+                }
                 if let VerifierKind::Hybrid { samples } = self.options.verifier {
                     if let Some(cex) =
                         self.sample_schedules(candidate, iteration, samples, threads, limits)
                     {
                         effort.sampled_refutation = true;
                         effort.duration = t0.elapsed();
+                        if let Some(bank) = bank {
+                            bank.record(&cex.schedule);
+                            effort.bank_size = bank.len() as u64;
+                        }
                         return (VerifyResult::Trace(cex), effort);
                     }
                 }
@@ -675,7 +742,13 @@ impl Synthesis {
                 effort.per_thread_states = out.per_thread_states;
                 match out.verdict {
                     Verdict::Pass => VerifyResult::Correct,
-                    Verdict::Fail(cex) => VerifyResult::Trace(cex),
+                    Verdict::Fail(cex) => {
+                        if let Some(bank) = bank {
+                            bank.record(&cex.schedule);
+                            effort.bank_size = bank.len() as u64;
+                        }
+                        VerifyResult::Trace(cex)
+                    }
                     Verdict::Unknown(why) => VerifyResult::Unknown(why),
                 }
             }
@@ -785,7 +858,7 @@ impl Synthesis {
                 break;
             };
             match self
-                .verify_once(&candidate, iterations, &self.base_limits())
+                .verify_once(&candidate, iterations, &self.base_limits(), None)
                 .0
             {
                 VerifyResult::Correct => {
@@ -836,6 +909,31 @@ struct VerifyEffort {
     por_ample_hits: u64,
     por_fallbacks: u64,
     states_pruned: u64,
+    prescreen_hit: bool,
+    prescreen_replays: u64,
+    bank_size: u64,
+}
+
+/// Identity of a counterexample for within-batch deduplication: the
+/// executed steps, the failure site and the deadlock set pin the
+/// symbolic projection completely (the projection is independent of
+/// which candidate produced the trace).
+type TraceKey = (
+    Vec<(usize, usize)>,
+    std::mem::Discriminant<FailureKind>,
+    usize,
+    usize,
+    Vec<(usize, usize)>,
+);
+
+fn trace_key(cex: &CexTrace) -> TraceKey {
+    (
+        cex.steps.clone(),
+        std::mem::discriminant(&cex.failure.kind),
+        cex.failure.tid,
+        cex.failure.step,
+        cex.deadlock.clone(),
+    )
 }
 
 /// Records the first budget trip; later trips lose.
@@ -859,6 +957,12 @@ impl CegisStats {
         if effort.sampled_refutation {
             self.sampled_refutations += 1;
         }
+        if effort.prescreen_hit {
+            self.prescreen_hits += 1;
+            self.checker_calls_avoided += 1;
+        }
+        self.prescreen_replays += effort.prescreen_replays;
+        self.bank_size = self.bank_size.max(effort.bank_size);
         if self.per_thread_states.len() < effort.per_thread_states.len() {
             self.per_thread_states
                 .resize(effort.per_thread_states.len(), 0);
@@ -1216,6 +1320,80 @@ mod tests {
         .run();
         let r = out.resolution.expect("resolvable");
         assert_eq!(r.assignment.value(0), 1);
+    }
+
+    #[test]
+    fn prescreen_refutes_repeat_offenders() {
+        // Reorder holes change the step sequence, so one candidate's
+        // trace projection does not exclude the next candidate — but
+        // most wrong permutations die on the same worker interleaving,
+        // which is exactly what the schedule bank replays.
+        let src = "struct Lock { int owner = -1; }
+             Lock lk; int g;
+             void lock(Lock l) { atomic (l.owner == -1) { l.owner = pid(); } }
+             void unlock(Lock l) { assert l.owner == pid(); l.owner = -1; }
+             harness void main() {
+                 lk = new Lock();
+                 fork (i; 2) {
+                     int t = 0;
+                     reorder {
+                         lock(lk);
+                         t = g;
+                         g = t + 1;
+                         unlock(lk);
+                     }
+                 }
+                 assert g == 2;
+             }";
+        let on = Synthesis::new(src, Options::default()).unwrap().run();
+        let off = Synthesis::new(
+            src,
+            Options {
+                prescreen: false,
+                ..Options::default()
+            },
+        )
+        .unwrap()
+        .run();
+        // Prescreening only refutes, never accepts: same resolution.
+        let a = on.resolution.expect("resolvable with prescreen");
+        let b = off.resolution.expect("resolvable without prescreen");
+        assert_eq!(a.assignment, b.assignment);
+        assert!(on.stats.prescreen_replays > 0, "bank must be consulted");
+        assert!(on.stats.prescreen_hits > 0, "repeat offenders must hit");
+        assert_eq!(on.stats.checker_calls_avoided, on.stats.prescreen_hits);
+        assert!(on.stats.bank_size > 0);
+        assert_eq!(off.stats.prescreen_hits, 0);
+        assert_eq!(off.stats.prescreen_replays, 0);
+        assert_eq!(off.stats.bank_size, 0);
+    }
+
+    #[test]
+    fn portfolio_batch_feeds_duplicate_traces_once() {
+        // Every candidate in the batch dies on the identical prologue
+        // trace (the steps don't depend on the hole value), so the
+        // batch must encode one observation, not four.
+        let opts = Options {
+            portfolio: 4,
+            prescreen: false,
+            ..Options::default()
+        };
+        let s = Synthesis::new(
+            "int g; harness void main() { g = ??(3); assert g == 9; }",
+            opts,
+        )
+        .unwrap();
+        let (out, report) = s.run_report();
+        assert!(out.definitely_unresolvable);
+        let first = report.records.iter().find(|r| r.batch == 1).unwrap();
+        assert_eq!(first.batch_width, 4);
+        assert_eq!(first.trace_set, 0);
+        if let Some(second) = report.records.iter().find(|r| r.batch == 2) {
+            assert_eq!(
+                second.trace_set, 1,
+                "four identical batch-1 traces must feed back as one observation"
+            );
+        }
     }
 
     #[test]

@@ -49,6 +49,13 @@ pub fn render_stats(name: &str, test: &str, outcome: &Outcome) -> String {
         "  checker: transitions = {}  terminal = {}  sampled refutations = {}",
         st.transitions, st.terminal_states, st.sampled_refutations
     );
+    if st.prescreen_replays > 0 {
+        let _ = writeln!(
+            out,
+            "  prescreen: hits = {}  replays = {}  checker calls avoided = {}  bank = {}",
+            st.prescreen_hits, st.prescreen_replays, st.checker_calls_avoided, st.bank_size
+        );
+    }
     let _ = writeln!(
         out,
         "  sat: decisions = {}  propagations = {}  conflicts = {}  restarts = {}",

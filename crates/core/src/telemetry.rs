@@ -107,6 +107,13 @@ pub struct IterationRecord {
     pub por_fallbacks: u64,
     /// Worker expansions the reduction skipped at ample states.
     pub states_pruned: u64,
+    /// Candidate refuted by a banked schedule — both the sampling and
+    /// the exhaustive search were skipped.
+    pub prescreen_hit: bool,
+    /// Banked schedules replayed while prescreening this candidate.
+    pub prescreen_replays: u64,
+    /// Schedule-bank occupancy observed by this verification call.
+    pub bank_size: u64,
 }
 
 /// The machine-readable run report: run-level summary plus one
@@ -169,6 +176,15 @@ pub struct RunReport {
     pub states_pruned: u64,
     /// States explored per second of verifier search time.
     pub states_per_sec: f64,
+    /// Candidates refuted by a banked schedule before any search.
+    pub prescreen_hits: u64,
+    /// Banked schedules replayed across all prescreen passes.
+    pub prescreen_replays: u64,
+    /// Full checker invocations made unnecessary by the prescreen
+    /// (equals `prescreen_hits`; kept as its own ablation column).
+    pub checker_calls_avoided: u64,
+    /// Schedule-bank occupancy at the end of the run.
+    pub bank_size: u64,
     /// Synthesizer SAT decisions.
     pub sat_decisions: u64,
     /// Synthesizer SAT unit propagations.
@@ -184,7 +200,12 @@ pub struct RunReport {
 impl RunReport {
     /// Current report schema version. Bump when a field is renamed or
     /// removed; adding fields is backward compatible.
-    pub const SCHEMA: u32 = 1;
+    ///
+    /// v2: schedule-bank prescreen counters (`prescreen_hits`,
+    /// `prescreen_replays`, `checker_calls_avoided`, `bank_size` at
+    /// run level; `prescreen_hit`, `prescreen_replays`, `bank_size`
+    /// per iteration).
+    pub const SCHEMA: u32 = 2;
 
     /// Serialises the report as a JSON object (two-space indented).
     pub fn to_json(&self) -> String {
@@ -245,6 +266,16 @@ impl RunReport {
         o.field("por_fallbacks", Json::from(self.por_fallbacks as i64));
         o.field("states_pruned", Json::from(self.states_pruned as i64));
         o.field("states_per_sec", Json::Num(self.states_per_sec));
+        o.field("prescreen_hits", Json::from(self.prescreen_hits as i64));
+        o.field(
+            "prescreen_replays",
+            Json::from(self.prescreen_replays as i64),
+        );
+        o.field(
+            "checker_calls_avoided",
+            Json::from(self.checker_calls_avoided as i64),
+        );
+        o.field("bank_size", Json::from(self.bank_size as i64));
         o.field("sat_decisions", Json::from(self.sat_decisions as i64));
         o.field("sat_propagations", Json::from(self.sat_propagations as i64));
         o.field("sat_conflicts", Json::from(self.sat_conflicts as i64));
@@ -278,6 +309,12 @@ impl IterationRecord {
         o.field("por_ample_hits", Json::from(self.por_ample_hits as i64));
         o.field("por_fallbacks", Json::from(self.por_fallbacks as i64));
         o.field("states_pruned", Json::from(self.states_pruned as i64));
+        o.field("prescreen_hit", Json::Bool(self.prescreen_hit));
+        o.field(
+            "prescreen_replays",
+            Json::from(self.prescreen_replays as i64),
+        );
+        o.field("bank_size", Json::from(self.bank_size as i64));
         o.finish()
     }
 }
@@ -773,6 +810,10 @@ mod tests {
             por_fallbacks: 3,
             states_pruned: 20,
             states_per_sec: 25.0,
+            prescreen_hits: 5,
+            prescreen_replays: 17,
+            checker_calls_avoided: 5,
+            bank_size: 6,
             sat_decisions: 9,
             sat_propagations: 101,
             sat_conflicts: 3,
@@ -795,11 +836,14 @@ mod tests {
                 por_ample_hits: 8,
                 por_fallbacks: 1,
                 states_pruned: 13,
+                prescreen_hit: true,
+                prescreen_replays: 3,
+                bank_size: 2,
             }],
         };
         let text = report.to_json();
         let v = Json::parse(&text).expect("report must be valid JSON");
-        assert_eq!(v.get("schema").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("schema").unwrap().as_f64(), Some(2.0));
         assert_eq!(v.get("resolvable").unwrap().as_str(), Some("unknown"));
         assert_eq!(v.get("resolution"), Some(&Json::Null));
         let trip = v.get("budget_trip").unwrap();
@@ -817,6 +861,10 @@ mod tests {
         assert_eq!(v.get("por_fallbacks").unwrap().as_f64(), Some(3.0));
         assert_eq!(v.get("states_pruned").unwrap().as_f64(), Some(20.0));
         assert_eq!(v.get("states_per_sec").unwrap().as_f64(), Some(25.0));
+        assert_eq!(v.get("prescreen_hits").unwrap().as_f64(), Some(5.0));
+        assert_eq!(v.get("prescreen_replays").unwrap().as_f64(), Some(17.0));
+        assert_eq!(v.get("checker_calls_avoided").unwrap().as_f64(), Some(5.0));
+        assert_eq!(v.get("bank_size").unwrap().as_f64(), Some(6.0));
         let recs = v.get("records").unwrap().as_arr().unwrap();
         assert_eq!(recs.len(), 1);
         let r = &recs[0];
@@ -826,6 +874,9 @@ mod tests {
         assert_eq!(r.get("state_clones").unwrap().as_f64(), Some(2.0));
         assert_eq!(r.get("por_ample_hits").unwrap().as_f64(), Some(8.0));
         assert_eq!(r.get("states_pruned").unwrap().as_f64(), Some(13.0));
+        assert_eq!(r.get("prescreen_hit").unwrap().as_bool(), Some(true));
+        assert_eq!(r.get("prescreen_replays").unwrap().as_f64(), Some(3.0));
+        assert_eq!(r.get("bank_size").unwrap().as_f64(), Some(2.0));
         let per = r.get("per_thread_states").unwrap().as_arr().unwrap();
         assert_eq!(per.iter().filter_map(Json::as_f64).sum::<f64>(), 60.0);
     }

@@ -222,30 +222,62 @@ pub(crate) fn early_failure_stats(steps: &[(ThreadId, usize)]) -> CheckStats {
 /// enabled workers then run round-robin; the epilogue follows. Returns
 /// the failure trace, if the schedule hits one.
 ///
-/// Intended for tests and for double-checking counterexamples.
+/// Fully deterministic: the same lowered program, candidate and
+/// schedule always produce the same execution. A returned trace
+/// carries the workers *actually* fired as its own `schedule`, so it
+/// replays exactly even when the input schedule skipped disabled
+/// entries. Used by tests, counterexample double-checking and the
+/// schedule-bank prescreen ([`crate::ScheduleBank`]).
 pub fn replay(l: &Lowered, candidate: &Assignment, schedule: &[usize]) -> Option<CexTrace> {
+    replay_fp(l, candidate, schedule).0
+}
+
+/// As [`replay`], additionally returning the fingerprint of the final
+/// state the execution reached (after the epilogue on clean runs, at
+/// the failing state otherwise). The fingerprint pins replay
+/// determinism in tests: two replays of one schedule must end in
+/// states that fingerprint identically.
+pub fn replay_fp(
+    l: &Lowered,
+    candidate: &Assignment,
+    schedule: &[usize],
+) -> (Option<CexTrace>, u64) {
     let ck = Checker::new(l, candidate);
     let mut buf = ck.initial_buf();
     let mut j = UndoJournal::new();
     let mut trace: Vec<(ThreadId, usize)> = Vec::new();
+    let mut fired: Vec<u32> = Vec::new();
     match ck.run_seq(0, &l.prologue, &mut buf, &mut j) {
         Ok(steps) => trace.extend(steps),
         Err((steps, failure)) => {
             trace.extend(steps);
-            return Some(CexTrace {
-                steps: trace,
-                failure,
-                deadlock: vec![],
-            });
+            let fp = ck.fingerprint_state(&buf);
+            return (
+                Some(CexTrace {
+                    steps: trace,
+                    failure,
+                    deadlock: vec![],
+                    schedule: vec![],
+                }),
+                fp,
+            );
         }
     }
-    if let Err((steps, failure)) = ck.advance_all(&mut buf, &mut j) {
-        trace.extend(steps);
-        return Some(CexTrace {
-            steps: trace,
-            failure,
-            deadlock: vec![],
-        });
+    match ck.advance_all(&mut buf, &mut j) {
+        Ok(steps) => trace.extend(steps),
+        Err((steps, failure)) => {
+            trace.extend(steps);
+            let fp = ck.fingerprint_state(&buf);
+            return (
+                Some(CexTrace {
+                    steps: trace,
+                    failure,
+                    deadlock: vec![],
+                    schedule: vec![],
+                }),
+                fp,
+            );
+        }
     }
     let mut queue: Vec<usize> = schedule.to_vec();
     loop {
@@ -255,41 +287,60 @@ pub fn replay(l: &Lowered, candidate: &Assignment, schedule: &[usize]) -> Option
             .map(|ix| queue.remove(ix))
             .or_else(|| (0..ck.nworkers()).find(|&t| ck.enabled(&buf, t)));
         match pick {
-            Some(t) => match ck.fire(&mut buf, &mut j, t) {
-                Ok(steps) => trace.extend(steps),
-                Err((steps, failure)) => {
-                    trace.extend(steps);
-                    return Some(CexTrace {
-                        steps: trace,
-                        failure,
-                        deadlock: vec![],
-                    });
+            Some(t) => {
+                fired.push(t as u32);
+                match ck.fire(&mut buf, &mut j, t) {
+                    Ok(steps) => trace.extend(steps),
+                    Err((steps, failure)) => {
+                        trace.extend(steps);
+                        let fp = ck.fingerprint_state(&buf);
+                        return (
+                            Some(CexTrace {
+                                steps: trace,
+                                failure,
+                                deadlock: vec![],
+                                schedule: fired,
+                            }),
+                            fp,
+                        );
+                    }
                 }
-            },
+            }
             None => break,
         }
     }
     if !ck.all_finished(&buf) {
         let deadlock = ck.blocked_positions(&buf);
         let failure = ck.deadlock_failure(&buf);
-        return Some(CexTrace {
-            steps: trace,
-            failure,
-            deadlock,
-        });
+        let fp = ck.fingerprint_state(&buf);
+        return (
+            Some(CexTrace {
+                steps: trace,
+                failure,
+                deadlock,
+                schedule: fired,
+            }),
+            fp,
+        );
     }
     match ck.run_seq(l.epilogue_tid(), &l.epilogue, &mut buf, &mut j) {
         Ok(steps) => {
             trace.extend(steps);
-            None
+            let fp = ck.fingerprint_state(&buf);
+            (None, fp)
         }
         Err((steps, failure)) => {
             trace.extend(steps);
-            Some(CexTrace {
-                steps: trace,
-                failure,
-                deadlock: vec![],
-            })
+            let fp = ck.fingerprint_state(&buf);
+            (
+                Some(CexTrace {
+                    steps: trace,
+                    failure,
+                    deadlock: vec![],
+                    schedule: fired,
+                }),
+                fp,
+            )
         }
     }
 }
@@ -311,6 +362,7 @@ pub fn random_run(l: &Lowered, candidate: &Assignment, seed: u64) -> Option<CexT
         rng
     };
     let mut trace: Vec<(ThreadId, usize)> = Vec::new();
+    let mut fired: Vec<u32> = Vec::new();
     let mut buf = ck.initial_buf();
     let mut j = UndoJournal::new();
     match ck.run_seq(0, &l.prologue, &mut buf, &mut j) {
@@ -321,6 +373,7 @@ pub fn random_run(l: &Lowered, candidate: &Assignment, seed: u64) -> Option<CexT
                 steps: trace,
                 failure,
                 deadlock: vec![],
+                schedule: vec![],
             });
         }
     }
@@ -332,6 +385,7 @@ pub fn random_run(l: &Lowered, candidate: &Assignment, seed: u64) -> Option<CexT
                 steps: trace,
                 failure,
                 deadlock: vec![],
+                schedule: vec![],
             });
         }
     }
@@ -343,6 +397,7 @@ pub fn random_run(l: &Lowered, candidate: &Assignment, seed: u64) -> Option<CexT
             break;
         }
         let w = enabled[(next() as usize) % enabled.len()];
+        fired.push(w as u32);
         match ck.fire(&mut buf, &mut j, w) {
             Ok(steps) => trace.extend(steps),
             Err((steps, failure)) => {
@@ -351,6 +406,7 @@ pub fn random_run(l: &Lowered, candidate: &Assignment, seed: u64) -> Option<CexT
                     steps: trace,
                     failure,
                     deadlock: vec![],
+                    schedule: fired,
                 });
             }
         }
@@ -362,6 +418,7 @@ pub fn random_run(l: &Lowered, candidate: &Assignment, seed: u64) -> Option<CexT
             steps: trace,
             failure,
             deadlock,
+            schedule: fired,
         });
     }
     match ck.run_seq(l.epilogue_tid(), &l.epilogue, &mut buf, &mut j) {
@@ -372,6 +429,7 @@ pub fn random_run(l: &Lowered, candidate: &Assignment, seed: u64) -> Option<CexT
                 steps: trace,
                 failure,
                 deadlock: vec![],
+                schedule: fired,
             })
         }
     }
@@ -812,6 +870,7 @@ impl<'a> Checker<'a> {
                         steps,
                         failure,
                         deadlock: vec![],
+                        schedule: vec![],
                     }),
                     stats,
                     per_thread_states: vec![stats.states],
@@ -840,6 +899,7 @@ impl<'a> Checker<'a> {
                         steps: all,
                         failure,
                         deadlock: vec![],
+                        schedule: vec![],
                     }),
                     stats,
                     per_thread_states: vec![stats.states],
@@ -926,6 +986,16 @@ impl<'a> Checker<'a> {
                 t.extend(extra);
                 t
             };
+        // The transition-level schedule to the current state: each
+        // non-root frame records the worker whose fire created it;
+        // `extra` is the failing fire not yet on the stack.
+        let build_schedule = |stack: &[Frame], extra: Option<usize>| -> Vec<u32> {
+            let mut s: Vec<u32> = stack.iter().skip(1).map(|f| f.fired as u32).collect();
+            if let Some(w) = extra {
+                s.push(w as u32);
+            }
+            s
+        };
 
         let nworkers = self.nworkers();
         let mut tick = 0usize;
@@ -981,11 +1051,13 @@ impl<'a> Checker<'a> {
                             }
                             Err((esteps, failure)) => {
                                 let steps = build_trace(&stack, esteps);
+                                let schedule = build_schedule(&stack, None);
                                 return CheckOutcome {
                                     verdict: Verdict::Fail(CexTrace {
                                         steps,
                                         failure,
                                         deadlock: vec![],
+                                        schedule,
                                     }),
                                     stats: *stats,
                                     per_thread_states: vec![stats.states],
@@ -996,11 +1068,13 @@ impl<'a> Checker<'a> {
                         let failure = self.deadlock_failure(&buf);
                         let deadlock = self.blocked_positions(&buf);
                         let steps = build_trace(&stack, vec![]);
+                        let schedule = build_schedule(&stack, None);
                         return CheckOutcome {
                             verdict: Verdict::Fail(CexTrace {
                                 steps,
                                 failure,
                                 deadlock,
+                                schedule,
                             }),
                             stats: *stats,
                             per_thread_states: vec![stats.states],
@@ -1079,11 +1153,13 @@ impl<'a> Checker<'a> {
                     }
                     Err((executed, failure)) => {
                         let steps = build_trace(&stack, executed);
+                        let schedule = build_schedule(&stack, Some(w));
                         return CheckOutcome {
                             verdict: Verdict::Fail(CexTrace {
                                 steps,
                                 failure,
                                 deadlock: vec![],
+                                schedule,
                             }),
                             stats: *stats,
                             per_thread_states: vec![stats.states],
@@ -1391,16 +1467,14 @@ mod tests {
         let a = l.holes.identity_assignment();
         let out = check(&l, &a);
         let cex = out.counterexample().unwrap();
-        // The interleaving 0,1,0,1… (by trace worker order) must fail
-        // the same way when replayed.
-        let order: Vec<usize> = cex
-            .steps
-            .iter()
-            .filter(|(t, _)| *t >= 1 && *t <= l.workers.len())
-            .map(|(t, _)| t - 1)
-            .collect();
+        // The trace carries its exact transition-level schedule:
+        // replaying it must reproduce the identical execution.
+        let order: Vec<usize> = cex.schedule.iter().map(|&w| w as usize).collect();
         let replayed = replay(&l, &a, &order).expect("replay fails too");
         assert_eq!(replayed.failure.kind, cex.failure.kind);
+        assert_eq!(replayed.failure.tid, cex.failure.tid);
+        assert_eq!(replayed.steps, cex.steps, "replay must be exact");
+        assert_eq!(replayed.schedule, cex.schedule);
     }
 
     #[test]

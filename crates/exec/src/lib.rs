@@ -35,6 +35,7 @@
 //! assert!(outcome.is_ok());
 //! ```
 
+mod bank;
 mod checker;
 pub mod fingerprint;
 mod parallel;
@@ -44,9 +45,10 @@ mod store;
 pub mod trace_fmt;
 pub mod walker;
 
+pub use bank::{BankStats, ScheduleBank};
 pub use checker::{
-    check, check_with_limit, check_with_limits, random_run, replay, CheckOutcome, CheckStats,
-    Interrupt, SearchLimits, Verdict,
+    check, check_with_limit, check_with_limits, random_run, replay, replay_fp, CheckOutcome,
+    CheckStats, Interrupt, SearchLimits, Verdict,
 };
 pub use parallel::{check_parallel, check_parallel_limits};
 pub use store::{CexTrace, Failure, FailureKind, StateBuf, StateLayout, UndoJournal};

@@ -86,19 +86,26 @@ struct Shared<'a> {
 }
 
 impl<'a> Shared<'a> {
-    /// Records the first failure and halts the search.
+    /// Records the first failure and halts the search. `schedule` is
+    /// the transition-level worker sequence that reached the failure
+    /// from the root (the frontier node's prefix plus the descent).
     fn fail(
         &self,
         steps: Vec<(ThreadId, usize)>,
         failure: Failure,
         deadlock: Vec<(ThreadId, usize)>,
+        schedule: Sched,
     ) {
-        let mut slot = self.failure.lock().unwrap();
+        let mut slot = self
+            .failure
+            .lock()
+            .expect("parallel checker failure slot poisoned");
         if slot.is_none() {
             *slot = Some(CexTrace {
                 steps,
                 failure,
                 deadlock,
+                schedule,
             });
         }
         drop(slot);
@@ -107,7 +114,10 @@ impl<'a> Shared<'a> {
 
     /// Records the first tripped limit and halts the search.
     fn interrupt(&self, why: Interrupt) {
-        let mut slot = self.interrupt.lock().unwrap();
+        let mut slot = self
+            .interrupt
+            .lock()
+            .expect("parallel checker interrupt slot poisoned");
         if slot.is_none() {
             *slot = Some(why);
         }
@@ -118,7 +128,10 @@ impl<'a> Shared<'a> {
     /// Stops all workers, waking any that sleep on the queue.
     fn halt(&self) {
         self.stop.store(true, Ordering::SeqCst);
-        let mut q = self.queue.lock().unwrap();
+        let mut q = self
+            .queue
+            .lock()
+            .expect("parallel checker work queue poisoned");
         q.done = true;
         self.available.notify_all();
     }
@@ -175,6 +188,7 @@ pub fn check_parallel_limits(
                     steps,
                     failure,
                     deadlock: vec![],
+                    schedule: vec![],
                 }),
                 stats,
                 per_thread_states: vec![0; threads],
@@ -192,6 +206,7 @@ pub fn check_parallel_limits(
                     steps: prefix,
                     failure,
                     deadlock: vec![],
+                    schedule: vec![],
                 }),
                 stats,
                 per_thread_states: vec![0; threads],
@@ -235,10 +250,16 @@ pub fn check_parallel_limits(
         let handles: Vec<_> = (0..threads)
             .map(|_| scope.spawn(|| worker(&shared)))
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel checker worker thread panicked"))
+            .collect()
     });
 
-    let interrupt = *shared.interrupt.lock().unwrap();
+    let interrupt = *shared
+        .interrupt
+        .lock()
+        .expect("parallel checker interrupt slot poisoned");
     let mut stats = CheckStats {
         states: shared.visited.len(),
         transitions: shared.transitions.load(Ordering::Relaxed),
@@ -254,7 +275,10 @@ pub fn check_parallel_limits(
         stats.states = stats.states.min(limits.max_states);
     }
     let per_thread_states = tallies.iter().map(|t| t.discovered).collect();
-    let failure = shared.failure.into_inner().unwrap();
+    let failure = shared
+        .failure
+        .into_inner()
+        .expect("parallel checker failure slot poisoned");
     let verdict = match failure {
         Some(cex) => Verdict::Fail(cex),
         None => match interrupt {
@@ -312,7 +336,10 @@ fn worker_loop(shared: &Shared<'_>, j: &mut UndoJournal, tally: &mut Tally) {
     let mut tick = 0usize;
     'steal: loop {
         let mut sched = {
-            let mut q = shared.queue.lock().unwrap();
+            let mut q = shared
+                .queue
+                .lock()
+                .expect("parallel checker work queue poisoned");
             loop {
                 if q.done {
                     return;
@@ -327,7 +354,10 @@ fn worker_loop(shared: &Shared<'_>, j: &mut UndoJournal, tally: &mut Tally) {
                     shared.available.notify_all();
                     return;
                 }
-                q = shared.available.wait(q).unwrap();
+                q = shared
+                    .available
+                    .wait(q)
+                    .expect("parallel checker work queue poisoned during wait");
                 q.idle -= 1;
             }
         };
@@ -337,7 +367,7 @@ fn worker_loop(shared: &Shared<'_>, j: &mut UndoJournal, tally: &mut Tally) {
         tally.clones += 1;
         j.reset();
         let mut trace = shared.prefix.clone();
-        for &w in &sched {
+        for (i, &w) in sched.iter().enumerate() {
             match ck.fire(&mut buf, j, w as usize) {
                 Ok(executed) => trace.extend(executed),
                 Err((executed, failure)) => {
@@ -345,7 +375,8 @@ fn worker_loop(shared: &Shared<'_>, j: &mut UndoJournal, tally: &mut Tally) {
                     // prefix without failure and fire is deterministic.
                     // Report rather than panic in a worker thread.
                     trace.extend(executed);
-                    shared.fail(trace, failure, vec![]);
+                    let schedule = sched[..=i].to_vec();
+                    shared.fail(trace, failure, vec![], schedule);
                     return;
                 }
             }
@@ -412,12 +443,12 @@ fn expand(
             {
                 let mut steps = std::mem::take(trace);
                 steps.extend(esteps);
-                shared.fail(steps, failure, vec![]);
+                shared.fail(steps, failure, vec![], sched.clone());
             }
         } else {
             let failure = ck.deadlock_failure(buf);
             let deadlock = ck.blocked_positions(buf);
-            shared.fail(std::mem::take(trace), failure, deadlock);
+            shared.fail(std::mem::take(trace), failure, deadlock, sched.clone());
         }
         return Step::Exhausted;
     }
@@ -474,7 +505,10 @@ fn expand(
                     Some(_) => {
                         let mut child = sched.clone();
                         child.push(w as u32);
-                        let mut q = shared.queue.lock().unwrap();
+                        let mut q = shared
+                            .queue
+                            .lock()
+                            .expect("parallel checker work queue poisoned");
                         q.jobs.push(child);
                         shared.available.notify_one();
                     }
@@ -483,7 +517,9 @@ fn expand(
             Err((executed, failure)) => {
                 let mut steps = std::mem::take(trace);
                 steps.extend(executed);
-                shared.fail(steps, failure, vec![]);
+                let mut schedule = sched.clone();
+                schedule.push(w as u32);
+                shared.fail(steps, failure, vec![], schedule);
                 return Step::Halt;
             }
         }
@@ -503,7 +539,9 @@ fn expand(
         Err((executed, failure)) => {
             let mut steps = std::mem::take(trace);
             steps.extend(executed);
-            shared.fail(steps, failure, vec![]);
+            let mut schedule = sched.clone();
+            schedule.push(w);
+            shared.fail(steps, failure, vec![], schedule);
             Step::Halt
         }
     }

@@ -606,6 +606,7 @@ impl<'a> RefChecker<'a> {
                         steps,
                         failure,
                         deadlock: vec![],
+                        schedule: vec![],
                     }),
                     stats,
                     per_thread_states: vec![stats.states],
@@ -628,6 +629,7 @@ impl<'a> RefChecker<'a> {
                         steps: all,
                         failure,
                         deadlock: vec![],
+                        schedule: vec![],
                     }),
                     stats,
                     per_thread_states: vec![stats.states],
@@ -647,6 +649,8 @@ impl<'a> RefChecker<'a> {
             state: ExecState,
             executed: Vec<(ThreadId, usize)>,
             next_choice: usize,
+            /// Worker whose fire created this frame (unused on the root).
+            fired: usize,
         }
         let unknown = |why: Interrupt, stats: &mut CheckStats| {
             if why == Interrupt::StateLimit {
@@ -663,6 +667,7 @@ impl<'a> RefChecker<'a> {
             state: init,
             executed: Vec::new(),
             next_choice: 0,
+            fired: 0,
         }];
         visited.insert(&self.canonical(&stack[0].state));
         stats.states = visited.len();
@@ -679,6 +684,13 @@ impl<'a> RefChecker<'a> {
                 t.extend(extra);
                 t
             };
+        let build_schedule = |stack: &[Frame], extra: Option<usize>| -> Vec<u32> {
+            let mut s: Vec<u32> = stack.iter().skip(1).map(|f| f.fired as u32).collect();
+            if let Some(w) = extra {
+                s.push(w as u32);
+            }
+            s
+        };
 
         let mut tick = 0usize;
         while let Some(top_ix) = stack.len().checked_sub(1) {
@@ -702,11 +714,13 @@ impl<'a> RefChecker<'a> {
                             }
                             Err((esteps, failure)) => {
                                 let steps = build_trace(&stack, esteps);
+                                let schedule = build_schedule(&stack, None);
                                 return CheckOutcome {
                                     verdict: Verdict::Fail(CexTrace {
                                         steps,
                                         failure,
                                         deadlock: vec![],
+                                        schedule,
                                     }),
                                     stats: *stats,
                                     per_thread_states: vec![stats.states],
@@ -717,11 +731,13 @@ impl<'a> RefChecker<'a> {
                         let failure = self.deadlock_failure(state);
                         let deadlock = self.blocked_positions(state);
                         let steps = build_trace(&stack, vec![]);
+                        let schedule = build_schedule(&stack, None);
                         return CheckOutcome {
                             verdict: Verdict::Fail(CexTrace {
                                 steps,
                                 failure,
                                 deadlock,
+                                schedule,
                             }),
                             stats: *stats,
                             per_thread_states: vec![stats.states],
@@ -751,6 +767,7 @@ impl<'a> RefChecker<'a> {
                                 state: next,
                                 executed,
                                 next_choice: 0,
+                                fired: w,
                             });
                             fired = true;
                             break;
@@ -758,11 +775,13 @@ impl<'a> RefChecker<'a> {
                     }
                     Err((executed, failure)) => {
                         let steps = build_trace(&stack, executed);
+                        let schedule = build_schedule(&stack, Some(w));
                         return CheckOutcome {
                             verdict: Verdict::Fail(CexTrace {
                                 steps,
                                 failure,
                                 deadlock: vec![],
+                                schedule,
                             }),
                             stats: *stats,
                             per_thread_states: vec![stats.states],

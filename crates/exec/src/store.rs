@@ -86,6 +86,15 @@ pub struct CexTrace {
     /// For deadlocks: the blocked position `(thread, step)` of every
     /// unfinished thread (the paper's deadlock set `D`).
     pub deadlock: Vec<(ThreadId, usize)>,
+    /// The transition-level worker schedule that reached the failure:
+    /// the 0-based worker index of every `fire` after the prologue and
+    /// initial local-step absorption, in order. Unlike [`Self::steps`]
+    /// (one entry per executed step, several per transition), this is
+    /// exactly what [`crate::replay`] consumes, so feeding it back
+    /// deterministically reproduces the failing execution. Empty for
+    /// failures before the interleaving search starts (prologue /
+    /// initial advance), which replay reproduces unconditionally.
+    pub schedule: Vec<u32>,
 }
 
 impl fmt::Display for CexTrace {

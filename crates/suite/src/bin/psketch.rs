@@ -4,7 +4,8 @@
 //! psketch <file.psk> [--unroll N] [--pool N] [--hole-width N]
 //!         [--int-width N] [--reorder quad|exp] [--max-iters N]
 //!         [--hybrid N] [--threads N] [--portfolio N] [--no-por]
-//!         [--timeout SECS] [--state-budget N] [--memory-budget MIB]
+//!         [--no-prescreen] [--bank-cap N] [--timeout SECS]
+//!         [--state-budget N] [--memory-budget MIB]
 //!         [--report-json PATH] [--dump-ir] [--explain]
 //! ```
 //!
@@ -21,9 +22,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: psketch <file.psk> [--unroll N] [--pool N] [--hole-width N] \
          [--int-width N] [--reorder quad|exp] [--max-iters N] [--hybrid N] \
-         [--threads N] [--portfolio N] [--no-por] [--timeout SECS] \
-         [--state-budget N] [--memory-budget MIB] [--report-json PATH] \
-         [--dump-ir] [--explain]"
+         [--threads N] [--portfolio N] [--no-por] [--no-prescreen] \
+         [--bank-cap N] [--timeout SECS] [--state-budget N] \
+         [--memory-budget MIB] [--report-json PATH] [--dump-ir] [--explain]"
     );
     std::process::exit(2)
 }
@@ -43,6 +44,8 @@ fn main() {
     let mut dump_ir = false;
     let mut explain = false;
     let mut por = true;
+    let mut prescreen = true;
+    let mut bank_capacity = Options::default().bank_capacity;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut num = |what: &str| -> usize {
@@ -81,6 +84,8 @@ fn main() {
             "--dump-ir" => dump_ir = true,
             "--explain" => explain = true,
             "--no-por" => por = false,
+            "--no-prescreen" => prescreen = false,
+            "--bank-cap" => bank_capacity = num("--bank-cap"),
             "--help" | "-h" => usage(),
             other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
             _ => usage(),
@@ -104,6 +109,8 @@ fn main() {
         state_budget,
         memory_budget,
         por,
+        prescreen,
+        bank_capacity,
         ..Options::default()
     };
     let synthesis = match Synthesis::new(&source, opts) {

@@ -126,6 +126,7 @@ mod tests {
                 span: Span::default(),
             },
             deadlock,
+            schedule: vec![],
         }
     }
 
