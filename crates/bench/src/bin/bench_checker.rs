@@ -1,15 +1,21 @@
 //! Engine-level checker benchmark → `BENCH_checker.json`.
 //!
 //! Measures raw model-checking throughput (states explored per second)
-//! and peak RSS on Table 1 workloads, comparing three engine
+//! and peak RSS on Table 1 workloads, comparing four engine
 //! configurations on the *same* resolved candidate: the zero-clone
-//! undo-log engine with ample-set partial-order reduction (`undo-por`,
-//! the default configuration), the same engine with full interleaving
-//! expansion (`undo`), and the reference clone-per-transition engine
-//! (`clone`). The `undo` and `clone` rows sweep the identical state
-//! space end to end; the `undo-por` row visits a provably sufficient
-//! subset of it, and its `states` / `states_pruned` columns quantify
-//! the reduction.
+//! undo-log engine with ample-set partial-order reduction and
+//! thread-symmetry canonicalization (`undo-por`, the default
+//! configuration), the same engine with only symmetry (`undo-sym`),
+//! with full interleaving expansion and identity canonicalization
+//! (`undo`), and the reference clone-per-transition engine (`clone`).
+//! The `undo` and `clone` rows sweep the identical state space end to
+//! end; the `undo-por` and `undo-sym` rows visit provably sufficient
+//! subsets of it, and the `states` / `states_pruned` / `sym_collapses`
+//! columns quantify each reduction. The Table 1 workers all read
+//! their fork index (senses, fork slots), so on those rows the sound
+//! asymmetry fallback keeps `undo-sym` identical to `undo`; the
+//! `symcounter` workload is genuinely symmetric and shows the orbit
+//! collapse.
 //!
 //! Each workload is first synthesised to completion; the winning
 //! candidate's exhaustive verification — the hot path of every CEGIS
@@ -82,6 +88,19 @@ fn workloads() -> Vec<Load> {
             ..Options::default()
         },
     });
+    // Interchangeable workers with no fork-index dependence: the
+    // thread-symmetry reduction's best case (up to 4! states per
+    // orbit collapse to one).
+    out.push(Load {
+        name: "symcounter/N=4".into(),
+        source: "int g;
+                 harness void main() {
+                     fork (i; 4) { int t = g; g = t + 1; }
+                     assert g >= 1;
+                 }"
+        .into(),
+        options: Options::default(),
+    });
     out
 }
 
@@ -115,13 +134,21 @@ fn main() {
             &'static str,
             fn(&psketch_ir::Lowered, &Assignment) -> CheckOutcome,
         );
-        let engines: [Engine; 3] = [
+        let engines: [Engine; 4] = [
             ("undo-por", |l, a| {
                 check_with_limits(l, a, &SearchLimits::states(MAX_STATES))
+            }),
+            ("undo-sym", |l, a| {
+                let limits = SearchLimits {
+                    por: false,
+                    ..SearchLimits::states(MAX_STATES)
+                };
+                check_with_limits(l, a, &limits)
             }),
             ("undo", |l, a| {
                 let limits = SearchLimits {
                     por: false,
+                    symmetry: false,
                     ..SearchLimits::states(MAX_STATES)
                 };
                 check_with_limits(l, a, &limits)
@@ -185,6 +212,10 @@ fn main() {
                     JsonValue::Int(out.stats.states_pruned as i64),
                 ),
                 (
+                    "sym_collapses",
+                    JsonValue::Int(out.stats.sym_collapses as i64),
+                ),
+                (
                     "rss_delta_bytes",
                     match rss_delta {
                         Some(b) => JsonValue::Int(b as i64),
@@ -205,12 +236,19 @@ fn main() {
             "note",
             JsonValue::Str(
                 "undo and clone sweep the identical state space of the \
-                 resolved candidate; undo-por explores a sound subset \
-                 via ample-set reduction; rss_delta_bytes is the \
-                 resident-set growth sampled around each cell's runs \
-                 (0 when the allocator reused earlier capacity), \
-                 replacing the old process-wide monotonic peak that \
-                 later rows inherited"
+                 resolved candidate; undo-por (ample-set reduction + \
+                 thread-symmetry canonicalization, the defaults) and \
+                 undo-sym (symmetry only) explore sound subsets. \
+                 Table 1 workers read their fork index, so the sound \
+                 deferred-sort fallback keeps undo-sym state counts \
+                 equal to undo there (nonzero sym_collapses on the \
+                 barrier rows are noncanonical revisits, not orbit \
+                 merges); the symcounter row is genuinely symmetric \
+                 and shows the real orbit collapse. \
+                 rss_delta_bytes is the resident-set growth sampled \
+                 around each cell's runs (0 when the allocator reused \
+                 earlier capacity), replacing the old process-wide \
+                 monotonic peak that later rows inherited"
                     .into(),
             ),
         ),

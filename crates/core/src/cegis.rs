@@ -90,6 +90,13 @@ pub struct Options {
     /// A hit refutes in O(trace) time; prescreening never accepts, so
     /// turning it off (`--no-prescreen`) changes cost, not verdicts.
     pub prescreen: bool,
+    /// Thread-symmetry reduction inside the exhaustive checker (on by
+    /// default): permutations of interchangeable workers collapse to
+    /// one visited-set entry. Verdict-preserving; counterexample
+    /// schedules stay in original thread ids. Sketches with
+    /// fork-index-dependent behaviour fall back to identity
+    /// canonicalization automatically (`--no-symmetry` forces it).
+    pub symmetry: bool,
     /// Maximum schedules the bank retains before evicting the entry
     /// with the fewest kills (`--bank-cap`).
     pub bank_capacity: usize,
@@ -111,6 +118,7 @@ impl Default for Options {
             por: true,
             prescreen: true,
             bank_capacity: 64,
+            symmetry: true,
         }
     }
 }
@@ -180,6 +188,11 @@ pub struct CegisStats {
     /// Worker expansions skipped at ample states — successors the
     /// reduction proved redundant without visiting (cumulative).
     pub states_pruned: u64,
+    /// Duplicate-state hits that arrived with symmetric worker blocks
+    /// out of canonical order — revisits the symmetry reduction folded
+    /// onto an orbit representative (cumulative). An upper bound on
+    /// cross-permutation merges, not an exact merge count.
+    pub sym_collapses: u64,
     /// States explored per second of verifier search time
     /// (`states / v_solve`); `0.0` when no search ran.
     pub states_per_sec: f64,
@@ -425,6 +438,7 @@ impl Synthesis {
                     deadline,
                     cancel: Some(cancel.clone()),
                     por: self.options.por,
+                    symmetry: self.options.symmetry,
                 };
                 let k = width.min(self.options.max_iterations - stats.iterations);
                 let candidates = match synth.next_candidates(k) {
@@ -490,6 +504,7 @@ impl Synthesis {
                         por_ample_hits: effort.por_ample_hits,
                         por_fallbacks: effort.por_fallbacks,
                         states_pruned: effort.states_pruned,
+                        sym_collapses: effort.sym_collapses,
                         prescreen_hit: effort.prescreen_hit,
                         prescreen_replays: effort.prescreen_replays,
                         bank_size: effort.bank_size,
@@ -628,6 +643,7 @@ impl Synthesis {
             por_ample_hits: st.por_ample_hits,
             por_fallbacks: st.por_fallbacks,
             states_pruned: st.states_pruned,
+            sym_collapses: st.sym_collapses,
             states_per_sec: st.states_per_sec,
             prescreen_hits: st.prescreen_hits,
             prescreen_replays: st.prescreen_replays,
@@ -646,6 +662,7 @@ impl Synthesis {
     fn base_limits(&self) -> SearchLimits {
         SearchLimits {
             por: self.options.por,
+            symmetry: self.options.symmetry,
             ..SearchLimits::states(self.options.max_states)
         }
     }
@@ -739,6 +756,7 @@ impl Synthesis {
                 effort.por_ample_hits = out.stats.por_ample_hits;
                 effort.por_fallbacks = out.stats.por_fallbacks;
                 effort.states_pruned = out.stats.states_pruned;
+                effort.sym_collapses = out.stats.sym_collapses;
                 effort.per_thread_states = out.per_thread_states;
                 match out.verdict {
                     Verdict::Pass => VerifyResult::Correct,
@@ -909,6 +927,7 @@ struct VerifyEffort {
     por_ample_hits: u64,
     por_fallbacks: u64,
     states_pruned: u64,
+    sym_collapses: u64,
     prescreen_hit: bool,
     prescreen_replays: u64,
     bank_size: u64,
@@ -954,6 +973,7 @@ impl CegisStats {
         self.por_ample_hits += effort.por_ample_hits;
         self.por_fallbacks += effort.por_fallbacks;
         self.states_pruned += effort.states_pruned;
+        self.sym_collapses += effort.sym_collapses;
         if effort.sampled_refutation {
             self.sampled_refutations += 1;
         }

@@ -107,6 +107,10 @@ pub struct IterationRecord {
     pub por_fallbacks: u64,
     /// Worker expansions the reduction skipped at ample states.
     pub states_pruned: u64,
+    /// Duplicate-state hits that arrived with symmetric worker blocks
+    /// out of canonical order — revisits the thread-symmetry reduction
+    /// folded onto an orbit representative.
+    pub sym_collapses: u64,
     /// Candidate refuted by a banked schedule — both the sampling and
     /// the exhaustive search were skipped.
     pub prescreen_hit: bool,
@@ -174,6 +178,10 @@ pub struct RunReport {
     /// Worker expansions the reduction skipped at ample states,
     /// cumulative.
     pub states_pruned: u64,
+    /// Duplicate-state hits that arrived with symmetric worker blocks
+    /// out of canonical order — revisits the thread-symmetry reduction
+    /// folded onto an orbit representative, cumulative.
+    pub sym_collapses: u64,
     /// States explored per second of verifier search time.
     pub states_per_sec: f64,
     /// Candidates refuted by a banked schedule before any search.
@@ -265,6 +273,7 @@ impl RunReport {
         o.field("por_ample_hits", Json::from(self.por_ample_hits as i64));
         o.field("por_fallbacks", Json::from(self.por_fallbacks as i64));
         o.field("states_pruned", Json::from(self.states_pruned as i64));
+        o.field("sym_collapses", Json::from(self.sym_collapses as i64));
         o.field("states_per_sec", Json::Num(self.states_per_sec));
         o.field("prescreen_hits", Json::from(self.prescreen_hits as i64));
         o.field(
@@ -309,6 +318,7 @@ impl IterationRecord {
         o.field("por_ample_hits", Json::from(self.por_ample_hits as i64));
         o.field("por_fallbacks", Json::from(self.por_fallbacks as i64));
         o.field("states_pruned", Json::from(self.states_pruned as i64));
+        o.field("sym_collapses", Json::from(self.sym_collapses as i64));
         o.field("prescreen_hit", Json::Bool(self.prescreen_hit));
         o.field(
             "prescreen_replays",
@@ -809,6 +819,7 @@ mod tests {
             por_ample_hits: 12,
             por_fallbacks: 3,
             states_pruned: 20,
+            sym_collapses: 9,
             states_per_sec: 25.0,
             prescreen_hits: 5,
             prescreen_replays: 17,
@@ -836,6 +847,7 @@ mod tests {
                 por_ample_hits: 8,
                 por_fallbacks: 1,
                 states_pruned: 13,
+                sym_collapses: 7,
                 prescreen_hit: true,
                 prescreen_replays: 3,
                 bank_size: 2,
@@ -860,6 +872,7 @@ mod tests {
         assert_eq!(v.get("por_ample_hits").unwrap().as_f64(), Some(12.0));
         assert_eq!(v.get("por_fallbacks").unwrap().as_f64(), Some(3.0));
         assert_eq!(v.get("states_pruned").unwrap().as_f64(), Some(20.0));
+        assert_eq!(v.get("sym_collapses").unwrap().as_f64(), Some(9.0));
         assert_eq!(v.get("states_per_sec").unwrap().as_f64(), Some(25.0));
         assert_eq!(v.get("prescreen_hits").unwrap().as_f64(), Some(5.0));
         assert_eq!(v.get("prescreen_replays").unwrap().as_f64(), Some(17.0));
@@ -874,6 +887,7 @@ mod tests {
         assert_eq!(r.get("state_clones").unwrap().as_f64(), Some(2.0));
         assert_eq!(r.get("por_ample_hits").unwrap().as_f64(), Some(8.0));
         assert_eq!(r.get("states_pruned").unwrap().as_f64(), Some(13.0));
+        assert_eq!(r.get("sym_collapses").unwrap().as_f64(), Some(7.0));
         assert_eq!(r.get("prescreen_hit").unwrap().as_bool(), Some(true));
         assert_eq!(r.get("prescreen_replays").unwrap().as_f64(), Some(3.0));
         assert_eq!(r.get("bank_size").unwrap().as_f64(), Some(2.0));

@@ -179,9 +179,9 @@ mod tests {
 
     fn lowered(src: &str) -> Lowered {
         let cfg = Config::default();
-        let p = psketch_lang::check_program(src).unwrap();
-        let (sk, holes) = desugar::desugar_program(&p, &cfg).unwrap();
-        lower::lower_program(&sk, holes, &cfg).unwrap()
+        let p = psketch_lang::check_program(src).expect("test program must type-check");
+        let (sk, holes) = desugar::desugar_program(&p, &cfg).expect("test program must desugar");
+        lower::lower_program(&sk, holes, &cfg).expect("test program must lower")
     }
 
     /// Lost-update race: `fork (i; 2) { t = g; g = t + 1 }` with the

@@ -170,7 +170,11 @@ pub fn check_parallel_limits(
     if threads <= 1 {
         return crate::check_with_limits(l, candidate, limits);
     }
-    let ck = Checker::new(l, candidate);
+    let ck = if limits.symmetry {
+        Checker::with_symmetry(l, candidate)
+    } else {
+        Checker::new(l, candidate)
+    };
 
     // Prologue and initial local-step absorption run once, up front,
     // exactly as in the sequential checker. Failures here report the
@@ -269,6 +273,7 @@ pub fn check_parallel_limits(
         por_ample_hits: tallies.iter().map(|t| t.por_ample_hits).sum(),
         por_fallbacks: tallies.iter().map(|t| t.por_fallbacks).sum(),
         states_pruned: tallies.iter().map(|t| t.states_pruned).sum(),
+        sym_collapses: tallies.iter().map(|t| t.sym_collapses).sum(),
     };
     if interrupt == Some(Interrupt::StateLimit) {
         // Clamp the post-halt insert overshoot (see module docs).
@@ -309,6 +314,9 @@ struct Tally {
     por_fallbacks: u64,
     /// Enabled transitions never fired thanks to reduction.
     states_pruned: u64,
+    /// Duplicate inserts of non-canonical symmetry-orbit
+    /// representatives (see [`CheckStats::sym_collapses`]).
+    sym_collapses: u64,
 }
 
 /// What [`expand`] did with the current node.
@@ -488,6 +496,9 @@ fn expand(
                     .insert_claim_fp_with(ck.fingerprint_state(buf), || {
                         ck.materialize_canonical(buf)
                     });
+                if claim.is_none() && ck.has_symmetry() && ck.orbit_noncanonical(buf) {
+                    tally.sym_collapses += 1;
+                }
                 j.undo_to(mark, buf);
                 let Some(claim) = claim else {
                     continue;

@@ -46,8 +46,10 @@ pub mod hole;
 pub mod lower;
 pub mod resolve;
 pub mod step;
+pub mod symmetry;
 
 pub use config::{Config, ReorderEncoding};
 pub use footprint::{Footprint, FootprintTable, Loc};
 pub use hole::{Assignment, HoleId, HoleTable, SiteId, SiteKind};
 pub use step::{GlobalSlot, Lowered, Lv, Op, Rv, ScalarKind, Step, StructLayout, Thread, ThreadId};
+pub use symmetry::{symmetry_classes, SymClass, SymmetryClasses};

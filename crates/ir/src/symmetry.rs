@@ -1,0 +1,423 @@
+//! Thread-symmetry detection over the lowered program.
+//!
+//! The paper's benchmarks fork N copies of one worker body, so most
+//! states the checker visits come in up to N! permutation-equivalent
+//! variants: interchangeable workers holding each other's `(pc,
+//! locals)` records. This module detects which workers are genuinely
+//! interchangeable for a *specific* candidate (holes substituted), so
+//! the checker can canonicalize their records at fingerprint time and
+//! collapse each permutation orbit to one visited-set entry.
+//!
+//! Two workers are **class-equivalent** when
+//!
+//! 1. their local layouts match (same slot count and kinds), and
+//! 2. after substituting the candidate's hole values, their step lists
+//!    are structurally identical — except at indices where both steps
+//!    are a local-constant initialization `local[x] = C` with equal
+//!    guards and the same destination `x` (the shape lowering emits for
+//!    the fork-index binding, and for `pid()` results stored into a
+//!    local).
+//!
+//! The allowed difference is exactly the fork-index asymmetry: workers
+//! run the same code but remember *who they are* in a local. Swapping
+//! two such workers' complete records is a bisimulation once both have
+//! executed past every differing index (`sort_from`), because from
+//! there on their remaining code is identical and every distinguishing
+//! value travels inside the swapped record. When the distinguishing
+//! locals are never read at all, the records are interchangeable from
+//! pc 0 (`sort_from == 0`): the differing writes land in slots the
+//! checker's dead-local masking already zeroes.
+//!
+//! Workers whose bodies differ structurally — e.g. `pid()` inlined
+//! into a *shared* write, or fork-index-dependent control flow
+//! specialized by lowering — end up in singleton classes, which the
+//! checker treats as the sound identity-canonicalization fallback.
+
+use crate::hole::Assignment;
+use crate::step::{Lv, Op, Rv, Thread};
+use crate::Lowered;
+
+/// One class of interchangeable workers.
+#[derive(Clone, Debug)]
+pub struct SymClass {
+    /// Worker indices (0-based, ascending) in the class. Always at
+    /// least two — singleton classes are dropped.
+    pub members: Vec<usize>,
+    /// Members are interchangeable only in states where every member's
+    /// pc is at least this index: the first step index past every
+    /// per-member difference (0 when the differing locals are never
+    /// read, i.e. the differences are invisible to execution).
+    pub sort_from: usize,
+}
+
+/// The symmetry classes of a lowered program under one candidate.
+#[derive(Clone, Debug, Default)]
+pub struct SymmetryClasses {
+    /// Classes with two or more members. Workers not listed are
+    /// asymmetric (singleton classes) and keep identity
+    /// canonicalization.
+    pub classes: Vec<SymClass>,
+}
+
+impl SymmetryClasses {
+    /// True when no two workers are interchangeable — canonicalization
+    /// is the identity and the checker skips all symmetry work.
+    pub fn is_trivial(&self) -> bool {
+        self.classes.is_empty()
+    }
+}
+
+/// Computes the symmetry classes of `l`'s workers under `candidate`.
+///
+/// Conservative by construction: a worker joins a class only when the
+/// structural comparison above proves interchangeability, so a
+/// program with no symmetric workers yields [`SymmetryClasses::
+/// is_trivial`] and the checker behaves exactly as without reduction.
+pub fn symmetry_classes(l: &Lowered, candidate: &Assignment) -> SymmetryClasses {
+    let n = l.workers.len();
+    let subst: Vec<Vec<(Rv, Op)>> = l
+        .workers
+        .iter()
+        .map(|w| {
+            w.steps
+                .iter()
+                .map(|s| (subst_rv(&s.guard, candidate), subst_op(&s.op, candidate)))
+                .collect()
+        })
+        .collect();
+    let reads: Vec<Vec<bool>> = l.workers.iter().map(thread_local_reads).collect();
+    let mut assigned = vec![false; n];
+    let mut classes = Vec::new();
+    for u in 0..n {
+        if assigned[u] {
+            continue;
+        }
+        assigned[u] = true;
+        let mut members = vec![u];
+        let mut d_max: Option<usize> = None;
+        let mut diff_locals: Vec<usize> = Vec::new();
+        for v in u + 1..n {
+            if assigned[v] || !locals_layout_eq(&l.workers[u], &l.workers[v]) {
+                continue;
+            }
+            // Comparing every member against the representative `u` is
+            // enough: equality outside D is transitive, and inside D
+            // all members write the same local (the shapes match
+            // through `u`), so any pairwise difference between two
+            // non-representative members is covered by the union of
+            // their differences with `u`.
+            let Some((d, x)) = compare_steps(&subst[u], &subst[v]) else {
+                continue;
+            };
+            assigned[v] = true;
+            members.push(v);
+            for i in d {
+                d_max = Some(d_max.map_or(i, |m| m.max(i)));
+            }
+            diff_locals.extend(x);
+        }
+        if members.len() < 2 {
+            continue;
+        }
+        diff_locals.sort_unstable();
+        diff_locals.dedup();
+        let never_read = diff_locals
+            .iter()
+            .all(|&x| members.iter().all(|&m| !reads[m][x]));
+        let sort_from = if never_read {
+            0
+        } else {
+            d_max.map_or(0, |m| m + 1)
+        };
+        classes.push(SymClass { members, sort_from });
+    }
+    SymmetryClasses { classes }
+}
+
+fn locals_layout_eq(a: &Thread, b: &Thread) -> bool {
+    a.locals.len() == b.locals.len()
+        && a.locals
+            .iter()
+            .zip(&b.locals)
+            .all(|(x, y)| x.kind == y.kind)
+}
+
+/// Compares two substituted step lists. `Some((differing indices,
+/// differing locals))` when the threads are class-equivalent, `None`
+/// otherwise.
+#[allow(clippy::type_complexity)]
+fn compare_steps(a: &[(Rv, Op)], b: &[(Rv, Op)]) -> Option<(Vec<usize>, Vec<usize>)> {
+    if a.len() != b.len() {
+        return None;
+    }
+    let mut d = Vec::new();
+    let mut x = Vec::new();
+    for (i, ((ga, oa), (gb, ob))) in a.iter().zip(b).enumerate() {
+        if ga == gb && oa == ob {
+            continue;
+        }
+        // The one allowed difference: a local-constant initialization
+        // of the same slot under the same guard (fork-index binding,
+        // `pid()` stored into a local).
+        match (oa, ob) {
+            (Op::Assign(Lv::Local(la), Rv::Const(_)), Op::Assign(Lv::Local(lb), Rv::Const(_)))
+                if la == lb && ga == gb =>
+            {
+                d.push(i);
+                x.push(*la);
+            }
+            _ => return None,
+        }
+    }
+    Some((d, x))
+}
+
+/// Which locals a thread ever reads, mirroring the checker's liveness
+/// collection: `LocalDyn` conservatively reads its whole region, an
+/// l-value's index/object expressions are reads, a plain local write
+/// destination is not.
+fn thread_local_reads(t: &Thread) -> Vec<bool> {
+    let mut reads = vec![false; t.locals.len()];
+    {
+        let mut add = |l: usize| reads[l] = true;
+        for s in &t.steps {
+            rv_reads(&s.guard, &mut add);
+            match &s.op {
+                Op::Assign(lv, rv) => {
+                    lv_reads(lv, &mut add);
+                    rv_reads(rv, &mut add);
+                }
+                Op::Swap { dst, loc, val } => {
+                    lv_reads(dst, &mut add);
+                    lv_reads(loc, &mut add);
+                    rv_reads(val, &mut add);
+                }
+                Op::Cas { dst, loc, old, new } => {
+                    lv_reads(dst, &mut add);
+                    lv_reads(loc, &mut add);
+                    rv_reads(old, &mut add);
+                    rv_reads(new, &mut add);
+                }
+                Op::FetchAdd { dst, loc, .. } => {
+                    lv_reads(dst, &mut add);
+                    lv_reads(loc, &mut add);
+                }
+                Op::Alloc { dst, inits, .. } => {
+                    lv_reads(dst, &mut add);
+                    for (_, rv) in inits {
+                        rv_reads(rv, &mut add);
+                    }
+                }
+                Op::Assert(c) => rv_reads(c, &mut add),
+                Op::AtomicBegin(Some(c)) => rv_reads(c, &mut add),
+                Op::AtomicBegin(None) | Op::AtomicEnd => {}
+            }
+        }
+    }
+    reads
+}
+
+fn rv_reads(rv: &Rv, add: &mut dyn FnMut(usize)) {
+    match rv {
+        Rv::Local(l) => add(*l),
+        Rv::LocalDyn { base, len, ix } => {
+            for k in 0..*len {
+                add(base + k);
+            }
+            rv_reads(ix, add);
+        }
+        Rv::GlobalDyn { ix, .. } => rv_reads(ix, add),
+        Rv::Field { obj, .. } => rv_reads(obj, add),
+        Rv::Unary(_, a) => rv_reads(a, add),
+        Rv::Binary(_, a, b) => {
+            rv_reads(a, add);
+            rv_reads(b, add);
+        }
+        Rv::Ite(c, a, b) => {
+            rv_reads(c, add);
+            rv_reads(a, add);
+            rv_reads(b, add);
+        }
+        Rv::Const(_) | Rv::Global(_) | Rv::Hole(_) => {}
+    }
+}
+
+fn lv_reads(lv: &Lv, add: &mut dyn FnMut(usize)) {
+    match lv {
+        Lv::Local(_) | Lv::Global(_) => {}
+        Lv::LocalDyn { base, len, ix } => {
+            for k in 0..*len {
+                add(base + k);
+            }
+            rv_reads(ix, add);
+        }
+        Lv::GlobalDyn { ix, .. } => rv_reads(ix, add),
+        Lv::Field { obj, .. } => rv_reads(obj, add),
+    }
+}
+
+fn subst_rv(rv: &Rv, a: &Assignment) -> Rv {
+    match rv {
+        Rv::Hole(h) => Rv::Const(a.value(*h) as i64),
+        Rv::Const(_) | Rv::Global(_) | Rv::Local(_) => rv.clone(),
+        Rv::GlobalDyn { base, len, ix } => Rv::GlobalDyn {
+            base: *base,
+            len: *len,
+            ix: Box::new(subst_rv(ix, a)),
+        },
+        Rv::LocalDyn { base, len, ix } => Rv::LocalDyn {
+            base: *base,
+            len: *len,
+            ix: Box::new(subst_rv(ix, a)),
+        },
+        Rv::Field { sid, fid, obj } => Rv::Field {
+            sid: *sid,
+            fid: *fid,
+            obj: Box::new(subst_rv(obj, a)),
+        },
+        Rv::Unary(op, x) => Rv::Unary(*op, Box::new(subst_rv(x, a))),
+        Rv::Binary(op, x, y) => Rv::Binary(*op, Box::new(subst_rv(x, a)), Box::new(subst_rv(y, a))),
+        Rv::Ite(c, t, e) => Rv::Ite(
+            Box::new(subst_rv(c, a)),
+            Box::new(subst_rv(t, a)),
+            Box::new(subst_rv(e, a)),
+        ),
+    }
+}
+
+fn subst_lv(lv: &Lv, a: &Assignment) -> Lv {
+    match lv {
+        Lv::Global(_) | Lv::Local(_) => lv.clone(),
+        Lv::GlobalDyn { base, len, ix } => Lv::GlobalDyn {
+            base: *base,
+            len: *len,
+            ix: subst_rv(ix, a),
+        },
+        Lv::LocalDyn { base, len, ix } => Lv::LocalDyn {
+            base: *base,
+            len: *len,
+            ix: subst_rv(ix, a),
+        },
+        Lv::Field { sid, fid, obj } => Lv::Field {
+            sid: *sid,
+            fid: *fid,
+            obj: subst_rv(obj, a),
+        },
+    }
+}
+
+fn subst_op(op: &Op, a: &Assignment) -> Op {
+    match op {
+        Op::Assign(lv, rv) => Op::Assign(subst_lv(lv, a), subst_rv(rv, a)),
+        Op::Swap { dst, loc, val } => Op::Swap {
+            dst: subst_lv(dst, a),
+            loc: subst_lv(loc, a),
+            val: subst_rv(val, a),
+        },
+        Op::Cas { dst, loc, old, new } => Op::Cas {
+            dst: subst_lv(dst, a),
+            loc: subst_lv(loc, a),
+            old: subst_rv(old, a),
+            new: subst_rv(new, a),
+        },
+        Op::FetchAdd { dst, loc, delta } => Op::FetchAdd {
+            dst: subst_lv(dst, a),
+            loc: subst_lv(loc, a),
+            delta: *delta,
+        },
+        Op::Alloc { dst, sid, inits } => Op::Alloc {
+            dst: subst_lv(dst, a),
+            sid: *sid,
+            inits: inits.iter().map(|(f, rv)| (*f, subst_rv(rv, a))).collect(),
+        },
+        Op::Assert(c) => Op::Assert(subst_rv(c, a)),
+        Op::AtomicBegin(c) => Op::AtomicBegin(c.as_ref().map(|c| subst_rv(c, a))),
+        Op::AtomicEnd => Op::AtomicEnd,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{desugar, lower, Config};
+
+    fn lowered(src: &str) -> Lowered {
+        let cfg = Config::default();
+        let p = psketch_lang::check_program(src).expect("test source must type-check");
+        let (sk, holes) = desugar::desugar_program(&p, &cfg).expect("test source must desugar");
+        lower::lower_program(&sk, holes, &cfg).expect("test source must lower")
+    }
+
+    fn classes(src: &str) -> SymmetryClasses {
+        let l = lowered(src);
+        let a = l.holes.identity_assignment();
+        symmetry_classes(&l, &a)
+    }
+
+    #[test]
+    fn unread_fork_index_gives_full_symmetry() {
+        // The fork index is written but never read: the workers are
+        // interchangeable from pc 0.
+        let c = classes(
+            "int g;
+             harness void main() {
+                 fork (i; 3) { int t = g; g = t + 1; }
+                 assert g >= 1;
+             }",
+        );
+        assert_eq!(c.classes.len(), 1);
+        assert_eq!(c.classes[0].members, vec![0, 1, 2]);
+        assert_eq!(c.classes[0].sort_from, 0);
+    }
+
+    #[test]
+    fn read_fork_index_defers_sorting() {
+        // The fork index flows into a live local: interchangeable only
+        // past the initialization.
+        let c = classes(
+            "int cells0; int cells1;
+             harness void main() {
+                 fork (i; 2) {
+                     if (i == 0) { cells0 = 1; } else { cells1 = 1; }
+                 }
+             }",
+        );
+        // `i` is read by the branch guards, so either the workers form
+        // a class sorted past the init, or lowering specialized the
+        // bodies and they are asymmetric — both are sound; this
+        // program's bodies share one structure with differing guards
+        // only through the local `i`, which stays structurally equal.
+        for cl in &c.classes {
+            assert!(cl.sort_from > 0, "read index must defer sorting");
+        }
+    }
+
+    #[test]
+    fn pid_in_shared_write_is_asymmetric() {
+        // `pid()` lowers to a per-worker constant inlined into a
+        // *shared* write: not the allowed local-constant shape, so the
+        // workers are asymmetric (identity fallback).
+        let c = classes(
+            "int owner;
+             harness void main() {
+                 fork (i; 2) { owner = pid(); }
+             }",
+        );
+        assert!(c.is_trivial(), "shared pid() write must break symmetry");
+    }
+
+    #[test]
+    fn sequential_program_is_trivial() {
+        let c = classes("int g; harness void main() { g = 1; assert g == 1; }");
+        assert!(c.is_trivial());
+    }
+
+    #[test]
+    fn single_worker_is_trivial() {
+        let c = classes(
+            "int g;
+             harness void main() { fork (i; 1) { g = g + 1; } }",
+        );
+        assert!(c.is_trivial());
+    }
+}

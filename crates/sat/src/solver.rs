@@ -295,7 +295,13 @@ impl Solver {
         if !self.ok {
             return SolveResult::Unsat;
         }
-        self.max_learnts = (self.num_clauses() as f64 * 0.3).max(1000.0);
+        // The cap persists across incremental calls: growth earned via
+        // reduce_db (×1.3) would otherwise be thrown away every
+        // solve, re-churning the learnt database. Only raise it when
+        // the problem itself has grown past the cap.
+        self.max_learnts = self
+            .max_learnts
+            .max((self.num_clauses() as f64 * 0.3).max(1000.0));
         let mut restarts = 0u32;
         loop {
             let budget = 64.0 * luby(2.0, restarts);
@@ -986,6 +992,60 @@ mod tests {
         assert_eq!(s.solve(), SolveResult::Interrupted);
         flag.store(false, Ordering::Relaxed);
         assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn learnt_cap_persists_across_incremental_solves() {
+        // Under incremental use (one solve_with per CEGIS iteration)
+        // the learnt-database cap must keep the ×1.3 growth earned by
+        // reduce_db instead of resetting to 0.3 × clauses each call.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 8);
+        for w in v.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            s.add_clause([a, b]);
+            s.add_clause([!a, !b]);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let initial = s.max_learnts;
+        assert!(initial >= 1000.0, "floor applies on first solve");
+        // Simulate growth earned by reduce_db in an earlier call.
+        s.max_learnts = initial * 1.3 * 1.3;
+        let grown = s.max_learnts;
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(
+            s.max_learnts >= grown,
+            "solve_with reset the learnt cap: {} < {grown}",
+            s.max_learnts
+        );
+        // The stats survive the second call unreset too: clause count
+        // is stable and the solver did real work across both calls.
+        let stats = s.stats();
+        assert_eq!(stats.clauses, (v.len() as u64 - 1) * 2);
+        assert!(stats.propagations > 0);
+    }
+
+    #[test]
+    fn learnt_cap_tracks_problem_growth() {
+        // The cap may only move up between calls when the problem
+        // itself grows past it — never down.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause([v[0], v[1]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let small = s.max_learnts;
+        // Add enough clauses that 0.3 × clauses exceeds the old cap.
+        let need = (small / 0.3) as usize + 8;
+        let extra = lits(&mut s, need);
+        for &x in &extra {
+            s.add_clause([x, v[2]]);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(
+            s.max_learnts > small,
+            "cap must grow with the clause count: {} <= {small}",
+            s.max_learnts
+        );
     }
 
     #[test]

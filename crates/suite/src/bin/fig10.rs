@@ -5,28 +5,32 @@
 //! scatter plot; the paper observes an approximately linear
 //! correlation. `--json PATH` additionally writes the series as a JSON
 //! array of `{test, log10_space, iterations}` objects; `--no-por`
-//! disables the checker's partial-order reduction.
+//! disables the checker's partial-order reduction, `--no-symmetry`
+//! its thread-symmetry canonicalization, and
+//! `--no-prescreen`/`--bank-cap` control the schedule-bank prescreen.
 
 use psketch_core::{Json, Synthesis};
-use psketch_suite::figure9_runs;
+use psketch_suite::{figure9_runs, CheckerArgs};
+
+const USAGE: &str =
+    "fig10 [--json PATH] [--no-por] [--no-symmetry] [--no-prescreen] [--bank-cap N]";
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let checker = CheckerArgs::extract(&mut args, USAGE);
     let mut json_path: Option<String> = None;
-    let mut por = true;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => match it.next() {
                 Some(path) => json_path = Some(path.clone()),
                 None => {
-                    eprintln!("usage: fig10 [--json PATH] [--no-por]");
+                    eprintln!("usage: {USAGE}");
                     std::process::exit(2);
                 }
             },
-            "--no-por" => por = false,
             _ => {
-                eprintln!("usage: fig10 [--json PATH] [--no-por]");
+                eprintln!("usage: {USAGE}");
                 std::process::exit(2);
             }
         }
@@ -34,7 +38,7 @@ fn main() {
     let mut points: Vec<(f64, f64, String)> = Vec::new();
     for run in figure9_runs() {
         let mut options = run.options.clone();
-        options.por = por;
+        checker.apply(&mut options);
         let Ok(s) = Synthesis::new(&run.source, options) else {
             continue;
         };

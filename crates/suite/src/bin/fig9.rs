@@ -6,20 +6,26 @@
 //! memory) plus a trailing machine-readable TSV table.
 //!
 //! Usage: `cargo run --release -p psketch-suite --bin fig9 [filter]
-//! [--report-json DIR] [--no-por]` where `filter` restricts to
-//! benchmarks whose name contains it, `--report-json` writes one
-//! machine-readable run report per row into `DIR` as
-//! `<benchmark>_<test>.json`, and `--no-por` disables the checker's
-//! partial-order reduction (full interleaving expansion).
+//! [--report-json DIR] [--no-por] [--no-symmetry] [--no-prescreen]
+//! [--bank-cap N]` where `filter` restricts to benchmarks whose name
+//! contains it, `--report-json` writes one machine-readable run
+//! report per row into `DIR` as `<benchmark>_<test>.json`, `--no-por`
+//! disables the checker's partial-order reduction (full interleaving
+//! expansion), `--no-symmetry` disables thread-symmetry
+//! canonicalization, and `--no-prescreen`/`--bank-cap` control the
+//! schedule-bank prescreen ablation.
 
 use psketch_core::{render_stats, Synthesis};
-use psketch_suite::figure9_runs;
+use psketch_suite::{figure9_runs, CheckerArgs};
+
+const USAGE: &str = "fig9 [filter] [--report-json DIR] [--no-por] [--no-symmetry] \
+     [--no-prescreen] [--bank-cap N]";
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let checker = CheckerArgs::extract(&mut args, USAGE);
     let mut filter = String::new();
     let mut report_dir: Option<String> = None;
-    let mut por = true;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -27,10 +33,10 @@ fn main() {
                 Some(dir) => report_dir = Some(dir.clone()),
                 None => {
                     eprintln!("--report-json needs a directory");
+                    eprintln!("usage: {USAGE}");
                     std::process::exit(2);
                 }
             },
-            "--no-por" => por = false,
             other => filter = other.to_string(),
         }
     }
@@ -49,7 +55,7 @@ fn main() {
             continue;
         }
         let mut options = run.options.clone();
-        options.por = por;
+        checker.apply(&mut options);
         let s = match Synthesis::new(&run.source, options) {
             Ok(s) => s,
             Err(e) => {

@@ -4,8 +4,8 @@
 //! psketch <file.psk> [--unroll N] [--pool N] [--hole-width N]
 //!         [--int-width N] [--reorder quad|exp] [--max-iters N]
 //!         [--hybrid N] [--threads N] [--portfolio N] [--no-por]
-//!         [--no-prescreen] [--bank-cap N] [--timeout SECS]
-//!         [--state-budget N] [--memory-budget MIB]
+//!         [--no-symmetry] [--no-prescreen] [--bank-cap N]
+//!         [--timeout SECS] [--state-budget N] [--memory-budget MIB]
 //!         [--report-json PATH] [--dump-ir] [--explain]
 //! ```
 //!
@@ -16,21 +16,30 @@
 //! over-budget run exits 4 ("unknown") and names the tripped budget.
 
 use psketch_core::{render_stats, Config, Options, ReorderEncoding, Synthesis, VerifierKind};
+use psketch_suite::CheckerArgs;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: psketch <file.psk> [--unroll N] [--pool N] [--hole-width N] \
          [--int-width N] [--reorder quad|exp] [--max-iters N] [--hybrid N] \
-         [--threads N] [--portfolio N] [--no-por] [--no-prescreen] \
-         [--bank-cap N] [--timeout SECS] [--state-budget N] \
-         [--memory-budget MIB] [--report-json PATH] [--dump-ir] [--explain]"
+         [--threads N] [--portfolio N] [--no-por] [--no-symmetry] \
+         [--no-prescreen] [--bank-cap N] [--timeout SECS] \
+         [--state-budget N] [--memory-budget MIB] [--report-json PATH] \
+         [--dump-ir] [--explain]"
     );
     std::process::exit(2)
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let checker = match CheckerArgs::try_extract(&mut args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            usage()
+        }
+    };
     let mut file = None;
     let mut config = Config::default();
     let mut max_iterations = 200;
@@ -43,9 +52,6 @@ fn main() {
     let mut report_json: Option<String> = None;
     let mut dump_ir = false;
     let mut explain = false;
-    let mut por = true;
-    let mut prescreen = true;
-    let mut bank_capacity = Options::default().bank_capacity;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut num = |what: &str| -> usize {
@@ -83,9 +89,6 @@ fn main() {
             },
             "--dump-ir" => dump_ir = true,
             "--explain" => explain = true,
-            "--no-por" => por = false,
-            "--no-prescreen" => prescreen = false,
-            "--bank-cap" => bank_capacity = num("--bank-cap"),
             "--help" | "-h" => usage(),
             other if file.is_none() && !other.starts_with('-') => file = Some(other.to_string()),
             _ => usage(),
@@ -99,7 +102,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let opts = Options {
+    let mut opts = Options {
         config,
         max_iterations,
         verifier,
@@ -108,11 +111,9 @@ fn main() {
         wall_timeout,
         state_budget,
         memory_budget,
-        por,
-        prescreen,
-        bank_capacity,
         ..Options::default()
     };
+    checker.apply(&mut opts);
     let synthesis = match Synthesis::new(&source, opts) {
         Ok(s) => s,
         Err(e) => {

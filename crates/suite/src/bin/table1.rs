@@ -3,18 +3,21 @@
 //!
 //! `table1 --dump <benchmark>` instead prints that benchmark's sketch
 //! source to stdout (so scripts and CI can feed a Table-1 workload to
-//! the `psketch` CLI without duplicating the source). `--no-por`
-//! disables the checker's partial-order reduction in the benchmark
-//! options (space sizing itself never runs the checker, so the flag
-//! only matters to tooling that reuses these options).
+//! the `psketch` CLI without duplicating the source). The shared
+//! checker flags — `--no-por`, `--no-symmetry`, `--no-prescreen`,
+//! `--bank-cap N` — adjust the benchmark options (space sizing itself
+//! never runs the checker, so they only matter to tooling that reuses
+//! these options).
 
 use psketch_core::Synthesis;
-use psketch_suite::table1_entries;
+use psketch_suite::{table1_entries, CheckerArgs};
+
+const USAGE: &str = "table1 [--dump <benchmark>] [--no-por] [--no-symmetry] \
+     [--no-prescreen] [--bank-cap N]";
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let por = !args.iter().any(|a| a == "--no-por");
-    args.retain(|a| a != "--no-por");
+    let checker = CheckerArgs::extract(&mut args, USAGE);
     if let [flag, name] = &args[..] {
         if flag == "--dump" {
             match table1_entries()
@@ -40,7 +43,7 @@ fn main() {
     println!("{}", "-".repeat(84));
     for entry in table1_entries() {
         let mut options = entry.run.options.clone();
-        options.por = por;
+        checker.apply(&mut options);
         let s = Synthesis::new(&entry.run.source, options).expect("benchmark lowers");
         let space = s.candidate_space();
         let rendered = if space < 1000 {

@@ -34,6 +34,91 @@ use queue::{DequeueVariant, EnqueueVariant};
 use set::SetVariant;
 use workload::Workload;
 
+/// Checker and prescreen knobs shared by every suite binary
+/// (`psketch`, `fig9`, `fig10`, `table1`): `--no-por`,
+/// `--no-symmetry`, `--no-prescreen` and `--bank-cap N`. Parsed once
+/// here so the ablation flags stay in lockstep across the bins.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckerArgs {
+    /// Ample-set partial-order reduction ([`Options::por`]).
+    pub por: bool,
+    /// Thread-symmetry reduction ([`Options::symmetry`]).
+    pub symmetry: bool,
+    /// Schedule-bank prescreening ([`Options::prescreen`]).
+    pub prescreen: bool,
+    /// Schedule-bank capacity ([`Options::bank_capacity`]).
+    pub bank_capacity: usize,
+}
+
+impl Default for CheckerArgs {
+    fn default() -> CheckerArgs {
+        let d = Options::default();
+        CheckerArgs {
+            por: d.por,
+            symmetry: d.symmetry,
+            prescreen: d.prescreen,
+            bank_capacity: d.bank_capacity,
+        }
+    }
+}
+
+impl CheckerArgs {
+    /// Usage-string fragment naming the shared flags.
+    pub const USAGE: &'static str = "[--no-por] [--no-symmetry] [--no-prescreen] [--bank-cap N]";
+
+    /// Extracts the shared flags from `args`, removing the consumed
+    /// entries and leaving binary-specific arguments in place.
+    /// Returns an error message on a malformed `--bank-cap`.
+    pub fn try_extract(args: &mut Vec<String>) -> Result<CheckerArgs, String> {
+        let mut out = CheckerArgs::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--no-por" => {
+                    out.por = false;
+                    args.remove(i);
+                }
+                "--no-symmetry" => {
+                    out.symmetry = false;
+                    args.remove(i);
+                }
+                "--no-prescreen" => {
+                    out.prescreen = false;
+                    args.remove(i);
+                }
+                "--bank-cap" => {
+                    let cap = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--bank-cap needs a number")?;
+                    out.bank_capacity = cap;
+                    args.drain(i..i + 2);
+                }
+                _ => i += 1,
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`CheckerArgs::try_extract`], exiting with status 2 (and the
+    /// caller's usage line) on a malformed flag.
+    pub fn extract(args: &mut Vec<String>, usage: &str) -> CheckerArgs {
+        CheckerArgs::try_extract(args).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            eprintln!("usage: {usage}");
+            std::process::exit(2)
+        })
+    }
+
+    /// Applies the flags to a benchmark's options.
+    pub fn apply(&self, options: &mut Options) {
+        options.por = self.por;
+        options.symmetry = self.symmetry;
+        options.prescreen = self.prescreen;
+        options.bank_capacity = self.bank_capacity;
+    }
+}
+
 /// One benchmark/test pair of the paper's Figure 9.
 #[derive(Clone, Debug)]
 pub struct BenchmarkRun {
@@ -325,6 +410,61 @@ mod tests {
                 "{}: log10|C| = {log:.2}, paper ~{want}",
                 entry.benchmark
             );
+        }
+    }
+
+    #[test]
+    fn checker_args_extract_consumes_shared_flags() {
+        let mut args: Vec<String> = [
+            "queueE1",
+            "--no-por",
+            "--bank-cap",
+            "7",
+            "--no-prescreen",
+            "--report-json",
+            "out",
+            "--no-symmetry",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let parsed = CheckerArgs::try_extract(&mut args).expect("flags parse");
+        assert_eq!(
+            parsed,
+            CheckerArgs {
+                por: false,
+                symmetry: false,
+                prescreen: false,
+                bank_capacity: 7,
+            }
+        );
+        // Binary-specific arguments survive, in order.
+        assert_eq!(args, ["queueE1", "--report-json", "out"]);
+        let mut opts = Options::default();
+        parsed.apply(&mut opts);
+        assert!(!opts.por && !opts.symmetry && !opts.prescreen);
+        assert_eq!(opts.bank_capacity, 7);
+    }
+
+    #[test]
+    fn checker_args_default_matches_options_default() {
+        let mut args: Vec<String> = vec!["filter".into()];
+        let parsed = CheckerArgs::try_extract(&mut args).expect("no flags is fine");
+        let d = Options::default();
+        assert_eq!(parsed.por, d.por);
+        assert_eq!(parsed.symmetry, d.symmetry);
+        assert_eq!(parsed.prescreen, d.prescreen);
+        assert_eq!(parsed.bank_capacity, d.bank_capacity);
+    }
+
+    #[test]
+    fn checker_args_reject_bad_bank_cap() {
+        for bad in [
+            vec!["--bank-cap".to_string()],
+            vec!["--bank-cap".to_string(), "soon".to_string()],
+        ] {
+            let mut args = bad;
+            assert!(CheckerArgs::try_extract(&mut args).is_err());
         }
     }
 
