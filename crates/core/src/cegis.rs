@@ -3,8 +3,9 @@
 use crate::mem;
 use crate::telemetry::{BudgetKind, BudgetTrip, IterationRecord, RunReport};
 use psketch_exec::{
-    check_parallel_limits, check_with_limits, random_run, CexTrace, FailureKind, Interrupt,
-    ScheduleBank, SearchLimits, Verdict,
+    check_compiled, check_parallel_compiled, check_parallel_limits, check_with_limits, random_run,
+    random_run_compiled, CexTrace, CompiledProgram, FailureKind, Interrupt, ScheduleBank,
+    SearchLimits, Verdict,
 };
 use psketch_ir::{desugar, lower, resolve, Assignment, Config, Lowered};
 use psketch_lang::ast::Program;
@@ -100,6 +101,13 @@ pub struct Options {
     /// Maximum schedules the bank retains before evicting the entry
     /// with the fewest kills (`--bank-cap`).
     pub bank_capacity: usize,
+    /// Compile each candidate once into a sealed
+    /// [`psketch_exec::CompiledProgram`] (on by default) and hand the
+    /// artifact to the prescreen, the sampler and the exhaustive
+    /// checker, instead of re-interpreting the hole tables in every
+    /// pass. Semantics-preserving; `--no-compile` keeps the
+    /// tree-walking interpreter reachable for differential debugging.
+    pub compile: bool,
 }
 
 impl Default for Options {
@@ -119,6 +127,7 @@ impl Default for Options {
             prescreen: true,
             bank_capacity: 64,
             symmetry: true,
+            compile: true,
         }
     }
 }
@@ -207,6 +216,13 @@ pub struct CegisStats {
     pub checker_calls_avoided: u64,
     /// Schedule-bank occupancy after the last verification call.
     pub bank_size: u64,
+    /// Microseconds spent compiling candidates into sealed execution
+    /// artifacts (cumulative; 0 with `--no-compile`).
+    pub compile_us: u64,
+    /// POR footprint masks the compiled candidates' constants made
+    /// strictly tighter than the static analysis (cumulative over
+    /// verification calls; 0 with `--no-compile`).
+    pub sharpened_masks: u64,
 }
 
 /// A successful resolution.
@@ -439,6 +455,7 @@ impl Synthesis {
                     cancel: Some(cancel.clone()),
                     por: self.options.por,
                     symmetry: self.options.symmetry,
+                    compile: self.options.compile,
                 };
                 let k = width.min(self.options.max_iterations - stats.iterations);
                 let candidates = match synth.next_candidates(k) {
@@ -508,6 +525,8 @@ impl Synthesis {
                         prescreen_hit: effort.prescreen_hit,
                         prescreen_replays: effort.prescreen_replays,
                         bank_size: effort.bank_size,
+                        compile_us: effort.compile_us,
+                        sharpened_masks: effort.sharpened_masks,
                     });
                     match result {
                         VerifyResult::Correct => {
@@ -649,6 +668,8 @@ impl Synthesis {
             prescreen_replays: st.prescreen_replays,
             checker_calls_avoided: st.checker_calls_avoided,
             bank_size: st.bank_size,
+            compile_us: st.compile_us,
+            sharpened_masks: st.sharpened_masks,
             sat_decisions: st.sat_decisions,
             sat_propagations: st.sat_propagations,
             sat_conflicts: st.sat_conflicts,
@@ -663,6 +684,7 @@ impl Synthesis {
         SearchLimits {
             por: self.options.por,
             symmetry: self.options.symmetry,
+            compile: self.options.compile,
             ..SearchLimits::states(self.options.max_states)
         }
     }
@@ -716,12 +738,27 @@ impl Synthesis {
         let threads = self.options.threads.max(1);
         let result = match &self.mode {
             Mode::Harness => {
+                // Compile once per candidate: the prescreen, the
+                // sampler and the exhaustive checker below all share
+                // this one sealed artifact instead of re-interpreting
+                // the hole table per pass.
+                let compiled = self
+                    .options
+                    .compile
+                    .then(|| CompiledProgram::compile(&self.lowered, candidate));
+                if let Some(cp) = &compiled {
+                    effort.compile_us = cp.compile_us();
+                    effort.sharpened_masks = cp.sharpened_masks();
+                }
                 // Prescreen: replay the schedules that killed earlier
                 // candidates before paying for any search. A hit is a
                 // real execution of *this* candidate, so returning its
                 // trace is sound; a miss just falls through.
                 if let Some(bank) = bank {
-                    let (hit, bs) = bank.prescreen(&self.lowered, candidate);
+                    let (hit, bs) = match &compiled {
+                        Some(cp) => bank.prescreen_compiled(cp),
+                        None => bank.prescreen(&self.lowered, candidate),
+                    };
                     effort.prescreen_replays = bs.replays;
                     effort.bank_size = bs.size;
                     if let Some(cex) = hit {
@@ -731,9 +768,14 @@ impl Synthesis {
                     }
                 }
                 if let VerifierKind::Hybrid { samples } = self.options.verifier {
-                    if let Some(cex) =
-                        self.sample_schedules(candidate, iteration, samples, threads, limits)
-                    {
+                    if let Some(cex) = self.sample_schedules(
+                        compiled.as_ref(),
+                        candidate,
+                        iteration,
+                        samples,
+                        threads,
+                        limits,
+                    ) {
                         effort.sampled_refutation = true;
                         effort.duration = t0.elapsed();
                         if let Some(bank) = bank {
@@ -743,10 +785,13 @@ impl Synthesis {
                         return (VerifyResult::Trace(cex), effort);
                     }
                 }
-                let out = if threads > 1 {
-                    check_parallel_limits(&self.lowered, candidate, limits, threads)
-                } else {
-                    check_with_limits(&self.lowered, candidate, limits)
+                let out = match (&compiled, threads > 1) {
+                    (Some(cp), true) => check_parallel_compiled(cp, limits, threads),
+                    (Some(cp), false) => check_compiled(cp, limits),
+                    (None, true) => {
+                        check_parallel_limits(&self.lowered, candidate, limits, threads)
+                    }
+                    (None, false) => check_with_limits(&self.lowered, candidate, limits),
                 };
                 effort.states = out.stats.states;
                 effort.transitions = out.stats.transitions;
@@ -804,6 +849,7 @@ impl Synthesis {
     /// schedule set.
     fn sample_schedules(
         &self,
+        compiled: Option<&CompiledProgram>,
         candidate: &Assignment,
         iteration: usize,
         samples: usize,
@@ -811,6 +857,10 @@ impl Synthesis {
         limits: &SearchLimits,
     ) -> Option<CexTrace> {
         let seed = |k: usize| (iteration as u64) << 16 | k as u64;
+        let run = |k: usize| match compiled {
+            Some(cp) => random_run_compiled(cp, seed(k)),
+            None => random_run(&self.lowered, candidate, seed(k)),
+        };
         // Over-budget sampling gives up (returning "no refutation");
         // the exhaustive pass that follows trips immediately and
         // reports the interrupt.
@@ -826,7 +876,7 @@ impl Synthesis {
                 if tripped(k) {
                     return None;
                 }
-                if let Some(cex) = random_run(&self.lowered, candidate, seed(k)) {
+                if let Some(cex) = run(k) {
                     return Some(cex);
                 }
             }
@@ -839,12 +889,13 @@ impl Synthesis {
                 let stop = &stop;
                 let found = &found;
                 let tripped = &tripped;
+                let run = &run;
                 scope.spawn(move || {
                     for k in (t..samples).step_by(threads) {
                         if stop.load(Ordering::Relaxed) || tripped(k) {
                             return;
                         }
-                        if let Some(cex) = random_run(&self.lowered, candidate, seed(k)) {
+                        if let Some(cex) = run(k) {
                             stop.store(true, Ordering::Relaxed);
                             let mut slot = found.lock().unwrap();
                             if slot.is_none() {
@@ -931,6 +982,8 @@ struct VerifyEffort {
     prescreen_hit: bool,
     prescreen_replays: u64,
     bank_size: u64,
+    compile_us: u64,
+    sharpened_masks: u64,
 }
 
 /// Identity of a counterexample for within-batch deduplication: the
@@ -983,6 +1036,8 @@ impl CegisStats {
         }
         self.prescreen_replays += effort.prescreen_replays;
         self.bank_size = self.bank_size.max(effort.bank_size);
+        self.compile_us += effort.compile_us;
+        self.sharpened_masks += effort.sharpened_masks;
         if self.per_thread_states.len() < effort.per_thread_states.len() {
             self.per_thread_states
                 .resize(effort.per_thread_states.len(), 0);
@@ -1171,9 +1226,11 @@ mod tests {
         }
         let opts = Options {
             memory_budget: Some(1), // Any process exceeds one byte.
-            // Full expansion keeps the search running long enough for
-            // the 5ms-polling watchdog to observe and cancel it.
+            // Full expansion on the interpreted engine keeps the search
+            // running long enough for the 5ms-polling watchdog to
+            // observe and cancel it.
             por: false,
+            compile: false,
             ..Options::default()
         };
         let out = Synthesis::new(

@@ -118,6 +118,12 @@ pub struct IterationRecord {
     pub prescreen_replays: u64,
     /// Schedule-bank occupancy observed by this verification call.
     pub bank_size: u64,
+    /// Microseconds spent compiling this candidate into its sealed
+    /// execution artifact (0 with `--no-compile`).
+    pub compile_us: u64,
+    /// POR footprint masks this candidate's constants made strictly
+    /// tighter than the static analysis (0 with `--no-compile`).
+    pub sharpened_masks: u64,
 }
 
 /// The machine-readable run report: run-level summary plus one
@@ -193,6 +199,13 @@ pub struct RunReport {
     pub checker_calls_avoided: u64,
     /// Schedule-bank occupancy at the end of the run.
     pub bank_size: u64,
+    /// Microseconds spent compiling candidates into sealed execution
+    /// artifacts, cumulative (0 with `--no-compile`).
+    pub compile_us: u64,
+    /// POR footprint masks the compiled candidates' constants made
+    /// strictly tighter than the static analysis, cumulative (0 with
+    /// `--no-compile`).
+    pub sharpened_masks: u64,
     /// Synthesizer SAT decisions.
     pub sat_decisions: u64,
     /// Synthesizer SAT unit propagations.
@@ -213,7 +226,10 @@ impl RunReport {
     /// `prescreen_replays`, `checker_calls_avoided`, `bank_size` at
     /// run level; `prescreen_hit`, `prescreen_replays`, `bank_size`
     /// per iteration).
-    pub const SCHEMA: u32 = 2;
+    ///
+    /// v3: compile-once candidate layer counters (`compile_us`,
+    /// `sharpened_masks` at both run and iteration level).
+    pub const SCHEMA: u32 = 3;
 
     /// Serialises the report as a JSON object (two-space indented).
     pub fn to_json(&self) -> String {
@@ -285,6 +301,8 @@ impl RunReport {
             Json::from(self.checker_calls_avoided as i64),
         );
         o.field("bank_size", Json::from(self.bank_size as i64));
+        o.field("compile_us", Json::from(self.compile_us as i64));
+        o.field("sharpened_masks", Json::from(self.sharpened_masks as i64));
         o.field("sat_decisions", Json::from(self.sat_decisions as i64));
         o.field("sat_propagations", Json::from(self.sat_propagations as i64));
         o.field("sat_conflicts", Json::from(self.sat_conflicts as i64));
@@ -325,6 +343,8 @@ impl IterationRecord {
             Json::from(self.prescreen_replays as i64),
         );
         o.field("bank_size", Json::from(self.bank_size as i64));
+        o.field("compile_us", Json::from(self.compile_us as i64));
+        o.field("sharpened_masks", Json::from(self.sharpened_masks as i64));
         o.finish()
     }
 }
@@ -825,6 +845,8 @@ mod tests {
             prescreen_replays: 17,
             checker_calls_avoided: 5,
             bank_size: 6,
+            compile_us: 420,
+            sharpened_masks: 11,
             sat_decisions: 9,
             sat_propagations: 101,
             sat_conflicts: 3,
@@ -851,11 +873,13 @@ mod tests {
                 prescreen_hit: true,
                 prescreen_replays: 3,
                 bank_size: 2,
+                compile_us: 210,
+                sharpened_masks: 4,
             }],
         };
         let text = report.to_json();
         let v = Json::parse(&text).expect("report must be valid JSON");
-        assert_eq!(v.get("schema").unwrap().as_f64(), Some(2.0));
+        assert_eq!(v.get("schema").unwrap().as_f64(), Some(3.0));
         assert_eq!(v.get("resolvable").unwrap().as_str(), Some("unknown"));
         assert_eq!(v.get("resolution"), Some(&Json::Null));
         let trip = v.get("budget_trip").unwrap();
@@ -878,6 +902,8 @@ mod tests {
         assert_eq!(v.get("prescreen_replays").unwrap().as_f64(), Some(17.0));
         assert_eq!(v.get("checker_calls_avoided").unwrap().as_f64(), Some(5.0));
         assert_eq!(v.get("bank_size").unwrap().as_f64(), Some(6.0));
+        assert_eq!(v.get("compile_us").unwrap().as_f64(), Some(420.0));
+        assert_eq!(v.get("sharpened_masks").unwrap().as_f64(), Some(11.0));
         let recs = v.get("records").unwrap().as_arr().unwrap();
         assert_eq!(recs.len(), 1);
         let r = &recs[0];
@@ -891,6 +917,8 @@ mod tests {
         assert_eq!(r.get("prescreen_hit").unwrap().as_bool(), Some(true));
         assert_eq!(r.get("prescreen_replays").unwrap().as_f64(), Some(3.0));
         assert_eq!(r.get("bank_size").unwrap().as_f64(), Some(2.0));
+        assert_eq!(r.get("compile_us").unwrap().as_f64(), Some(210.0));
+        assert_eq!(r.get("sharpened_masks").unwrap().as_f64(), Some(4.0));
         let per = r.get("per_thread_states").unwrap().as_arr().unwrap();
         assert_eq!(per.iter().filter_map(Json::as_f64).sum::<f64>(), 60.0);
     }

@@ -28,7 +28,8 @@ use std::sync::Mutex;
 
 use psketch_ir::{Assignment, Lowered};
 
-use crate::checker::replay;
+use crate::checker::{replay, replay_with, Checker};
+use crate::compiled::CompiledProgram;
 use crate::store::CexTrace;
 
 /// One banked schedule with its bookkeeping.
@@ -141,6 +142,22 @@ impl ScheduleBank {
     /// which may be a prefix-with-skips of the banked schedule when the
     /// candidate disables some of its entries.
     pub fn prescreen(&self, l: &Lowered, candidate: &Assignment) -> (Option<CexTrace>, BankStats) {
+        self.prescreen_with(|order| replay(l, candidate, order))
+    }
+
+    /// As [`ScheduleBank::prescreen`], over an already-compiled
+    /// candidate. One checker is built from the artifact and reused
+    /// across every banked replay, instead of a fresh analysis pass
+    /// per replay.
+    pub fn prescreen_compiled(&self, cp: &CompiledProgram) -> (Option<CexTrace>, BankStats) {
+        let ck = Checker::from_compiled(cp, false);
+        self.prescreen_with(|order| replay_with(&ck, order))
+    }
+
+    fn prescreen_with(
+        &self,
+        mut replay_one: impl FnMut(&[usize]) -> Option<CexTrace>,
+    ) -> (Option<CexTrace>, BankStats) {
         let snapshot: Vec<(u64, Vec<u32>)> = {
             let mut bank = self.inner.lock().expect("schedule bank poisoned");
             bank.sort_by_key(|e| std::cmp::Reverse((e.kills, e.last_used)));
@@ -153,7 +170,7 @@ impl ScheduleBank {
         for (fp, schedule) in &snapshot {
             stats.replays += 1;
             let order: Vec<usize> = schedule.iter().map(|&w| w as usize).collect();
-            if let Some(cex) = replay(l, candidate, &order) {
+            if let Some(cex) = replay_one(&order) {
                 stats.hits = 1;
                 let now = self.tick();
                 let mut bank = self.inner.lock().expect("schedule bank poisoned");

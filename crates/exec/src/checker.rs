@@ -15,10 +15,12 @@
 //! clone-per-transition engine survives as [`crate::reference`] for
 //! differential testing and benchmarking.
 
+use crate::compiled::{exec_cop, COp, CompiledProgram, ThreadCode};
 use crate::fingerprint::{cell_hash, combine_fp, FpHasher, FpSet};
 use crate::por::PorTable;
 use crate::store::{
-    eval_rv, exec_op, CexTrace, Failure, FailureKind, StateBuf, StateLayout, UndoJournal,
+    eval_rv, exec_op, CexTrace, EvalResult, Failure, FailureKind, StateBuf, StateLayout,
+    UndoJournal,
 };
 use psketch_ir::symmetry::{symmetry_classes, SymClass, SymmetryClasses};
 use psketch_ir::{Assignment, Lowered, Lv, Op, Rv, Thread, ThreadId};
@@ -83,6 +85,15 @@ pub struct SearchLimits {
     /// ids. Workers detected as asymmetric fall back soundly to
     /// identity canonicalization.
     pub symmetry: bool,
+    /// Compile the candidate into a [`crate::CompiledProgram`] before
+    /// searching (on by default): holes substituted, guards folded,
+    /// steps flattened to micro-op arrays, POR masks sharpened by the
+    /// candidate's constants. Semantics-preserving — verdicts, state
+    /// counts and schedules match the interpreted engine (POR may
+    /// prune *more* states when sharpening helps). Turn off
+    /// (`--no-compile` in the CLIs) to keep the tree-walking
+    /// interpreter reachable for differential debugging.
+    pub compile: bool,
 }
 
 impl Default for SearchLimits {
@@ -93,6 +104,7 @@ impl Default for SearchLimits {
             cancel: None,
             por: true,
             symmetry: true,
+            compile: true,
         }
     }
 }
@@ -171,6 +183,13 @@ pub struct CheckStats {
     /// too); the exact merge count is the visited-state difference
     /// against a symmetry-off search.
     pub sym_collapses: u64,
+    /// Microseconds spent compiling the candidate into its sealed
+    /// execution artifact (0 on the interpreted path).
+    pub compile_us: u64,
+    /// (worker, pc) POR footprint masks the candidate's constants made
+    /// strictly tighter than the static analysis (0 on the interpreted
+    /// path, which always uses the static masks).
+    pub sharpened_masks: u64,
 }
 
 /// Result of [`check`].
@@ -219,11 +238,27 @@ pub fn check_with_limits(
     candidate: &Assignment,
     limits: &SearchLimits,
 ) -> CheckOutcome {
+    if limits.compile {
+        let cp = CompiledProgram::compile(l, candidate);
+        return check_compiled(&cp, limits);
+    }
     if limits.symmetry {
         Checker::with_symmetry(l, candidate).run(limits)
     } else {
         Checker::new(l, candidate).run(limits)
     }
+}
+
+/// As [`check_with_limits`], over an already-compiled candidate.
+/// Compile once per candidate and share the artifact between the
+/// prescreen, the sampler and the exhaustive search — this is the
+/// entry point the CEGIS loop uses.
+pub fn check_compiled(cp: &CompiledProgram, limits: &SearchLimits) -> CheckOutcome {
+    let ck = Checker::from_compiled(cp, limits.symmetry);
+    let mut out = ck.run(limits);
+    out.stats.compile_us += cp.compile_us();
+    out.stats.sharpened_masks = cp.sharpened_masks();
+    out
 }
 
 /// Stats for a run that failed before the interleaving search began
@@ -254,6 +289,25 @@ pub fn replay(l: &Lowered, candidate: &Assignment, schedule: &[usize]) -> Option
     replay_fp(l, candidate, schedule).0
 }
 
+/// As [`replay`], over an already-compiled candidate. Schedules and
+/// traces are identical to the interpreted replay's; only the step
+/// execution runs on the micro-op code.
+pub fn replay_compiled(cp: &CompiledProgram, schedule: &[usize]) -> Option<CexTrace> {
+    replay_fp_compiled(cp, schedule).0
+}
+
+/// As [`replay_fp`], over an already-compiled candidate.
+pub fn replay_fp_compiled(cp: &CompiledProgram, schedule: &[usize]) -> (Option<CexTrace>, u64) {
+    replay_fp_with(&Checker::from_compiled(cp, false), schedule)
+}
+
+/// Replay over a prebuilt checker — lets the schedule bank reuse one
+/// checker (and one compiled artifact) across every replay of a
+/// candidate.
+pub(crate) fn replay_with(ck: &Checker<'_>, schedule: &[usize]) -> Option<CexTrace> {
+    replay_fp_with(ck, schedule).0
+}
+
 /// As [`replay`], additionally returning the fingerprint of the final
 /// state the execution reached (after the epilogue on clean runs, at
 /// the failing state otherwise). The fingerprint pins replay
@@ -264,7 +318,11 @@ pub fn replay_fp(
     candidate: &Assignment,
     schedule: &[usize],
 ) -> (Option<CexTrace>, u64) {
-    let ck = Checker::new(l, candidate);
+    replay_fp_with(&Checker::new(l, candidate), schedule)
+}
+
+fn replay_fp_with(ck: &Checker<'_>, schedule: &[usize]) -> (Option<CexTrace>, u64) {
+    let l = ck.l;
     let mut buf = ck.initial_buf();
     let mut j = UndoJournal::new();
     let mut trace: Vec<(ThreadId, usize)> = Vec::new();
@@ -375,7 +433,18 @@ pub fn replay_fp(
 /// samples schedules before paying for the exhaustive search. A `None`
 /// result says nothing about other interleavings.
 pub fn random_run(l: &Lowered, candidate: &Assignment, seed: u64) -> Option<CexTrace> {
-    let ck = Checker::new(l, candidate);
+    random_run_with(&Checker::new(l, candidate), seed)
+}
+
+/// As [`random_run`], over an already-compiled candidate. The seeded
+/// scheduler and the resulting schedule are identical to the
+/// interpreted sampler's.
+pub fn random_run_compiled(cp: &CompiledProgram, seed: u64) -> Option<CexTrace> {
+    random_run_with(&Checker::from_compiled(cp, false), seed)
+}
+
+fn random_run_with(ck: &Checker<'_>, seed: u64) -> Option<CexTrace> {
+    let l = ck.l;
     let mut rng = seed.wrapping_mul(0x9e3779b97f4a7c15).max(1);
     let mut next = move || {
         rng ^= rng << 13;
@@ -475,6 +544,13 @@ pub(crate) struct Checker<'a> {
     /// populate this; replay and sampling always run symmetry-free so
     /// recorded schedules and fingerprints stay engine-independent.
     sym: SymmetryClasses,
+    /// Per-thread micro-op arrays when this checker runs a
+    /// [`CompiledProgram`] (`None` = interpret the `Rv`/`Op` trees).
+    /// Indexed by trace thread id, like `l`'s threads.
+    code: Option<&'a [ThreadCode]>,
+    /// Candidate-sharpened POR tables borrowed from the artifact;
+    /// `run` uses these instead of building static tables.
+    por_pre: Option<&'a PorTable>,
 }
 
 pub(crate) type FireResult = Result<Vec<(ThreadId, usize)>, (Vec<(ThreadId, usize)>, Failure)>;
@@ -493,6 +569,32 @@ impl<'a> Checker<'a> {
             match_end,
             live,
             sym: SymmetryClasses::default(),
+            code: None,
+            por_pre: None,
+        }
+    }
+
+    /// A checker over a sealed [`CompiledProgram`]: the hot path runs
+    /// the artifact's micro-op arrays, POR uses its candidate-sharpened
+    /// masks, and the precomputed layout/liveness/symmetry analyses are
+    /// reused instead of recomputed. Liveness and symmetry come from
+    /// the *original* program, so fingerprints, canonical vectors and
+    /// state counts are bit-for-bit the interpreted engine's.
+    pub(crate) fn from_compiled(cp: &'a CompiledProgram, symmetry: bool) -> Checker<'a> {
+        Checker {
+            l: cp.program(),
+            holes: cp.assignment(),
+            lay: cp.lay.clone(),
+            shared_len: cp.shared_len,
+            match_end: cp.match_end.clone(),
+            live: cp.live.clone(),
+            sym: if symmetry {
+                cp.sym.clone()
+            } else {
+                SymmetryClasses::default()
+            },
+            code: Some(&cp.code),
+            por_pre: cp.por.as_ref(),
         }
     }
 
@@ -542,6 +644,64 @@ impl<'a> Checker<'a> {
         worker + 1
     }
 
+    /// Evaluates the guard of step `ix` of thread `tid`: the
+    /// artifact's micro-op code when this checker is compiled, tree
+    /// interpretation otherwise. `tid` is the trace thread id (0 =
+    /// prologue, `w + 1` = worker `w`, `n + 1` = epilogue), which is
+    /// also the artifact's code index.
+    #[inline]
+    fn eval_guard(
+        &self,
+        tid: ThreadId,
+        ix: usize,
+        guard: &Rv,
+        buf: &StateBuf,
+        lb: usize,
+    ) -> EvalResult {
+        match self.code {
+            Some(code) => code[tid].steps[ix].guard.eval(buf, lb, &self.l.config),
+            None => eval_rv(guard, buf, &self.lay, lb, self.holes, self.l),
+        }
+    }
+
+    /// Evaluates the blocking condition of the `AtomicBegin` at step
+    /// `ix` of thread `tid` (see [`Checker::eval_guard`]).
+    #[inline]
+    fn eval_atomic_cond(
+        &self,
+        tid: ThreadId,
+        ix: usize,
+        cond: &Rv,
+        buf: &StateBuf,
+        lb: usize,
+    ) -> EvalResult {
+        match self.code {
+            Some(code) => match &code[tid].steps[ix].op {
+                COp::AtomicBegin(Some(c)) => c.eval(buf, lb, &self.l.config),
+                _ => unreachable!("source step is AtomicBegin(Some(_))"),
+            },
+            None => eval_rv(cond, buf, &self.lay, lb, self.holes, self.l),
+        }
+    }
+
+    /// Executes the operation of step `ix` of thread `tid` (see
+    /// [`Checker::eval_guard`]).
+    #[inline]
+    fn exec_step(
+        &self,
+        tid: ThreadId,
+        ix: usize,
+        op: &Op,
+        buf: &mut StateBuf,
+        lb: usize,
+        j: &mut UndoJournal,
+    ) -> Result<(), FailureKind> {
+        match self.code {
+            Some(code) => exec_cop(&code[tid].steps[ix].op, buf, lb, j, &self.l.config),
+            None => exec_op(op, buf, &self.lay, lb, j, self.holes, self.l),
+        }
+    }
+
     /// Runs a sequential phase (prologue/epilogue) to completion. The
     /// phase's locals live in scratch space pushed onto `buf` for the
     /// duration of the call; shared-state writes are journaled, so the
@@ -575,7 +735,7 @@ impl<'a> Checker<'a> {
             // trace: the projection must replay the witness statement
             // at its observed position so that `fail(Sk_t[c])` fires
             // for the candidate that produced the trace.
-            let g = match eval_rv(&step.guard, buf, &self.lay, lb, self.holes, self.l) {
+            let g = match self.eval_guard(tid, ix, &step.guard, buf, lb) {
                 Ok(v) => v != 0,
                 Err(kind) => {
                     steps.push((tid, ix));
@@ -594,7 +754,7 @@ impl<'a> Checker<'a> {
                 continue;
             }
             if let Op::AtomicBegin(Some(cond)) = &step.op {
-                let c = match eval_rv(cond, buf, &self.lay, lb, self.holes, self.l) {
+                let c = match self.eval_atomic_cond(tid, ix, cond, buf, lb) {
                     Ok(v) => v != 0,
                     Err(kind) => {
                         steps.push((tid, ix));
@@ -622,7 +782,7 @@ impl<'a> Checker<'a> {
                     ));
                 }
             }
-            if let Err(kind) = exec_op(&step.op, buf, &self.lay, lb, j, self.holes, self.l) {
+            if let Err(kind) = self.exec_step(tid, ix, &step.op, buf, lb, j) {
                 steps.push((tid, ix));
                 return Err((
                     steps,
@@ -650,8 +810,9 @@ impl<'a> Checker<'a> {
             let Some(step) = thread.steps.get(pc) else {
                 return Ok(executed);
             };
-            let g =
-                eval_rv(&step.guard, buf, &self.lay, lb, self.holes, self.l).map_err(|kind| {
+            let g = self
+                .eval_guard(tid, pc, &step.guard, buf, lb)
+                .map_err(|kind| {
                     let mut with_witness = executed.clone();
                     with_witness.push((tid, pc));
                     (
@@ -671,19 +832,20 @@ impl<'a> Checker<'a> {
             if step.shared || !self.l.config.reduce_local_steps {
                 return Ok(executed);
             }
-            exec_op(&step.op, buf, &self.lay, lb, j, self.holes, self.l).map_err(|kind| {
-                let mut with_witness = executed.clone();
-                with_witness.push((tid, pc));
-                (
-                    with_witness,
-                    Failure {
-                        kind,
-                        tid,
-                        step: pc,
-                        span: step.span,
-                    },
-                )
-            })?;
+            self.exec_step(tid, pc, &step.op, buf, lb, j)
+                .map_err(|kind| {
+                    let mut with_witness = executed.clone();
+                    with_witness.push((tid, pc));
+                    (
+                        with_witness,
+                        Failure {
+                            kind,
+                            tid,
+                            step: pc,
+                            span: step.span,
+                        },
+                    )
+                })?;
             executed.push((tid, pc));
             self.set_pc(buf, w, pc + 1, j);
         }
@@ -737,16 +899,16 @@ impl<'a> Checker<'a> {
         if self.finished(buf, w) {
             return false;
         }
-        let step = &self.l.workers[w].steps[self.pc(buf, w)];
+        let pc = self.pc(buf, w);
+        let step = &self.l.workers[w].steps[pc];
         match &step.op {
             Op::AtomicBegin(Some(cond)) => matches!(
-                eval_rv(
+                self.eval_atomic_cond(
+                    self.trace_tid(w),
+                    pc,
                     cond,
                     buf,
-                    &self.lay,
-                    self.lay.worker_locals(w),
-                    self.holes,
-                    self.l
+                    self.lay.worker_locals(w)
                 ),
                 Ok(v) if v != 0
             ),
@@ -783,12 +945,13 @@ impl<'a> Checker<'a> {
                 let end = self.match_end[w][pc];
                 for ix in pc + 1..end {
                     let s = &thread.steps[ix];
-                    let g = eval_rv(&s.guard, buf, &self.lay, lb, self.holes, self.l)
+                    let g = self
+                        .eval_guard(tid, ix, &s.guard, buf, lb)
                         .map_err(|k| fail(executed.clone(), k, ix))?;
                     if g == 0 {
                         continue;
                     }
-                    exec_op(&s.op, buf, &self.lay, lb, j, self.holes, self.l)
+                    self.exec_step(tid, ix, &s.op, buf, lb, j)
                         .map_err(|k| fail(executed.clone(), k, ix))?;
                     executed.push((tid, ix));
                 }
@@ -796,7 +959,7 @@ impl<'a> Checker<'a> {
                 self.set_pc(buf, w, end + 1, j);
             }
             _ => {
-                exec_op(&step.op, buf, &self.lay, lb, j, self.holes, self.l)
+                self.exec_step(tid, pc, &step.op, buf, lb, j)
                     .map_err(|k| fail(executed.clone(), k, pc))?;
                 executed.push((tid, pc));
                 self.set_pc(buf, w, pc + 1, j);
@@ -1061,8 +1224,14 @@ impl<'a> Checker<'a> {
                 pre.extend(steps);
                 // The root state is permanent: nothing undoes past it.
                 j.reset();
-                let por = self.wants_por(limits).then(|| PorTable::new(self.l));
-                let mut out = self.dfs(buf, &mut j, pre, limits, por.as_ref(), &mut stats);
+                let wants = self.wants_por(limits);
+                let owned_por = (wants && self.por_pre.is_none()).then(|| PorTable::new(self.l));
+                let por = if wants {
+                    self.por_pre.or(owned_por.as_ref())
+                } else {
+                    None
+                };
+                let mut out = self.dfs(buf, &mut j, pre, limits, por, &mut stats);
                 out.stats.journal_writes = j.total_writes();
                 out
             }

@@ -1,0 +1,906 @@
+//! The compile-once candidate layer.
+//!
+//! Every engine in this crate used to pay for a candidate on each use:
+//! tree-walking `Rv`/`Op` with a hole-table lookup per `eval_rv` call,
+//! candidate-independent POR footprints, and a fresh analysis pass
+//! (layout, liveness, symmetry) per `Checker::new`. A
+//! [`CompiledProgram`] seals one `(Lowered, Assignment)` pair into a
+//! shared execution artifact instead:
+//!
+//! - the ir-side [`psketch_ir::specialize`] pass substitutes every
+//!   hole with its constant and folds guards/ops (exactly preserving
+//!   the interpreter's lazy semantics and the program's structure);
+//! - each thread's step list is flattened into dense pc-indexed
+//!   micro-op arrays ([`Ins`]): a tiny stack machine with short-circuit
+//!   jumps, no tree recursion and no hole table on the hot path;
+//! - the POR conflict bitmasks are rebuilt from the *specialized*
+//!   program, so fork-indexed cells whose index was a hole resolve to
+//!   exact locations the static [`psketch_ir::FootprintTable`] had to
+//!   widen — candidate-sharpened ample sets, never coarser than the
+//!   static ones (checked at compile time, surfaced via
+//!   [`CompiledProgram::footprint_refines_static`]);
+//! - thread-symmetry classes and per-worker liveness masks are
+//!   precomputed once, from the *original* program, so compiled
+//!   fingerprints, canonical vectors and state counts are bit-for-bit
+//!   those of the interpreted engine.
+//!
+//! The sequential DFS, the parallel engine, replay, sampling and the
+//! schedule-bank prescreen all consume the same artifact via
+//! `Checker::from_compiled`; [`crate::reference`] stays the uncompiled
+//! oracle.
+
+use crate::checker::{compute_liveness, compute_match_end};
+use crate::por::PorTable;
+use crate::store::{EvalResult, FailureKind, StateBuf, StateLayout, UndoJournal};
+use psketch_ir::symmetry::{symmetry_classes, SymmetryClasses};
+use psketch_ir::{specialize, Assignment, Lowered, Lv, Op, Rv, Thread};
+use psketch_lang::ast::{BinOp, UnOp};
+use std::time::Instant;
+
+/// Stack slots kept inline on the eval stack frame; expressions deeper
+/// than this (pathological nesting) fall back to a heap stack. Kept
+/// small: the array is re-initialized per evaluation, and `&&`/`||`
+/// chains compile to jumps that take the *max* of their operand
+/// depths, so real guards rarely need more than a handful of slots.
+const INLINE_STACK: usize = 16;
+
+/// One micro-op of the flattened expression code. Operands travel on
+/// an explicit value stack; `&&`/`||`/`?:` laziness is compiled to
+/// forward jumps, so evaluation is a straight dispatch loop with no
+/// recursion and no hole lookups.
+#[derive(Clone, Debug)]
+pub(crate) enum Ins {
+    /// Push a constant (holes have been substituted by now).
+    Const(i64),
+    /// Push the global cell at this flat offset.
+    Global(u32),
+    /// Push the local at this slot (offset by the runtime locals base).
+    Local(u32),
+    /// Pop an index, bounds-check it against `len`, push the global
+    /// cell at `base + index`.
+    GlobalDyn {
+        /// Flat offset of the region's first cell.
+        base: u32,
+        /// Region length in cells.
+        len: u32,
+    },
+    /// As [`Ins::GlobalDyn`] for a local region.
+    LocalDyn {
+        /// Slot offset of the region's first local.
+        base: u32,
+        /// Region length in slots.
+        len: u32,
+    },
+    /// Pop an object reference, null/bounds-check it, push the field
+    /// cell. Fully baked: `heap_base` is the pool segment's flat
+    /// offset, so no layout table is consulted at run time.
+    Field {
+        /// Flat offset of the pool's heap segment.
+        heap_base: u32,
+        /// Fields per object.
+        nf: u32,
+        /// Pool capacity in objects.
+        cap: u32,
+        /// Field index within the object.
+        fid: u32,
+    },
+    /// Logical not of the top of stack.
+    Not,
+    /// Wrapping negation of the top of stack.
+    Neg,
+    /// Strict binary operator over the top two stack slots
+    /// (`And`/`Or` never appear here — they compile to jumps).
+    Bin(BinOp),
+    /// Normalize the top of stack to 0/1 (the value `&&`/`||` produce
+    /// for their demanded right operand).
+    PushBool,
+    /// Unconditional jump to an instruction index.
+    Jump(u32),
+    /// Pop; jump when the popped value is zero.
+    JumpIfZero(u32),
+    /// Pop; jump when the popped value is non-zero.
+    JumpIfNonZero(u32),
+}
+
+/// A compiled expression: the micro-op array plus the stack depth it
+/// needs. Single-constant code (the common case for folded guards)
+/// short-circuits through `const_val` without touching the stack.
+#[derive(Clone, Debug)]
+pub(crate) struct Code {
+    ins: Box<[Ins]>,
+    max_stack: u32,
+    const_val: Option<i64>,
+}
+
+impl Code {
+    /// Evaluates the code against the current state. Mirrors
+    /// `store::eval_rv` exactly, failure for failure.
+    #[inline]
+    pub(crate) fn eval(
+        &self,
+        buf: &StateBuf,
+        lb: usize,
+        config: &psketch_ir::Config,
+    ) -> EvalResult {
+        if let Some(c) = self.const_val {
+            return Ok(c);
+        }
+        // Single-load atoms (the bulk of operand expressions after
+        // folding) skip the dispatch loop and its stack entirely.
+        if let [ins] = &*self.ins {
+            match *ins {
+                Ins::Global(g) => return Ok(buf.get(g as usize)),
+                Ins::Local(x) => return Ok(buf.get(lb + x as usize)),
+                _ => {}
+            }
+        }
+        if self.max_stack as usize <= INLINE_STACK {
+            let mut stack = [0i64; INLINE_STACK];
+            self.eval_on(&mut stack, buf, lb, config)
+        } else {
+            let mut stack = vec![0i64; self.max_stack as usize];
+            self.eval_on(&mut stack, buf, lb, config)
+        }
+    }
+
+    fn eval_on(
+        &self,
+        stack: &mut [i64],
+        buf: &StateBuf,
+        lb: usize,
+        config: &psketch_ir::Config,
+    ) -> EvalResult {
+        let ins = &self.ins;
+        let mut pc = 0usize;
+        let mut sp = 0usize;
+        while pc < ins.len() {
+            match ins[pc] {
+                Ins::Const(c) => {
+                    stack[sp] = c;
+                    sp += 1;
+                }
+                Ins::Global(g) => {
+                    stack[sp] = buf.get(g as usize);
+                    sp += 1;
+                }
+                Ins::Local(x) => {
+                    stack[sp] = buf.get(lb + x as usize);
+                    sp += 1;
+                }
+                Ins::GlobalDyn { base, len } => {
+                    let i = stack[sp - 1];
+                    if i < 0 || i as usize >= len as usize {
+                        return Err(FailureKind::OutOfBounds);
+                    }
+                    stack[sp - 1] = buf.get(base as usize + i as usize);
+                }
+                Ins::LocalDyn { base, len } => {
+                    let i = stack[sp - 1];
+                    if i < 0 || i as usize >= len as usize {
+                        return Err(FailureKind::OutOfBounds);
+                    }
+                    stack[sp - 1] = buf.get(lb + base as usize + i as usize);
+                }
+                Ins::Field {
+                    heap_base,
+                    nf,
+                    cap,
+                    fid,
+                } => {
+                    let obj = stack[sp - 1];
+                    if obj == 0 {
+                        return Err(FailureKind::NullDeref);
+                    }
+                    let ix = (obj - 1) as usize;
+                    if ix >= cap as usize {
+                        return Err(FailureKind::OutOfBounds);
+                    }
+                    stack[sp - 1] = buf.get(heap_base as usize + ix * nf as usize + fid as usize);
+                }
+                Ins::Not => stack[sp - 1] = i64::from(stack[sp - 1] == 0),
+                Ins::Neg => stack[sp - 1] = config.wrap(-stack[sp - 1]),
+                Ins::Bin(op) => {
+                    let y = stack[sp - 1];
+                    let x = stack[sp - 2];
+                    sp -= 1;
+                    stack[sp - 1] = match op {
+                        BinOp::Add => config.wrap(x + y),
+                        BinOp::Sub => config.wrap(x - y),
+                        BinOp::Mul => config.wrap(x.wrapping_mul(y)),
+                        BinOp::Div => {
+                            debug_assert!(y != 0, "lowering guarantees non-zero divisors");
+                            config.wrap(x.wrapping_div(y))
+                        }
+                        BinOp::Mod => {
+                            debug_assert!(y != 0);
+                            config.wrap(x.wrapping_rem(y))
+                        }
+                        BinOp::Eq => i64::from(x == y),
+                        BinOp::Ne => i64::from(x != y),
+                        BinOp::Lt => i64::from(x < y),
+                        BinOp::Le => i64::from(x <= y),
+                        BinOp::Gt => i64::from(x > y),
+                        BinOp::Ge => i64::from(x >= y),
+                        BinOp::And | BinOp::Or => unreachable!("compiled to jumps"),
+                    };
+                }
+                Ins::PushBool => stack[sp - 1] = i64::from(stack[sp - 1] != 0),
+                Ins::Jump(t) => {
+                    pc = t as usize;
+                    continue;
+                }
+                Ins::JumpIfZero(t) => {
+                    sp -= 1;
+                    if stack[sp] == 0 {
+                        pc = t as usize;
+                        continue;
+                    }
+                }
+                Ins::JumpIfNonZero(t) => {
+                    sp -= 1;
+                    if stack[sp] != 0 {
+                        pc = t as usize;
+                        continue;
+                    }
+                }
+            }
+            pc += 1;
+        }
+        debug_assert_eq!(sp, 1, "expression code must leave exactly one value");
+        Ok(stack[0])
+    }
+}
+
+/// A compiled write destination.
+#[derive(Clone, Debug)]
+pub(crate) enum CLv {
+    /// A fixed global cell.
+    Global(usize),
+    /// A local slot (offset by the runtime locals base).
+    Local(usize),
+    /// A dynamically indexed global region.
+    GlobalDyn {
+        /// Flat offset of the region's first cell.
+        base: usize,
+        /// Region length.
+        len: usize,
+        /// Index code.
+        ix: Code,
+    },
+    /// A dynamically indexed local region.
+    LocalDyn {
+        /// Slot offset of the region's first local.
+        base: usize,
+        /// Region length.
+        len: usize,
+        /// Index code.
+        ix: Code,
+    },
+    /// An object field, fully baked as in [`Ins::Field`].
+    Field {
+        /// Flat offset of the pool's heap segment.
+        heap_base: usize,
+        /// Fields per object.
+        nf: usize,
+        /// Pool capacity in objects.
+        cap: usize,
+        /// Field index within the object.
+        fid: usize,
+        /// Object-reference code.
+        obj: Code,
+    },
+}
+
+/// A compiled step operation, mirroring [`psketch_ir::Op`] with all
+/// expressions flattened and all layout offsets baked in.
+#[derive(Clone, Debug)]
+pub(crate) enum COp {
+    /// `lv = rv`.
+    Assign(CLv, Code),
+    /// Atomic swap.
+    Swap {
+        /// Receives the old value.
+        dst: CLv,
+        /// The swapped location.
+        loc: CLv,
+        /// The new value.
+        val: Code,
+    },
+    /// Atomic compare-and-swap.
+    Cas {
+        /// Receives the success flag.
+        dst: CLv,
+        /// The compared-and-written location.
+        loc: CLv,
+        /// Expected value.
+        old: Code,
+        /// Replacement value.
+        new: Code,
+    },
+    /// Atomic fetch-and-add.
+    FetchAdd {
+        /// Receives the pre-add value.
+        dst: CLv,
+        /// The incremented location.
+        loc: CLv,
+        /// The constant addend.
+        delta: i64,
+    },
+    /// Pool allocation with baked layout.
+    Alloc {
+        /// Receives the new object reference.
+        dst: CLv,
+        /// Flat offset of the pool's allocation counter.
+        alloc_slot: usize,
+        /// Flat offset of the pool's heap segment.
+        heap_base: usize,
+        /// Pool capacity in objects.
+        cap: usize,
+        /// Per-field default values (also fixes the field count).
+        defaults: Box<[i64]>,
+        /// Field overrides, in declaration order.
+        inits: Box<[(usize, Code)]>,
+    },
+    /// `assert`.
+    Assert(Code),
+    /// Atomic-section entry, with its blocking condition when present.
+    /// A no-op for [`exec_cop`] — the checker interprets it for
+    /// scheduling, reading the condition via the step's code.
+    AtomicBegin(Option<Code>),
+    /// Atomic-section exit (no-op).
+    AtomicEnd,
+}
+
+/// One compiled step: guard code plus operation.
+#[derive(Clone, Debug)]
+pub(crate) struct CStep {
+    /// The step's guard.
+    pub(crate) guard: Code,
+    /// The step's operation.
+    pub(crate) op: COp,
+}
+
+/// One thread's dense pc-indexed compiled step array.
+#[derive(Clone, Debug)]
+pub(crate) struct ThreadCode {
+    /// `steps[pc]` is the compiled form of the thread's step `pc`.
+    pub(crate) steps: Box<[CStep]>,
+}
+
+/// Resolves a compiled write destination to its flat buffer offset.
+/// Mirrors `store::resolve_lv` exactly.
+fn resolve_clv(
+    lv: &CLv,
+    buf: &StateBuf,
+    lb: usize,
+    config: &psketch_ir::Config,
+) -> Result<usize, FailureKind> {
+    Ok(match lv {
+        CLv::Global(g) => *g,
+        CLv::Local(x) => lb + *x,
+        CLv::GlobalDyn { base, len, ix } => {
+            let i = ix.eval(buf, lb, config)?;
+            if i < 0 || i as usize >= *len {
+                return Err(FailureKind::OutOfBounds);
+            }
+            base + i as usize
+        }
+        CLv::LocalDyn { base, len, ix } => {
+            let i = ix.eval(buf, lb, config)?;
+            if i < 0 || i as usize >= *len {
+                return Err(FailureKind::OutOfBounds);
+            }
+            lb + base + i as usize
+        }
+        CLv::Field {
+            heap_base,
+            nf,
+            cap,
+            fid,
+            obj,
+        } => {
+            let o = obj.eval(buf, lb, config)?;
+            if o == 0 {
+                return Err(FailureKind::NullDeref);
+            }
+            let ix = (o - 1) as usize;
+            if ix >= *cap {
+                return Err(FailureKind::OutOfBounds);
+            }
+            heap_base + ix * nf + fid
+        }
+    })
+}
+
+/// Executes one compiled operation (guard already known true),
+/// journaling every write. Mirrors `store::exec_op` operation for
+/// operation, in the same evaluation order, so failures and journal
+/// contents are identical to the interpreted engine's.
+pub(crate) fn exec_cop(
+    op: &COp,
+    buf: &mut StateBuf,
+    lb: usize,
+    j: &mut UndoJournal,
+    config: &psketch_ir::Config,
+) -> Result<(), FailureKind> {
+    match op {
+        COp::Assign(lv, rv) => {
+            let v = rv.eval(buf, lb, config)?;
+            let off = resolve_clv(lv, buf, lb, config)?;
+            buf.set(off, v, j);
+        }
+        COp::Swap { dst, loc, val } => {
+            let v = val.eval(buf, lb, config)?;
+            let loc_off = resolve_clv(loc, buf, lb, config)?;
+            let old = buf.get(loc_off);
+            buf.set(loc_off, v, j);
+            let dst_off = resolve_clv(dst, buf, lb, config)?;
+            buf.set(dst_off, old, j);
+        }
+        COp::Cas { dst, loc, old, new } => {
+            let ov = old.eval(buf, lb, config)?;
+            let nv = new.eval(buf, lb, config)?;
+            let loc_off = resolve_clv(loc, buf, lb, config)?;
+            let cur = buf.get(loc_off);
+            let ok = cur == ov;
+            if ok {
+                buf.set(loc_off, nv, j);
+            }
+            let dst_off = resolve_clv(dst, buf, lb, config)?;
+            buf.set(dst_off, i64::from(ok), j);
+        }
+        COp::FetchAdd { dst, loc, delta } => {
+            let loc_off = resolve_clv(loc, buf, lb, config)?;
+            let old = buf.get(loc_off);
+            buf.set(loc_off, config.wrap(old + delta), j);
+            let dst_off = resolve_clv(dst, buf, lb, config)?;
+            buf.set(dst_off, old, j);
+        }
+        COp::Alloc {
+            dst,
+            alloc_slot,
+            heap_base,
+            cap,
+            defaults,
+            inits,
+        } => {
+            let obj = buf.get(*alloc_slot);
+            if obj as usize >= *cap {
+                return Err(FailureKind::PoolExhausted);
+            }
+            buf.set(*alloc_slot, obj + 1, j);
+            let nf = defaults.len();
+            let base = heap_base + obj as usize * nf;
+            for (fid, &default) in defaults.iter().enumerate() {
+                buf.set(base + fid, default, j);
+            }
+            // Evaluate overrides before publishing the reference (they
+            // see the freshly written defaults, as in the interpreter).
+            let mut vals = Vec::with_capacity(inits.len());
+            for (fid, rv) in inits.iter() {
+                vals.push((*fid, rv.eval(buf, lb, config)?));
+            }
+            for (fid, v) in vals {
+                buf.set(base + fid, v, j);
+            }
+            let dst_off = resolve_clv(dst, buf, lb, config)?;
+            buf.set(dst_off, obj + 1, j);
+        }
+        COp::Assert(c) => {
+            if c.eval(buf, lb, config)? == 0 {
+                return Err(FailureKind::AssertFailed);
+            }
+        }
+        COp::AtomicBegin(_) | COp::AtomicEnd => {}
+    }
+    Ok(())
+}
+
+/// Stack depth an expression's code needs. Leaves need one slot;
+/// strict binaries hold the left value while the right evaluates;
+/// short-circuit/ite branches reuse the condition's slot.
+fn rv_depth(rv: &Rv) -> u32 {
+    match rv {
+        Rv::Const(_) | Rv::Global(_) | Rv::Local(_) | Rv::Hole(_) => 1,
+        Rv::GlobalDyn { ix, .. } | Rv::LocalDyn { ix, .. } => rv_depth(ix),
+        Rv::Field { obj, .. } => rv_depth(obj),
+        Rv::Unary(_, a) => rv_depth(a),
+        Rv::Binary(BinOp::And | BinOp::Or, a, b) => rv_depth(a).max(rv_depth(b)).max(1),
+        Rv::Binary(_, a, b) => rv_depth(a).max(1 + rv_depth(b)),
+        Rv::Ite(c, a, b) => rv_depth(c).max(rv_depth(a)).max(rv_depth(b)),
+    }
+}
+
+/// Emits `rv`'s micro-ops into `out`. Evaluation order and laziness
+/// match `store::eval_rv` instruction for instruction.
+fn emit_rv(rv: &Rv, l: &Lowered, lay: &StateLayout, out: &mut Vec<Ins>) {
+    match rv {
+        Rv::Const(c) => out.push(Ins::Const(*c)),
+        Rv::Hole(_) => unreachable!("specialize substitutes every hole"),
+        Rv::Global(g) => out.push(Ins::Global(*g as u32)),
+        Rv::Local(x) => out.push(Ins::Local(*x as u32)),
+        Rv::GlobalDyn { base, len, ix } => {
+            emit_rv(ix, l, lay, out);
+            out.push(Ins::GlobalDyn {
+                base: *base as u32,
+                len: *len as u32,
+            });
+        }
+        Rv::LocalDyn { base, len, ix } => {
+            emit_rv(ix, l, lay, out);
+            out.push(Ins::LocalDyn {
+                base: *base as u32,
+                len: *len as u32,
+            });
+        }
+        Rv::Field { sid, fid, obj } => {
+            emit_rv(obj, l, lay, out);
+            out.push(field_ins(*sid, *fid, l, lay));
+        }
+        Rv::Unary(op, a) => {
+            emit_rv(a, l, lay, out);
+            match op {
+                UnOp::Not => out.push(Ins::Not),
+                UnOp::Neg => out.push(Ins::Neg),
+                UnOp::BitsToInt => {} // identity
+            }
+        }
+        Rv::Binary(BinOp::And, a, b) => {
+            emit_rv(a, l, lay, out);
+            let jz = out.len();
+            out.push(Ins::JumpIfZero(u32::MAX));
+            emit_rv(b, l, lay, out);
+            out.push(Ins::PushBool);
+            let jend = out.len();
+            out.push(Ins::Jump(u32::MAX));
+            patch(out, jz);
+            out.push(Ins::Const(0));
+            patch(out, jend);
+        }
+        Rv::Binary(BinOp::Or, a, b) => {
+            emit_rv(a, l, lay, out);
+            let jnz = out.len();
+            out.push(Ins::JumpIfNonZero(u32::MAX));
+            emit_rv(b, l, lay, out);
+            out.push(Ins::PushBool);
+            let jend = out.len();
+            out.push(Ins::Jump(u32::MAX));
+            patch(out, jnz);
+            out.push(Ins::Const(1));
+            patch(out, jend);
+        }
+        Rv::Binary(op, a, b) => {
+            emit_rv(a, l, lay, out);
+            emit_rv(b, l, lay, out);
+            out.push(Ins::Bin(*op));
+        }
+        Rv::Ite(c, a, b) => {
+            emit_rv(c, l, lay, out);
+            let jz = out.len();
+            out.push(Ins::JumpIfZero(u32::MAX));
+            emit_rv(a, l, lay, out);
+            let jend = out.len();
+            out.push(Ins::Jump(u32::MAX));
+            patch(out, jz);
+            emit_rv(b, l, lay, out);
+            patch(out, jend);
+        }
+    }
+}
+
+/// Points the placeholder jump at `at` to the next emitted index.
+fn patch(out: &mut [Ins], at: usize) {
+    let target = out.len() as u32;
+    match &mut out[at] {
+        Ins::Jump(t) | Ins::JumpIfZero(t) | Ins::JumpIfNonZero(t) => *t = target,
+        _ => unreachable!("patched instruction is a jump"),
+    }
+}
+
+fn field_ins(sid: usize, fid: usize, l: &Lowered, lay: &StateLayout) -> Ins {
+    let layout = &l.structs[sid];
+    Ins::Field {
+        heap_base: lay.heap_cell(sid, 0) as u32,
+        nf: layout.fields.len() as u32,
+        cap: layout.capacity as u32,
+        fid: fid as u32,
+    }
+}
+
+fn compile_code(rv: &Rv, l: &Lowered, lay: &StateLayout) -> Code {
+    let mut ins = Vec::new();
+    emit_rv(rv, l, lay, &mut ins);
+    let const_val = match ins.as_slice() {
+        [Ins::Const(c)] => Some(*c),
+        _ => None,
+    };
+    Code {
+        max_stack: rv_depth(rv),
+        ins: ins.into_boxed_slice(),
+        const_val,
+    }
+}
+
+fn compile_lv(lv: &Lv, l: &Lowered, lay: &StateLayout) -> CLv {
+    match lv {
+        Lv::Global(g) => CLv::Global(*g),
+        Lv::Local(x) => CLv::Local(*x),
+        Lv::GlobalDyn { base, len, ix } => CLv::GlobalDyn {
+            base: *base,
+            len: *len,
+            ix: compile_code(ix, l, lay),
+        },
+        Lv::LocalDyn { base, len, ix } => CLv::LocalDyn {
+            base: *base,
+            len: *len,
+            ix: compile_code(ix, l, lay),
+        },
+        Lv::Field { sid, fid, obj } => {
+            let layout = &l.structs[*sid];
+            CLv::Field {
+                heap_base: lay.heap_cell(*sid, 0),
+                nf: layout.fields.len(),
+                cap: layout.capacity,
+                fid: *fid,
+                obj: compile_code(obj, l, lay),
+            }
+        }
+    }
+}
+
+fn compile_op(op: &Op, l: &Lowered, lay: &StateLayout) -> COp {
+    match op {
+        Op::Assign(lv, rv) => COp::Assign(compile_lv(lv, l, lay), compile_code(rv, l, lay)),
+        Op::Swap { dst, loc, val } => COp::Swap {
+            dst: compile_lv(dst, l, lay),
+            loc: compile_lv(loc, l, lay),
+            val: compile_code(val, l, lay),
+        },
+        Op::Cas { dst, loc, old, new } => COp::Cas {
+            dst: compile_lv(dst, l, lay),
+            loc: compile_lv(loc, l, lay),
+            old: compile_code(old, l, lay),
+            new: compile_code(new, l, lay),
+        },
+        Op::FetchAdd { dst, loc, delta } => COp::FetchAdd {
+            dst: compile_lv(dst, l, lay),
+            loc: compile_lv(loc, l, lay),
+            delta: *delta,
+        },
+        Op::Alloc { dst, sid, inits } => {
+            let layout = &l.structs[*sid];
+            COp::Alloc {
+                dst: compile_lv(dst, l, lay),
+                alloc_slot: lay.alloc_slot(*sid),
+                heap_base: lay.heap_cell(*sid, 0),
+                cap: layout.capacity,
+                defaults: layout.fields.iter().map(|(_, _, d)| *d).collect(),
+                inits: inits
+                    .iter()
+                    .map(|(fid, rv)| (*fid, compile_code(rv, l, lay)))
+                    .collect(),
+            }
+        }
+        Op::Assert(c) => COp::Assert(compile_code(c, l, lay)),
+        Op::AtomicBegin(c) => COp::AtomicBegin(c.as_ref().map(|c| compile_code(c, l, lay))),
+        Op::AtomicEnd => COp::AtomicEnd,
+    }
+}
+
+fn compile_thread(t: &Thread, l: &Lowered, lay: &StateLayout) -> ThreadCode {
+    ThreadCode {
+        steps: t
+            .steps
+            .iter()
+            .map(|s| CStep {
+                guard: compile_code(&s.guard, l, lay),
+                op: compile_op(&s.op, l, lay),
+            })
+            .collect(),
+    }
+}
+
+/// The sealed, hole-substituted execution artifact of one candidate:
+/// compiled once, shared by the sequential DFS, the parallel engine,
+/// replay, sampling and the schedule-bank prescreen.
+pub struct CompiledProgram {
+    /// The specialized (hole-free, folded) program. Trees are kept for
+    /// control decisions (step structure, `shared` flags, spans); the
+    /// hot path runs the micro-op code.
+    spec: Lowered,
+    /// The candidate this artifact was compiled from.
+    holes: Assignment,
+    /// Flat-state segment table (identical to the original program's:
+    /// specialization preserves structure).
+    pub(crate) lay: StateLayout,
+    /// Words before the first worker record.
+    pub(crate) shared_len: usize,
+    /// Per-worker AtomicBegin→AtomicEnd pairing.
+    pub(crate) match_end: Vec<Vec<usize>>,
+    /// Per-worker liveness masks, computed from the *original* program
+    /// so compiled fingerprints and state counts match the interpreted
+    /// engine's exactly.
+    pub(crate) live: Vec<Vec<Vec<u64>>>,
+    /// Thread-symmetry classes of the *original* program under this
+    /// candidate (same reason).
+    pub(crate) sym: SymmetryClasses,
+    /// Candidate-sharpened POR tables, built from the specialized
+    /// program (`None` outside the 2..=64 worker range POR supports).
+    pub(crate) por: Option<PorTable>,
+    /// Per-thread micro-op arrays, indexed by trace thread id
+    /// (0 = prologue, `1..=n` = workers, `n + 1` = epilogue).
+    pub(crate) code: Vec<ThreadCode>,
+    compile_us: u64,
+    sharpened_masks: u64,
+    refines_static: bool,
+}
+
+impl CompiledProgram {
+    /// Compiles `candidate` into a sealed execution artifact.
+    pub fn compile(l: &Lowered, candidate: &Assignment) -> CompiledProgram {
+        let t0 = Instant::now();
+        let spec = specialize(l, candidate);
+        let lay = StateLayout::new(&spec);
+        let shared_len = lay.worker_off.first().copied().unwrap_or(lay.state_len());
+        let match_end = spec.workers.iter().map(compute_match_end).collect();
+        let live = l.workers.iter().map(compute_liveness).collect();
+        let sym = symmetry_classes(l, candidate);
+        let (por, sharpened_masks, refines_static) = if (2..=64).contains(&spec.workers.len()) {
+            let sharp = PorTable::new(&spec);
+            let base = PorTable::new(l);
+            let sharpened = sharp.sharpened_vs(&base);
+            let refines = sharp.refines(&base);
+            debug_assert!(refines, "specialized footprints must refine static ones");
+            (Some(sharp), sharpened, refines)
+        } else {
+            (None, 0, true)
+        };
+        let mut code = Vec::with_capacity(spec.workers.len() + 2);
+        code.push(compile_thread(&spec.prologue, &spec, &lay));
+        for w in &spec.workers {
+            code.push(compile_thread(w, &spec, &lay));
+        }
+        code.push(compile_thread(&spec.epilogue, &spec, &lay));
+        CompiledProgram {
+            spec,
+            holes: candidate.clone(),
+            lay,
+            shared_len,
+            match_end,
+            live,
+            sym,
+            por,
+            code,
+            compile_us: t0.elapsed().as_micros() as u64,
+            sharpened_masks,
+            refines_static,
+        }
+    }
+
+    /// The specialized (hole-free) program this artifact executes.
+    pub fn program(&self) -> &Lowered {
+        &self.spec
+    }
+
+    /// The candidate assignment the artifact was compiled from.
+    pub fn assignment(&self) -> &Assignment {
+        &self.holes
+    }
+
+    /// Wall-clock microseconds spent compiling the artifact.
+    pub fn compile_us(&self) -> u64 {
+        self.compile_us
+    }
+
+    /// Number of (worker, pc) transition footprint masks the
+    /// candidate's constants made strictly tighter than the static
+    /// (hole-agnostic) analysis — the sharpening POR benefits from.
+    pub fn sharpened_masks(&self) -> u64 {
+        self.sharpened_masks
+    }
+
+    /// True when every candidate-sharpened footprint mask is a subset
+    /// of the corresponding static mask — the soundness side condition
+    /// the sharpened POR tables rely on (always expected to hold;
+    /// exposed for the differential property test).
+    pub fn footprint_refines_static(&self) -> bool {
+        self.refines_static
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psketch_ir::{desugar::desugar_program, lower::lower_program, Config};
+
+    fn lowered(src: &str) -> Lowered {
+        let cfg = Config::default();
+        let p = psketch_lang::check_program(src).unwrap();
+        let (sk, holes) = desugar_program(&p, &cfg).unwrap();
+        lower_program(&sk, holes, &cfg).unwrap()
+    }
+
+    fn eval_both(rv: &Rv, l: &Lowered) -> (EvalResult, EvalResult) {
+        let lay = StateLayout::new(l);
+        let mut buf = StateBuf::initial(&lay, l);
+        let lb = buf.push_scratch(4);
+        let holes = l.holes.identity_assignment();
+        let interp = crate::store::eval_rv(rv, &buf, &lay, lb, &holes, l);
+        let code = compile_code(rv, l, &lay);
+        let compiled = code.eval(&buf, lb, &l.config);
+        (interp, compiled)
+    }
+
+    #[test]
+    fn compiled_expressions_match_interpreter() {
+        let l = lowered("int g = 5; int[3] a; struct N { int v = 2; } harness void main() { }");
+        let deref_null = Rv::Field {
+            sid: 0,
+            fid: 0,
+            obj: Box::new(Rv::Const(0)),
+        };
+        let cases = vec![
+            Rv::Const(7),
+            Rv::Global(0),
+            Rv::Binary(
+                BinOp::Add,
+                Box::new(Rv::Global(0)),
+                Box::new(Rv::Const(100)),
+            ),
+            Rv::Binary(
+                BinOp::And,
+                Box::new(Rv::Const(0)),
+                Box::new(deref_null.clone()),
+            ),
+            Rv::Binary(
+                BinOp::Or,
+                Box::new(Rv::Const(1)),
+                Box::new(deref_null.clone()),
+            ),
+            Rv::Binary(BinOp::And, Box::new(Rv::Global(0)), Box::new(Rv::Global(0))),
+            deref_null.clone(),
+            Rv::GlobalDyn {
+                base: 1,
+                len: 3,
+                ix: Box::new(Rv::Const(5)),
+            },
+            Rv::GlobalDyn {
+                base: 1,
+                len: 3,
+                ix: Box::new(Rv::Const(-1)),
+            },
+            Rv::Ite(
+                Box::new(Rv::Global(0)),
+                Box::new(Rv::Const(10)),
+                Box::new(deref_null),
+            ),
+            Rv::Unary(UnOp::Not, Box::new(Rv::Global(0))),
+            Rv::Unary(UnOp::Neg, Box::new(Rv::Const(i64::from(i8::MIN)))),
+            Rv::Binary(BinOp::Mod, Box::new(Rv::Const(7)), Box::new(Rv::Const(3))),
+        ];
+        for rv in cases {
+            let (interp, compiled) = eval_both(&rv, &l);
+            assert_eq!(interp, compiled, "divergence on {rv:?}");
+        }
+    }
+
+    #[test]
+    fn compile_produces_hole_free_artifact_with_sharp_footprints() {
+        let l = lowered(
+            "int[4] a;
+             harness void main() {
+                 fork (i; 2) { a[??(2) + i] = 1; }
+                 assert a[0] >= 0;
+             }",
+        );
+        let a = l.holes.identity_assignment();
+        let cp = CompiledProgram::compile(&l, &a);
+        assert!(cp.footprint_refines_static());
+        assert!(
+            cp.sharpened_masks() > 0,
+            "folded hole index must tighten the whole-array footprint"
+        );
+        assert_eq!(cp.code.len(), l.workers.len() + 2);
+        assert!(cp.compile_us() < 10_000_000, "compile time is measured");
+    }
+}

@@ -253,9 +253,19 @@ impl ShardedFpSet {
     ) -> Option<usize> {
         // Shard on the high bits; the table buckets use the low bits.
         let ix = (fp >> 48) as usize & (self.shards.len() - 1);
-        let fresh = self.shards[ix].lock().unwrap().insert(fp);
+        let fresh = self.shards[ix]
+            .lock()
+            .expect("visited-set shard poisoned")
+            .insert(fp);
         #[cfg(feature = "exact-visited")]
-        check_collision(&mut self.exact[ix].lock().unwrap(), fp, state(), fresh);
+        check_collision(
+            &mut self.exact[ix]
+                .lock()
+                .expect("exact visited-set shard poisoned"),
+            fp,
+            state(),
+            fresh,
+        );
         #[cfg(not(feature = "exact-visited"))]
         let _ = state;
         if fresh {

@@ -37,6 +37,7 @@
 
 mod bank;
 mod checker;
+mod compiled;
 pub mod fingerprint;
 mod parallel;
 mod por;
@@ -47,9 +48,11 @@ pub mod walker;
 
 pub use bank::{BankStats, ScheduleBank};
 pub use checker::{
-    check, check_with_limit, check_with_limits, random_run, replay, replay_fp, CheckOutcome,
-    CheckStats, Interrupt, SearchLimits, Verdict,
+    check, check_compiled, check_with_limit, check_with_limits, random_run, random_run_compiled,
+    replay, replay_compiled, replay_fp, replay_fp_compiled, CheckOutcome, CheckStats, Interrupt,
+    SearchLimits, Verdict,
 };
-pub use parallel::{check_parallel, check_parallel_limits};
+pub use compiled::CompiledProgram;
+pub use parallel::{check_parallel, check_parallel_compiled, check_parallel_limits};
 pub use store::{CexTrace, Failure, FailureKind, StateBuf, StateLayout, UndoJournal};
 pub use trace_fmt::{format_lowered, format_trace};

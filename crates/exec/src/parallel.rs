@@ -41,6 +41,7 @@
 use crate::checker::{
     early_failure_stats, CheckOutcome, CheckStats, Checker, Interrupt, SearchLimits, Verdict,
 };
+use crate::compiled::CompiledProgram;
 use crate::fingerprint::ShardedFpSet;
 use crate::por::PorTable;
 use crate::store::{CexTrace, Failure, StateBuf, UndoJournal};
@@ -64,11 +65,14 @@ struct QueueState {
 struct Shared<'a> {
     ck: Checker<'a>,
     limits: &'a SearchLimits,
-    /// Partial-order reduction tables (`None` = full expansion).
-    /// Ample sets are a deterministic function of the state, so every
-    /// thread — and every thread *count* — reduces to the same state
-    /// graph, keeping the claim-based limit semantics exact.
-    por: Option<PorTable>,
+    /// Partial-order reduction tables (`None` = full expansion),
+    /// borrowed from the caller: the engine's own static tables on the
+    /// interpreted path, the artifact's candidate-sharpened ones on
+    /// the compiled path. Ample sets are a deterministic function of
+    /// the state, so every thread — and every thread *count* — reduces
+    /// to the same state graph, keeping the claim-based limit
+    /// semantics exact.
+    por: Option<&'a PorTable>,
     /// The post-prologue root state every steal re-clones.
     init: StateBuf,
     /// Trace prefix of the root (prologue + initial invisible steps).
@@ -170,11 +174,49 @@ pub fn check_parallel_limits(
     if threads <= 1 {
         return crate::check_with_limits(l, candidate, limits);
     }
+    if limits.compile {
+        let cp = CompiledProgram::compile(l, candidate);
+        return check_parallel_compiled(&cp, limits, threads);
+    }
     let ck = if limits.symmetry {
         Checker::with_symmetry(l, candidate)
     } else {
         Checker::new(l, candidate)
     };
+    let owned_por = ck.wants_por(limits).then(|| PorTable::new(l));
+    run_parallel(ck, owned_por.as_ref(), limits, threads)
+}
+
+/// As [`check_parallel_limits`], over an already-compiled candidate:
+/// the workers replay and expand on the artifact's micro-op code, and
+/// POR uses its candidate-sharpened masks.
+pub fn check_parallel_compiled(
+    cp: &CompiledProgram,
+    limits: &SearchLimits,
+    threads: usize,
+) -> CheckOutcome {
+    if threads <= 1 {
+        return crate::check_compiled(cp, limits);
+    }
+    let ck = Checker::from_compiled(cp, limits.symmetry);
+    let por = if ck.wants_por(limits) {
+        cp.por.as_ref()
+    } else {
+        None
+    };
+    let mut out = run_parallel(ck, por, limits, threads);
+    out.stats.compile_us += cp.compile_us();
+    out.stats.sharpened_masks = cp.sharpened_masks();
+    out
+}
+
+fn run_parallel<'a>(
+    ck: Checker<'a>,
+    por: Option<&'a PorTable>,
+    limits: &'a SearchLimits,
+    threads: usize,
+) -> CheckOutcome {
+    let l = ck.l;
 
     // Prologue and initial local-step absorption run once, up front,
     // exactly as in the sequential checker. Failures here report the
@@ -225,7 +267,6 @@ pub fn check_parallel_limits(
             ck.materialize_canonical(&buf)
         })
         .unwrap_or(0);
-    let por = ck.wants_por(limits).then(|| PorTable::new(l));
     let shared = Shared {
         ck,
         limits,
@@ -274,6 +315,8 @@ pub fn check_parallel_limits(
         por_fallbacks: tallies.iter().map(|t| t.por_fallbacks).sum(),
         states_pruned: tallies.iter().map(|t| t.states_pruned).sum(),
         sym_collapses: tallies.iter().map(|t| t.sym_collapses).sum(),
+        compile_us: 0,
+        sharpened_masks: 0,
     };
     if interrupt == Some(Interrupt::StateLimit) {
         // Clamp the post-halt insert overshoot (see module docs).
@@ -465,7 +508,7 @@ fn expand(
     // thread and the ample set is a deterministic function of the
     // state, so the reduced graph does not depend on scheduling.
     let mut expand_mask = enabled_mask;
-    if let Some(por) = &shared.por {
+    if let Some(por) = shared.por {
         if enabled_mask.count_ones() >= 2 {
             match ck.ample(buf, enabled_mask, por) {
                 Some(a) => {

@@ -174,6 +174,46 @@ impl PorTable {
         PorTable { nwords, cur, suf }
     }
 
+    /// True when every bit set in this table is also set in `base` —
+    /// i.e. these footprints are a (possibly equal) refinement of the
+    /// static ones. Both tables must come from structurally identical
+    /// programs (the bit layout depends only on globals and structs,
+    /// which hole specialization preserves).
+    pub(crate) fn refines(&self, base: &PorTable) -> bool {
+        fn subset(a: &Mask, b: &Mask) -> bool {
+            a.r.iter().zip(b.r.iter()).all(|(x, y)| x & !y == 0)
+                && a.w.iter().zip(b.w.iter()).all(|(x, y)| x & !y == 0)
+        }
+        let per_worker = |ours: &[Vec<Mask>], theirs: &[Vec<Mask>]| {
+            ours.len() == theirs.len()
+                && ours
+                    .iter()
+                    .zip(theirs)
+                    .all(|(a, b)| a.len() == b.len() && a.iter().zip(b).all(|(x, y)| subset(x, y)))
+        };
+        self.nwords == base.nwords
+            && per_worker(&self.cur, &base.cur)
+            && per_worker(&self.suf, &base.suf)
+    }
+
+    /// Counts (worker, pc) transition masks strictly tighter here than
+    /// in `base` — how many transitions the candidate's constants
+    /// sharpened past the static analysis.
+    pub(crate) fn sharpened_vs(&self, base: &PorTable) -> u64 {
+        let mut n = 0u64;
+        for (ours, theirs) in self.cur.iter().zip(base.cur.iter()) {
+            for (a, b) in ours.iter().zip(theirs.iter()) {
+                let subset = a.r.iter().zip(b.r.iter()).all(|(x, y)| x & !y == 0)
+                    && a.w.iter().zip(b.w.iter()).all(|(x, y)| x & !y == 0);
+                let equal = a.r == b.r && a.w == b.w;
+                if subset && !equal {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
     /// Do the transitions behind masks `a` and `b` possibly touch a
     /// common location with at least one write?
     fn conflict(&self, ar: &[u64], aw: &[u64], b: &Mask) -> bool {

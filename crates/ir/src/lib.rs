@@ -45,11 +45,13 @@ pub mod footprint;
 pub mod hole;
 pub mod lower;
 pub mod resolve;
+pub mod specialize;
 pub mod step;
 pub mod symmetry;
 
 pub use config::{Config, ReorderEncoding};
 pub use footprint::{Footprint, FootprintTable, Loc};
 pub use hole::{Assignment, HoleId, HoleTable, SiteId, SiteKind};
+pub use specialize::specialize;
 pub use step::{GlobalSlot, Lowered, Lv, Op, Rv, ScalarKind, Step, StructLayout, Thread, ThreadId};
 pub use symmetry::{symmetry_classes, SymClass, SymmetryClasses};

@@ -1,0 +1,454 @@
+//! Candidate specialization: hole substitution + semantics-preserving
+//! constant folding.
+//!
+//! The compile-once execution layer (`psketch-exec`'s
+//! `CompiledProgram`) seals one candidate into a hole-free program
+//! before any engine touches it. This module is the ir-side half of
+//! that pipeline: [`specialize`] substitutes every [`Rv::Hole`] with
+//! the candidate's constant and folds the resulting expressions, while
+//! preserving the program's *structure* exactly — same thread count,
+//! same step count and indices, same spans, and, crucially, each
+//! step's original `shared` flag. Preserving structure keeps pc
+//! semantics, scheduling points and trace step indices identical to
+//! the unspecialized program, so a compiled engine's verdicts, state
+//! counts and counterexample schedules are directly comparable to the
+//! interpreted engine's.
+//!
+//! Folding is *exact* with respect to the interpreter's semantics
+//! ([`psketch-exec`'s] `eval_rv`), including its observable laziness:
+//!
+//! - const ∘ const folds through the lowering's arithmetic (wrapping
+//!   at the configured width; `Div`/`Mod` by zero are left unfolded);
+//! - `0 && b` folds to `0` and `c || b` (c ≠ 0) folds to `1` — the
+//!   interpreter never demands `b` there, so dropping it cannot
+//!   suppress a failure;
+//! - `c && b` (c ≠ 0) and `0 || b` fold to `b` normalized to 0/1,
+//!   because the interpreter returns `b != 0`, not `b`;
+//! - `Ite` with a constant condition folds to the demanded branch;
+//! - everything else — in particular `a && 0` or `a * 0` with
+//!   non-constant `a` — is left alone: `a` may fail when evaluated,
+//!   and the interpreter evaluates it.
+//!
+//! Because the specialized program contains no holes, the static
+//! footprint analysis ([`crate::footprint::FootprintTable`]) resolves
+//! strictly more expressions on it: fork-indexed cells whose index was
+//! a hole become exact [`crate::footprint::Loc::Global`] cells instead
+//! of whole-region conservative widenings, and steps whose guard folds
+//! to `0` become statically dead (empty footprints). That is the
+//! "candidate-sharpened" footprint the partial-order reduction layer
+//! builds its conflict bitmasks from.
+
+use crate::config::Config;
+use crate::hole::Assignment;
+use crate::lower::{fold_const_binop, fold_unop};
+use crate::step::{Lowered, Lv, Op, Rv, Step, Thread};
+use psketch_lang::ast::BinOp;
+
+/// Substitutes `candidate`'s hole values into `l` and constant-folds
+/// the result. The returned program is hole-free and structurally
+/// identical to `l` (see the module docs for the exact guarantees).
+pub fn specialize(l: &Lowered, candidate: &Assignment) -> Lowered {
+    let spec_thread = |t: &Thread| Thread {
+        name: t.name.clone(),
+        steps: t
+            .steps
+            .iter()
+            .map(|s| Step {
+                guard: fold_rv(subst_rv(&s.guard, candidate), &l.config),
+                op: fold_op(subst_op(&s.op, candidate), &l.config),
+                // Preserved, not recomputed: folding could only shrink
+                // the footprint, and a step that stops looking shared
+                // must stay a scheduling point for the state graph to
+                // match the unspecialized program's.
+                shared: s.shared,
+                span: s.span,
+            })
+            .collect(),
+        locals: t.locals.clone(),
+    };
+    Lowered {
+        config: l.config.clone(),
+        globals: l.globals.clone(),
+        structs: l.structs.clone(),
+        prologue: spec_thread(&l.prologue),
+        workers: l.workers.iter().map(spec_thread).collect(),
+        epilogue: spec_thread(&l.epilogue),
+        holes: l.holes.clone(),
+    }
+}
+
+/// `b` normalized to 0/1 exactly as the interpreter's `&&`/`||`
+/// results are: constants collapse, expressions that already produce
+/// 0/1 pass through, anything else is wrapped in `!= 0`.
+fn normalize_bool(b: Rv) -> Rv {
+    match &b {
+        Rv::Const(c) => Rv::Const(i64::from(*c != 0)),
+        Rv::Unary(psketch_lang::ast::UnOp::Not, _) => b,
+        Rv::Binary(op, _, _) if boolean_result(*op) => b,
+        _ => Rv::Binary(BinOp::Ne, Box::new(b), Box::new(Rv::Const(0))),
+    }
+}
+
+/// Does `op` always produce 0/1?
+fn boolean_result(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Eq
+            | BinOp::Ne
+            | BinOp::Lt
+            | BinOp::Le
+            | BinOp::Gt
+            | BinOp::Ge
+            | BinOp::And
+            | BinOp::Or
+    )
+}
+
+/// Folds an expression bottom-up using only rewrites the interpreter's
+/// lazy evaluation makes observationally exact (module docs).
+pub(crate) fn fold_rv(rv: Rv, config: &Config) -> Rv {
+    match rv {
+        Rv::Const(_) | Rv::Global(_) | Rv::Local(_) | Rv::Hole(_) => rv,
+        Rv::GlobalDyn { base, len, ix } => Rv::GlobalDyn {
+            base,
+            len,
+            ix: Box::new(fold_rv(*ix, config)),
+        },
+        Rv::LocalDyn { base, len, ix } => Rv::LocalDyn {
+            base,
+            len,
+            ix: Box::new(fold_rv(*ix, config)),
+        },
+        Rv::Field { sid, fid, obj } => Rv::Field {
+            sid,
+            fid,
+            obj: Box::new(fold_rv(*obj, config)),
+        },
+        Rv::Unary(op, a) => fold_unop(op, fold_rv(*a, config), config),
+        Rv::Binary(BinOp::And, a, b) => {
+            let a = fold_rv(*a, config);
+            let b = fold_rv(*b, config);
+            match a {
+                Rv::Const(0) => Rv::Const(0),
+                Rv::Const(_) => normalize_bool(b),
+                a => Rv::Binary(BinOp::And, Box::new(a), Box::new(b)),
+            }
+        }
+        Rv::Binary(BinOp::Or, a, b) => {
+            let a = fold_rv(*a, config);
+            let b = fold_rv(*b, config);
+            match a {
+                Rv::Const(0) => normalize_bool(b),
+                Rv::Const(_) => Rv::Const(1),
+                a => Rv::Binary(BinOp::Or, Box::new(a), Box::new(b)),
+            }
+        }
+        Rv::Binary(op, a, b) => {
+            let a = fold_rv(*a, config);
+            let b = fold_rv(*b, config);
+            if let (Rv::Const(x), Rv::Const(y)) = (&a, &b) {
+                if let Some(v) = fold_const_binop(op, *x, *y, config) {
+                    return Rv::Const(v);
+                }
+            }
+            Rv::Binary(op, Box::new(a), Box::new(b))
+        }
+        Rv::Ite(c, t, e) => {
+            let c = fold_rv(*c, config);
+            match c {
+                Rv::Const(0) => fold_rv(*e, config),
+                Rv::Const(_) => fold_rv(*t, config),
+                c => Rv::Ite(
+                    Box::new(c),
+                    Box::new(fold_rv(*t, config)),
+                    Box::new(fold_rv(*e, config)),
+                ),
+            }
+        }
+    }
+}
+
+fn fold_lv(lv: Lv, config: &Config) -> Lv {
+    match lv {
+        Lv::Global(_) | Lv::Local(_) => lv,
+        Lv::GlobalDyn { base, len, ix } => Lv::GlobalDyn {
+            base,
+            len,
+            ix: fold_rv(ix, config),
+        },
+        Lv::LocalDyn { base, len, ix } => Lv::LocalDyn {
+            base,
+            len,
+            ix: fold_rv(ix, config),
+        },
+        Lv::Field { sid, fid, obj } => Lv::Field {
+            sid,
+            fid,
+            obj: fold_rv(obj, config),
+        },
+    }
+}
+
+fn fold_op(op: Op, config: &Config) -> Op {
+    match op {
+        Op::Assign(lv, rv) => Op::Assign(fold_lv(lv, config), fold_rv(rv, config)),
+        Op::Swap { dst, loc, val } => Op::Swap {
+            dst: fold_lv(dst, config),
+            loc: fold_lv(loc, config),
+            val: fold_rv(val, config),
+        },
+        Op::Cas { dst, loc, old, new } => Op::Cas {
+            dst: fold_lv(dst, config),
+            loc: fold_lv(loc, config),
+            old: fold_rv(old, config),
+            new: fold_rv(new, config),
+        },
+        Op::FetchAdd { dst, loc, delta } => Op::FetchAdd {
+            dst: fold_lv(dst, config),
+            loc: fold_lv(loc, config),
+            delta,
+        },
+        Op::Alloc { dst, sid, inits } => Op::Alloc {
+            dst: fold_lv(dst, config),
+            sid,
+            inits: inits
+                .into_iter()
+                .map(|(f, rv)| (f, fold_rv(rv, config)))
+                .collect(),
+        },
+        Op::Assert(c) => Op::Assert(fold_rv(c, config)),
+        Op::AtomicBegin(c) => Op::AtomicBegin(c.map(|c| fold_rv(c, config))),
+        Op::AtomicEnd => Op::AtomicEnd,
+    }
+}
+
+/// Substitutes hole values into an r-value (shared with the symmetry
+/// detector, which compares hole-substituted step lists).
+pub(crate) fn subst_rv(rv: &Rv, a: &Assignment) -> Rv {
+    match rv {
+        Rv::Hole(h) => Rv::Const(a.value(*h) as i64),
+        Rv::Const(_) | Rv::Global(_) | Rv::Local(_) => rv.clone(),
+        Rv::GlobalDyn { base, len, ix } => Rv::GlobalDyn {
+            base: *base,
+            len: *len,
+            ix: Box::new(subst_rv(ix, a)),
+        },
+        Rv::LocalDyn { base, len, ix } => Rv::LocalDyn {
+            base: *base,
+            len: *len,
+            ix: Box::new(subst_rv(ix, a)),
+        },
+        Rv::Field { sid, fid, obj } => Rv::Field {
+            sid: *sid,
+            fid: *fid,
+            obj: Box::new(subst_rv(obj, a)),
+        },
+        Rv::Unary(op, x) => Rv::Unary(*op, Box::new(subst_rv(x, a))),
+        Rv::Binary(op, x, y) => Rv::Binary(*op, Box::new(subst_rv(x, a)), Box::new(subst_rv(y, a))),
+        Rv::Ite(c, t, e) => Rv::Ite(
+            Box::new(subst_rv(c, a)),
+            Box::new(subst_rv(t, a)),
+            Box::new(subst_rv(e, a)),
+        ),
+    }
+}
+
+pub(crate) fn subst_lv(lv: &Lv, a: &Assignment) -> Lv {
+    match lv {
+        Lv::Global(_) | Lv::Local(_) => lv.clone(),
+        Lv::GlobalDyn { base, len, ix } => Lv::GlobalDyn {
+            base: *base,
+            len: *len,
+            ix: subst_rv(ix, a),
+        },
+        Lv::LocalDyn { base, len, ix } => Lv::LocalDyn {
+            base: *base,
+            len: *len,
+            ix: subst_rv(ix, a),
+        },
+        Lv::Field { sid, fid, obj } => Lv::Field {
+            sid: *sid,
+            fid: *fid,
+            obj: subst_rv(obj, a),
+        },
+    }
+}
+
+pub(crate) fn subst_op(op: &Op, a: &Assignment) -> Op {
+    match op {
+        Op::Assign(lv, rv) => Op::Assign(subst_lv(lv, a), subst_rv(rv, a)),
+        Op::Swap { dst, loc, val } => Op::Swap {
+            dst: subst_lv(dst, a),
+            loc: subst_lv(loc, a),
+            val: subst_rv(val, a),
+        },
+        Op::Cas { dst, loc, old, new } => Op::Cas {
+            dst: subst_lv(dst, a),
+            loc: subst_lv(loc, a),
+            old: subst_rv(old, a),
+            new: subst_rv(new, a),
+        },
+        Op::FetchAdd { dst, loc, delta } => Op::FetchAdd {
+            dst: subst_lv(dst, a),
+            loc: subst_lv(loc, a),
+            delta: *delta,
+        },
+        Op::Alloc { dst, sid, inits } => Op::Alloc {
+            dst: subst_lv(dst, a),
+            sid: *sid,
+            inits: inits.iter().map(|(f, rv)| (*f, subst_rv(rv, a))).collect(),
+        },
+        Op::Assert(c) => Op::Assert(subst_rv(c, a)),
+        Op::AtomicBegin(c) => Op::AtomicBegin(c.as_ref().map(|c| subst_rv(c, a))),
+        Op::AtomicEnd => Op::AtomicEnd,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{desugar, lower, Config};
+
+    fn lowered(src: &str) -> Lowered {
+        let cfg = Config::default();
+        let p = psketch_lang::check_program(src).expect("test source must type-check");
+        let (sk, holes) = desugar::desugar_program(&p, &cfg).expect("test source must desugar");
+        lower::lower_program(&sk, holes, &cfg).expect("test source must lower")
+    }
+
+    fn contains_hole(rv: &Rv) -> bool {
+        match rv {
+            Rv::Hole(_) => true,
+            Rv::Const(_) | Rv::Global(_) | Rv::Local(_) => false,
+            Rv::GlobalDyn { ix, .. } | Rv::LocalDyn { ix, .. } => contains_hole(ix),
+            Rv::Field { obj, .. } => contains_hole(obj),
+            Rv::Unary(_, a) => contains_hole(a),
+            Rv::Binary(_, a, b) => contains_hole(a) || contains_hole(b),
+            Rv::Ite(c, a, b) => contains_hole(c) || contains_hole(a) || contains_hole(b),
+        }
+    }
+
+    fn lv_contains_hole(lv: &Lv) -> bool {
+        match lv {
+            Lv::Global(_) | Lv::Local(_) => false,
+            Lv::GlobalDyn { ix, .. } | Lv::LocalDyn { ix, .. } => contains_hole(ix),
+            Lv::Field { obj, .. } => contains_hole(obj),
+        }
+    }
+
+    fn op_contains_hole(op: &Op) -> bool {
+        match op {
+            Op::Assign(lv, rv) => lv_contains_hole(lv) || contains_hole(rv),
+            Op::Swap { dst, loc, val } => {
+                lv_contains_hole(dst) || lv_contains_hole(loc) || contains_hole(val)
+            }
+            Op::Cas { dst, loc, old, new } => {
+                lv_contains_hole(dst)
+                    || lv_contains_hole(loc)
+                    || contains_hole(old)
+                    || contains_hole(new)
+            }
+            Op::FetchAdd { dst, loc, .. } => lv_contains_hole(dst) || lv_contains_hole(loc),
+            Op::Alloc { dst, inits, .. } => {
+                lv_contains_hole(dst) || inits.iter().any(|(_, rv)| contains_hole(rv))
+            }
+            Op::Assert(c) => contains_hole(c),
+            Op::AtomicBegin(Some(c)) => contains_hole(c),
+            Op::AtomicBegin(None) | Op::AtomicEnd => false,
+        }
+    }
+
+    #[test]
+    fn specialized_program_is_hole_free_and_structure_preserving() {
+        let l = lowered(
+            "int g;
+             harness void main() {
+                 int x = ??(3);
+                 fork (i; 2) { g = g + x; }
+                 assert g >= 0;
+             }",
+        );
+        let a = l.holes.identity_assignment();
+        let s = specialize(&l, &a);
+        assert_eq!(s.workers.len(), l.workers.len());
+        for (orig, spec) in l
+            .prologue
+            .steps
+            .iter()
+            .chain(l.workers.iter().flat_map(|w| &w.steps))
+            .chain(l.epilogue.steps.iter())
+            .zip(
+                s.prologue
+                    .steps
+                    .iter()
+                    .chain(s.workers.iter().flat_map(|w| &w.steps))
+                    .chain(s.epilogue.steps.iter()),
+            )
+        {
+            assert!(!contains_hole(&spec.guard), "guard still has a hole");
+            assert!(!op_contains_hole(&spec.op), "op still has a hole");
+            assert_eq!(orig.shared, spec.shared, "shared flag must be preserved");
+            assert_eq!(orig.span, spec.span, "span must be preserved");
+        }
+        for (ow, sw) in l.workers.iter().zip(&s.workers) {
+            assert_eq!(ow.steps.len(), sw.steps.len(), "step count must match");
+        }
+    }
+
+    #[test]
+    fn folding_preserves_lazy_failure_semantics() {
+        let cfg = Config::default();
+        let deref = Rv::Field {
+            sid: 0,
+            fid: 0,
+            obj: Box::new(Rv::Const(0)),
+        };
+        // 0 && null.v folds to 0 (interpreter never demands the deref).
+        let lazy = Rv::Binary(BinOp::And, Box::new(Rv::Const(0)), Box::new(deref.clone()));
+        assert_eq!(fold_rv(lazy, &cfg), Rv::Const(0));
+        // null.v && 0 must NOT fold: the interpreter evaluates the left
+        // side first and fails.
+        let strict = Rv::Binary(BinOp::And, Box::new(deref.clone()), Box::new(Rv::Const(0)));
+        assert!(matches!(
+            fold_rv(strict, &cfg),
+            Rv::Binary(BinOp::And, _, _)
+        ));
+        // 1 || null.v folds to 1; 0 || null.v keeps the demanded deref.
+        let lazy_or = Rv::Binary(BinOp::Or, Box::new(Rv::Const(1)), Box::new(deref.clone()));
+        assert_eq!(fold_rv(lazy_or, &cfg), Rv::Const(1));
+        // Ite with constant condition keeps only the demanded branch.
+        let ite = Rv::Ite(
+            Box::new(Rv::Const(0)),
+            Box::new(deref),
+            Box::new(Rv::Const(7)),
+        );
+        assert_eq!(fold_rv(ite, &cfg), Rv::Const(7));
+    }
+
+    #[test]
+    fn and_with_true_constant_normalizes_to_boolean() {
+        let cfg = Config::default();
+        // 2 && x must fold to (x != 0), not to x: the interpreter
+        // returns 0/1 for &&.
+        let e = Rv::Binary(BinOp::And, Box::new(Rv::Const(2)), Box::new(Rv::Local(0)));
+        assert_eq!(
+            fold_rv(e, &cfg),
+            Rv::Binary(BinOp::Ne, Box::new(Rv::Local(0)), Box::new(Rv::Const(0)))
+        );
+        // ...but a comparison result passes through unchanged.
+        let cmp = Rv::Binary(BinOp::Lt, Box::new(Rv::Local(0)), Box::new(Rv::Const(3)));
+        let e = Rv::Binary(BinOp::And, Box::new(Rv::Const(1)), Box::new(cmp.clone()));
+        assert_eq!(fold_rv(e, &cfg), cmp);
+    }
+
+    #[test]
+    fn const_arithmetic_folds_with_wrapping() {
+        let cfg = Config::default();
+        let e = Rv::Binary(BinOp::Add, Box::new(Rv::Const(127)), Box::new(Rv::Const(1)));
+        assert_eq!(fold_rv(e, &cfg), Rv::Const(cfg.wrap(128)));
+        // Division by zero is left unfolded (the interpreter's
+        // debug-assert path, never folded away).
+        let d = Rv::Binary(BinOp::Div, Box::new(Rv::Const(4)), Box::new(Rv::Const(0)));
+        assert!(matches!(fold_rv(d, &cfg), Rv::Binary(BinOp::Div, _, _)));
+    }
+}

@@ -75,16 +75,6 @@ impl SymmetryClasses {
 /// is_trivial`] and the checker behaves exactly as without reduction.
 pub fn symmetry_classes(l: &Lowered, candidate: &Assignment) -> SymmetryClasses {
     let n = l.workers.len();
-    let subst: Vec<Vec<(Rv, Op)>> = l
-        .workers
-        .iter()
-        .map(|w| {
-            w.steps
-                .iter()
-                .map(|s| (subst_rv(&s.guard, candidate), subst_op(&s.op, candidate)))
-                .collect()
-        })
-        .collect();
     let reads: Vec<Vec<bool>> = l.workers.iter().map(thread_local_reads).collect();
     let mut assigned = vec![false; n];
     let mut classes = Vec::new();
@@ -96,6 +86,7 @@ pub fn symmetry_classes(l: &Lowered, candidate: &Assignment) -> SymmetryClasses 
         let mut members = vec![u];
         let mut d_max: Option<usize> = None;
         let mut diff_locals: Vec<usize> = Vec::new();
+        #[allow(clippy::needless_range_loop)]
         for v in u + 1..n {
             if assigned[v] || !locals_layout_eq(&l.workers[u], &l.workers[v]) {
                 continue;
@@ -106,7 +97,7 @@ pub fn symmetry_classes(l: &Lowered, candidate: &Assignment) -> SymmetryClasses 
             // through `u`), so any pairwise difference between two
             // non-representative members is covered by the union of
             // their differences with `u`.
-            let Some((d, x)) = compare_steps(&subst[u], &subst[v]) else {
+            let Some((d, x)) = compare_steps(&l.workers[u], &l.workers[v], candidate) else {
                 continue;
             };
             assigned[v] = true;
@@ -142,26 +133,30 @@ fn locals_layout_eq(a: &Thread, b: &Thread) -> bool {
             .all(|(x, y)| x.kind == y.kind)
 }
 
-/// Compares two substituted step lists. `Some((differing indices,
-/// differing locals))` when the threads are class-equivalent, `None`
-/// otherwise.
+/// Compares two step lists under `cand`, hole values resolved on the
+/// fly — equivalent to substituting first but without materializing
+/// the substituted trees. `Some((differing indices, differing
+/// locals))` when the threads are class-equivalent, `None` otherwise.
 #[allow(clippy::type_complexity)]
-fn compare_steps(a: &[(Rv, Op)], b: &[(Rv, Op)]) -> Option<(Vec<usize>, Vec<usize>)> {
-    if a.len() != b.len() {
+fn compare_steps(a: &Thread, b: &Thread, cand: &Assignment) -> Option<(Vec<usize>, Vec<usize>)> {
+    if a.steps.len() != b.steps.len() {
         return None;
     }
     let mut d = Vec::new();
     let mut x = Vec::new();
-    for (i, ((ga, oa), (gb, ob))) in a.iter().zip(b).enumerate() {
-        if ga == gb && oa == ob {
+    for (i, (sa, sb)) in a.steps.iter().zip(&b.steps).enumerate() {
+        if eq_rv(&sa.guard, &sb.guard, cand) && eq_op(&sa.op, &sb.op, cand) {
             continue;
         }
         // The one allowed difference: a local-constant initialization
         // of the same slot under the same guard (fork-index binding,
         // `pid()` stored into a local).
-        match (oa, ob) {
-            (Op::Assign(Lv::Local(la), Rv::Const(_)), Op::Assign(Lv::Local(lb), Rv::Const(_)))
-                if la == lb && ga == gb =>
+        match (&sa.op, &sb.op) {
+            (Op::Assign(Lv::Local(la), ra), Op::Assign(Lv::Local(lb), rb))
+                if la == lb
+                    && const_of(ra, cand).is_some()
+                    && const_of(rb, cand).is_some()
+                    && eq_rv(&sa.guard, &sb.guard, cand) =>
             {
                 d.push(i);
                 x.push(*la);
@@ -170,6 +165,149 @@ fn compare_steps(a: &[(Rv, Op)], b: &[(Rv, Op)]) -> Option<(Vec<usize>, Vec<usiz
         }
     }
     Some((d, x))
+}
+
+/// The value of a constant-after-substitution r-value, if it is one.
+fn const_of(rv: &Rv, cand: &Assignment) -> Option<i64> {
+    match rv {
+        Rv::Const(c) => Some(*c),
+        Rv::Hole(h) => Some(cand.value(*h) as i64),
+        _ => None,
+    }
+}
+
+/// Structural equality of two r-values after hole substitution,
+/// computed without building the substituted trees: a hole compares
+/// equal to any constant (or other hole) carrying its candidate value.
+fn eq_rv(a: &Rv, b: &Rv, cand: &Assignment) -> bool {
+    if let (Some(ca), Some(cb)) = (const_of(a, cand), const_of(b, cand)) {
+        return ca == cb;
+    }
+    match (a, b) {
+        (Rv::Global(x), Rv::Global(y)) => x == y,
+        (Rv::Local(x), Rv::Local(y)) => x == y,
+        (
+            Rv::GlobalDyn { base, len, ix },
+            Rv::GlobalDyn {
+                base: b2,
+                len: l2,
+                ix: i2,
+            },
+        )
+        | (
+            Rv::LocalDyn { base, len, ix },
+            Rv::LocalDyn {
+                base: b2,
+                len: l2,
+                ix: i2,
+            },
+        ) => base == b2 && len == l2 && eq_rv(ix, i2, cand),
+        (
+            Rv::Field { sid, fid, obj },
+            Rv::Field {
+                sid: s2,
+                fid: f2,
+                obj: o2,
+            },
+        ) => sid == s2 && fid == f2 && eq_rv(obj, o2, cand),
+        (Rv::Unary(op, x), Rv::Unary(o2, y)) => op == o2 && eq_rv(x, y, cand),
+        (Rv::Binary(op, x, y), Rv::Binary(o2, x2, y2)) => {
+            op == o2 && eq_rv(x, x2, cand) && eq_rv(y, y2, cand)
+        }
+        (Rv::Ite(c, t, e), Rv::Ite(c2, t2, e2)) => {
+            eq_rv(c, c2, cand) && eq_rv(t, t2, cand) && eq_rv(e, e2, cand)
+        }
+        _ => false,
+    }
+}
+
+fn eq_lv(a: &Lv, b: &Lv, cand: &Assignment) -> bool {
+    match (a, b) {
+        (Lv::Global(x), Lv::Global(y)) => x == y,
+        (Lv::Local(x), Lv::Local(y)) => x == y,
+        (
+            Lv::GlobalDyn { base, len, ix },
+            Lv::GlobalDyn {
+                base: b2,
+                len: l2,
+                ix: i2,
+            },
+        )
+        | (
+            Lv::LocalDyn { base, len, ix },
+            Lv::LocalDyn {
+                base: b2,
+                len: l2,
+                ix: i2,
+            },
+        ) => base == b2 && len == l2 && eq_rv(ix, i2, cand),
+        (
+            Lv::Field { sid, fid, obj },
+            Lv::Field {
+                sid: s2,
+                fid: f2,
+                obj: o2,
+            },
+        ) => sid == s2 && fid == f2 && eq_rv(obj, o2, cand),
+        _ => false,
+    }
+}
+
+fn eq_op(a: &Op, b: &Op, cand: &Assignment) -> bool {
+    match (a, b) {
+        (Op::Assign(la, ra), Op::Assign(lb, rb)) => eq_lv(la, lb, cand) && eq_rv(ra, rb, cand),
+        (
+            Op::Swap { dst, loc, val },
+            Op::Swap {
+                dst: d2,
+                loc: l2,
+                val: v2,
+            },
+        ) => eq_lv(dst, d2, cand) && eq_lv(loc, l2, cand) && eq_rv(val, v2, cand),
+        (
+            Op::Cas { dst, loc, old, new },
+            Op::Cas {
+                dst: d2,
+                loc: l2,
+                old: o2,
+                new: n2,
+            },
+        ) => {
+            eq_lv(dst, d2, cand)
+                && eq_lv(loc, l2, cand)
+                && eq_rv(old, o2, cand)
+                && eq_rv(new, n2, cand)
+        }
+        (
+            Op::FetchAdd { dst, loc, delta },
+            Op::FetchAdd {
+                dst: d2,
+                loc: l2,
+                delta: e2,
+            },
+        ) => delta == e2 && eq_lv(dst, d2, cand) && eq_lv(loc, l2, cand),
+        (
+            Op::Alloc { dst, sid, inits },
+            Op::Alloc {
+                dst: d2,
+                sid: s2,
+                inits: i2,
+            },
+        ) => {
+            sid == s2
+                && eq_lv(dst, d2, cand)
+                && inits.len() == i2.len()
+                && inits
+                    .iter()
+                    .zip(i2)
+                    .all(|((fa, ra), (fb, rb))| fa == fb && eq_rv(ra, rb, cand))
+        }
+        (Op::Assert(x), Op::Assert(y)) => eq_rv(x, y, cand),
+        (Op::AtomicBegin(None), Op::AtomicBegin(None)) => true,
+        (Op::AtomicBegin(Some(x)), Op::AtomicBegin(Some(y))) => eq_rv(x, y, cand),
+        (Op::AtomicEnd, Op::AtomicEnd) => true,
+        _ => false,
+    }
 }
 
 /// Which locals a thread ever reads, mirroring the checker's liveness
@@ -253,86 +391,6 @@ fn lv_reads(lv: &Lv, add: &mut dyn FnMut(usize)) {
         }
         Lv::GlobalDyn { ix, .. } => rv_reads(ix, add),
         Lv::Field { obj, .. } => rv_reads(obj, add),
-    }
-}
-
-fn subst_rv(rv: &Rv, a: &Assignment) -> Rv {
-    match rv {
-        Rv::Hole(h) => Rv::Const(a.value(*h) as i64),
-        Rv::Const(_) | Rv::Global(_) | Rv::Local(_) => rv.clone(),
-        Rv::GlobalDyn { base, len, ix } => Rv::GlobalDyn {
-            base: *base,
-            len: *len,
-            ix: Box::new(subst_rv(ix, a)),
-        },
-        Rv::LocalDyn { base, len, ix } => Rv::LocalDyn {
-            base: *base,
-            len: *len,
-            ix: Box::new(subst_rv(ix, a)),
-        },
-        Rv::Field { sid, fid, obj } => Rv::Field {
-            sid: *sid,
-            fid: *fid,
-            obj: Box::new(subst_rv(obj, a)),
-        },
-        Rv::Unary(op, x) => Rv::Unary(*op, Box::new(subst_rv(x, a))),
-        Rv::Binary(op, x, y) => Rv::Binary(*op, Box::new(subst_rv(x, a)), Box::new(subst_rv(y, a))),
-        Rv::Ite(c, t, e) => Rv::Ite(
-            Box::new(subst_rv(c, a)),
-            Box::new(subst_rv(t, a)),
-            Box::new(subst_rv(e, a)),
-        ),
-    }
-}
-
-fn subst_lv(lv: &Lv, a: &Assignment) -> Lv {
-    match lv {
-        Lv::Global(_) | Lv::Local(_) => lv.clone(),
-        Lv::GlobalDyn { base, len, ix } => Lv::GlobalDyn {
-            base: *base,
-            len: *len,
-            ix: subst_rv(ix, a),
-        },
-        Lv::LocalDyn { base, len, ix } => Lv::LocalDyn {
-            base: *base,
-            len: *len,
-            ix: subst_rv(ix, a),
-        },
-        Lv::Field { sid, fid, obj } => Lv::Field {
-            sid: *sid,
-            fid: *fid,
-            obj: subst_rv(obj, a),
-        },
-    }
-}
-
-fn subst_op(op: &Op, a: &Assignment) -> Op {
-    match op {
-        Op::Assign(lv, rv) => Op::Assign(subst_lv(lv, a), subst_rv(rv, a)),
-        Op::Swap { dst, loc, val } => Op::Swap {
-            dst: subst_lv(dst, a),
-            loc: subst_lv(loc, a),
-            val: subst_rv(val, a),
-        },
-        Op::Cas { dst, loc, old, new } => Op::Cas {
-            dst: subst_lv(dst, a),
-            loc: subst_lv(loc, a),
-            old: subst_rv(old, a),
-            new: subst_rv(new, a),
-        },
-        Op::FetchAdd { dst, loc, delta } => Op::FetchAdd {
-            dst: subst_lv(dst, a),
-            loc: subst_lv(loc, a),
-            delta: *delta,
-        },
-        Op::Alloc { dst, sid, inits } => Op::Alloc {
-            dst: subst_lv(dst, a),
-            sid: *sid,
-            inits: inits.iter().map(|(f, rv)| (*f, subst_rv(rv, a))).collect(),
-        },
-        Op::Assert(c) => Op::Assert(subst_rv(c, a)),
-        Op::AtomicBegin(c) => Op::AtomicBegin(c.as_ref().map(|c| subst_rv(c, a))),
-        Op::AtomicEnd => Op::AtomicEnd,
     }
 }
 

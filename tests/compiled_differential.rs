@@ -1,0 +1,376 @@
+//! Differential testing of the compile-once candidate layer against
+//! the interpreted undo engine and the clone-per-transition reference
+//! engine, across the example suite.
+//!
+//! A [`CompiledProgram`] substitutes the candidate's hole values,
+//! constant-folds guards and operands, and flattens each worker into a
+//! dense pc-indexed micro-op array — but it must be *observationally
+//! identical* to interpreting the `(Lowered, Assignment)` pair it was
+//! compiled from. With partial-order reduction off, both engines are
+//! deterministic depth-first searches over the same canonical state
+//! set in the same worker order, so the comparison is exact: identical
+//! verdicts, state and transition counts, and counterexample
+//! schedules, with or without symmetry reduction (the symmetry classes
+//! are computed from the original program, so the canonical
+//! fingerprint function is shared too).
+//!
+//! With reduction **on** the compiled artifact carries
+//! candidate-sharpened footprint masks: folded hole values may resolve
+//! fork-indexed cells the static analysis had to treat as
+//! whole-array. Sharper masks can legally change which ample sets are
+//! chosen, so the contract weakens to verdict equivalence plus
+//! cex-replays — except when the artifact reports zero sharpened
+//! masks, in which case the tables are identical and the searches must
+//! match exactly. The sharpening's soundness side condition — every
+//! specialized mask is a subset of its static counterpart — is checked
+//! as a property over many random candidates.
+
+use psketch_repro::exec::reference::check_ref_with_limit;
+use psketch_repro::exec::{
+    check_compiled, check_parallel_limits, check_with_limits, random_run, random_run_compiled,
+    replay, replay_compiled, CheckOutcome, CompiledProgram, Interrupt, SearchLimits, Verdict,
+};
+use psketch_repro::ir::{desugar, lower, Assignment, Lowered};
+use psketch_repro::suite::figure9_runs;
+use psketch_repro::symbolic::trace_reproduces;
+use psketch_testutil::Rng;
+
+/// Bounds each exploration so the whole suite stays test-sized.
+const MAX_STATES: usize = 10_000;
+
+fn limits(por: bool, symmetry: bool, compile: bool) -> SearchLimits {
+    SearchLimits {
+        por,
+        symmetry,
+        compile,
+        ..SearchLimits::states(MAX_STATES)
+    }
+}
+
+fn lowered(source: &str, config: &psketch_repro::ir::Config) -> Lowered {
+    let p = psketch_repro::lang::check_program(source).unwrap();
+    let (sk, holes) = desugar::desugar_program(&p, config).unwrap();
+    lower::lower_program(&sk, holes, config).unwrap()
+}
+
+/// The identity assignment plus `extra` random ones.
+fn candidates(l: &Lowered, extra: usize, rng: &mut Rng) -> Vec<Assignment> {
+    let mut out = vec![l.holes.identity_assignment()];
+    for _ in 0..extra {
+        let values = (0..l.holes.num_holes())
+            .map(|h| rng.below(l.holes.domain(h as u32) as usize) as u64)
+            .collect();
+        out.push(Assignment::from_values(values));
+    }
+    out
+}
+
+/// Exact equivalence: verdict, state/transition counts, and
+/// counterexample step sequences and schedules all match.
+fn assert_exact(a: &CheckOutcome, b: &CheckOutcome, label: &str) {
+    assert_eq!(
+        a.stats.states, b.stats.states,
+        "{label}: state counts differ"
+    );
+    assert_eq!(
+        a.stats.transitions, b.stats.transitions,
+        "{label}: transition counts differ"
+    );
+    match (&a.verdict, &b.verdict) {
+        (Verdict::Pass, Verdict::Pass) => {
+            assert_eq!(a.stats.terminal_states, b.stats.terminal_states, "{label}");
+        }
+        (Verdict::Fail(ca), Verdict::Fail(cb)) => {
+            assert_eq!(ca.steps, cb.steps, "{label}: counterexample traces differ");
+            assert_eq!(
+                ca.schedule, cb.schedule,
+                "{label}: counterexample schedules differ"
+            );
+            assert_eq!(
+                ca.failure.kind, cb.failure.kind,
+                "{label}: failure kinds differ"
+            );
+        }
+        (Verdict::Unknown(wa), Verdict::Unknown(wb)) => {
+            assert_eq!(*wa, Interrupt::StateLimit, "{label}: no deadline installed");
+            assert_eq!(wa, wb, "{label}");
+        }
+        (va, vb) => panic!("{label}: interpreted verdict {va:?}, compiled verdict {vb:?}"),
+    }
+}
+
+/// Verdict-level equivalence for configurations where the compiled
+/// search may legitimately explore a different (still sound) subgraph.
+fn assert_equiv(l: &Lowered, a: &Assignment, base: &Verdict, got: &CheckOutcome, label: &str) {
+    match (base, &got.verdict) {
+        (Verdict::Pass, Verdict::Pass) => {}
+        (Verdict::Pass, v) => panic!("{label}: baseline passes, compiled {v:?}"),
+        (Verdict::Fail(_), Verdict::Fail(cex)) => {
+            assert!(
+                trace_reproduces(l, cex, a),
+                "{label}: compiled cex does not refute candidate"
+            );
+        }
+        (Verdict::Fail(_), v) => panic!("{label}: baseline fails, compiled {v:?}"),
+        (Verdict::Unknown(why), v) => {
+            assert_eq!(*why, Interrupt::StateLimit, "{label}");
+            match v {
+                Verdict::Fail(cex) => {
+                    assert!(trace_reproduces(l, cex, a), "{label}: invalid compiled cex");
+                }
+                Verdict::Unknown(w) => assert_eq!(*w, Interrupt::StateLimit, "{label}"),
+                // A state-limited baseline cannot certify a pass, but a
+                // *reduced* compiled search visits fewer states and may
+                // legitimately finish under the limit.
+                Verdict::Pass => {}
+            }
+        }
+    }
+}
+
+fn compare(l: &Lowered, a: &Assignment, label: &str) {
+    let cp = CompiledProgram::compile(l, a);
+    assert!(
+        cp.footprint_refines_static(),
+        "{label}: sharpened masks must refine the static analysis"
+    );
+
+    // POR off, symmetry off/on: interpreted vs compiled (via the
+    // SearchLimits flag and via the artifact directly) are the same
+    // deterministic DFS — everything matches exactly.
+    for symmetry in [false, true] {
+        let tag = format!("{label} sym={symmetry}");
+        let interp = check_with_limits(l, a, &limits(false, symmetry, false));
+        assert_eq!(
+            interp.stats.compile_us, 0,
+            "{tag}: interpreter path must not compile"
+        );
+        let flagged = check_with_limits(l, a, &limits(false, symmetry, true));
+        let direct = check_compiled(&cp, &limits(false, symmetry, true));
+        assert_exact(&interp, &flagged, &format!("{tag} (flag)"));
+        assert_exact(&interp, &direct, &format!("{tag} (artifact)"));
+    }
+
+    // And against the reference engine, which never compiles.
+    let interp = check_with_limits(l, a, &limits(false, false, false));
+    let reference = check_ref_with_limit(l, a, MAX_STATES);
+    let direct = check_compiled(&cp, &limits(false, false, true));
+    assert_exact(&reference, &direct, &format!("{label} (reference)"));
+
+    // POR on: sharper masks may pick different ample sets, so the
+    // contract is verdict equivalence — unless nothing was sharpened,
+    // in which case the tables coincide and the searches must too.
+    let interp_por = check_with_limits(l, a, &limits(true, false, false));
+    let direct_por = check_compiled(&cp, &limits(true, false, true));
+    if cp.sharpened_masks() == 0 {
+        assert_exact(
+            &interp_por,
+            &direct_por,
+            &format!("{label} por=on unsharpened"),
+        );
+    } else {
+        assert_equiv(
+            l,
+            a,
+            &interp_por.verdict,
+            &direct_por,
+            &format!("{label} por=on"),
+        );
+    }
+    // Either way the reduced compiled search preserves the full
+    // search's verdict.
+    assert_equiv(
+        l,
+        a,
+        &interp.verdict,
+        &direct_por,
+        &format!("{label} por=on vs full"),
+    );
+
+    // 2 and 4 checker threads on the compiled path: verdicts agree
+    // with the sequential compiled baseline and passing state counts
+    // match it exactly (the explored graph is a deterministic function
+    // of the artifact, only the visit order differs).
+    for threads in [2usize, 4] {
+        for (por, base) in [(false, &direct), (true, &direct_por)] {
+            let par = check_parallel_limits(l, a, &limits(por, false, true), threads);
+            let tag = format!("{label} threads={threads} por={por}");
+            match (&base.verdict, &par.verdict) {
+                (Verdict::Pass, Verdict::Pass) => {
+                    assert_eq!(base.stats.states, par.stats.states, "{tag}: state counts");
+                }
+                (Verdict::Fail(_), Verdict::Fail(cex)) => {
+                    assert!(trace_reproduces(l, cex, a), "{tag}: invalid parallel cex");
+                }
+                (Verdict::Unknown(_), Verdict::Fail(cex)) => {
+                    assert!(trace_reproduces(l, cex, a), "{tag}: invalid parallel cex");
+                }
+                (Verdict::Unknown(_), Verdict::Unknown(w)) => {
+                    assert_eq!(*w, Interrupt::StateLimit, "{tag}");
+                }
+                (b, p) => panic!("{tag}: sequential {b:?}, parallel {p:?}"),
+            }
+        }
+    }
+
+    // Replay: any counterexample schedule found by the interpreted
+    // search must replay to the same trace through the compiled
+    // artifact, and vice versa.
+    if let Verdict::Fail(cex) = &interp.verdict {
+        let order: Vec<usize> = cex.schedule.iter().map(|&w| w as usize).collect();
+        let ri = replay(l, a, &order).unwrap_or_else(|| panic!("{label}: interpreted replay"));
+        let rc = replay_compiled(&cp, &order).unwrap_or_else(|| panic!("{label}: compiled replay"));
+        assert_eq!(ri.steps, rc.steps, "{label}: replayed traces differ");
+        assert_eq!(
+            ri.failure.kind, rc.failure.kind,
+            "{label}: replayed failure kinds differ"
+        );
+    }
+
+    // Random sampling: same seed, same walk, same outcome.
+    for seed in 0..8u64 {
+        let wi = random_run(l, a, seed);
+        let wc = random_run_compiled(&cp, seed);
+        match (&wi, &wc) {
+            (None, None) => {}
+            (Some(ci), Some(cc)) => {
+                assert_eq!(ci.steps, cc.steps, "{label} seed={seed}: sampled traces");
+                assert_eq!(
+                    ci.schedule, cc.schedule,
+                    "{label} seed={seed}: sampled schedules"
+                );
+            }
+            (i, c) => panic!("{label} seed={seed}: interpreted {i:?} vs compiled {c:?}"),
+        }
+    }
+}
+
+#[test]
+fn compiled_engine_agrees_on_suite_sketches() {
+    // One run per distinct benchmark keeps the test tractable; the
+    // generated sources differ only in workload within a benchmark.
+    let mut seen = std::collections::HashSet::new();
+    let mut rng = Rng::new(41);
+    for run in figure9_runs() {
+        if !seen.insert(run.benchmark) {
+            continue;
+        }
+        let l = lowered(&run.source, &run.options.config);
+        for (ix, a) in candidates(&l, 2, &mut rng).iter().enumerate() {
+            compare(&l, a, &format!("{} candidate {ix}", run.benchmark));
+        }
+    }
+}
+
+#[test]
+fn compiled_engine_agrees_on_small_programs() {
+    let programs = [
+        // Deterministic pass.
+        "int g;
+         harness void main() {
+             fork (i; 2) { int old = AtomicReadAndIncr(g); }
+             assert g == 2;
+         }",
+        // Lost-update race: fails.
+        "int g;
+         harness void main() {
+             fork (i; 2) { int t = g; g = t + 1; }
+             assert g == 2;
+         }",
+        // Deadlock.
+        "int a; int b;
+         harness void main() {
+             fork (i; 2) {
+                 if (i == 0) { atomic (a == 1) { } b = 1; }
+                 else { atomic (b == 1) { } a = 1; }
+             }
+         }",
+        // Sequential-only program: no fork, prologue does everything.
+        "int g;
+         harness void main() {
+             g = g + 1;
+             assert g == 1;
+         }",
+        // Hole-guarded branching: folding eliminates one arm.
+        "int g;
+         harness void main() {
+             fork (i; 2) {
+                 if (??(1) == 0) { int old = AtomicReadAndIncr(g); }
+                 else { g = g + 1; }
+             }
+             assert g == 2;
+         }",
+        // Hole-indexed array writes: the static footprint is the whole
+        // array, the candidate-sharpened one a single cell.
+        "int[4] a;
+         harness void main() {
+             fork (i; 2) { a[??(2) + i] = 1; }
+             assert a[0] >= 0;
+         }",
+    ];
+    let cfg = psketch_repro::ir::Config::default();
+    let mut rng = Rng::new(43);
+    for (px, src) in programs.iter().enumerate() {
+        let l = lowered(src, &cfg);
+        for (ix, a) in candidates(&l, 3, &mut rng).iter().enumerate() {
+            compare(&l, a, &format!("program {px} candidate {ix}"));
+        }
+    }
+}
+
+/// Property: across every suite sketch and many random candidates,
+/// the candidate-sharpened footprint masks always refine (are never
+/// coarser than) the static hole-agnostic analysis — the soundness
+/// side condition the sharpened POR tables depend on.
+#[test]
+fn sharpened_footprints_always_refine_static() {
+    let mut seen = std::collections::HashSet::new();
+    let mut rng = Rng::new(47);
+    for run in figure9_runs() {
+        if !seen.insert(run.benchmark) {
+            continue;
+        }
+        let l = lowered(&run.source, &run.options.config);
+        for (ix, a) in candidates(&l, 8, &mut rng).iter().enumerate() {
+            let cp = CompiledProgram::compile(&l, a);
+            assert!(
+                cp.footprint_refines_static(),
+                "{} candidate {ix}: sharpened mask coarser than static",
+                run.benchmark
+            );
+        }
+    }
+}
+
+/// On the hole-indexed-array workload the sharpening must actually
+/// fire: the artifact reports strictly-tightened masks, and the
+/// reduced compiled search visits no more states than the reduced
+/// interpreted search driven by the coarse static table.
+#[test]
+fn sharpening_fires_on_hole_indexed_cells() {
+    let cfg = psketch_repro::ir::Config::default();
+    let l = lowered(
+        "int[4] a;
+         harness void main() {
+             fork (i; 2) { a[??(2) + i] = 1; }
+             assert a[0] >= 0;
+         }",
+        &cfg,
+    );
+    let cand = l.holes.identity_assignment();
+    let cp = CompiledProgram::compile(&l, &cand);
+    assert!(
+        cp.sharpened_masks() > 0,
+        "folded hole must resolve the array index"
+    );
+    assert!(cp.footprint_refines_static());
+    let interp = check_with_limits(&l, &cand, &limits(true, false, false));
+    let comp = check_compiled(&cp, &limits(true, false, true));
+    assert!(interp.is_ok() && comp.is_ok());
+    assert!(
+        comp.stats.states <= interp.stats.states,
+        "sharper masks must not blow up the reduced search: {} > {}",
+        comp.stats.states,
+        interp.stats.states
+    );
+}
