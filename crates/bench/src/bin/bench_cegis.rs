@@ -12,7 +12,10 @@
 //! prescreen (the default) and once with `prescreen: false`, so the
 //! report doubles as the prescreen ablation. `prescreen_hits` /
 //! `checker_calls_avoided` count the full checker invocations the bank
-//! turned into O(trace) replays.
+//! turned into O(trace) replays. The `compile_us` / `reseal_us` /
+//! `threads_reused` columns surface the incremental-sealing layer:
+//! after the first iteration every candidate reseals the previous
+//! artifact, re-emitting only the threads whose hole values changed.
 //!
 //! Usage: `cargo run --release -p psketch-bench --bin bench_cegis
 //! [--smoke] [output.json]` (default `BENCH_cegis.json` in the current
@@ -120,6 +123,12 @@ fn main() {
                     JsonValue::Int(out.stats.checker_calls_avoided as i64),
                 ),
                 ("bank_size", JsonValue::Int(out.stats.bank_size as i64)),
+                ("compile_us", JsonValue::Int(out.stats.compile_us as i64)),
+                ("reseal_us", JsonValue::Int(out.stats.reseal_us as i64)),
+                (
+                    "threads_reused",
+                    JsonValue::Int(out.stats.threads_reused as i64),
+                ),
                 (
                     "sat_decisions",
                     JsonValue::Int(out.stats.sat_decisions as i64),
@@ -149,7 +158,7 @@ fn main() {
     }
 
     let doc = w.render(&[
-        ("schema", JsonValue::Int(2)),
+        ("schema", JsonValue::Int(4)),
         ("suite", JsonValue::Str("cegis_thread_scaling".into())),
         ("cores", JsonValue::Int(cores as i64)),
         ("samples", JsonValue::Int(h.samples as i64)),
@@ -160,7 +169,11 @@ fn main() {
                 "speedup from threads > cores is not expected; compare \
                  against the cores field. prescreen=false rows are the \
                  schedule-bank ablation: compare them against the \
-                 prescreen=true row with the same threads/portfolio"
+                 prescreen=true row with the same threads/portfolio. \
+                 compile_us is the cumulative candidate-sealing time; \
+                 reseal_us (included in compile_us) and threads_reused \
+                 count the incremental reseals that reused the previous \
+                 iteration's artifact instead of sealing from scratch"
                     .into(),
             ),
         ),

@@ -26,7 +26,10 @@
 //! Each workload is first synthesised to completion; the winning
 //! candidate's exhaustive verification — the hot path of every CEGIS
 //! run, since a correct candidate's search cannot stop early — is then
-//! timed for each engine.
+//! timed for each engine. A `seal-ablation` row per workload times
+//! sealing the winner from scratch against resealing it incrementally
+//! from a one-hole-perturbed artifact (the CEGIS-iteration pattern)
+//! and asserts the two artifacts are bit-identical.
 //!
 //! Usage: `cargo run --release -p psketch-bench --bin bench_checker
 //! [--smoke] [output.json]` (default `BENCH_checker.json` in the
@@ -40,7 +43,7 @@ use psketch_exec::{
     check_compiled, check_with_limits, reference::check_ref_with_limit, CheckOutcome,
     CompiledProgram, SearchLimits, Verdict,
 };
-use psketch_ir::Config;
+use psketch_ir::{Assignment, Config};
 use psketch_suite::barrier::{barrier_source, BarrierVariant};
 use psketch_suite::dinphilo::{dinphilo_source, PhiloVariant};
 use psketch_suite::figure9_runs;
@@ -268,6 +271,11 @@ fn main() {
                     "sharpened_masks",
                     JsonValue::Int(out.stats.sharpened_masks as i64),
                 ),
+                ("reseal_us", JsonValue::Int(out.stats.reseal_us as i64)),
+                (
+                    "threads_reused",
+                    JsonValue::Int(out.stats.threads_reused as i64),
+                ),
                 (
                     "rss_delta_bytes",
                     match rss_delta {
@@ -277,10 +285,70 @@ fn main() {
                 ),
             ]);
         }
+
+        // Reseal ablation: the CEGIS-iteration pattern. Perturb the
+        // winner's first hole (flip the low bit — every hole is at
+        // least one bit wide, so the value stays in domain), seal the
+        // perturbed candidate fresh, then reseal it back to the
+        // winner. Threads that never read the flipped hole keep their
+        // micro-op arrays and footprints verbatim; the fresh vs
+        // reseal medians quantify the incremental-sealing win. The
+        // hole-free symcounter row degenerates to the identity reseal
+        // (every thread reused).
+        let mut vals = candidate.values().to_vec();
+        if let Some(v) = vals.first_mut() {
+            *v ^= 1;
+        }
+        let perturbed = Assignment::from_values(vals);
+        let fresh_m = h
+            .bench(&format!("checker/{}/seal-fresh", load.name), || {
+                black_box(CompiledProgram::compile(
+                    black_box(lowered),
+                    black_box(&candidate),
+                ));
+            })
+            .expect("no filter in use");
+        let prev = CompiledProgram::compile(lowered, &perturbed);
+        let resealed = RefCell::new(None);
+        let reseal_m = h
+            .bench(&format!("checker/{}/seal-reseal", load.name), || {
+                *resealed.borrow_mut() = Some(CompiledProgram::reseal(
+                    black_box(&prev),
+                    lowered,
+                    black_box(&candidate),
+                ));
+            })
+            .expect("no filter in use");
+        let rcp = resealed.into_inner().expect("ran at least once");
+        assert!(
+            rcp.artifact_eq(&cp),
+            "{}: resealed artifact must be identical to the fresh seal",
+            load.name
+        );
+        w.record(&[
+            ("sketch", JsonValue::Str(load.name.clone())),
+            ("engine", JsonValue::Str("seal-ablation".into())),
+            (
+                "fresh_seal_us",
+                JsonValue::Int(fresh_m.median.as_micros() as i64),
+            ),
+            (
+                "reseal_us",
+                JsonValue::Int(reseal_m.median.as_micros() as i64),
+            ),
+            (
+                "threads_reused",
+                JsonValue::Int(rcp.threads_reused() as i64),
+            ),
+            (
+                "threads_total",
+                JsonValue::Int(lowered.workers.len() as i64 + 2),
+            ),
+        ]);
     }
 
     let doc = w.render(&[
-        ("schema", JsonValue::Int(3)),
+        ("schema", JsonValue::Int(4)),
         ("suite", JsonValue::Str("checker_engine_throughput".into())),
         ("cores", JsonValue::Int(cores as i64)),
         ("samples", JsonValue::Int(h.samples as i64)),
@@ -310,7 +378,14 @@ fn main() {
                  rss_delta_bytes is the resident-set growth sampled \
                  around each cell's runs (0 when the allocator reused \
                  earlier capacity), replacing the old process-wide \
-                 monotonic peak that later rows inherited"
+                 monotonic peak that later rows inherited. The \
+                 seal-ablation row per sketch is the incremental-\
+                 sealing ablation: fresh_seal_us seals the winner \
+                 from scratch, reseal_us reseals it from an artifact \
+                 whose first hole was flipped, threads_reused counts \
+                 the threads (of threads_total: prologue + workers + \
+                 epilogue) carried over verbatim; the resealed \
+                 artifact is asserted bit-identical to the fresh seal"
                     .into(),
             ),
         ),

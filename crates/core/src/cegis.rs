@@ -223,6 +223,13 @@ pub struct CegisStats {
     /// strictly tighter than the static analysis (cumulative over
     /// verification calls; 0 with `--no-compile`).
     pub sharpened_masks: u64,
+    /// Microseconds spent in incremental reseals (cumulative; included
+    /// in `compile_us`, broken out so the fresh-vs-reseal ablation
+    /// reads off the report).
+    pub reseal_us: u64,
+    /// Threads whose sealed micro-op arrays were reused by reference
+    /// across iterations instead of recompiled (cumulative).
+    pub threads_reused: u64,
 }
 
 /// A successful resolution.
@@ -382,6 +389,14 @@ impl Synthesis {
         let done = AtomicBool::new(false);
         synth.set_limits(deadline, Some(cancel.clone()));
 
+        // The most recent iteration's sealed artifact. Successive CDCL
+        // models differ in few hole values, so each verification
+        // reseals against this instead of compiling from scratch —
+        // threads whose holes kept their values reuse their micro-op
+        // arrays, footprints and (when no worker changed) POR and
+        // symmetry tables by reference. Cloning in/out is Arc-cheap.
+        let prev_artifact: Mutex<Option<CompiledProgram<'_>>> = Mutex::new(None);
+
         std::thread::scope(|scope| {
             if deadline.is_some() || self.options.memory_budget.is_some() {
                 let cancel = &cancel;
@@ -483,7 +498,13 @@ impl Synthesis {
                 stats.portfolio_width = stats.portfolio_width.max(batch_width);
                 let trace_set = synth.stats.observations;
                 let tv = Instant::now();
-                let results = self.verify_batch(&candidates, base, &limits, bank.as_ref());
+                let results = self.verify_batch(
+                    &candidates,
+                    base,
+                    &limits,
+                    bank.as_ref(),
+                    Some(&prev_artifact),
+                );
                 stats.v_solve += tv.elapsed();
                 for (_, effort) in &results {
                     stats.merge_effort(effort);
@@ -527,6 +548,8 @@ impl Synthesis {
                         bank_size: effort.bank_size,
                         compile_us: effort.compile_us,
                         sharpened_masks: effort.sharpened_masks,
+                        reseal_us: effort.reseal_us,
+                        threads_reused: effort.threads_reused,
                     });
                     match result {
                         VerifyResult::Correct => {
@@ -670,6 +693,8 @@ impl Synthesis {
             bank_size: st.bank_size,
             compile_us: st.compile_us,
             sharpened_masks: st.sharpened_masks,
+            reseal_us: st.reseal_us,
+            threads_reused: st.threads_reused,
             sat_decisions: st.sat_decisions,
             sat_propagations: st.sat_propagations,
             sat_conflicts: st.sat_conflicts,
@@ -692,7 +717,10 @@ impl Synthesis {
     /// Verifies one candidate, returning its counterexample if any.
     /// Exposed for tests and tooling.
     pub fn verify_candidate(&self, candidate: &Assignment) -> Option<CexTrace> {
-        match self.verify_once(candidate, 0, &self.base_limits(), None).0 {
+        match self
+            .verify_once(candidate, 0, &self.base_limits(), None, None)
+            .0
+        {
             VerifyResult::Trace(t) => Some(t),
             _ => None,
         }
@@ -701,21 +729,22 @@ impl Synthesis {
     /// Verifies a batch of candidates, concurrently when the batch has
     /// more than one. `base` is the iteration count before this batch
     /// (seeds the hybrid sampler exactly as sequential CEGIS would).
-    fn verify_batch(
-        &self,
+    fn verify_batch<'s>(
+        &'s self,
         candidates: &[Assignment],
         base: usize,
         limits: &SearchLimits,
         bank: Option<&ScheduleBank>,
+        prev: Option<&Mutex<Option<CompiledProgram<'s>>>>,
     ) -> Vec<(VerifyResult, VerifyEffort)> {
         match candidates {
-            [one] => vec![self.verify_once(one, base + 1, limits, bank)],
+            [one] => vec![self.verify_once(one, base + 1, limits, bank, prev)],
             many => std::thread::scope(|scope| {
                 let handles: Vec<_> = many
                     .iter()
                     .enumerate()
                     .map(|(ix, c)| {
-                        scope.spawn(move || self.verify_once(c, base + ix + 1, limits, bank))
+                        scope.spawn(move || self.verify_once(c, base + ix + 1, limits, bank, prev))
                     })
                     .collect();
                 handles
@@ -726,28 +755,42 @@ impl Synthesis {
         }
     }
 
-    fn verify_once(
-        &self,
+    fn verify_once<'s>(
+        &'s self,
         candidate: &Assignment,
         iteration: usize,
         limits: &SearchLimits,
         bank: Option<&ScheduleBank>,
+        prev: Option<&Mutex<Option<CompiledProgram<'s>>>>,
     ) -> (VerifyResult, VerifyEffort) {
         let t0 = Instant::now();
         let mut effort = VerifyEffort::default();
         let threads = self.options.threads.max(1);
         let result = match &self.mode {
             Mode::Harness => {
-                // Compile once per candidate: the prescreen, the
-                // sampler and the exhaustive checker below all share
-                // this one sealed artifact instead of re-interpreting
-                // the hole table per pass.
-                let compiled = self
-                    .options
-                    .compile
-                    .then(|| CompiledProgram::compile(&self.lowered, candidate));
+                // Seal once per candidate: the prescreen, the sampler
+                // and the exhaustive checker below all share this one
+                // artifact instead of re-interpreting the hole table
+                // per pass. When a previous iteration's artifact is
+                // available, reseal incrementally — only threads whose
+                // hole values changed re-emit; clones in and out of the
+                // slot are Arc-cheap pointer bumps.
+                let compiled = self.options.compile.then(|| {
+                    let base = prev
+                        .and_then(|m| m.lock().expect("previous-artifact slot poisoned").clone());
+                    let cp = match &base {
+                        Some(p) => CompiledProgram::reseal(p, &self.lowered, candidate),
+                        None => CompiledProgram::compile(&self.lowered, candidate),
+                    };
+                    if let Some(m) = prev {
+                        *m.lock().expect("previous-artifact slot poisoned") = Some(cp.clone());
+                    }
+                    cp
+                });
                 if let Some(cp) = &compiled {
                     effort.compile_us = cp.compile_us();
+                    effort.reseal_us = cp.reseal_us();
+                    effort.threads_reused = cp.threads_reused();
                     effort.sharpened_masks = cp.sharpened_masks();
                 }
                 // Prescreen: replay the schedules that killed earlier
@@ -927,7 +970,7 @@ impl Synthesis {
                 break;
             };
             match self
-                .verify_once(&candidate, iterations, &self.base_limits(), None)
+                .verify_once(&candidate, iterations, &self.base_limits(), None, None)
                 .0
             {
                 VerifyResult::Correct => {
@@ -984,6 +1027,8 @@ struct VerifyEffort {
     bank_size: u64,
     compile_us: u64,
     sharpened_masks: u64,
+    reseal_us: u64,
+    threads_reused: u64,
 }
 
 /// Identity of a counterexample for within-batch deduplication: the
@@ -1038,6 +1083,8 @@ impl CegisStats {
         self.bank_size = self.bank_size.max(effort.bank_size);
         self.compile_us += effort.compile_us;
         self.sharpened_masks += effort.sharpened_masks;
+        self.reseal_us += effort.reseal_us;
+        self.threads_reused += effort.threads_reused;
         if self.per_thread_states.len() < effort.per_thread_states.len() {
             self.per_thread_states
                 .resize(effort.per_thread_states.len(), 0);

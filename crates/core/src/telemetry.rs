@@ -124,6 +124,12 @@ pub struct IterationRecord {
     /// POR footprint masks this candidate's constants made strictly
     /// tighter than the static analysis (0 with `--no-compile`).
     pub sharpened_masks: u64,
+    /// Microseconds spent resealing a previous artifact for this
+    /// candidate (included in `compile_us`; 0 when sealed fresh).
+    pub reseal_us: u64,
+    /// Threads whose micro-op code and footprints were reused verbatim
+    /// from the previous artifact (0 when sealed fresh).
+    pub threads_reused: u64,
 }
 
 /// The machine-readable run report: run-level summary plus one
@@ -206,6 +212,12 @@ pub struct RunReport {
     /// strictly tighter than the static analysis, cumulative (0 with
     /// `--no-compile`).
     pub sharpened_masks: u64,
+    /// Microseconds spent resealing previous artifacts, cumulative
+    /// (included in `compile_us`; broken out for the ablation).
+    pub reseal_us: u64,
+    /// Threads reused verbatim from previous artifacts across all
+    /// reseals, cumulative.
+    pub threads_reused: u64,
     /// Synthesizer SAT decisions.
     pub sat_decisions: u64,
     /// Synthesizer SAT unit propagations.
@@ -229,7 +241,10 @@ impl RunReport {
     ///
     /// v3: compile-once candidate layer counters (`compile_us`,
     /// `sharpened_masks` at both run and iteration level).
-    pub const SCHEMA: u32 = 3;
+    ///
+    /// v4: incremental reseal counters (`reseal_us`, `threads_reused`
+    /// at both run and iteration level).
+    pub const SCHEMA: u32 = 4;
 
     /// Serialises the report as a JSON object (two-space indented).
     pub fn to_json(&self) -> String {
@@ -303,6 +318,8 @@ impl RunReport {
         o.field("bank_size", Json::from(self.bank_size as i64));
         o.field("compile_us", Json::from(self.compile_us as i64));
         o.field("sharpened_masks", Json::from(self.sharpened_masks as i64));
+        o.field("reseal_us", Json::from(self.reseal_us as i64));
+        o.field("threads_reused", Json::from(self.threads_reused as i64));
         o.field("sat_decisions", Json::from(self.sat_decisions as i64));
         o.field("sat_propagations", Json::from(self.sat_propagations as i64));
         o.field("sat_conflicts", Json::from(self.sat_conflicts as i64));
@@ -345,6 +362,8 @@ impl IterationRecord {
         o.field("bank_size", Json::from(self.bank_size as i64));
         o.field("compile_us", Json::from(self.compile_us as i64));
         o.field("sharpened_masks", Json::from(self.sharpened_masks as i64));
+        o.field("reseal_us", Json::from(self.reseal_us as i64));
+        o.field("threads_reused", Json::from(self.threads_reused as i64));
         o.finish()
     }
 }
@@ -847,6 +866,8 @@ mod tests {
             bank_size: 6,
             compile_us: 420,
             sharpened_masks: 11,
+            reseal_us: 95,
+            threads_reused: 3,
             sat_decisions: 9,
             sat_propagations: 101,
             sat_conflicts: 3,
@@ -875,11 +896,13 @@ mod tests {
                 bank_size: 2,
                 compile_us: 210,
                 sharpened_masks: 4,
+                reseal_us: 45,
+                threads_reused: 2,
             }],
         };
         let text = report.to_json();
         let v = Json::parse(&text).expect("report must be valid JSON");
-        assert_eq!(v.get("schema").unwrap().as_f64(), Some(3.0));
+        assert_eq!(v.get("schema").unwrap().as_f64(), Some(4.0));
         assert_eq!(v.get("resolvable").unwrap().as_str(), Some("unknown"));
         assert_eq!(v.get("resolution"), Some(&Json::Null));
         let trip = v.get("budget_trip").unwrap();
@@ -904,6 +927,8 @@ mod tests {
         assert_eq!(v.get("bank_size").unwrap().as_f64(), Some(6.0));
         assert_eq!(v.get("compile_us").unwrap().as_f64(), Some(420.0));
         assert_eq!(v.get("sharpened_masks").unwrap().as_f64(), Some(11.0));
+        assert_eq!(v.get("reseal_us").unwrap().as_f64(), Some(95.0));
+        assert_eq!(v.get("threads_reused").unwrap().as_f64(), Some(3.0));
         let recs = v.get("records").unwrap().as_arr().unwrap();
         assert_eq!(recs.len(), 1);
         let r = &recs[0];
@@ -919,6 +944,8 @@ mod tests {
         assert_eq!(r.get("bank_size").unwrap().as_f64(), Some(2.0));
         assert_eq!(r.get("compile_us").unwrap().as_f64(), Some(210.0));
         assert_eq!(r.get("sharpened_masks").unwrap().as_f64(), Some(4.0));
+        assert_eq!(r.get("reseal_us").unwrap().as_f64(), Some(45.0));
+        assert_eq!(r.get("threads_reused").unwrap().as_f64(), Some(2.0));
         let per = r.get("per_thread_states").unwrap().as_arr().unwrap();
         assert_eq!(per.iter().filter_map(Json::as_f64).sum::<f64>(), 60.0);
     }

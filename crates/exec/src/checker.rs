@@ -190,6 +190,18 @@ pub struct CheckStats {
     /// strictly tighter than the static analysis (0 on the interpreted
     /// path, which always uses the static masks).
     pub sharpened_masks: u64,
+    /// Per-run owned POR-table materializations: the interpreted paths
+    /// build one static table per run; engines running a shared
+    /// [`CompiledProgram`] borrow the artifact's tables and report 0.
+    /// The shared-table differential test pins this at zero.
+    pub table_clones: u64,
+    /// Microseconds the incremental reseal took when the artifact was
+    /// produced by [`CompiledProgram::reseal`] (0 for fresh compiles
+    /// and the interpreted path).
+    pub reseal_us: u64,
+    /// Threads whose micro-op arrays the reseal reused by reference (0
+    /// for fresh compiles and the interpreted path).
+    pub threads_reused: u64,
 }
 
 /// Result of [`check`].
@@ -258,6 +270,8 @@ pub fn check_compiled(cp: &CompiledProgram, limits: &SearchLimits) -> CheckOutco
     let mut out = ck.run(limits);
     out.stats.compile_us += cp.compile_us();
     out.stats.sharpened_masks = cp.sharpened_masks();
+    out.stats.reseal_us += cp.reseal_us();
+    out.stats.threads_reused += cp.threads_reused();
     out
 }
 
@@ -529,25 +543,27 @@ fn random_run_with(ck: &Checker<'_>, seed: u64) -> Option<CexTrace> {
 pub(crate) struct Checker<'a> {
     pub(crate) l: &'a Lowered,
     holes: &'a Assignment,
-    /// Segment table of the flat state.
-    pub(crate) lay: StateLayout,
+    /// Segment table of the flat state. Shared by reference with the
+    /// sealed artifact (and every sibling engine) when built via
+    /// [`Checker::from_compiled`]; owned only on the interpreted path.
+    pub(crate) lay: Arc<StateLayout>,
     /// Words before the first worker record (globals + heap + allocs):
     /// hashed as one contiguous slice.
     shared_len: usize,
     /// `match_end[w][pc]` = index of the AtomicEnd matching an
     /// AtomicBegin at `pc`.
-    match_end: Vec<Vec<usize>>,
+    match_end: Arc<Vec<Vec<usize>>>,
     /// `live[w][pc]` = bitmask words of locals read at step >= pc.
-    live: Vec<Vec<Vec<u64>>>,
+    live: Arc<Vec<Vec<Vec<u64>>>>,
     /// Thread-symmetry classes (empty = identity canonicalization).
     /// Only the search constructors ([`Checker::with_symmetry`])
     /// populate this; replay and sampling always run symmetry-free so
     /// recorded schedules and fingerprints stay engine-independent.
-    sym: SymmetryClasses,
+    sym: Arc<SymmetryClasses>,
     /// Per-thread micro-op arrays when this checker runs a
     /// [`CompiledProgram`] (`None` = interpret the `Rv`/`Op` trees).
     /// Indexed by trace thread id, like `l`'s threads.
-    code: Option<&'a [ThreadCode]>,
+    code: Option<&'a [Arc<ThreadCode>]>,
     /// Candidate-sharpened POR tables borrowed from the artifact;
     /// `run` uses these instead of building static tables.
     por_pre: Option<&'a PorTable>,
@@ -557,10 +573,10 @@ pub(crate) type FireResult = Result<Vec<(ThreadId, usize)>, (Vec<(ThreadId, usiz
 
 impl<'a> Checker<'a> {
     pub(crate) fn new(l: &'a Lowered, holes: &'a Assignment) -> Checker<'a> {
-        let lay = StateLayout::new(l);
+        let lay = Arc::new(StateLayout::new(l));
         let shared_len = lay.worker_off.first().copied().unwrap_or(lay.state_len());
-        let match_end = l.workers.iter().map(compute_match_end).collect();
-        let live = l.workers.iter().map(compute_liveness).collect();
+        let match_end = Arc::new(l.workers.iter().map(compute_match_end).collect());
+        let live = Arc::new(l.workers.iter().map(compute_liveness).collect());
         Checker {
             l,
             holes,
@@ -568,7 +584,7 @@ impl<'a> Checker<'a> {
             shared_len,
             match_end,
             live,
-            sym: SymmetryClasses::default(),
+            sym: Arc::new(SymmetryClasses::default()),
             code: None,
             por_pre: None,
         }
@@ -577,24 +593,25 @@ impl<'a> Checker<'a> {
     /// A checker over a sealed [`CompiledProgram`]: the hot path runs
     /// the artifact's micro-op arrays, POR uses its candidate-sharpened
     /// masks, and the precomputed layout/liveness/symmetry analyses are
-    /// reused instead of recomputed. Liveness and symmetry come from
-    /// the *original* program, so fingerprints, canonical vectors and
-    /// state counts are bit-for-bit the interpreted engine's.
-    pub(crate) fn from_compiled(cp: &'a CompiledProgram, symmetry: bool) -> Checker<'a> {
+    /// shared by `Arc` — construction performs zero deep table copies.
+    /// Liveness and symmetry come from the *original* program, so
+    /// fingerprints, canonical vectors and state counts are bit-for-bit
+    /// the interpreted engine's.
+    pub(crate) fn from_compiled(cp: &'a CompiledProgram<'a>, symmetry: bool) -> Checker<'a> {
         Checker {
             l: cp.program(),
             holes: cp.assignment(),
-            lay: cp.lay.clone(),
+            lay: Arc::clone(&cp.lay),
             shared_len: cp.shared_len,
-            match_end: cp.match_end.clone(),
-            live: cp.live.clone(),
+            match_end: Arc::clone(&cp.match_end),
+            live: Arc::clone(cp.live_masks()),
             sym: if symmetry {
-                cp.sym.clone()
+                Arc::clone(cp.sym_classes())
             } else {
-                SymmetryClasses::default()
+                Arc::new(SymmetryClasses::default())
             },
             code: Some(&cp.code),
-            por_pre: cp.por.as_ref(),
+            por_pre: cp.por_table(),
         }
     }
 
@@ -606,7 +623,7 @@ impl<'a> Checker<'a> {
     /// never depend on the reduction.
     pub(crate) fn with_symmetry(l: &'a Lowered, holes: &'a Assignment) -> Checker<'a> {
         let mut ck = Checker::new(l, holes);
-        ck.sym = symmetry_classes(l, holes);
+        ck.sym = Arc::new(symmetry_classes(l, holes));
         ck
     }
 
@@ -1226,6 +1243,7 @@ impl<'a> Checker<'a> {
                 j.reset();
                 let wants = self.wants_por(limits);
                 let owned_por = (wants && self.por_pre.is_none()).then(|| PorTable::new(self.l));
+                stats.table_clones += u64::from(owned_por.is_some());
                 let por = if wants {
                     self.por_pre.or(owned_por.as_ref())
                 } else {
@@ -1563,24 +1581,23 @@ pub(crate) fn compute_liveness(thread: &Thread) -> Vec<Vec<u64>> {
     for ix in (0..thread.steps.len()).rev() {
         let mut mask = live[ix + 1].clone();
         let mut add = |l: usize| mask[l / 64] |= 1u64 << (l % 64);
-        let visit_rv = |rv: &Rv, add: &mut dyn FnMut(usize)| collect_rv_reads(rv, add);
         let s = &thread.steps[ix];
-        visit_rv(&s.guard, &mut add);
+        collect_rv_reads(&s.guard, &mut add);
         match &s.op {
             Op::Assign(lv, rv) => {
                 collect_lv_reads(lv, &mut add);
-                visit_rv(rv, &mut add);
+                collect_rv_reads(rv, &mut add);
             }
             Op::Swap { dst, loc, val } => {
                 collect_lv_reads(dst, &mut add);
                 collect_lv_reads(loc, &mut add);
-                visit_rv(val, &mut add);
+                collect_rv_reads(val, &mut add);
             }
             Op::Cas { dst, loc, old, new } => {
                 collect_lv_reads(dst, &mut add);
                 collect_lv_reads(loc, &mut add);
-                visit_rv(old, &mut add);
-                visit_rv(new, &mut add);
+                collect_rv_reads(old, &mut add);
+                collect_rv_reads(new, &mut add);
             }
             Op::FetchAdd { dst, loc, .. } => {
                 collect_lv_reads(dst, &mut add);
@@ -1589,11 +1606,11 @@ pub(crate) fn compute_liveness(thread: &Thread) -> Vec<Vec<u64>> {
             Op::Alloc { dst, inits, .. } => {
                 collect_lv_reads(dst, &mut add);
                 for (_, rv) in inits {
-                    visit_rv(rv, &mut add);
+                    collect_rv_reads(rv, &mut add);
                 }
             }
-            Op::Assert(c) => visit_rv(c, &mut add),
-            Op::AtomicBegin(Some(c)) => visit_rv(c, &mut add),
+            Op::Assert(c) => collect_rv_reads(c, &mut add),
+            Op::AtomicBegin(Some(c)) => collect_rv_reads(c, &mut add),
             Op::AtomicBegin(None) | Op::AtomicEnd => {}
         }
         live[ix] = mask;
@@ -1601,7 +1618,7 @@ pub(crate) fn compute_liveness(thread: &Thread) -> Vec<Vec<u64>> {
     live
 }
 
-fn collect_rv_reads(rv: &Rv, add: &mut dyn FnMut(usize)) {
+fn collect_rv_reads<F: FnMut(usize)>(rv: &Rv, add: &mut F) {
     match rv {
         Rv::Local(x) => add(*x),
         Rv::LocalDyn { base, len, ix } => {
@@ -1631,7 +1648,7 @@ fn collect_rv_reads(rv: &Rv, add: &mut dyn FnMut(usize)) {
 /// the written local itself stays live (it is about to hold a value
 /// that later steps may read via the same mask at a later pc; writes
 /// do not read, so only address components are collected).
-fn collect_lv_reads(lv: &Lv, add: &mut dyn FnMut(usize)) {
+fn collect_lv_reads<F: FnMut(usize)>(lv: &Lv, add: &mut F) {
     match lv {
         Lv::Local(_) | Lv::Global(_) => {}
         Lv::LocalDyn { base, len, ix } => {

@@ -7,22 +7,46 @@
 //! [`CompiledProgram`] seals one `(Lowered, Assignment)` pair into a
 //! shared execution artifact instead:
 //!
-//! - the ir-side [`psketch_ir::specialize`] pass substitutes every
-//!   hole with its constant and folds guards/ops (exactly preserving
-//!   the interpreter's lazy semantics and the program's structure);
+//! - holes are substituted and folded *at emit time*: one walk over
+//!   the original trees streams micro-ops out while resolving holes
+//!   and folding constants in place (mirroring the whole-program
+//!   [`psketch_ir::specialize`] oracle's fold rules case for case), so
+//!   neither a substituted tree nor a specialized `Lowered` is ever
+//!   materialized;
 //! - each thread's step list is flattened into dense pc-indexed
 //!   micro-op arrays ([`Ins`]): a tiny stack machine with short-circuit
 //!   jumps, no tree recursion and no hole table on the hot path;
-//! - the POR conflict bitmasks are rebuilt from the *specialized*
-//!   program, so fork-indexed cells whose index was a hole resolve to
-//!   exact locations the static [`psketch_ir::FootprintTable`] had to
-//!   widen — candidate-sharpened ample sets, never coarser than the
-//!   static ones (checked at compile time, surfaced via
-//!   [`CompiledProgram::footprint_refines_static`]);
+//! - the POR conflict bitmasks are rebuilt from a *hole-aware
+//!   footprint pass* over the original program
+//!   ([`psketch_ir::thread_footprints_sharpened`]), so fork-indexed
+//!   cells whose index was a hole (directly or through a local)
+//!   resolve to exact locations the static
+//!   [`psketch_ir::FootprintTable`] had to widen —
+//!   candidate-sharpened ample sets, never coarser than the static
+//!   ones (the static table and the refinement check are lazy —
+//!   built on first diagnostic use, shared across the reseal family —
+//!   and surfaced via [`CompiledProgram::footprint_refines_static`]);
 //! - thread-symmetry classes and per-worker liveness masks are
-//!   precomputed once, from the *original* program, so compiled
-//!   fingerprints, canonical vectors and state counts are bit-for-bit
-//!   those of the interpreted engine.
+//!   computed from the *original* program, so compiled fingerprints,
+//!   canonical vectors and state counts are bit-for-bit those of the
+//!   interpreted engine — and they are computed *lazily*, on the
+//!   first checker construction that needs them: sealing a candidate
+//!   never pays for them, candidates rejected by replay prescreening
+//!   never build symmetry classes at all, and the
+//!   candidate-independent liveness masks are shared across the whole
+//!   reseal family;
+//! - every shared table (layout, liveness, match-end, symmetry, POR,
+//!   per-thread code) lives behind an [`Arc`], so engines built from
+//!   the artifact — and clones of the artifact itself — pay zero deep
+//!   table copies;
+//! - [`CompiledProgram::reseal`] diffs a new candidate against the
+//!   previous artifact per thread *and per step*: clean threads carry
+//!   their micro-op arrays and footprints over by reference, dirty
+//!   threads re-emit only the steps that reference a changed hole
+//!   (the rest bump their `Arc`ed instruction arrays), and identical
+//!   recomputed footprints carry the POR table over too — the CEGIS
+//!   loop's common case (a CDCL model nudging a few holes) costs a
+//!   fraction of a fresh seal.
 //!
 //! The sequential DFS, the parallel engine, replay, sampling and the
 //! schedule-bank prescreen all consume the same artifact via
@@ -33,8 +57,12 @@ use crate::checker::{compute_liveness, compute_match_end};
 use crate::por::PorTable;
 use crate::store::{EvalResult, FailureKind, StateBuf, StateLayout, UndoJournal};
 use psketch_ir::symmetry::{symmetry_classes, SymmetryClasses};
-use psketch_ir::{specialize, Assignment, Lowered, Lv, Op, Rv, Thread};
+use psketch_ir::{
+    boolean_result, fold_const_binop, fold_const_unop, step_holes, thread_footprints_sharpened,
+    Assignment, Footprint, HoleId, Lowered, Lv, Op, Rv, Thread,
+};
 use psketch_lang::ast::{BinOp, UnOp};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Stack slots kept inline on the eval stack frame; expressions deeper
@@ -48,7 +76,7 @@ const INLINE_STACK: usize = 16;
 /// an explicit value stack; `&&`/`||`/`?:` laziness is compiled to
 /// forward jumps, so evaluation is a straight dispatch loop with no
 /// recursion and no hole lookups.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub(crate) enum Ins {
     /// Push a constant (holes have been substituted by now).
     Const(i64),
@@ -105,9 +133,12 @@ pub(crate) enum Ins {
 /// A compiled expression: the micro-op array plus the stack depth it
 /// needs. Single-constant code (the common case for folded guards)
 /// short-circuits through `const_val` without touching the stack.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub(crate) struct Code {
-    ins: Box<[Ins]>,
+    // `Arc`, not `Box`: a reseal deep-copies the clean steps of a
+    // dirty thread's `ThreadCode`, and the refcount bump keeps that
+    // copy allocation-free (the arrays are immutable once sealed).
+    ins: Arc<[Ins]>,
     max_stack: u32,
     const_val: Option<i64>,
 }
@@ -252,7 +283,7 @@ impl Code {
 }
 
 /// A compiled write destination.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub(crate) enum CLv {
     /// A fixed global cell.
     Global(usize),
@@ -293,7 +324,7 @@ pub(crate) enum CLv {
 
 /// A compiled step operation, mirroring [`psketch_ir::Op`] with all
 /// expressions flattened and all layout offsets baked in.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub(crate) enum COp {
     /// `lv = rv`.
     Assign(CLv, Code),
@@ -352,7 +383,7 @@ pub(crate) enum COp {
 }
 
 /// One compiled step: guard code plus operation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub(crate) struct CStep {
     /// The step's guard.
     pub(crate) guard: Code,
@@ -361,7 +392,7 @@ pub(crate) struct CStep {
 }
 
 /// One thread's dense pc-indexed compiled step array.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub(crate) struct ThreadCode {
     /// `steps[pc]` is the compiled form of the thread's step `pc`.
     pub(crate) steps: Box<[CStep]>,
@@ -496,98 +527,6 @@ pub(crate) fn exec_cop(
     Ok(())
 }
 
-/// Stack depth an expression's code needs. Leaves need one slot;
-/// strict binaries hold the left value while the right evaluates;
-/// short-circuit/ite branches reuse the condition's slot.
-fn rv_depth(rv: &Rv) -> u32 {
-    match rv {
-        Rv::Const(_) | Rv::Global(_) | Rv::Local(_) | Rv::Hole(_) => 1,
-        Rv::GlobalDyn { ix, .. } | Rv::LocalDyn { ix, .. } => rv_depth(ix),
-        Rv::Field { obj, .. } => rv_depth(obj),
-        Rv::Unary(_, a) => rv_depth(a),
-        Rv::Binary(BinOp::And | BinOp::Or, a, b) => rv_depth(a).max(rv_depth(b)).max(1),
-        Rv::Binary(_, a, b) => rv_depth(a).max(1 + rv_depth(b)),
-        Rv::Ite(c, a, b) => rv_depth(c).max(rv_depth(a)).max(rv_depth(b)),
-    }
-}
-
-/// Emits `rv`'s micro-ops into `out`. Evaluation order and laziness
-/// match `store::eval_rv` instruction for instruction.
-fn emit_rv(rv: &Rv, l: &Lowered, lay: &StateLayout, out: &mut Vec<Ins>) {
-    match rv {
-        Rv::Const(c) => out.push(Ins::Const(*c)),
-        Rv::Hole(_) => unreachable!("specialize substitutes every hole"),
-        Rv::Global(g) => out.push(Ins::Global(*g as u32)),
-        Rv::Local(x) => out.push(Ins::Local(*x as u32)),
-        Rv::GlobalDyn { base, len, ix } => {
-            emit_rv(ix, l, lay, out);
-            out.push(Ins::GlobalDyn {
-                base: *base as u32,
-                len: *len as u32,
-            });
-        }
-        Rv::LocalDyn { base, len, ix } => {
-            emit_rv(ix, l, lay, out);
-            out.push(Ins::LocalDyn {
-                base: *base as u32,
-                len: *len as u32,
-            });
-        }
-        Rv::Field { sid, fid, obj } => {
-            emit_rv(obj, l, lay, out);
-            out.push(field_ins(*sid, *fid, l, lay));
-        }
-        Rv::Unary(op, a) => {
-            emit_rv(a, l, lay, out);
-            match op {
-                UnOp::Not => out.push(Ins::Not),
-                UnOp::Neg => out.push(Ins::Neg),
-                UnOp::BitsToInt => {} // identity
-            }
-        }
-        Rv::Binary(BinOp::And, a, b) => {
-            emit_rv(a, l, lay, out);
-            let jz = out.len();
-            out.push(Ins::JumpIfZero(u32::MAX));
-            emit_rv(b, l, lay, out);
-            out.push(Ins::PushBool);
-            let jend = out.len();
-            out.push(Ins::Jump(u32::MAX));
-            patch(out, jz);
-            out.push(Ins::Const(0));
-            patch(out, jend);
-        }
-        Rv::Binary(BinOp::Or, a, b) => {
-            emit_rv(a, l, lay, out);
-            let jnz = out.len();
-            out.push(Ins::JumpIfNonZero(u32::MAX));
-            emit_rv(b, l, lay, out);
-            out.push(Ins::PushBool);
-            let jend = out.len();
-            out.push(Ins::Jump(u32::MAX));
-            patch(out, jnz);
-            out.push(Ins::Const(1));
-            patch(out, jend);
-        }
-        Rv::Binary(op, a, b) => {
-            emit_rv(a, l, lay, out);
-            emit_rv(b, l, lay, out);
-            out.push(Ins::Bin(*op));
-        }
-        Rv::Ite(c, a, b) => {
-            emit_rv(c, l, lay, out);
-            let jz = out.len();
-            out.push(Ins::JumpIfZero(u32::MAX));
-            emit_rv(a, l, lay, out);
-            let jend = out.len();
-            out.push(Ins::Jump(u32::MAX));
-            patch(out, jz);
-            emit_rv(b, l, lay, out);
-            patch(out, jend);
-        }
-    }
-}
-
 /// Points the placeholder jump at `at` to the next emitted index.
 fn patch(out: &mut [Ins], at: usize) {
     let target = out.len() as u32;
@@ -607,33 +546,313 @@ fn field_ins(sid: usize, fid: usize, l: &Lowered, lay: &StateLayout) -> Ins {
     }
 }
 
-fn compile_code(rv: &Rv, l: &Lowered, lay: &StateLayout) -> Code {
-    let mut ins = Vec::new();
-    emit_rv(rv, l, lay, &mut ins);
-    let const_val = match ins.as_slice() {
+/// What the streaming folder produced for one subtree: a constant the
+/// caller has *not* emitted yet (parents fold through it — the
+/// deferral is what makes short-circuit pruning and constant binops
+/// free), or an expression whose instructions are already in `out`,
+/// tagged with the stack depth its folded tree needs and whether its
+/// folded top node already yields 0/1 (the shapes `normalize_bool`
+/// passes through unchanged).
+enum Folded {
+    Const(i64),
+    Expr { depth: u32, boolean: bool },
+}
+
+/// Emits `rv`'s micro-ops with holes resolved and constants folded in
+/// stream: the instructions pushed to `out` are exactly those
+/// [`emit_rv`] would produce for the substituted-and-folded tree, but
+/// that tree is never materialized. Mirrors `fold_rv` (the folder
+/// behind the whole-program [`psketch_ir::specialize`] oracle) case
+/// for case; the oracle test holds the two in lockstep.
+fn emit_fold(
+    rv: &Rv,
+    holes: &Assignment,
+    l: &Lowered,
+    lay: &StateLayout,
+    out: &mut Vec<Ins>,
+) -> Folded {
+    match rv {
+        Rv::Const(c) => Folded::Const(*c),
+        Rv::Hole(h) => Folded::Const(holes.value(*h) as i64),
+        Rv::Global(g) => {
+            out.push(Ins::Global(*g as u32));
+            Folded::Expr {
+                depth: 1,
+                boolean: false,
+            }
+        }
+        Rv::Local(x) => {
+            out.push(Ins::Local(*x as u32));
+            Folded::Expr {
+                depth: 1,
+                boolean: false,
+            }
+        }
+        Rv::GlobalDyn { base, len, ix } => {
+            let depth = emit_fold_operand(ix, holes, l, lay, out);
+            out.push(Ins::GlobalDyn {
+                base: *base as u32,
+                len: *len as u32,
+            });
+            Folded::Expr {
+                depth,
+                boolean: false,
+            }
+        }
+        Rv::LocalDyn { base, len, ix } => {
+            let depth = emit_fold_operand(ix, holes, l, lay, out);
+            out.push(Ins::LocalDyn {
+                base: *base as u32,
+                len: *len as u32,
+            });
+            Folded::Expr {
+                depth,
+                boolean: false,
+            }
+        }
+        Rv::Field { sid, fid, obj } => {
+            let depth = emit_fold_operand(obj, holes, l, lay, out);
+            out.push(field_ins(*sid, *fid, l, lay));
+            Folded::Expr {
+                depth,
+                boolean: false,
+            }
+        }
+        Rv::Unary(op, a) => match emit_fold(a, holes, l, lay, out) {
+            Folded::Const(c) => Folded::Const(fold_const_unop(*op, c, &l.config)),
+            Folded::Expr { depth, .. } => {
+                match op {
+                    UnOp::Not => out.push(Ins::Not),
+                    UnOp::Neg => out.push(Ins::Neg),
+                    UnOp::BitsToInt => {} // identity
+                }
+                Folded::Expr {
+                    depth,
+                    boolean: matches!(op, UnOp::Not),
+                }
+            }
+        },
+        Rv::Binary(BinOp::And, a, b) => match emit_fold(a, holes, l, lay, out) {
+            Folded::Const(0) => Folded::Const(0),
+            Folded::Const(_) => emit_normalized_bool(b, holes, l, lay, out),
+            Folded::Expr { depth: da, .. } => {
+                let jz = out.len();
+                out.push(Ins::JumpIfZero(u32::MAX));
+                let db = emit_fold_operand(b, holes, l, lay, out);
+                out.push(Ins::PushBool);
+                let jend = out.len();
+                out.push(Ins::Jump(u32::MAX));
+                patch(out, jz);
+                out.push(Ins::Const(0));
+                patch(out, jend);
+                Folded::Expr {
+                    depth: da.max(db).max(1),
+                    boolean: true,
+                }
+            }
+        },
+        Rv::Binary(BinOp::Or, a, b) => match emit_fold(a, holes, l, lay, out) {
+            Folded::Const(0) => emit_normalized_bool(b, holes, l, lay, out),
+            Folded::Const(_) => Folded::Const(1),
+            Folded::Expr { depth: da, .. } => {
+                let jnz = out.len();
+                out.push(Ins::JumpIfNonZero(u32::MAX));
+                let db = emit_fold_operand(b, holes, l, lay, out);
+                out.push(Ins::PushBool);
+                let jend = out.len();
+                out.push(Ins::Jump(u32::MAX));
+                patch(out, jnz);
+                out.push(Ins::Const(1));
+                patch(out, jend);
+                Folded::Expr {
+                    depth: da.max(db).max(1),
+                    boolean: true,
+                }
+            }
+        },
+        Rv::Binary(op, a, b) => {
+            let va = emit_fold(a, holes, l, lay, out);
+            let mark = out.len();
+            let vb = emit_fold(b, holes, l, lay, out);
+            let boolean = boolean_result(*op);
+            match (va, vb) {
+                (Folded::Const(x), Folded::Const(y)) => {
+                    match fold_const_binop(*op, x, y, &l.config) {
+                        Some(v) => Folded::Const(v),
+                        // Unfoldable (division by zero): left to fail
+                        // at run time, exactly as the oracle compiles
+                        // the unfolded constant pair.
+                        None => {
+                            out.push(Ins::Const(x));
+                            out.push(Ins::Const(y));
+                            out.push(Ins::Bin(*op));
+                            Folded::Expr { depth: 2, boolean }
+                        }
+                    }
+                }
+                (Folded::Const(x), Folded::Expr { depth: db, .. }) => {
+                    insert_before(out, mark, Ins::Const(x));
+                    out.push(Ins::Bin(*op));
+                    Folded::Expr {
+                        depth: 1 + db,
+                        boolean,
+                    }
+                }
+                (Folded::Expr { depth: da, .. }, Folded::Const(y)) => {
+                    out.push(Ins::Const(y));
+                    out.push(Ins::Bin(*op));
+                    Folded::Expr {
+                        depth: da.max(2),
+                        boolean,
+                    }
+                }
+                (Folded::Expr { depth: da, .. }, Folded::Expr { depth: db, .. }) => {
+                    out.push(Ins::Bin(*op));
+                    Folded::Expr {
+                        depth: da.max(1 + db),
+                        boolean,
+                    }
+                }
+            }
+        }
+        Rv::Ite(c, t, e) => match emit_fold(c, holes, l, lay, out) {
+            // Constant condition: only the demanded branch is visited,
+            // so the dead branch costs nothing — not even a walk.
+            Folded::Const(0) => emit_fold(e, holes, l, lay, out),
+            Folded::Const(_) => emit_fold(t, holes, l, lay, out),
+            Folded::Expr { depth: dc, .. } => {
+                let jz = out.len();
+                out.push(Ins::JumpIfZero(u32::MAX));
+                let dt = emit_fold_operand(t, holes, l, lay, out);
+                let jend = out.len();
+                out.push(Ins::Jump(u32::MAX));
+                patch(out, jz);
+                let de = emit_fold_operand(e, holes, l, lay, out);
+                patch(out, jend);
+                Folded::Expr {
+                    depth: dc.max(dt).max(de),
+                    boolean: false,
+                }
+            }
+        },
+    }
+}
+
+/// Emits the subtree, materializing a deferred constant — for operand
+/// positions that demand a value on the stack. Returns the folded
+/// tree's stack depth.
+fn emit_fold_operand(
+    rv: &Rv,
+    holes: &Assignment,
+    l: &Lowered,
+    lay: &StateLayout,
+    out: &mut Vec<Ins>,
+) -> u32 {
+    match emit_fold(rv, holes, l, lay, out) {
+        Folded::Const(c) => {
+            out.push(Ins::Const(c));
+            1
+        }
+        Folded::Expr { depth, .. } => depth,
+    }
+}
+
+/// `normalize_bool` over the folded right operand of an `&&`/`||`
+/// whose left folded to a constant, streamed: constants collapse to
+/// 0/1, expressions already producing 0/1 pass through, anything else
+/// gets a `!= 0` appended.
+fn emit_normalized_bool(
+    b: &Rv,
+    holes: &Assignment,
+    l: &Lowered,
+    lay: &StateLayout,
+    out: &mut Vec<Ins>,
+) -> Folded {
+    match emit_fold(b, holes, l, lay, out) {
+        Folded::Const(c) => Folded::Const(i64::from(c != 0)),
+        r @ Folded::Expr { boolean: true, .. } => r,
+        Folded::Expr {
+            depth,
+            boolean: false,
+        } => {
+            out.push(Ins::Const(0));
+            out.push(Ins::Bin(BinOp::Ne));
+            Folded::Expr {
+                depth: depth.max(2),
+                boolean: true,
+            }
+        }
+    }
+}
+
+/// Inserts `ins` at `at`, re-aiming the shifted jumps. Used when a
+/// strict binop's left operand folded to a constant after the right
+/// operand's code already streamed out: the constant belongs *before*
+/// that code. Every jump in the shifted tail belongs to the right
+/// operand — its targets are forward and land inside (or one past) its
+/// own region, so they all move with it; jumps before `at` target at
+/// most `at`, which still begins the same continuation.
+fn insert_before(out: &mut Vec<Ins>, at: usize, ins: Ins) {
+    out.insert(at, ins);
+    for x in &mut out[at + 1..] {
+        match x {
+            Ins::Jump(t) | Ins::JumpIfZero(t) | Ins::JumpIfNonZero(t) => {
+                debug_assert_ne!(*t, u32::MAX, "shifted jump must already be patched");
+                *t += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Compiles one expression to a [`Code`], resolving holes and folding
+/// constants in stream — producing exactly the `Code` that compiling
+/// the substituted-and-folded tree would: same instructions, same
+/// `max_stack`, same `const_val`. `scratch` is a reusable emission
+/// buffer (cleared here) so per-expression allocation is exactly one
+/// right-sized `Arc<[Ins]>`.
+fn compile_code_folded(
+    rv: &Rv,
+    holes: &Assignment,
+    l: &Lowered,
+    lay: &StateLayout,
+    scratch: &mut Vec<Ins>,
+) -> Code {
+    scratch.clear();
+    let max_stack = emit_fold_operand(rv, holes, l, lay, scratch);
+    let const_val = match scratch.as_slice() {
         [Ins::Const(c)] => Some(*c),
         _ => None,
     };
     Code {
-        max_stack: rv_depth(rv),
-        ins: ins.into_boxed_slice(),
+        max_stack,
+        ins: scratch.as_slice().into(),
         const_val,
     }
 }
 
-fn compile_lv(lv: &Lv, l: &Lowered, lay: &StateLayout) -> CLv {
+/// Compiles an l-value with emit-time hole substitution in the index
+/// and object expressions (the only l-value positions holes can
+/// occupy), mirroring `fold_lv`.
+fn compile_lv_folded(
+    lv: &Lv,
+    holes: &Assignment,
+    l: &Lowered,
+    lay: &StateLayout,
+    scratch: &mut Vec<Ins>,
+) -> CLv {
     match lv {
         Lv::Global(g) => CLv::Global(*g),
         Lv::Local(x) => CLv::Local(*x),
         Lv::GlobalDyn { base, len, ix } => CLv::GlobalDyn {
             base: *base,
             len: *len,
-            ix: compile_code(ix, l, lay),
+            ix: compile_code_folded(ix, holes, l, lay, scratch),
         },
         Lv::LocalDyn { base, len, ix } => CLv::LocalDyn {
             base: *base,
             len: *len,
-            ix: compile_code(ix, l, lay),
+            ix: compile_code_folded(ix, holes, l, lay, scratch),
         },
         Lv::Field { sid, fid, obj } => {
             let layout = &l.structs[*sid];
@@ -642,144 +861,410 @@ fn compile_lv(lv: &Lv, l: &Lowered, lay: &StateLayout) -> CLv {
                 nf: layout.fields.len(),
                 cap: layout.capacity,
                 fid: *fid,
-                obj: compile_code(obj, l, lay),
+                obj: compile_code_folded(obj, holes, l, lay, scratch),
             }
         }
     }
 }
 
-fn compile_op(op: &Op, l: &Lowered, lay: &StateLayout) -> COp {
+/// Compiles an operation with emit-time hole substitution in every
+/// r-value and l-value position, mirroring `fold_op`.
+fn compile_op_folded(
+    op: &Op,
+    holes: &Assignment,
+    l: &Lowered,
+    lay: &StateLayout,
+    scratch: &mut Vec<Ins>,
+) -> COp {
     match op {
-        Op::Assign(lv, rv) => COp::Assign(compile_lv(lv, l, lay), compile_code(rv, l, lay)),
+        Op::Assign(lv, rv) => COp::Assign(
+            compile_lv_folded(lv, holes, l, lay, scratch),
+            compile_code_folded(rv, holes, l, lay, scratch),
+        ),
         Op::Swap { dst, loc, val } => COp::Swap {
-            dst: compile_lv(dst, l, lay),
-            loc: compile_lv(loc, l, lay),
-            val: compile_code(val, l, lay),
+            dst: compile_lv_folded(dst, holes, l, lay, scratch),
+            loc: compile_lv_folded(loc, holes, l, lay, scratch),
+            val: compile_code_folded(val, holes, l, lay, scratch),
         },
         Op::Cas { dst, loc, old, new } => COp::Cas {
-            dst: compile_lv(dst, l, lay),
-            loc: compile_lv(loc, l, lay),
-            old: compile_code(old, l, lay),
-            new: compile_code(new, l, lay),
+            dst: compile_lv_folded(dst, holes, l, lay, scratch),
+            loc: compile_lv_folded(loc, holes, l, lay, scratch),
+            old: compile_code_folded(old, holes, l, lay, scratch),
+            new: compile_code_folded(new, holes, l, lay, scratch),
         },
         Op::FetchAdd { dst, loc, delta } => COp::FetchAdd {
-            dst: compile_lv(dst, l, lay),
-            loc: compile_lv(loc, l, lay),
+            dst: compile_lv_folded(dst, holes, l, lay, scratch),
+            loc: compile_lv_folded(loc, holes, l, lay, scratch),
             delta: *delta,
         },
         Op::Alloc { dst, sid, inits } => {
             let layout = &l.structs[*sid];
             COp::Alloc {
-                dst: compile_lv(dst, l, lay),
+                dst: compile_lv_folded(dst, holes, l, lay, scratch),
                 alloc_slot: lay.alloc_slot(*sid),
                 heap_base: lay.heap_cell(*sid, 0),
                 cap: layout.capacity,
                 defaults: layout.fields.iter().map(|(_, _, d)| *d).collect(),
                 inits: inits
                     .iter()
-                    .map(|(fid, rv)| (*fid, compile_code(rv, l, lay)))
+                    .map(|(fid, rv)| (*fid, compile_code_folded(rv, holes, l, lay, scratch)))
                     .collect(),
             }
         }
-        Op::Assert(c) => COp::Assert(compile_code(c, l, lay)),
-        Op::AtomicBegin(c) => COp::AtomicBegin(c.as_ref().map(|c| compile_code(c, l, lay))),
+        Op::Assert(c) => COp::Assert(compile_code_folded(c, holes, l, lay, scratch)),
+        Op::AtomicBegin(c) => COp::AtomicBegin(
+            c.as_ref()
+                .map(|c| compile_code_folded(c, holes, l, lay, scratch)),
+        ),
         Op::AtomicEnd => COp::AtomicEnd,
     }
 }
 
-fn compile_thread(t: &Thread, l: &Lowered, lay: &StateLayout) -> ThreadCode {
+/// Compiles one thread's step list through the streaming folder.
+/// Every step — hole-bearing or not — goes through the same
+/// fold-as-you-emit walk, so the emitted code is identical to what
+/// compiling the materialized specialized program would produce,
+/// without ever cloning the `Lowered`.
+fn compile_thread(t: &Thread, l: &Lowered, lay: &StateLayout, holes: &Assignment) -> ThreadCode {
+    let mut scratch: Vec<Ins> = Vec::new();
     ThreadCode {
         steps: t
             .steps
             .iter()
             .map(|s| CStep {
-                guard: compile_code(&s.guard, l, lay),
-                op: compile_op(&s.op, l, lay),
+                guard: compile_code_folded(&s.guard, holes, l, lay, &mut scratch),
+                op: compile_op_folded(&s.op, holes, l, lay, &mut scratch),
             })
             .collect(),
     }
 }
 
-/// The sealed, hole-substituted execution artifact of one candidate:
-/// compiled once, shared by the sequential DFS, the parallel engine,
-/// replay, sampling and the schedule-bank prescreen.
-pub struct CompiledProgram {
-    /// The specialized (hole-free, folded) program. Trees are kept for
-    /// control decisions (step structure, `shared` flags, spans); the
-    /// hot path runs the micro-op code.
-    spec: Lowered,
-    /// The candidate this artifact was compiled from.
-    holes: Assignment,
-    /// Flat-state segment table (identical to the original program's:
-    /// specialization preserves structure).
-    pub(crate) lay: StateLayout,
-    /// Words before the first worker record.
-    pub(crate) shared_len: usize,
-    /// Per-worker AtomicBegin→AtomicEnd pairing.
-    pub(crate) match_end: Vec<Vec<usize>>,
-    /// Per-worker liveness masks, computed from the *original* program
-    /// so compiled fingerprints and state counts match the interpreted
-    /// engine's exactly.
-    pub(crate) live: Vec<Vec<Vec<u64>>>,
-    /// Thread-symmetry classes of the *original* program under this
-    /// candidate (same reason).
-    pub(crate) sym: SymmetryClasses,
-    /// Candidate-sharpened POR tables, built from the specialized
-    /// program (`None` outside the 2..=64 worker range POR supports).
-    pub(crate) por: Option<PorTable>,
-    /// Per-thread micro-op arrays, indexed by trace thread id
-    /// (0 = prologue, `1..=n` = workers, `n + 1` = epilogue).
-    pub(crate) code: Vec<ThreadCode>,
-    compile_us: u64,
-    sharpened_masks: u64,
-    refines_static: bool,
+/// Sorted, deduplicated hole ids referenced by each trace thread and
+/// by each step — conservative: holes in `?:` branches the candidate
+/// folds away still count. Candidate-independent, so it is computed
+/// lazily (on the first reseal) and shared across the artifact family.
+///
+/// The two granularities back the two reuse levels of
+/// [`CompiledProgram::reseal`]. A *thread* whose listed holes all keep
+/// their values compiles to bit-identical code **and footprints** (the
+/// footprint pass const-propagates locals across the whole thread, so
+/// it can only be reused wholesale). A *step* whose listed holes all
+/// keep their values emits bit-identical micro-ops (emission is a pure
+/// per-step function of the trees and the referenced hole values), so
+/// inside a dirty thread only the steps touching changed holes
+/// re-emit; the rest memcpy their arrays over.
+struct HoleIndex {
+    /// Per trace thread (prologue, workers, epilogue).
+    per_thread: Vec<Vec<HoleId>>,
+    /// `per_step[tid][i]`: holes referenced by step `i` of thread
+    /// `tid` (empty for the vast hole-free majority).
+    per_step: Vec<Vec<Vec<HoleId>>>,
 }
 
-impl CompiledProgram {
+fn hole_index(l: &Lowered) -> HoleIndex {
+    let mut per_thread = Vec::with_capacity(l.num_threads());
+    let mut per_step = Vec::with_capacity(l.num_threads());
+    for tid in 0..l.num_threads() {
+        let mut th: Vec<HoleId> = Vec::new();
+        let steps: Vec<Vec<HoleId>> = l
+            .thread(tid)
+            .steps
+            .iter()
+            .map(|s| {
+                let mut hs = Vec::new();
+                step_holes(s, &mut hs);
+                hs.sort_unstable();
+                hs.dedup();
+                th.extend_from_slice(&hs);
+                hs
+            })
+            .collect();
+        th.sort_unstable();
+        th.dedup();
+        per_thread.push(th);
+        per_step.push(steps);
+    }
+    HoleIndex {
+        per_thread,
+        per_step,
+    }
+}
+
+/// Candidate-sharpened POR table over per-worker footprints, `None`
+/// outside the 2..=64 worker range POR supports (the mask words are
+/// `u64`).
+fn sharp_por(l: &Lowered, thread_fps: &[Arc<Vec<Footprint>>]) -> Option<Arc<PorTable>> {
+    (2..=64).contains(&l.workers.len()).then(|| {
+        let slices: Vec<&[Footprint]> = thread_fps.iter().map(|f| f.as_slice()).collect();
+        Arc::new(PorTable::from_footprints(l, &slices))
+    })
+}
+
+/// Candidate-sharpened per-worker footprints (`thread_fps[w]` = worker
+/// `w`, one [`Footprint`] per step) and the POR table derived from
+/// them. Kept as one unit so the lazy cell forces both together.
+struct FpsPor {
+    thread_fps: Vec<Arc<Vec<Footprint>>>,
+    por: Option<Arc<PorTable>>,
+}
+
+fn fps_por(l: &Lowered, candidate: &Assignment) -> FpsPor {
+    let thread_fps: Vec<Arc<Vec<Footprint>>> = l
+        .workers
+        .iter()
+        .map(|w| Arc::new(thread_footprints_sharpened(w, &l.config, candidate)))
+        .collect();
+    let por = sharp_por(l, &thread_fps);
+    FpsPor { thread_fps, por }
+}
+
+/// Per-worker liveness masks: `masks[w][pc]` is the bitmask vector of
+/// worker `w`'s live locals entering step `pc`.
+type LiveMasks = Vec<Vec<Vec<u64>>>;
+
+/// The sealed, hole-substituted execution artifact of one candidate:
+/// compiled once, shared by the sequential DFS, the parallel engine,
+/// replay, sampling and the schedule-bank prescreen. Every table lives
+/// behind an [`Arc`], so `Clone` and `Checker::from_compiled` are
+/// pointer-bump cheap — engines share the artifact, they never copy
+/// it.
+#[derive(Clone)]
+pub struct CompiledProgram<'l> {
+    /// The original (hole-bearing) program the artifact was sealed
+    /// from. Kept borrowed: emit-time substitution never materializes
+    /// a specialized copy. Trees are used for control decisions (step
+    /// structure, `shared` flags, spans); the hot path runs the
+    /// micro-op code, and any tree evaluation resolves holes through
+    /// `holes`.
+    l: &'l Lowered,
+    /// The candidate this artifact was compiled from.
+    holes: Assignment,
+    /// Flat-state segment table (candidate-independent).
+    pub(crate) lay: Arc<StateLayout>,
+    /// Words before the first worker record.
+    pub(crate) shared_len: usize,
+    /// Per-worker AtomicBegin→AtomicEnd pairing
+    /// (candidate-independent: substitution preserves op kinds).
+    pub(crate) match_end: Arc<Vec<Vec<usize>>>,
+    /// Per-worker liveness masks, computed from the *original* program
+    /// so compiled fingerprints and state counts match the interpreted
+    /// engine's exactly. Lazy and candidate-independent: built on the
+    /// first checker construction and shared across the whole reseal
+    /// family through the cell, so sealing a candidate never pays for
+    /// it and no artifact recomputes it after any family member has.
+    live: Arc<OnceLock<Arc<LiveMasks>>>,
+    /// Thread-symmetry classes of the *original* program under this
+    /// candidate (same reason). Lazy: only the search engines consult
+    /// them (replay prescreening runs without the reduction), so
+    /// candidates rejected before a full check never pay for the
+    /// pairwise worker comparison. Shared by reference when a reseal
+    /// finds no worker dirty.
+    sym: Arc<OnceLock<Arc<SymmetryClasses>>>,
+    /// Candidate-sharpened per-worker footprints and the POR table
+    /// built from them (one cell: the table is a deterministic
+    /// function of the footprints, so they force together). Lazy —
+    /// only a POR-enabled search engine consults the table, so
+    /// candidates rejected by replay prescreening never pay the
+    /// footprint pass. A reseal reuses clean workers' footprints and
+    /// carries the table over when the recomputed footprints come out
+    /// identical; when no worker is dirty the cell itself is shared.
+    fps_por: Arc<OnceLock<FpsPor>>,
+    /// The static (candidate-independent) POR table, built lazily on
+    /// first diagnostic use and shared across the whole reseal family
+    /// through the cell — sealing never pays for it, and no artifact
+    /// recomputes it after any family member has.
+    static_por: Arc<OnceLock<Option<Arc<PorTable>>>>,
+    /// Sharpening diagnostics — `(sharpened_masks, refines_static)` —
+    /// comparing this artifact's sharp table against the static one.
+    /// Lazy: the engines never consult them to run, only telemetry
+    /// and the differential tests do. Shared by reference when a
+    /// reseal reuses the POR table wholesale.
+    por_diag: Arc<OnceLock<(u64, bool)>>,
+    /// Per-thread micro-op arrays, indexed by trace thread id
+    /// (0 = prologue, `1..=n` = workers, `n + 1` = epilogue).
+    pub(crate) code: Vec<Arc<ThreadCode>>,
+    /// Per-thread and per-step sorted hole ids (trace thread
+    /// indexing), the reseal diff's domain. Candidate-independent, so
+    /// it is built lazily on the first reseal and shared across the
+    /// artifact family through the cell.
+    thread_holes: Arc<OnceLock<HoleIndex>>,
+    compile_us: u64,
+    reseal_us: u64,
+    threads_reused: u64,
+}
+
+impl<'l> CompiledProgram<'l> {
     /// Compiles `candidate` into a sealed execution artifact.
-    pub fn compile(l: &Lowered, candidate: &Assignment) -> CompiledProgram {
+    pub fn compile(l: &'l Lowered, candidate: &Assignment) -> CompiledProgram<'l> {
         let t0 = Instant::now();
-        let spec = specialize(l, candidate);
-        let lay = StateLayout::new(&spec);
+        let lay = Arc::new(StateLayout::new(l));
         let shared_len = lay.worker_off.first().copied().unwrap_or(lay.state_len());
-        let match_end = spec.workers.iter().map(compute_match_end).collect();
-        let live = l.workers.iter().map(compute_liveness).collect();
-        let sym = symmetry_classes(l, candidate);
-        let (por, sharpened_masks, refines_static) = if (2..=64).contains(&spec.workers.len()) {
-            let sharp = PorTable::new(&spec);
-            let base = PorTable::new(l);
-            let sharpened = sharp.sharpened_vs(&base);
-            let refines = sharp.refines(&base);
-            debug_assert!(refines, "specialized footprints must refine static ones");
-            (Some(sharp), sharpened, refines)
-        } else {
-            (None, 0, true)
-        };
-        let mut code = Vec::with_capacity(spec.workers.len() + 2);
-        code.push(compile_thread(&spec.prologue, &spec, &lay));
-        for w in &spec.workers {
-            code.push(compile_thread(w, &spec, &lay));
-        }
-        code.push(compile_thread(&spec.epilogue, &spec, &lay));
+        let match_end = Arc::new(l.workers.iter().map(compute_match_end).collect());
+        let code = (0..l.num_threads())
+            .map(|tid| Arc::new(compile_thread(l.thread(tid), l, &lay, candidate)))
+            .collect();
         CompiledProgram {
-            spec,
+            l,
             holes: candidate.clone(),
             lay,
             shared_len,
             match_end,
-            live,
-            sym,
-            por,
+            live: Arc::new(OnceLock::new()),
+            sym: Arc::new(OnceLock::new()),
+            fps_por: Arc::new(OnceLock::new()),
+            static_por: Arc::new(OnceLock::new()),
+            por_diag: Arc::new(OnceLock::new()),
             code,
+            thread_holes: Arc::new(OnceLock::new()),
             compile_us: t0.elapsed().as_micros() as u64,
-            sharpened_masks,
-            refines_static,
+            reseal_us: 0,
+            threads_reused: 0,
         }
     }
 
-    /// The specialized (hole-free) program this artifact executes.
-    pub fn program(&self) -> &Lowered {
-        &self.spec
+    /// Seals `candidate` incrementally against a previous artifact of
+    /// the *same* program. Threads none of whose holes changed value
+    /// reuse their micro-op arrays and footprints by reference; inside
+    /// a dirty thread, only the steps that reference a changed hole
+    /// re-emit (emission is a pure per-step function of the trees and
+    /// the referenced hole values) — the rest copy their arrays over.
+    /// Footprints reuse at thread granularity only (the footprint pass
+    /// const-propagates locals across the thread), and when the dirty
+    /// workers' recomputed footprints come out identical the POR table
+    /// carries over too. When no *worker* thread is dirty the POR
+    /// masks and symmetry classes carry over wholesale. Falls back to
+    /// a fresh [`CompiledProgram::compile`] when `l` is not the
+    /// program `prev` was sealed from.
+    pub fn reseal(
+        prev: &CompiledProgram<'l>,
+        l: &'l Lowered,
+        candidate: &Assignment,
+    ) -> CompiledProgram<'l> {
+        if !std::ptr::eq(prev.l, l) {
+            return CompiledProgram::compile(l, candidate);
+        }
+        let t0 = Instant::now();
+        let idx = prev.hole_index();
+        let changed: Vec<bool> = (0..l.holes.num_holes())
+            .map(|h| prev.holes.value(h as HoleId) != candidate.value(h as HoleId))
+            .collect();
+        let dirty: Vec<bool> = idx
+            .per_thread
+            .iter()
+            .map(|hs| hs.iter().any(|&h| changed[h as usize]))
+            .collect();
+        let threads_reused = dirty.iter().filter(|d| !**d).count() as u64;
+        let mut scratch: Vec<Ins> = Vec::new();
+        let code: Vec<Arc<ThreadCode>> = dirty
+            .iter()
+            .enumerate()
+            .map(|(tid, &d)| {
+                if !d {
+                    return Arc::clone(&prev.code[tid]);
+                }
+                let steps = l
+                    .thread(tid)
+                    .steps
+                    .iter()
+                    .enumerate()
+                    .zip(prev.code[tid].steps.iter())
+                    .map(|((i, s), pcs)| {
+                        if idx.per_step[tid][i].iter().any(|&h| changed[h as usize]) {
+                            CStep {
+                                guard: compile_code_folded(
+                                    &s.guard,
+                                    candidate,
+                                    l,
+                                    &prev.lay,
+                                    &mut scratch,
+                                ),
+                                op: compile_op_folded(&s.op, candidate, l, &prev.lay, &mut scratch),
+                            }
+                        } else {
+                            pcs.clone()
+                        }
+                    })
+                    .collect();
+                Arc::new(ThreadCode { steps })
+            })
+            .collect();
+        let any_worker_dirty = (0..l.workers.len()).any(|w| dirty[w + 1]);
+        // Symmetry classes read only worker step lists (hole-aware), so
+        // they can change exactly when a worker is dirty: a fresh lazy
+        // cell makes the next search engine recompute them.
+        let sym = if any_worker_dirty {
+            Arc::new(OnceLock::new())
+        } else {
+            Arc::clone(&prev.sym)
+        };
+        let (fps_por_cell, por_diag) = if !any_worker_dirty {
+            // Clean workers ⇒ identical footprints ⇒ identical table:
+            // share the cell itself, forced or not.
+            (Arc::clone(&prev.fps_por), Arc::clone(&prev.por_diag))
+        } else if let Some(pf) = prev.fps_por.get() {
+            // The previous artifact already paid the footprint pass:
+            // recompute only dirty workers, and since the POR table is
+            // a deterministic function of the program and the
+            // footprints, identical footprints carry the table (and
+            // its sharpening diagnostics) over even when a worker's
+            // code changed.
+            let thread_fps: Vec<Arc<Vec<Footprint>>> = (0..l.workers.len())
+                .map(|w| {
+                    if dirty[w + 1] {
+                        Arc::new(thread_footprints_sharpened(
+                            &l.workers[w],
+                            &l.config,
+                            candidate,
+                        ))
+                    } else {
+                        Arc::clone(&pf.thread_fps[w])
+                    }
+                })
+                .collect();
+            let fps_unchanged = thread_fps
+                .iter()
+                .zip(&pf.thread_fps)
+                .all(|(a, b)| Arc::ptr_eq(a, b) || **a == **b);
+            let (por, por_diag) = if fps_unchanged {
+                (pf.por.clone(), Arc::clone(&prev.por_diag))
+            } else {
+                (sharp_por(l, &thread_fps), Arc::new(OnceLock::new()))
+            };
+            (
+                Arc::new(OnceLock::from(FpsPor { thread_fps, por })),
+                por_diag,
+            )
+        } else {
+            // The previous artifact never forced its footprints (it
+            // was rejected before any POR-enabled check): nothing to
+            // reuse, stay lazy.
+            (Arc::new(OnceLock::new()), Arc::new(OnceLock::new()))
+        };
+        let reseal_us = t0.elapsed().as_micros() as u64;
+        CompiledProgram {
+            l,
+            holes: candidate.clone(),
+            lay: Arc::clone(&prev.lay),
+            shared_len: prev.shared_len,
+            match_end: Arc::clone(&prev.match_end),
+            live: Arc::clone(&prev.live),
+            sym,
+            fps_por: fps_por_cell,
+            static_por: Arc::clone(&prev.static_por),
+            por_diag,
+            code,
+            thread_holes: Arc::clone(&prev.thread_holes),
+            compile_us: reseal_us,
+            reseal_us,
+            threads_reused,
+        }
+    }
+
+    /// The program this artifact executes (the original, hole-bearing
+    /// `Lowered`; tree-level evaluation resolves holes through
+    /// [`CompiledProgram::assignment`]).
+    pub fn program(&self) -> &'l Lowered {
+        self.l
     }
 
     /// The candidate assignment the artifact was compiled from.
@@ -787,16 +1272,95 @@ impl CompiledProgram {
         &self.holes
     }
 
-    /// Wall-clock microseconds spent compiling the artifact.
+    /// Wall-clock microseconds spent sealing this artifact (the fresh
+    /// compile, or the incremental reseal that produced it).
     pub fn compile_us(&self) -> u64 {
         self.compile_us
+    }
+
+    /// Wall-clock microseconds the incremental reseal took (0 for a
+    /// fresh compile).
+    pub fn reseal_us(&self) -> u64 {
+        self.reseal_us
+    }
+
+    /// Threads whose micro-op arrays were reused by reference from the
+    /// previous artifact (0 for a fresh compile).
+    pub fn threads_reused(&self) -> u64 {
+        self.threads_reused
+    }
+
+    /// Per-thread and per-step hole lists, built on first reseal and
+    /// shared across every artifact resealed from this one.
+    fn hole_index(&self) -> &HoleIndex {
+        self.thread_holes.get_or_init(|| hole_index(self.l))
+    }
+
+    /// Per-worker liveness masks, built on the first checker
+    /// construction and shared across every artifact resealed from
+    /// this one (they depend only on the program, never the
+    /// candidate).
+    pub(crate) fn live_masks(&self) -> &Arc<LiveMasks> {
+        self.live
+            .get_or_init(|| Arc::new(self.l.workers.iter().map(compute_liveness).collect()))
+    }
+
+    /// Thread-symmetry classes of this candidate, built when a search
+    /// engine first asks for them — replay prescreening never does, so
+    /// candidates the schedule bank rejects skip the pairwise worker
+    /// comparison entirely.
+    pub(crate) fn sym_classes(&self) -> &Arc<SymmetryClasses> {
+        self.sym
+            .get_or_init(|| Arc::new(symmetry_classes(self.l, &self.holes)))
+    }
+
+    /// The static (candidate-independent) POR table, built on first
+    /// use and shared across every artifact resealed from this one.
+    fn static_por_table(&self) -> Option<&Arc<PorTable>> {
+        self.static_por
+            .get_or_init(|| {
+                (2..=64)
+                    .contains(&self.l.workers.len())
+                    .then(|| Arc::new(PorTable::new(self.l)))
+            })
+            .as_ref()
+    }
+
+    /// The candidate-sharpened footprints and POR table, built on
+    /// first use by a POR-enabled engine (or telemetry).
+    fn fps_por_forced(&self) -> &FpsPor {
+        self.fps_por.get_or_init(|| fps_por(self.l, &self.holes))
+    }
+
+    /// The candidate-sharpened POR table (`None` outside the 2..=64
+    /// worker range POR supports), forcing the footprint pass on first
+    /// use.
+    pub(crate) fn por_table(&self) -> Option<&PorTable> {
+        self.fps_por_forced().por.as_deref()
+    }
+
+    /// `(sharpened_masks, refines_static)`, computed on first request:
+    /// the engines never consult the static table to run, so sealing
+    /// defers the comparison until telemetry or a test asks.
+    fn por_diag(&self) -> (u64, bool) {
+        *self.por_diag.get_or_init(
+            || match (&self.fps_por_forced().por, self.static_por_table()) {
+                (Some(sharp), Some(base)) => {
+                    let sharpened = sharp.sharpened_vs(base);
+                    let refines = sharp.refines(base);
+                    debug_assert!(refines, "sharpened footprints must refine static ones");
+                    (sharpened, refines)
+                }
+                _ => (0, true),
+            },
+        )
     }
 
     /// Number of (worker, pc) transition footprint masks the
     /// candidate's constants made strictly tighter than the static
     /// (hole-agnostic) analysis — the sharpening POR benefits from.
     pub fn sharpened_masks(&self) -> u64 {
-        self.sharpened_masks
+        self.por_diag().0
     }
 
     /// True when every candidate-sharpened footprint mask is a subset
@@ -804,7 +1368,36 @@ impl CompiledProgram {
     /// the sharpened POR tables rely on (always expected to hold;
     /// exposed for the differential property test).
     pub fn footprint_refines_static(&self) -> bool {
-        self.refines_static
+        self.por_diag().1
+    }
+
+    /// Bit-for-bit artifact equality: candidate, micro-op code, POR
+    /// masks, footprints, symmetry classes and derived counters all
+    /// equal. Used by the reseal differential test to prove an
+    /// incremental reseal produces exactly the artifact a fresh seal
+    /// would.
+    #[doc(hidden)]
+    pub fn artifact_eq(&self, other: &CompiledProgram<'_>) -> bool {
+        std::ptr::eq(self.l, other.l)
+            && self.holes.values() == other.holes.values()
+            && self.shared_len == other.shared_len
+            && self.match_end == other.match_end
+            && *self.live_masks() == *other.live_masks()
+            && **self.sym_classes() == **other.sym_classes()
+            && match (self.por_table(), other.por_table()) {
+                (Some(a), Some(b)) => *a == *b,
+                (None, None) => true,
+                _ => false,
+            }
+            && self.code.len() == other.code.len()
+            && self.code.iter().zip(&other.code).all(|(a, b)| **a == **b)
+            && self
+                .fps_por_forced()
+                .thread_fps
+                .iter()
+                .zip(&other.fps_por_forced().thread_fps)
+                .all(|(a, b)| **a == **b)
+            && self.por_diag() == other.por_diag()
     }
 }
 
@@ -826,7 +1419,7 @@ mod tests {
         let lb = buf.push_scratch(4);
         let holes = l.holes.identity_assignment();
         let interp = crate::store::eval_rv(rv, &buf, &lay, lb, &holes, l);
-        let code = compile_code(rv, l, &lay);
+        let code = compile_code_folded(rv, &holes, l, &lay, &mut Vec::new());
         let compiled = code.eval(&buf, lb, &l.config);
         (interp, compiled)
     }
@@ -881,6 +1474,90 @@ mod tests {
         for rv in cases {
             let (interp, compiled) = eval_both(&rv, &l);
             assert_eq!(interp, compiled, "divergence on {rv:?}");
+        }
+    }
+
+    #[test]
+    fn emit_time_substitution_matches_specialize_oracle() {
+        // Compiling the original program with per-step emit-time
+        // substitution must produce exactly the micro-op code and POR
+        // masks that compiling the materialized specialized program
+        // would — `specialize` stays as the oracle.
+        let l = lowered(
+            "int[4] a; int g;
+             harness void main() {
+                 int x = ??(3);
+                 fork (i; 2) {
+                     int k = ??(2);
+                     a[k + i] = g + x;
+                     if (x == 1) { g = 2; }
+                 }
+                 assert g >= ??(2);
+             }",
+        );
+        let n = l.holes.num_holes();
+        for seed in 0..3u64 {
+            let cand = Assignment::from_values((0..n).map(|h| (seed + h as u64) % 2).collect());
+            let cp = CompiledProgram::compile(&l, &cand);
+            let spec = psketch_ir::specialize(&l, &cand);
+            let none = Assignment::from_values(vec![0; n]);
+            let cps = CompiledProgram::compile(&spec, &none);
+            assert_eq!(cp.code.len(), cps.code.len());
+            for (tid, (a, b)) in cp.code.iter().zip(&cps.code).enumerate() {
+                assert_eq!(**a, **b, "thread {tid} code diverges from oracle");
+            }
+            match (cp.por_table(), cps.por_table()) {
+                (Some(a), Some(b)) => assert_eq!(*a, *b, "POR masks diverge from oracle"),
+                (None, None) => {}
+                _ => panic!("POR presence diverges from oracle"),
+            }
+        }
+    }
+
+    #[test]
+    fn reseal_reuses_clean_threads_and_matches_fresh_compile() {
+        let l = lowered(
+            "int g;
+             harness void main() {
+                 int x = ??(3);
+                 fork (i; 2) { g = g + x; }
+                 assert g >= ??(3);
+             }",
+        );
+        let n = l.holes.num_holes();
+        assert_eq!(n, 2, "sketch should lower to two holes");
+        let a0 = Assignment::from_values(vec![1, 0]);
+        let cp0 = CompiledProgram::compile(&l, &a0);
+        assert_eq!(cp0.threads_reused(), 0);
+        assert_eq!(cp0.reseal_us(), 0);
+
+        // Unchanged candidate: every thread reuses by reference.
+        let same = CompiledProgram::reseal(&cp0, &l, &a0);
+        assert_eq!(same.threads_reused(), l.workers.len() as u64 + 2);
+        for (tid, (a, b)) in same.code.iter().zip(&cp0.code).enumerate() {
+            assert!(
+                Arc::ptr_eq(a, b),
+                "thread {tid} must be shared by reference"
+            );
+        }
+        assert!(same.artifact_eq(&CompiledProgram::compile(&l, &a0)));
+
+        // The workers read x through a hoisted global, so they carry no
+        // holes themselves: flipping either hole leaves them clean.
+        for flipped in [
+            Assignment::from_values(vec![2, 0]),
+            Assignment::from_values(vec![1, 2]),
+        ] {
+            let rs = CompiledProgram::reseal(&cp0, &l, &flipped);
+            assert!(
+                rs.threads_reused() >= l.workers.len() as u64,
+                "workers must be reused when only prologue/epilogue holes change"
+            );
+            let fresh = CompiledProgram::compile(&l, &flipped);
+            assert!(
+                rs.artifact_eq(&fresh),
+                "resealed artifact must be bit-identical to a fresh seal"
+            );
         }
     }
 

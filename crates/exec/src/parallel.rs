@@ -184,7 +184,8 @@ pub fn check_parallel_limits(
         Checker::new(l, candidate)
     };
     let owned_por = ck.wants_por(limits).then(|| PorTable::new(l));
-    run_parallel(ck, owned_por.as_ref(), limits, threads)
+    let table_clones = u64::from(owned_por.is_some());
+    run_parallel(ck, owned_por.as_ref(), limits, threads, table_clones)
 }
 
 /// As [`check_parallel_limits`], over an already-compiled candidate:
@@ -200,13 +201,16 @@ pub fn check_parallel_compiled(
     }
     let ck = Checker::from_compiled(cp, limits.symmetry);
     let por = if ck.wants_por(limits) {
-        cp.por.as_ref()
+        cp.por_table()
     } else {
         None
     };
-    let mut out = run_parallel(ck, por, limits, threads);
+    // Tables are borrowed from the shared artifact — zero clones.
+    let mut out = run_parallel(ck, por, limits, threads, 0);
     out.stats.compile_us += cp.compile_us();
     out.stats.sharpened_masks = cp.sharpened_masks();
+    out.stats.reseal_us += cp.reseal_us();
+    out.stats.threads_reused += cp.threads_reused();
     out
 }
 
@@ -215,6 +219,7 @@ fn run_parallel<'a>(
     por: Option<&'a PorTable>,
     limits: &'a SearchLimits,
     threads: usize,
+    table_clones: u64,
 ) -> CheckOutcome {
     let l = ck.l;
 
@@ -317,6 +322,9 @@ fn run_parallel<'a>(
         sym_collapses: tallies.iter().map(|t| t.sym_collapses).sum(),
         compile_us: 0,
         sharpened_masks: 0,
+        table_clones,
+        reseal_us: 0,
+        threads_reused: 0,
     };
     if interrupt == Some(Interrupt::StateLimit) {
         // Clamp the post-halt insert overshoot (see module docs).

@@ -40,9 +40,10 @@
 //! different (equally real) interleaving of the same failure.
 
 use crate::checker::compute_match_end;
-use psketch_ir::{FootprintTable, Loc, Lowered, Op};
+use psketch_ir::{Footprint, FootprintTable, Loc, Lowered, Op};
 
 /// One transition's read/write bit sets.
+#[derive(Debug, PartialEq)]
 struct Mask {
     r: Box<[u64]>,
     w: Box<[u64]>,
@@ -103,7 +104,10 @@ impl LocBits {
 }
 
 /// Per-(worker, pc) transition and suffix masks, computed once per
-/// lowered program (candidate-independent).
+/// lowered program (candidate-independent) or once per sealed
+/// candidate (from sharpened footprints, via
+/// [`PorTable::from_footprints`]).
+#[derive(Debug, PartialEq)]
 pub(crate) struct PorTable {
     nwords: usize,
     /// `cur[w][pc]`: masks of the transition a worker fires from `pc`
@@ -118,6 +122,17 @@ pub(crate) struct PorTable {
 impl PorTable {
     pub(crate) fn new(l: &Lowered) -> PorTable {
         let fps = FootprintTable::new(l);
+        let per_worker: Vec<&[Footprint]> =
+            (0..l.workers.len()).map(|w| fps.thread(w + 1)).collect();
+        PorTable::from_footprints(l, &per_worker)
+    }
+
+    /// Builds the table from externally supplied per-worker footprints
+    /// (`fps[w]` holds worker `w`'s step footprints in program order).
+    /// The bit layout depends only on globals and structs, so static
+    /// and candidate-sharpened tables built this way are directly
+    /// comparable with [`PorTable::refines`].
+    pub(crate) fn from_footprints(l: &Lowered, fps: &[&[Footprint]]) -> PorTable {
         let bits = LocBits::new(l);
         let nwords = bits.nwords();
         let empty = || Mask {
@@ -127,12 +142,11 @@ impl PorTable {
         let mut cur = Vec::with_capacity(l.workers.len());
         let mut suf = Vec::with_capacity(l.workers.len());
         for (w, thread) in l.workers.iter().enumerate() {
-            let tid = w + 1;
             let n = thread.steps.len();
             let match_end = compute_match_end(thread);
             let step_mask: Vec<Mask> = (0..n)
                 .map(|ix| {
-                    let fp = fps.step(tid, ix);
+                    let fp = &fps[w][ix];
                     let mut m = empty();
                     for loc in &fp.reads {
                         bits.set(loc, &mut m.r, l);

@@ -22,12 +22,22 @@
 //! the fork variable into a constant-initialized local
 //! (`l<i> = Const(t)`), so per-thread array accesses like `senses[th]`
 //! only resolve to distinct cells once that constant is propagated
-//! into the index expression. Hole values are never propagated — a
-//! footprint must hold for every candidate.
+//! into the index expression. In the *static* table hole values are
+//! never propagated — a footprint must hold for every candidate. The
+//! *candidate-sharpened* table ([`FootprintTable::sharpened`],
+//! [`thread_footprints_sharpened`]) additionally resolves holes
+//! against one fixed [`Assignment`]: hole constants flow through the
+//! same per-local propagation (`int k = ??(2); a[k+i]` resolves to an
+//! exact cell), statically dead guards empty their steps, and branches
+//! an evaluable condition never demands are pruned. Sharpened
+//! footprints are only sound for that one candidate; the partial-order
+//! reduction builds its per-candidate conflict masks from them.
 
 use crate::config::Config;
+use crate::hole::Assignment;
 use crate::lower::{fold_binop, fold_unop};
 use crate::step::{FieldId, GlobalId, Lowered, Lv, Op, Rv, Step, StructId, Thread, ThreadId};
+use psketch_lang::ast::BinOp;
 
 /// An abstract shared location.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -77,7 +87,7 @@ impl Loc {
 }
 
 /// The static effect footprint of a step, operation or expression.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Footprint {
     /// Shared locations that may be read (including every cell whose
     /// value determines whether the step fails: asserted conditions,
@@ -181,18 +191,26 @@ fn overlaps_any(a: &[Loc], b: &[Loc]) -> bool {
 
 /// Best-effort static evaluation of a pure expression under a
 /// per-local constant environment. `Some(v)` guarantees every runtime
-/// evaluation (any schedule, any candidate) yields `v` without
-/// failing; holes and shared reads never fold. Folding of operators
-/// requires a [`Config`] (for integer wrapping) and reuses the
-/// lowering-time folder, so compile-time and footprint-time folding
-/// share one semantics.
-fn eval_static(rv: &Rv, env: &[Option<i64>], config: Option<&Config>) -> Option<i64> {
+/// evaluation (any schedule — and, when `holes` is `None`, any
+/// candidate) yields `v` without failing; shared reads never fold.
+/// With `holes` set, `Rv::Hole` resolves to that one candidate's
+/// constant, so the guarantee narrows to executions of that candidate.
+/// Folding of operators requires a [`Config`] (for integer wrapping)
+/// and reuses the lowering-time folder, so compile-time and
+/// footprint-time folding share one semantics.
+fn eval_static(
+    rv: &Rv,
+    env: &[Option<i64>],
+    config: Option<&Config>,
+    holes: Option<&Assignment>,
+) -> Option<i64> {
     match rv {
         Rv::Const(c) => Some(*c),
         Rv::Local(l) => env.get(*l).copied().flatten(),
+        Rv::Hole(h) => holes.map(|a| a.value(*h) as i64),
         Rv::Unary(op, a) => {
             let cfg = config?;
-            let v = eval_static(a, env, config)?;
+            let v = eval_static(a, env, config, holes)?;
             match fold_unop(*op, Rv::Const(v), cfg) {
                 Rv::Const(c) => Some(c),
                 _ => None,
@@ -200,41 +218,39 @@ fn eval_static(rv: &Rv, env: &[Option<i64>], config: Option<&Config>) -> Option<
         }
         Rv::Binary(op, a, b) => {
             let cfg = config?;
-            let av = eval_static(a, env, config);
+            let av = eval_static(a, env, config, holes);
             // Short-circuit (mirrors the evaluator: the right operand
             // is only demanded when reached).
             match (op, av) {
-                (psketch_lang::ast::BinOp::And, Some(0)) => return Some(0),
-                (psketch_lang::ast::BinOp::Or, Some(v)) if v != 0 => return Some(1),
+                (BinOp::And, Some(0)) => return Some(0),
+                (BinOp::Or, Some(v)) if v != 0 => return Some(1),
                 _ => {}
             }
-            let bv = eval_static(b, env, config)?;
+            let bv = eval_static(b, env, config, holes)?;
             match fold_binop(*op, Rv::Const(av?), Rv::Const(bv), cfg) {
                 Rv::Const(c) => Some(c),
                 _ => None,
             }
         }
         Rv::Ite(c, a, b) => {
-            if eval_static(c, env, config)? != 0 {
-                eval_static(a, env, config)
+            if eval_static(c, env, config, holes)? != 0 {
+                eval_static(a, env, config, holes)
             } else {
-                eval_static(b, env, config)
+                eval_static(b, env, config, holes)
             }
         }
-        Rv::Global(_)
-        | Rv::GlobalDyn { .. }
-        | Rv::LocalDyn { .. }
-        | Rv::Field { .. }
-        | Rv::Hole(_) => None,
+        Rv::Global(_) | Rv::GlobalDyn { .. } | Rv::LocalDyn { .. } | Rv::Field { .. } => None,
     }
 }
 
 /// Walks expressions and operations, adding locations to a footprint.
 /// Carries the constant environment used to resolve dynamic indices to
-/// exact cells.
+/// exact cells, and — on the candidate-sharpened path — the hole
+/// assignment used to prune branches the interpreter never demands.
 struct Collector<'a> {
     env: &'a [Option<i64>],
     config: Option<&'a Config>,
+    holes: Option<&'a Assignment>,
 }
 
 impl<'a> Collector<'a> {
@@ -243,11 +259,16 @@ impl<'a> Collector<'a> {
         Collector {
             env: &[],
             config: None,
+            holes: None,
         }
     }
 
+    fn value(&self, rv: &Rv) -> Option<i64> {
+        eval_static(rv, self.env, self.config, self.holes)
+    }
+
     fn index(&self, ix: &Rv, len: usize) -> Option<usize> {
-        match eval_static(ix, self.env, self.config) {
+        match self.value(ix) {
             Some(c) if 0 <= c && (c as usize) < len => Some(c as usize),
             _ => None,
         }
@@ -276,11 +297,32 @@ impl<'a> Collector<'a> {
                 self.reads_of(obj, fp);
             }
             Rv::Unary(_, a) => self.reads_of(a, fp),
-            Rv::Binary(_, a, b) => {
+            Rv::Binary(op, a, b) => {
+                // Candidate-sharpened pruning: when the left operand
+                // evaluates statically, its demanded part is read-free
+                // (shared reads never fold), and a short-circuiting
+                // `&&`/`||` never demands the right operand at all.
+                // Mirrors the demanded-branch dropping candidate
+                // specialization performs on materialized trees. The
+                // static table never prunes: its footprints must cover
+                // every candidate.
+                if self.holes.is_some() && matches!(op, BinOp::And | BinOp::Or) {
+                    match (op, self.value(a)) {
+                        (BinOp::And, Some(0)) => return,
+                        (BinOp::Or, Some(v)) if v != 0 => return,
+                        (_, Some(_)) => return self.reads_of(b, fp),
+                        _ => {}
+                    }
+                }
                 self.reads_of(a, fp);
                 self.reads_of(b, fp);
             }
             Rv::Ite(c, a, b) => {
+                if self.holes.is_some() {
+                    if let Some(v) = self.value(c) {
+                        return self.reads_of(if v != 0 { a } else { b }, fp);
+                    }
+                }
                 self.reads_of(c, fp);
                 self.reads_of(a, fp);
                 self.reads_of(b, fp);
@@ -424,6 +466,19 @@ impl FootprintTable {
     pub fn thread(&self, tid: ThreadId) -> &[Footprint] {
         &self.per_thread[tid]
     }
+
+    /// Computes the candidate-sharpened table: same analysis as
+    /// [`FootprintTable::new`], but with every hole resolved to its
+    /// value under `holes`, so hole constants propagate through locals
+    /// and statically-settled branches stop contributing reads. Every
+    /// footprint refines the corresponding static one (the analysis
+    /// only gains constants, never loses any).
+    pub fn sharpened(l: &Lowered, holes: &Assignment) -> FootprintTable {
+        let per_thread = (0..l.num_threads())
+            .map(|tid| thread_footprints_sharpened(l.thread(tid), &l.config, holes))
+            .collect();
+        FootprintTable { per_thread }
+    }
 }
 
 /// The constant environment holds, for each local slot, a value the
@@ -433,10 +488,31 @@ impl FootprintTable {
 /// whose value or destination cannot be resolved kills the affected
 /// slots.
 fn thread_footprints(thread: &Thread, config: &Config) -> Vec<Footprint> {
+    thread_footprints_with(thread, config, None)
+}
+
+/// Candidate-sharpened variant of [`thread_footprints`]: holes resolve
+/// to their assigned values, so `int k = ??(2); a[k+i]` sharpens
+/// exactly like a hole written directly in the index. The guarantee
+/// narrows from "every candidate" to "this candidate", which is what
+/// the per-candidate POR tables need.
+pub fn thread_footprints_sharpened(
+    thread: &Thread,
+    config: &Config,
+    holes: &Assignment,
+) -> Vec<Footprint> {
+    thread_footprints_with(thread, config, Some(holes))
+}
+
+fn thread_footprints_with(
+    thread: &Thread,
+    config: &Config,
+    holes: Option<&Assignment>,
+) -> Vec<Footprint> {
     let mut env: Vec<Option<i64>> = vec![None; thread.locals.len()];
     let mut out = Vec::with_capacity(thread.steps.len());
     for step in &thread.steps {
-        let guard = eval_static(&step.guard, &env, Some(config));
+        let guard = eval_static(&step.guard, &env, Some(config), holes);
         if guard == Some(0) {
             // Statically dead: the step never executes, contributes no
             // effects and changes no locals.
@@ -446,17 +522,24 @@ fn thread_footprints(thread: &Thread, config: &Config) -> Vec<Footprint> {
         let c = Collector {
             env: &env,
             config: Some(config),
+            holes,
         };
         let mut fp = Footprint::empty();
         c.reads_of(&step.guard, &mut fp);
         c.op_of(&step.op, &mut fp);
         out.push(fp);
-        update_env(&mut env, step, guard.is_some(), config);
+        update_env(&mut env, step, guard.is_some(), config, holes);
     }
     out
 }
 
-fn update_env(env: &mut [Option<i64>], step: &Step, definite: bool, config: &Config) {
+fn update_env(
+    env: &mut [Option<i64>],
+    step: &Step,
+    definite: bool,
+    config: &Config,
+    holes: Option<&Assignment>,
+) {
     // A local receives a tracked constant only from a plain Assign of
     // a statically evaluable value; every other write kills it.
     let assign = |env: &mut [Option<i64>], slot: usize, v: Option<i64>| {
@@ -468,7 +551,7 @@ fn update_env(env: &mut [Option<i64>], step: &Step, definite: bool, config: &Con
     };
     let kill_lv = |env: &mut [Option<i64>], lv: &Lv| match lv {
         Lv::Local(l) => env[*l] = None,
-        Lv::LocalDyn { base, len, ix } => match eval_static(ix, env, Some(config)) {
+        Lv::LocalDyn { base, len, ix } => match eval_static(ix, env, Some(config), holes) {
             Some(c) if 0 <= c && (c as usize) < *len => env[base + c as usize] = None,
             _ => {
                 for slot in &mut env[*base..*base + *len] {
@@ -480,13 +563,13 @@ fn update_env(env: &mut [Option<i64>], step: &Step, definite: bool, config: &Con
     };
     match &step.op {
         Op::Assign(Lv::Local(l), rv) => {
-            let v = eval_static(rv, env, Some(config));
+            let v = eval_static(rv, env, Some(config), holes);
             assign(env, *l, v);
         }
         Op::Assign(Lv::LocalDyn { base, len, ix }, rv) => {
-            match eval_static(ix, env, Some(config)) {
+            match eval_static(ix, env, Some(config), holes) {
                 Some(c) if 0 <= c && (c as usize) < *len => {
-                    let v = eval_static(rv, env, Some(config));
+                    let v = eval_static(rv, env, Some(config), holes);
                     assign(env, base + c as usize, v);
                 }
                 _ => {
@@ -651,6 +734,133 @@ mod tests {
         };
         let fps = thread_footprints(&thread, &Config::default());
         assert_eq!(fps[1].reads, vec![Loc::GlobalRegion { base: 0, len: 4 }]);
+    }
+
+    #[test]
+    fn sharpened_table_propagates_hole_constants_through_locals() {
+        // l0 = ??; l1 = g[l0] — static analysis must keep the region
+        // (any hole value is possible), but under a concrete
+        // assignment the read resolves to one cell.
+        let thread = Thread {
+            name: "t".into(),
+            steps: vec![
+                Step::new(
+                    Rv::Const(1),
+                    Op::Assign(Lv::Local(0), Rv::Hole(0)),
+                    Span::default(),
+                ),
+                Step::new(
+                    Rv::Const(1),
+                    Op::Assign(Lv::Local(1), gdyn_read(0, 4, Rv::Local(0))),
+                    Span::default(),
+                ),
+            ],
+            locals: vec![
+                crate::step::LocalSlot {
+                    name: "l0".into(),
+                    kind: crate::step::ScalarKind::Int,
+                },
+                crate::step::LocalSlot {
+                    name: "l1".into(),
+                    kind: crate::step::ScalarKind::Int,
+                },
+            ],
+        };
+        let cfg = Config::default();
+        let wide = thread_footprints(&thread, &cfg);
+        assert_eq!(wide[1].reads, vec![Loc::GlobalRegion { base: 0, len: 4 }]);
+        let holes = crate::hole::Assignment::from_values(vec![3]);
+        let sharp = thread_footprints_sharpened(&thread, &cfg, &holes);
+        assert_eq!(sharp[1].reads, vec![Loc::Global(3)]);
+    }
+
+    #[test]
+    fn sharpened_table_resolves_hole_plus_fork_index_from_source() {
+        // The ROADMAP example: `int k = ??(2); a[k+i]` must sharpen
+        // the array-region write to one cell per worker once hole
+        // constants flow through locals.
+        let cfg = Config::default();
+        let p = psketch_lang::check_program(
+            "int[4] a; int g;
+             harness void main() {
+                 fork (i; 2) { int k = ??(2); a[k + i] = 1; g = a[k + i]; }
+                 assert g >= 0;
+             }",
+        )
+        .expect("test source must type-check");
+        let (sk, holes) =
+            crate::desugar::desugar_program(&p, &cfg).expect("test source must desugar");
+        let l = crate::lower::lower_program(&sk, holes, &cfg).expect("test source must lower");
+        let a = crate::hole::Assignment::from_values(vec![1; l.holes.num_holes()]);
+        let stat = FootprintTable::new(&l);
+        let sharp = FootprintTable::sharpened(&l, &a);
+        let mut regions_static = 0usize;
+        let mut cells = Vec::new();
+        for w in 0..l.workers.len() {
+            let tid = w + 1;
+            for (ix, sfp) in stat.thread(tid).iter().enumerate() {
+                let wide = sfp
+                    .reads
+                    .iter()
+                    .chain(&sfp.writes)
+                    .filter(|loc| matches!(loc, Loc::GlobalRegion { .. }))
+                    .count();
+                if wide == 0 {
+                    continue;
+                }
+                regions_static += wide;
+                // The sharpened footprint of the same step must have
+                // resolved every region access to a single cell.
+                let nfp = sharp.step(tid, ix);
+                for loc in nfp.reads.iter().chain(&nfp.writes) {
+                    assert!(
+                        matches!(loc, Loc::Global(_)),
+                        "worker {w} step {ix}: sharpened footprint still has {loc:?}"
+                    );
+                    cells.push((w, *loc));
+                }
+            }
+        }
+        assert!(
+            regions_static > 0,
+            "static analysis should see region accesses for a[k+i]"
+        );
+        // Workers resolve to different cells (k is shared, i differs).
+        let w0: Vec<_> = cells.iter().filter(|(w, _)| *w == 0).collect();
+        let w1: Vec<_> = cells.iter().filter(|(w, _)| *w == 1).collect();
+        assert!(!w0.is_empty() && !w1.is_empty());
+        assert_ne!(w0[0].1, w1[0].1, "fork index must shift the resolved cell");
+    }
+
+    #[test]
+    fn sharpened_settled_branch_drops_untaken_reads() {
+        // guard `??(2) == 1` with the hole assigned 0: the guarded
+        // read disappears from the sharpened table but stays (merged
+        // conservatively) in the static one.
+        let thread = Thread {
+            name: "t".into(),
+            steps: vec![Step::new(
+                Rv::eq(Rv::Hole(0), Rv::Const(1)),
+                Op::Assign(Lv::Local(0), Rv::Global(2)),
+                Span::default(),
+            )],
+            locals: vec![crate::step::LocalSlot {
+                name: "l0".into(),
+                kind: crate::step::ScalarKind::Int,
+            }],
+        };
+        let cfg = Config::default();
+        let wide = thread_footprints(&thread, &cfg);
+        assert_eq!(wide[0].reads, vec![Loc::Global(2)]);
+        let holes = crate::hole::Assignment::from_values(vec![0]);
+        let sharp = thread_footprints_sharpened(&thread, &cfg, &holes);
+        assert!(
+            sharp[0].reads.is_empty(),
+            "dead step must contribute nothing"
+        );
+        let taken = crate::hole::Assignment::from_values(vec![1]);
+        let live = thread_footprints_sharpened(&thread, &cfg, &taken);
+        assert_eq!(live[0].reads, vec![Loc::Global(2)]);
     }
 
     #[test]

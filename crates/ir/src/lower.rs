@@ -1431,7 +1431,12 @@ pub(crate) fn const_expr(e: &Expr, config: &Config) -> Option<i64> {
     }
 }
 
-pub(crate) fn fold_const_binop(op: BinOp, a: i64, b: i64, config: &Config) -> Option<i64> {
+/// Folds a binary operator over two constant operands, wrapping
+/// arithmetic to the configured bit width. `None` when the operation
+/// is not foldable (division or modulo by zero — left to fail at run
+/// time). Public so emit-time folding in the exec crate applies
+/// exactly the lowering/specialization semantics.
+pub fn fold_const_binop(op: BinOp, a: i64, b: i64, config: &Config) -> Option<i64> {
     Some(match op {
         BinOp::Add => config.wrap(a + b),
         BinOp::Sub => config.wrap(a - b),
@@ -1485,13 +1490,19 @@ pub(crate) fn fold_binop(op: BinOp, a: Rv, b: Rv, config: &Config) -> Rv {
 
 pub(crate) fn fold_unop(op: UnOp, a: Rv, config: &Config) -> Rv {
     if let Rv::Const(c) = a {
-        return match op {
-            UnOp::Not => Rv::Const(i64::from(c == 0)),
-            UnOp::Neg => Rv::Const(config.wrap(-c)),
-            UnOp::BitsToInt => Rv::Const(c),
-        };
+        return Rv::Const(fold_const_unop(op, c, config));
     }
     Rv::Unary(op, Box::new(a))
+}
+
+/// Folds a unary operator over a constant operand — the constant arm
+/// of `fold_unop`, shared with emit-time folding in the exec crate.
+pub fn fold_const_unop(op: UnOp, c: i64, config: &Config) -> i64 {
+    match op {
+        UnOp::Not => i64::from(c == 0),
+        UnOp::Neg => config.wrap(-c),
+        UnOp::BitsToInt => c,
+    }
 }
 
 #[cfg(test)]

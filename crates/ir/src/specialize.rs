@@ -39,7 +39,7 @@
 //! builds its conflict bitmasks from.
 
 use crate::config::Config;
-use crate::hole::Assignment;
+use crate::hole::{Assignment, HoleId};
 use crate::lower::{fold_const_binop, fold_unop};
 use crate::step::{Lowered, Lv, Op, Rv, Step, Thread};
 use psketch_lang::ast::BinOp;
@@ -77,6 +77,132 @@ pub fn specialize(l: &Lowered, candidate: &Assignment) -> Lowered {
     }
 }
 
+/// Specializes a single expression: hole substitution followed by the
+/// exact fold of [`specialize`], without materializing a whole
+/// program. The emit-time compiler uses this per hole-bearing
+/// expression, so the code it emits is precisely what compiling the
+/// specialized program would have produced.
+pub fn specialize_rv(rv: &Rv, a: &Assignment, config: &Config) -> Rv {
+    fold_rv(subst_rv(rv, a), config)
+}
+
+/// As [`specialize_rv`] for a step operation.
+pub fn specialize_op(op: &Op, a: &Assignment, config: &Config) -> Op {
+    fold_op(subst_op(op, a), config)
+}
+
+/// Does the expression mention any hole?
+pub fn rv_has_hole(rv: &Rv) -> bool {
+    match rv {
+        Rv::Hole(_) => true,
+        Rv::Const(_) | Rv::Global(_) | Rv::Local(_) => false,
+        Rv::GlobalDyn { ix, .. } | Rv::LocalDyn { ix, .. } => rv_has_hole(ix),
+        Rv::Field { obj, .. } => rv_has_hole(obj),
+        Rv::Unary(_, a) => rv_has_hole(a),
+        Rv::Binary(_, a, b) => rv_has_hole(a) || rv_has_hole(b),
+        Rv::Ite(c, a, b) => rv_has_hole(c) || rv_has_hole(a) || rv_has_hole(b),
+    }
+}
+
+/// Does the write destination's address computation mention any hole?
+pub fn lv_has_hole(lv: &Lv) -> bool {
+    match lv {
+        Lv::Global(_) | Lv::Local(_) => false,
+        Lv::GlobalDyn { ix, .. } | Lv::LocalDyn { ix, .. } => rv_has_hole(ix),
+        Lv::Field { obj, .. } => rv_has_hole(obj),
+    }
+}
+
+/// Does the operation mention any hole?
+pub fn op_has_hole(op: &Op) -> bool {
+    match op {
+        Op::Assign(lv, rv) => lv_has_hole(lv) || rv_has_hole(rv),
+        Op::Swap { dst, loc, val } => lv_has_hole(dst) || lv_has_hole(loc) || rv_has_hole(val),
+        Op::Cas { dst, loc, old, new } => {
+            lv_has_hole(dst) || lv_has_hole(loc) || rv_has_hole(old) || rv_has_hole(new)
+        }
+        Op::FetchAdd { dst, loc, .. } => lv_has_hole(dst) || lv_has_hole(loc),
+        Op::Alloc { dst, inits, .. } => {
+            lv_has_hole(dst) || inits.iter().any(|(_, rv)| rv_has_hole(rv))
+        }
+        Op::Assert(c) => rv_has_hole(c),
+        Op::AtomicBegin(Some(c)) => rv_has_hole(c),
+        Op::AtomicBegin(None) | Op::AtomicEnd => false,
+    }
+}
+
+/// Does the step (guard or operation) mention any hole?
+pub fn step_has_hole(step: &Step) -> bool {
+    rv_has_hole(&step.guard) || op_has_hole(&step.op)
+}
+
+/// Collects every hole id mentioned by the expression into `out`
+/// (duplicates included; callers sort/dedup).
+pub fn rv_holes(rv: &Rv, out: &mut Vec<HoleId>) {
+    match rv {
+        Rv::Hole(h) => out.push(*h),
+        Rv::Const(_) | Rv::Global(_) | Rv::Local(_) => {}
+        Rv::GlobalDyn { ix, .. } | Rv::LocalDyn { ix, .. } => rv_holes(ix, out),
+        Rv::Field { obj, .. } => rv_holes(obj, out),
+        Rv::Unary(_, a) => rv_holes(a, out),
+        Rv::Binary(_, a, b) => {
+            rv_holes(a, out);
+            rv_holes(b, out);
+        }
+        Rv::Ite(c, a, b) => {
+            rv_holes(c, out);
+            rv_holes(a, out);
+            rv_holes(b, out);
+        }
+    }
+}
+
+fn lv_holes(lv: &Lv, out: &mut Vec<HoleId>) {
+    match lv {
+        Lv::Global(_) | Lv::Local(_) => {}
+        Lv::GlobalDyn { ix, .. } | Lv::LocalDyn { ix, .. } => rv_holes(ix, out),
+        Lv::Field { obj, .. } => rv_holes(obj, out),
+    }
+}
+
+/// Collects every hole id a step mentions. The reseal diff uses the
+/// per-thread union of these: a thread whose holes all kept their
+/// values compiles to bit-identical code and footprints, so its sealed
+/// artifacts can be reused verbatim.
+pub fn step_holes(step: &Step, out: &mut Vec<HoleId>) {
+    rv_holes(&step.guard, out);
+    match &step.op {
+        Op::Assign(lv, rv) => {
+            lv_holes(lv, out);
+            rv_holes(rv, out);
+        }
+        Op::Swap { dst, loc, val } => {
+            lv_holes(dst, out);
+            lv_holes(loc, out);
+            rv_holes(val, out);
+        }
+        Op::Cas { dst, loc, old, new } => {
+            lv_holes(dst, out);
+            lv_holes(loc, out);
+            rv_holes(old, out);
+            rv_holes(new, out);
+        }
+        Op::FetchAdd { dst, loc, .. } => {
+            lv_holes(dst, out);
+            lv_holes(loc, out);
+        }
+        Op::Alloc { dst, inits, .. } => {
+            lv_holes(dst, out);
+            for (_, rv) in inits {
+                rv_holes(rv, out);
+            }
+        }
+        Op::Assert(c) => rv_holes(c, out),
+        Op::AtomicBegin(Some(c)) => rv_holes(c, out),
+        Op::AtomicBegin(None) | Op::AtomicEnd => {}
+    }
+}
+
 /// `b` normalized to 0/1 exactly as the interpreter's `&&`/`||`
 /// results are: constants collapse, expressions that already produce
 /// 0/1 pass through, anything else is wrapped in `!= 0`.
@@ -89,8 +215,9 @@ fn normalize_bool(b: Rv) -> Rv {
     }
 }
 
-/// Does `op` always produce 0/1?
-fn boolean_result(op: BinOp) -> bool {
+/// Does `op` always produce 0/1? Public so emit-time folding in the
+/// exec crate can mirror [`fold_rv`]'s `normalize_bool` exactly.
+pub fn boolean_result(op: BinOp) -> bool {
     matches!(
         op,
         BinOp::Eq
@@ -316,48 +443,6 @@ mod tests {
         lower::lower_program(&sk, holes, &cfg).expect("test source must lower")
     }
 
-    fn contains_hole(rv: &Rv) -> bool {
-        match rv {
-            Rv::Hole(_) => true,
-            Rv::Const(_) | Rv::Global(_) | Rv::Local(_) => false,
-            Rv::GlobalDyn { ix, .. } | Rv::LocalDyn { ix, .. } => contains_hole(ix),
-            Rv::Field { obj, .. } => contains_hole(obj),
-            Rv::Unary(_, a) => contains_hole(a),
-            Rv::Binary(_, a, b) => contains_hole(a) || contains_hole(b),
-            Rv::Ite(c, a, b) => contains_hole(c) || contains_hole(a) || contains_hole(b),
-        }
-    }
-
-    fn lv_contains_hole(lv: &Lv) -> bool {
-        match lv {
-            Lv::Global(_) | Lv::Local(_) => false,
-            Lv::GlobalDyn { ix, .. } | Lv::LocalDyn { ix, .. } => contains_hole(ix),
-            Lv::Field { obj, .. } => contains_hole(obj),
-        }
-    }
-
-    fn op_contains_hole(op: &Op) -> bool {
-        match op {
-            Op::Assign(lv, rv) => lv_contains_hole(lv) || contains_hole(rv),
-            Op::Swap { dst, loc, val } => {
-                lv_contains_hole(dst) || lv_contains_hole(loc) || contains_hole(val)
-            }
-            Op::Cas { dst, loc, old, new } => {
-                lv_contains_hole(dst)
-                    || lv_contains_hole(loc)
-                    || contains_hole(old)
-                    || contains_hole(new)
-            }
-            Op::FetchAdd { dst, loc, .. } => lv_contains_hole(dst) || lv_contains_hole(loc),
-            Op::Alloc { dst, inits, .. } => {
-                lv_contains_hole(dst) || inits.iter().any(|(_, rv)| contains_hole(rv))
-            }
-            Op::Assert(c) => contains_hole(c),
-            Op::AtomicBegin(Some(c)) => contains_hole(c),
-            Op::AtomicBegin(None) | Op::AtomicEnd => false,
-        }
-    }
-
     #[test]
     fn specialized_program_is_hole_free_and_structure_preserving() {
         let l = lowered(
@@ -385,13 +470,53 @@ mod tests {
                     .chain(s.epilogue.steps.iter()),
             )
         {
-            assert!(!contains_hole(&spec.guard), "guard still has a hole");
-            assert!(!op_contains_hole(&spec.op), "op still has a hole");
+            assert!(!rv_has_hole(&spec.guard), "guard still has a hole");
+            assert!(!op_has_hole(&spec.op), "op still has a hole");
             assert_eq!(orig.shared, spec.shared, "shared flag must be preserved");
             assert_eq!(orig.span, spec.span, "span must be preserved");
         }
         for (ow, sw) in l.workers.iter().zip(&s.workers) {
             assert_eq!(ow.steps.len(), sw.steps.len(), "step count must match");
+        }
+    }
+
+    #[test]
+    fn per_expression_specialization_matches_whole_program_pass() {
+        let l = lowered(
+            "int[4] a; int g;
+             harness void main() {
+                 int x = ??(3);
+                 fork (i; 2) { a[x + i] = g + x; if (x == 1) { g = 2; } }
+                 assert g >= 0;
+             }",
+        );
+        let a = l.holes.identity_assignment();
+        let s = specialize(&l, &a);
+        for (tid, (orig, spec)) in [&l.prologue, &l.epilogue]
+            .into_iter()
+            .chain(l.workers.iter())
+            .zip(
+                [&s.prologue, &s.epilogue]
+                    .into_iter()
+                    .chain(s.workers.iter()),
+            )
+            .enumerate()
+        {
+            for (ix, (os, ss)) in orig.steps.iter().zip(spec.steps.iter()).enumerate() {
+                assert_eq!(
+                    specialize_rv(&os.guard, &a, &l.config),
+                    ss.guard,
+                    "guard mismatch at thread {tid} step {ix}"
+                );
+                assert_eq!(
+                    specialize_op(&os.op, &a, &l.config),
+                    ss.op,
+                    "op mismatch at thread {tid} step {ix}"
+                );
+                let mut holes = Vec::new();
+                step_holes(os, &mut holes);
+                assert_eq!(step_has_hole(os), !holes.is_empty());
+            }
         }
     }
 

@@ -38,7 +38,7 @@ use crate::step::{Lv, Op, Rv, Thread};
 use crate::Lowered;
 
 /// One class of interchangeable workers.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SymClass {
     /// Worker indices (0-based, ascending) in the class. Always at
     /// least two — singleton classes are dropped.
@@ -51,7 +51,7 @@ pub struct SymClass {
 }
 
 /// The symmetry classes of a lowered program under one candidate.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SymmetryClasses {
     /// Classes with two or more members. Workers not listed are
     /// asymmetric (singleton classes) and keep identity
@@ -355,7 +355,7 @@ fn thread_local_reads(t: &Thread) -> Vec<bool> {
     reads
 }
 
-fn rv_reads(rv: &Rv, add: &mut dyn FnMut(usize)) {
+fn rv_reads<F: FnMut(usize)>(rv: &Rv, add: &mut F) {
     match rv {
         Rv::Local(l) => add(*l),
         Rv::LocalDyn { base, len, ix } => {
@@ -380,7 +380,7 @@ fn rv_reads(rv: &Rv, add: &mut dyn FnMut(usize)) {
     }
 }
 
-fn lv_reads(lv: &Lv, add: &mut dyn FnMut(usize)) {
+fn lv_reads<F: FnMut(usize)>(lv: &Lv, add: &mut F) {
     match lv {
         Lv::Local(_) | Lv::Global(_) => {}
         Lv::LocalDyn { base, len, ix } => {

@@ -19,10 +19,17 @@
 //! at 1, 2 and 4 threads, every counterexample still refutes the
 //! candidate, and — whenever the full search completed — the reduced
 //! search never visits more states than full expansion did.
+//!
+//! The shared-table test additionally audits the zero-copy artifact
+//! contract: every checker spun up from a sealed [`CompiledProgram`]
+//! — sequential or parallel — shares its tables by reference
+//! (`table_clones == 0`), while the interpreted reduced paths own
+//! their POR table (`table_clones == 1` per run that searches).
 
 use psketch_repro::exec::reference::check_ref_with_limit;
 use psketch_repro::exec::{
-    check_parallel_limits, check_with_limits, CheckOutcome, Interrupt, SearchLimits, Verdict,
+    check_compiled, check_parallel_compiled, check_parallel_limits, check_with_limits,
+    CheckOutcome, CompiledProgram, Interrupt, SearchLimits, Verdict,
 };
 use psketch_repro::ir::{desugar, lower, Assignment, Lowered};
 use psketch_repro::suite::figure9_runs;
@@ -487,6 +494,105 @@ fn reduction_prunes_disjoint_updates() {
     assert!(red.stats.por_ample_hits > 0);
     assert!(red.stats.states_pruned > 0);
     assert_eq!(full.stats.por_ample_hits, 0);
+}
+
+/// A sealed artifact's tables (state layout, liveness, POR masks,
+/// symmetry classes) live behind `Arc` and are shared by reference
+/// with every checker spun up from it — sequential or parallel —
+/// while the interpreted paths materialize an owned POR table per
+/// run. `table_clones` audits exactly that: zero on every artifact
+/// path, at least one on every interpreted reduced run. Sharing must
+/// also be observationally free: with reduction off, a parallel run
+/// over the shared artifact matches the interpreted sequential
+/// baseline's verdict and passing state count, and any counterexample
+/// schedule it finds still refutes the candidate.
+#[test]
+fn shared_tables_run_parallel_without_cloning() {
+    let mut seen = std::collections::HashSet::new();
+    let mut rng = Rng::new(19);
+    let mut interpreted_clones = 0u64;
+    for run in figure9_runs() {
+        if !seen.insert(run.benchmark) {
+            continue;
+        }
+        let l = lowered(&run.source, &run.options.config);
+        for (ix, a) in candidates(&l, 1, &mut rng).iter().enumerate() {
+            let label = format!("{} candidate {ix}", run.benchmark);
+            let cp = CompiledProgram::compile(&l, a);
+            let off = SearchLimits {
+                por: false,
+                symmetry: false,
+                compile: true,
+                ..SearchLimits::states(MAX_STATES)
+            };
+            let on = SearchLimits {
+                por: true,
+                ..off.clone()
+            };
+
+            // Reduction off: the shared-artifact parallel search
+            // against the interpreted sequential baseline.
+            let base = check_with_limits(
+                &l,
+                a,
+                &SearchLimits {
+                    compile: false,
+                    ..off.clone()
+                },
+            );
+            for threads in [2usize, 4] {
+                let par = check_parallel_compiled(&cp, &off, threads);
+                check_against(&l, a, &base.verdict, Some(base.stats.states), &par, {
+                    &format!("{label} threads={threads} shared artifact")
+                });
+                assert_eq!(
+                    par.stats.table_clones, 0,
+                    "{label}: artifact path must not clone tables"
+                );
+            }
+
+            // Every artifact-driven engine reports zero table clones…
+            let comp_seq = check_compiled(&cp, &on);
+            assert_eq!(comp_seq.stats.table_clones, 0, "{label}: sequential");
+            let comp_par = check_parallel_compiled(&cp, &on, 2);
+            assert_eq!(comp_par.stats.table_clones, 0, "{label}: parallel");
+
+            // …and so does the default configuration, which seals the
+            // candidate internally and checks through the artifact.
+            let flagged = check_with_limits(&l, a, &on);
+            assert_eq!(flagged.stats.table_clones, 0, "{label}: compile flag");
+
+            // The interpreted reduced paths materialize their own
+            // owned POR table, once per run (the reduction only
+            // engages between 2 and 64 workers, and a candidate that
+            // dies in the prologue never reaches the search).
+            if (2..=64).contains(&l.workers.len()) {
+                let int_on = SearchLimits {
+                    compile: false,
+                    ..on.clone()
+                };
+                let int_seq = check_with_limits(&l, a, &int_on);
+                assert!(int_seq.stats.table_clones <= 1, "{label}: interpreted");
+                let int_par = check_parallel_limits(&l, a, &int_on, 2);
+                assert_eq!(
+                    int_seq.stats.table_clones, int_par.stats.table_clones,
+                    "{label}: sequential and parallel interpreted runs \
+                     materialize the same tables"
+                );
+                if int_seq.stats.por_ample_hits + int_seq.stats.por_fallbacks > 0 {
+                    assert_eq!(
+                        int_seq.stats.table_clones, 1,
+                        "{label}: a reduced interpreted search owns its table"
+                    );
+                }
+                interpreted_clones += int_seq.stats.table_clones;
+            }
+        }
+    }
+    assert!(
+        interpreted_clones > 0,
+        "the interpreted paths must have materialized at least one table"
+    );
 }
 
 /// The undo engine's accounting must reflect its zero-clone design:
